@@ -1,0 +1,398 @@
+(* vadasa — command-line front end of the Vada-SA statistical disclosure
+   control framework.
+
+   Subcommands:
+     generate    synthesize a Figure 6 dataset as CSV
+     categorize  run Algorithm 1 over a CSV's attribute names
+     risk        estimate disclosure risk for a CSV microdata DB
+     anonymize   run the anonymization cycle and write the result
+     attack      simulate the record-linkage attack against a microdata DB
+     reason      execute a Vadalog program file on the reasoning engine *)
+
+module Value = Vadasa_base.Value
+module R = Vadasa_relational
+module S = Vadasa_sdc
+module D = Vadasa_datagen
+module L = Vadasa_linkage
+module V = Vadasa_vadalog
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+(* ---- shared helpers --------------------------------------------------- *)
+
+let load_microdata ~path ~overrides =
+  let name = Filename.remove_extension (Filename.basename path) in
+  let rel = R.Csv.load ~name path in
+  let overrides =
+    List.filter_map
+      (fun (attr, cat) ->
+        Option.map (fun c -> (attr, c)) (S.Microdata.category_of_string cat))
+      overrides
+  in
+  match S.Categorize.categorize_microdata ~overrides rel with
+  | Ok md -> md
+  | Error message ->
+    Printf.eprintf "error: %s\n" message;
+    Printf.eprintf
+      "hint: pass --category attr=identifier|quasi-identifier|non-identifying|weight\n";
+    exit 1
+
+let parse_measure measure k threshold_size =
+  match measure with
+  | "k-anonymity" -> S.Risk.K_anonymity { k }
+  | "re-identification" -> S.Risk.Re_identification
+  | "individual" -> S.Risk.Individual S.Risk.Benedetti_franconi
+  | "individual-naive" -> S.Risk.Individual S.Risk.Naive
+  | "suda" -> S.Risk.Suda { max_msu_size = 3; threshold_size }
+  | other ->
+    Printf.eprintf "error: unknown measure %s\n" other;
+    exit 1
+
+(* ---- arguments --------------------------------------------------------- *)
+
+let input_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Input microdata CSV (with header).")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output CSV path (default: stdout).")
+
+let category_arg =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i ->
+      Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> Error (`Msg "expected attr=category")
+  in
+  let print ppf (a, c) = Format.fprintf ppf "%s=%s" a c in
+  Arg.(
+    value
+    & opt_all (conv (parse, print)) []
+    & info [ "category" ] ~docv:"ATTR=CAT"
+        ~doc:
+          "Expert category override (identifier, quasi-identifier, \
+           non-identifying, weight). Repeatable.")
+
+let measure_arg =
+  Arg.(
+    value
+    & opt string "k-anonymity"
+    & info [ "measure" ] ~docv:"MEASURE"
+        ~doc:
+          "Risk measure: k-anonymity, re-identification, individual, \
+           individual-naive, suda.")
+
+let k_arg =
+  Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"k-anonymity threshold.")
+
+let threshold_arg =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "threshold" ] ~docv:"T" ~doc:"Risk threshold T in [0,1].")
+
+let msu_arg =
+  Arg.(
+    value
+    & opt int 3
+    & info [ "msu-threshold" ] ~docv:"N" ~doc:"SUDA minimal-sample-unique size threshold.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let write_csv rel = function
+  | None -> print_string (R.Csv.write_string rel)
+  | Some path ->
+    R.Csv.save rel path;
+    Printf.printf "wrote %d tuples to %s\n" (R.Relation.cardinal rel) path
+
+(* ---- generate ----------------------------------------------------------- *)
+
+let generate_cmd =
+  let dataset =
+    Arg.(
+      value
+      & opt string "R25A4W"
+      & info [ "dataset" ] ~docv:"NAME"
+          ~doc:"Figure 6 dataset name (R6A4U ... R100A4U).")
+  in
+  let scale =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "scale" ] ~docv:"S" ~doc:"Tuple-count multiplier.")
+  in
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the Figure 6 inventory and exit.")
+  in
+  let run dataset scale output list_flag =
+    if list_flag then Format.printf "%a" D.Suite.pp_table ()
+    else
+      match D.Suite.find dataset with
+      | None ->
+        Printf.eprintf "error: unknown dataset %s (try --list)\n" dataset;
+        exit 1
+      | Some entry ->
+        let md = D.Suite.load_entry ~scale entry in
+        write_csv (S.Microdata.relation md) output
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize a Figure 6 dataset as CSV")
+    Term.(const run $ dataset $ scale $ output_arg $ list_flag)
+
+(* ---- categorize ---------------------------------------------------------- *)
+
+let categorize_cmd =
+  let run input =
+    let name = Filename.remove_extension (Filename.basename input) in
+    let rel = R.Csv.load ~name input in
+    let result, _ =
+      S.Categorize.run ~experience:S.Categorize.builtin_experience
+        (R.Relation.schema rel)
+    in
+    List.iter
+      (fun a ->
+        Printf.printf "%-24s %-18s (matched %s, score %.2f)\n"
+          a.S.Categorize.attr
+          (S.Microdata.category_to_string a.S.Categorize.category)
+          a.S.Categorize.matched a.S.Categorize.score)
+      result.S.Categorize.assigned;
+    List.iter
+      (fun attr -> Printf.printf "%-24s UNRESOLVED (expert input needed)\n" attr)
+      result.S.Categorize.unresolved;
+    List.iter
+      (fun c ->
+        Printf.printf "CONFLICT on %s: %s\n" c.S.Categorize.conflict_attr
+          (String.concat ", "
+             (List.map
+                (fun (cat, name, score) ->
+                  Printf.sprintf "%s via %s (%.2f)"
+                    (S.Microdata.category_to_string cat)
+                    name score)
+                c.S.Categorize.candidates)))
+      result.S.Categorize.conflicts
+  in
+  Cmd.v
+    (Cmd.info "categorize"
+       ~doc:"Categorize a CSV's attributes with Algorithm 1 (experience base)")
+    Term.(const run $ input_arg)
+
+(* ---- risk ------------------------------------------------------------------ *)
+
+let risk_cmd =
+  let explain =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "explain" ] ~docv:"TUPLE"
+          ~doc:"Explain one tuple's risk via the reasoning engine's provenance.")
+  in
+  let run input categories measure k threshold msu_threshold explain =
+    let md = load_microdata ~path:input ~overrides:categories in
+    let measure = parse_measure measure k msu_threshold in
+    let report = S.Risk.estimate measure md in
+    print_string (S.Explain.summary md report ~threshold);
+    match explain with
+    | None -> ()
+    | Some tuple ->
+      (match S.Vadalog_bridge.explain_risk measure md ~tuple with
+      | Some text ->
+        Printf.printf "\nreasoned derivation for tuple %d:\n%s" tuple text
+      | None -> Printf.printf "\nno derivation found for tuple %d\n" tuple)
+  in
+  Cmd.v
+    (Cmd.info "risk" ~doc:"Estimate statistical disclosure risk for a CSV")
+    Term.(
+      const run $ input_arg $ category_arg $ measure_arg $ k_arg $ threshold_arg
+      $ msu_arg $ explain)
+
+(* ---- anonymize --------------------------------------------------------------- *)
+
+let anonymize_cmd =
+  let method_arg =
+    Arg.(
+      value
+      & opt string "suppress"
+      & info [ "method" ] ~docv:"METHOD"
+          ~doc:"suppress (labelled nulls) or recode (synthetic hierarchy roll-up).")
+  in
+  let semantics_arg =
+    Arg.(
+      value
+      & opt string "maybe-match"
+      & info [ "semantics" ] ~docv:"SEM"
+          ~doc:"Labelled-null semantics: maybe-match or standard.")
+  in
+  let trace_flag =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the full anonymization narrative.")
+  in
+  let run verbose input categories measure k threshold msu_threshold method_
+      semantics output trace =
+    setup_logs verbose;
+    let md = load_microdata ~path:input ~overrides:categories in
+    let semantics =
+      match R.Null_semantics.of_string semantics with
+      | Some s -> s
+      | None ->
+        Printf.eprintf "error: unknown semantics %s\n" semantics;
+        exit 1
+    in
+    let method_ =
+      match method_ with
+      | "suppress" -> S.Cycle.Local_suppression
+      | "recode" ->
+        S.Cycle.Recode_then_suppress (D.Generator.synthetic_hierarchy md)
+      | other ->
+        Printf.eprintf "error: unknown method %s\n" other;
+        exit 1
+    in
+    let config =
+      {
+        S.Cycle.default_config with
+        S.Cycle.measure = parse_measure measure k msu_threshold;
+        threshold;
+        semantics;
+        method_;
+      }
+    in
+    let outcome = S.Cycle.run ~config md in
+    Format.eprintf "%a" S.Cycle.pp_outcome outcome;
+    if trace then prerr_string (S.Explain.trace md outcome);
+    write_csv (S.Microdata.relation outcome.S.Cycle.anonymized) output
+  in
+  Cmd.v
+    (Cmd.info "anonymize"
+       ~doc:"Run the anonymization cycle on a CSV until the risk threshold holds")
+    Term.(
+      const run $ verbose_arg $ input_arg $ category_arg $ measure_arg $ k_arg
+      $ threshold_arg $ msu_arg $ method_arg $ semantics_arg $ output_arg
+      $ trace_flag)
+
+(* ---- attack --------------------------------------------------------------------- *)
+
+let attack_cmd =
+  let run input categories seed =
+    let md = load_microdata ~path:input ~overrides:categories in
+    let rng = Vadasa_stats.Rng.create ~seed in
+    let oracle = L.Oracle.from_microdata rng md () in
+    Printf.printf "identity oracle: %d records\n" (L.Oracle.cardinal oracle);
+    let before = L.Attack.run oracle md in
+    Format.printf "before anonymization: %a" L.Attack.pp before;
+    let outcome = S.Cycle.run md in
+    let after = L.Attack.run oracle outcome.S.Cycle.anonymized in
+    Format.printf "after anonymization (%d nulls): %a"
+      outcome.S.Cycle.nulls_injected L.Attack.pp after
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Simulate the re-identification attack before and after anonymization")
+    Term.(const run $ input_arg $ category_arg $ seed_arg)
+
+(* ---- reason --------------------------------------------------------------------- *)
+
+let reason_cmd =
+  let program_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "p"; "program" ] ~docv:"FILE" ~doc:"Vadalog program file.")
+  in
+  let query_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "query" ] ~docv:"PRED"
+          ~doc:"Predicate to print (default: the program's @output annotations).")
+  in
+  let explain_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "explain" ] ~doc:"Print the provenance tree of every printed fact.")
+  in
+  let check_warded =
+    Arg.(value & flag & info [ "check-warded" ] ~doc:"Print the wardedness analysis.")
+  in
+  let csv_facts_arg =
+    let parse s =
+      match String.index_opt s '=' with
+      | Some i ->
+        Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+      | None -> Error (`Msg "expected pred=path.csv")
+    in
+    let print ppf (p, f) = Format.fprintf ppf "%s=%s" p f in
+    Arg.(
+      value
+      & opt_all (conv (parse, print)) []
+      & info [ "csv-facts" ] ~docv:"PRED=FILE"
+          ~doc:
+            "Load a CSV file (with header) as facts of the given predicate,              one fact per row. Repeatable.")
+  in
+  let run path queries explain warded csv_facts =
+    let source =
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let program = V.Parser.parse source in
+    let extra_facts =
+      List.concat_map
+        (fun (pred, file) ->
+          let rel = R.Csv.load ~name:pred file in
+          List.map (fun t -> (pred, t)) (R.Relation.to_list rel))
+        csv_facts
+    in
+    let program =
+      V.Program.union program (V.Program.make ~facts:extra_facts [])
+    in
+    if warded then
+      Format.printf "%a@." V.Wardedness.pp_report (V.Wardedness.analyze program);
+    let engine = V.Engine.create program in
+    V.Engine.run engine;
+    let preds =
+      match queries with [] -> program.V.Program.outputs | qs -> qs
+    in
+    List.iter
+      (fun pred ->
+        List.iter
+          (fun fact ->
+            Printf.printf "%s(%s).\n" pred
+              (String.concat ", "
+                 (Array.to_list (Array.map Value.to_string fact)));
+            if explain then
+              match V.Engine.explain engine pred fact with
+              | Some tree -> print_string (V.Provenance.to_string tree)
+              | None -> ())
+          (V.Engine.facts engine pred))
+      preds
+  in
+  Cmd.v
+    (Cmd.info "reason" ~doc:"Run a Vadalog program on the reasoning engine")
+    Term.(
+      const run $ program_arg $ query_arg $ explain_arg $ check_warded
+      $ csv_facts_arg)
+
+(* ---- main ------------------------------------------------------------------------- *)
+
+let () =
+  let doc = "Vada-SA: reasoning-based statistical disclosure control" in
+  let info = Cmd.info "vadasa" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [ generate_cmd; categorize_cmd; risk_cmd; anonymize_cmd; attack_cmd; reason_cmd ]
+  in
+  exit (Cmd.eval group)

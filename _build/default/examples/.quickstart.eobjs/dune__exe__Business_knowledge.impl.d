@@ -1,0 +1,1 @@
+examples/business_knowledge.ml: Array Format List Printf String Vadasa_base Vadasa_datagen Vadasa_sdc Vadasa_stats Vadasa_vadalog

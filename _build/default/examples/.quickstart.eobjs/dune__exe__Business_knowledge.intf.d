@@ -1,0 +1,1 @@
+examples/business_knowledge.mli:

@@ -1,0 +1,1 @@
+examples/global_recoding.ml: Format List String Vadasa_base Vadasa_datagen Vadasa_relational Vadasa_sdc

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Vadasa_datagen Vadasa_relational Vadasa_sdc

@@ -1,0 +1,1 @@
+examples/rdc_exchange.ml: Float Format List String Vadasa_datagen Vadasa_linkage Vadasa_relational Vadasa_sdc Vadasa_stats

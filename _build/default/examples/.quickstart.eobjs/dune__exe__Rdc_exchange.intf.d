@@ -1,0 +1,1 @@
+examples/rdc_exchange.mli:

@@ -1,0 +1,1 @@
+examples/reasoning_demo.ml: Array Format List Printf String Vadasa_base Vadasa_datagen Vadasa_relational Vadasa_sdc Vadasa_vadalog

@@ -1,0 +1,1 @@
+examples/reasoning_demo.mli:

@@ -1,0 +1,1 @@
+examples/schema_independence.ml: Array Format List String Vadasa_datagen Vadasa_relational Vadasa_sdc Vadasa_vadalog

@@ -1,0 +1,110 @@
+(* Embedding complex business knowledge (paper, Section 4.4 / Algorithm 9).
+
+     dune exec examples/business_knowledge.exe
+
+   Disclosure risk propagates along company-control relationships: once one
+   company of a group is re-identified, the others follow. The control
+   relation itself is derived by reasoning — directly in OCaml and,
+   equivalently, by the Vadalog engine from the two declarative rules. *)
+
+module Value = Vadasa_base.Value
+module S = Vadasa_sdc
+module D = Vadasa_datagen
+module V = Vadasa_vadalog
+
+let () =
+  (* A small ownership graph: a holding (h) controls b directly, and
+     controls c jointly: 40% held directly plus 20% through b. *)
+  let ownerships =
+    [
+      { S.Business.owner = "holding"; owned = "bank_b"; share = 0.80 };
+      { S.Business.owner = "holding"; owned = "fund_c"; share = 0.40 };
+      { S.Business.owner = "bank_b"; owned = "fund_c"; share = 0.20 };
+      { S.Business.owner = "fund_c"; owned = "leasing_d"; share = 0.60 };
+      { S.Business.owner = "other"; owned = "bank_b"; share = 0.10 };
+    ]
+  in
+  Format.printf "declarative control rules:@.%s@." S.Business.program;
+
+  let native = S.Business.control_closure ownerships in
+  let reasoned = S.Business.control_closure_via_engine ownerships in
+  Format.printf "control closure (native):   %s@."
+    (String.concat ", " (List.map (fun (a, b) -> a ^ ">" ^ b) native));
+  Format.printf "control closure (reasoned): %s@."
+    (String.concat ", " (List.map (fun (a, b) -> a ^ ">" ^ b) reasoned));
+  assert (native = reasoned);
+
+  let clusters = S.Business.clusters native in
+  Format.printf "@.risk clusters:@.";
+  List.iter
+    (fun group -> Format.printf "  {%s}@." (String.concat ", " group))
+    clusters;
+
+  (* Cluster risk: the probability that at least one member is
+     re-identified, 1 - prod(1 - rho). *)
+  let member_risks = [| 0.05; 0.10; 0.30; 0.02 |] in
+  Format.printf "@.member risks %s -> cluster risk %.3f@."
+    (String.concat ", "
+       (Array.to_list (Array.map (Printf.sprintf "%.2f") member_risks)))
+    (Vadasa_stats.Estimator.cluster_risk member_risks);
+
+  (* The enhanced anonymization cycle (Algorithm 9) on a microdata DB whose
+     Id column names these companies plus many bystanders. *)
+  let md =
+    D.Generator.generate
+      {
+        D.Generator.name = "firms";
+        tuples = 1_500;
+        qi_count = 4;
+        distribution = D.Generator.W;
+        seed = 99;
+      }
+  in
+  let rng = Vadasa_stats.Rng.create ~seed:31 in
+  let graph = D.Ownership_gen.generate rng md ~id_attr:"id" ~edges:60 () in
+  Format.printf "@.synthetic ownership graph: %d stakes, %d inferred control pairs@."
+    (List.length graph)
+    (D.Ownership_gen.inferred_relationships graph);
+
+  let base = S.Cycle.run md in
+  let enhanced =
+    S.Cycle.run
+      ~config:
+        {
+          S.Cycle.default_config with
+          S.Cycle.risk_transform =
+            Some (S.Business.risk_transform ~id_attr:"id" ~ownerships:graph);
+        }
+      md
+  in
+  Format.printf
+    "plain cycle: %d nulls; enhanced cycle (risk propagation): %d nulls@."
+    base.S.Cycle.nulls_injected enhanced.S.Cycle.nulls_injected;
+  Format.printf
+    "the propagation flags %d additional disclosure cases@."
+    (enhanced.S.Cycle.nulls_injected - base.S.Cycle.nulls_injected);
+
+  (* The same Algorithm 9, fully declarative: k-anonymity risk, the control
+     closure and the mprod cluster propagation all run as one Vadalog
+     program on the engine, and must agree with the native computation. *)
+  let small = D.Generator.generate
+      { D.Generator.name = "firms_small"; tuples = 150; qi_count = 4;
+        distribution = D.Generator.U; seed = 99 } in
+  let rng2 = Vadasa_stats.Rng.create ~seed:31 in
+  let small_graph = D.Ownership_gen.generate rng2 small ~id_attr:"id" ~edges:15 () in
+  let native_risks =
+    let report = S.Risk.estimate (S.Risk.K_anonymity { k = 2 }) small in
+    S.Business.risk_transform ~id_attr:"id" ~ownerships:small_graph small
+      report.S.Risk.risk
+  in
+  let reasoned_risks =
+    S.Vadalog_bridge.enhanced_risk_via_engine ~k:2 small ~id_attr:"id"
+      ~ownerships:small_graph
+  in
+  let agree = ref true in
+  Array.iteri
+    (fun i r -> if abs_float (r -. reasoned_risks.(i)) > 1e-9 then agree := false)
+    native_risks;
+  Format.printf
+    "@.declarative Algorithm 9 on the engine agrees with the native path: %b@."
+    !agree

@@ -1,0 +1,66 @@
+(* Global recoding with domain hierarchies (paper, Section 4.3 / Figure 5).
+
+     dune exec examples/global_recoding.exe
+
+   Where local suppression erases values, global recoding coarsens them
+   along domain knowledge (Milano -> North -> Italy), preserving more
+   analytical value. This example contrasts both methods on the paper's
+   Figure 5 microdata and reports the information-loss metrics. *)
+
+module Value = Vadasa_base.Value
+module R = Vadasa_relational
+module S = Vadasa_sdc
+module D = Vadasa_datagen
+
+let residual_risky md =
+  let report = S.Risk.estimate (S.Risk.K_anonymity { k = 2 }) md in
+  List.length (S.Risk.risky report ~threshold:0.5)
+
+let () =
+  let md = D.Ig_survey.figure5 () in
+  let hierarchy = D.Ig_survey.figure5_hierarchy () in
+  Format.printf "microdata (Figure 5a):@.%a@." R.Relation.pp
+    (S.Microdata.relation md);
+  Format.printf "geographic knowledge:@.%a@." S.Hierarchy.pp hierarchy;
+  Format.printf "generalization chain of Milano: %s@.@."
+    (String.concat " -> "
+       (List.map Value.to_string
+          (S.Hierarchy.generalization_chain hierarchy (Value.Str "Milano"))));
+
+  (* Pure suppression. *)
+  let suppression = S.Cycle.run md in
+  Format.printf "-- local suppression --@.%a@." S.Cycle.pp_outcome suppression;
+
+  (* Recode first (area rolls up to regions), suppress only as fallback. *)
+  let recoding =
+    S.Cycle.run
+      ~config:
+        {
+          S.Cycle.default_config with
+          S.Cycle.method_ = S.Cycle.Recode_then_suppress hierarchy;
+        }
+      md
+  in
+  Format.printf "-- global recoding (suppression fallback) --@.%a@."
+    S.Cycle.pp_outcome recoding;
+  Format.printf "recoded view:@.%a@." R.Relation.pp
+    (S.Microdata.relation recoding.S.Cycle.anonymized);
+
+  Format.printf "residual risky tuples: suppression %d, recoding %d@.@."
+    (residual_risky suppression.S.Cycle.anonymized)
+    (residual_risky recoding.S.Cycle.anonymized);
+
+  Format.printf
+    "information loss:@.  suppression: %.1f%% of QI cells erased@.  recoding: \
+     %.1f%% of cells erased, generalization level %.2f@."
+    (100.0 *. S.Info_loss.cell_suppression_rate suppression.S.Cycle.anonymized)
+    (100.0 *. S.Info_loss.cell_suppression_rate recoding.S.Cycle.anonymized)
+    (S.Info_loss.generalization_loss hierarchy recoding.S.Cycle.anonymized);
+
+  (* Utility view: recoding keeps combinations analyzable. *)
+  Format.printf
+    "distinct QI combinations kept: suppression %.0f%%, recoding %.0f%%@."
+    (100.0
+    *. S.Info_loss.distinct_combination_ratio md suppression.S.Cycle.anonymized)
+    (100.0
+    *. S.Info_loss.distinct_combination_ratio md recoding.S.Cycle.anonymized)

@@ -1,0 +1,68 @@
+(* Quickstart: the full Vada-SA workflow on the paper's Figure 1 microdata.
+
+     dune exec examples/quickstart.exe
+
+   1. load a microdata DB and register it in the metadata dictionary;
+   2. categorize its attributes with Algorithm 1;
+   3. estimate disclosure risk (re-identification and k-anonymity);
+   4. run the anonymization cycle until the threshold holds;
+   5. read the fully-explained trace. *)
+
+module R = Vadasa_relational
+module S = Vadasa_sdc
+module D = Vadasa_datagen
+
+let () =
+  (* 1. The Inflation & Growth survey fragment (paper, Figure 1). *)
+  let md = D.Ig_survey.figure1 () in
+  Format.printf "microdata DB %s, %d tuples@.@." (S.Microdata.name md)
+    (S.Microdata.cardinal md);
+
+  let dict = S.Dictionary.create () in
+  S.Dictionary.register_microdata dict md;
+  Format.printf "metadata dictionary:@.%a@." S.Dictionary.pp dict;
+
+  (* 2. Attribute categorization from the experience base (Algorithm 1).
+     Here the categories are already known; we show the inference agrees. *)
+  let inferred, _ =
+    S.Categorize.run ~experience:S.Categorize.builtin_experience
+      (S.Microdata.schema md)
+  in
+  Format.printf "Algorithm 1 recovers %d/%d categories automatically@.@."
+    (List.length inferred.S.Categorize.assigned)
+    (R.Schema.arity (S.Microdata.schema md));
+
+  (* 3. Risk estimation. *)
+  let reid = S.Risk.estimate S.Risk.Re_identification md in
+  print_string (S.Explain.summary md reid ~threshold:0.02);
+  Format.printf "@.";
+  let kanon = S.Risk.estimate (S.Risk.K_anonymity { k = 2 }) md in
+  Format.printf "k-anonymity (k=2): %d risky tuples of %d@.@."
+    (List.length (S.Risk.risky kanon ~threshold:0.5))
+    (S.Microdata.cardinal md);
+
+  (* 4. The anonymization cycle: local suppression with labelled nulls,
+     maybe-match semantics, less-significant-first routing. *)
+  let config =
+    {
+      S.Cycle.default_config with
+      S.Cycle.measure = S.Risk.Re_identification;
+      threshold = 0.02;
+    }
+  in
+  let outcome = S.Cycle.run ~config md in
+  Format.printf "%a@." S.Cycle.pp_outcome outcome;
+
+  (* 5. Every decision is explained. *)
+  print_string (S.Explain.trace md outcome);
+
+  (* The anonymized DB passes the threshold; the exchanged view drops the
+     direct identifiers entirely. *)
+  let check =
+    S.Risk.estimate S.Risk.Re_identification outcome.S.Cycle.anonymized
+  in
+  Format.printf "@.residual risky tuples: %d@."
+    (List.length (S.Risk.risky check ~threshold:0.02));
+  let exported = S.Microdata.drop_identifiers outcome.S.Cycle.anonymized in
+  Format.printf "exchanged view (identifiers dropped):@.%a@."
+    (R.Relation.pp_sample ~limit:5) exported

@@ -1,0 +1,81 @@
+(* Research Data Center exchange scenario (paper, Section 2).
+
+     dune exec examples/rdc_exchange.exe
+
+   A financial authority wants to share a microdata DB with a research
+   institute inside the "circle of trust": the recipient may see the
+   statistical content but must not be able to re-identify respondents.
+   The workflow is the preemptive/active loop of the paper:
+
+   - evaluate the disclosure risk of the candidate dataset (preemptive);
+   - if above threshold, anonymize and re-evaluate (active);
+   - validate empirically with the record-linkage attack an adversary
+     holding the identity oracle could mount. *)
+
+module S = Vadasa_sdc
+module D = Vadasa_datagen
+module L = Vadasa_linkage
+module Stats = Vadasa_stats
+
+let () =
+  (* An unbalanced survey extract: many selective combinations. *)
+  let md =
+    D.Generator.generate
+      {
+        D.Generator.name = "credit_survey";
+        tuples = 2_000;
+        qi_count = 4;
+        distribution = D.Generator.U;
+        seed = 2024;
+      }
+  in
+  Format.printf "candidate dataset: %d tuples, quasi-identifiers: %s@.@."
+    (S.Microdata.cardinal md)
+    (String.concat ", " (S.Microdata.quasi_identifiers md));
+
+  (* Preemptive risk evaluation: individual risk, Benedetti-Franconi. *)
+  let report =
+    S.Risk.estimate (S.Risk.Individual S.Risk.Benedetti_franconi) md
+  in
+  let threshold = 0.2 in
+  let risky = S.Risk.risky report ~threshold in
+  Format.printf
+    "individual risk over threshold %.2f: %d tuples; global risk %.1f@.@."
+    threshold (List.length risky) (S.Risk.global_risk report);
+
+  (* The adversary's view: an identity oracle with the population the
+     sampling weights estimate. Attack the raw data first. *)
+  let rng = Stats.Rng.create ~seed:7 in
+  let oracle = L.Oracle.from_microdata rng md () in
+  Format.printf "identity oracle: %d records@." (L.Oracle.cardinal oracle);
+  let before = L.Attack.run oracle md in
+  Format.printf "attack on the raw dataset:      %a@." L.Attack.pp before;
+
+  (* Active anonymization until the threshold holds. *)
+  let config =
+    {
+      S.Cycle.default_config with
+      S.Cycle.measure = S.Risk.Individual S.Risk.Benedetti_franconi;
+      threshold;
+      tuple_order = S.Heuristics.Less_significant_first;
+      qi_choice = S.Heuristics.Most_risky_qi;
+    }
+  in
+  let outcome = S.Cycle.run ~config md in
+  Format.printf "@.%a@." S.Cycle.pp_outcome outcome;
+
+  let after = L.Attack.run oracle outcome.S.Cycle.anonymized in
+  Format.printf "attack on the anonymized data:  %a@." L.Attack.pp after;
+  Format.printf
+    "expected re-identifications dropped from %.1f to %.1f (%.0f%%)@."
+    before.L.Attack.expected_hits after.L.Attack.expected_hits
+    (100.0
+    *. (before.L.Attack.expected_hits -. after.L.Attack.expected_hits)
+    /. Float.max 1.0 before.L.Attack.expected_hits);
+
+  (* What actually ships: identifiers dropped, statistics preserved. *)
+  let exported = S.Microdata.drop_identifiers outcome.S.Cycle.anonymized in
+  Format.printf
+    "@.exported view: %d tuples, %.1f%% of quasi-identifier cells suppressed@."
+    (Vadasa_relational.Relation.cardinal exported)
+    (100.0 *. S.Info_loss.cell_suppression_rate outcome.S.Cycle.anonymized)

@@ -1,0 +1,77 @@
+(* Schema independence (paper desideratum ii).
+
+     dune exec examples/schema_independence.exe
+
+   The same risk and anonymization machinery — and the very same Vadalog
+   rule text — runs unchanged over microdata DBs with completely different
+   schemas, because everything is phrased against the metadata dictionary
+   (val/cat facts) rather than concrete relations. We demonstrate on the
+   paper's 5-quasi-identifier I&G survey and on a generated 3-attribute
+   household survey. *)
+
+module R = Vadasa_relational
+module S = Vadasa_sdc
+module D = Vadasa_datagen
+module V = Vadasa_vadalog
+
+let program = S.Vadalog_bridge.k_anonymity_program ~k:2
+
+let run_on md =
+  Format.printf "--- %s: %d tuples, %d quasi-identifiers (%s)@."
+    (S.Microdata.name md) (S.Microdata.cardinal md)
+    (List.length (S.Microdata.quasi_identifiers md))
+    (String.concat ", " (S.Microdata.quasi_identifiers md));
+  (* One and the same program text; only the extensional facts change. *)
+  let risks = S.Vadalog_bridge.risk_via_engine (S.Risk.K_anonymity { k = 2 }) md in
+  let risky = Array.fold_left (fun acc r -> if r > 0.5 then acc + 1 else acc) 0 risks in
+  Format.printf "    reasoned k-anonymity: %d risky tuples@." risky;
+  let outcome = S.Cycle.run md in
+  Format.printf "    cycle: %d nulls, %d rounds, %s@.@."
+    outcome.S.Cycle.nulls_injected outcome.S.Cycle.rounds
+    (if outcome.S.Cycle.converged then "converged" else "stopped")
+
+let household_survey () =
+  let base =
+    D.Generator.generate
+      {
+        D.Generator.name = "household_survey";
+        tuples = 200;
+        qi_count = 3;
+        distribution = D.Generator.U;
+        seed = 4;
+      }
+  in
+  (* Rename the synthetic columns into a plausible household schema to
+     stress the point that nothing is keyed on attribute names. *)
+  let old_schema = S.Microdata.schema base in
+  let renames =
+    [ ("qi_1", "municipality"); ("qi_2", "household_size"); ("qi_3", "income_band") ]
+  in
+  let schema =
+    R.Schema.make ~name:"household_survey"
+      (List.map
+         (fun a ->
+           let name =
+             match List.assoc_opt a.R.Schema.attr_name renames with
+             | Some n -> n
+             | None -> a.R.Schema.attr_name
+           in
+           { a with R.Schema.attr_name = name })
+         (Array.to_list (R.Schema.attributes old_schema)))
+  in
+  let rel = R.Relation.of_tuples schema (R.Relation.to_list (S.Microdata.relation base)) in
+  S.Microdata.make rel
+    (List.map
+       (fun (attr, cat) ->
+         match List.assoc_opt attr renames with
+         | Some n -> (n, cat)
+         | None -> (attr, cat))
+       (S.Microdata.categories base))
+
+let () =
+  Format.printf "the shared rule program (Algorithm 2 Rule 1 + Algorithm 4):@.%s@."
+    program;
+  run_on (D.Ig_survey.figure1 ());
+  run_on (household_survey ());
+  Format.printf
+    "same rules, two schemas: the dictionary facts carry all structure.@."

@@ -1,0 +1,1 @@
+lib/base/strsim.ml: Array Buffer Char Float List String

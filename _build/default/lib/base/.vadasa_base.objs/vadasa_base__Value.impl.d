@@ -1,0 +1,1 @@
+lib/base/value.ml: Bool Float Format Hashtbl Int List String

@@ -1,0 +1,79 @@
+let is_separator c =
+  c = '_' || c = '-' || c = '.' || c = '/' || c = ' ' || c = '\t'
+
+let normalize s =
+  let buf = Buffer.create (String.length s) in
+  let pending_space = ref false in
+  String.iter
+    (fun c ->
+      if is_separator c then begin
+        if Buffer.length buf > 0 then pending_space := true
+      end
+      else begin
+        if !pending_space then begin
+          Buffer.add_char buf ' ';
+          pending_space := false
+        end;
+        Buffer.add_char buf (Char.lowercase_ascii c)
+      end)
+    s;
+  Buffer.contents buf
+
+let tokens s =
+  String.split_on_char ' ' (normalize s)
+  |> List.filter (fun t -> String.length t > 0)
+
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) (fun j -> j) in
+    let curr = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      curr.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        curr.(j) <- min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let edit_similarity a b =
+  let a = normalize a and b = normalize b in
+  let la = String.length a and lb = String.length b in
+  if la = 0 && lb = 0 then 1.0
+  else
+    let d = levenshtein a b in
+    1.0 -. (float_of_int d /. float_of_int (max la lb))
+
+let jaccard_tokens a b =
+  let ta = tokens a and tb = tokens b in
+  if ta = [] && tb = [] then 1.0
+  else
+    let inter =
+      List.length (List.filter (fun t -> List.mem t tb) (List.sort_uniq compare ta))
+    in
+    let union =
+      List.length (List.sort_uniq compare (ta @ tb))
+    in
+    if union = 0 then 0.0 else float_of_int inter /. float_of_int union
+
+(* Token-overlap coefficient: |A ∩ B| / min(|A|, |B|) — catches suffixed
+   variants such as "sector" vs "sector_code". Scaled by 0.9 so an exact
+   name still wins over a mere extension. *)
+let overlap_tokens a b =
+  let ta = List.sort_uniq compare (tokens a) in
+  let tb = List.sort_uniq compare (tokens b) in
+  if ta = [] || tb = [] then 0.0
+  else
+    let inter = List.length (List.filter (fun t -> List.mem t tb) ta) in
+    float_of_int inter /. float_of_int (min (List.length ta) (List.length tb))
+
+let similarity a b =
+  if String.equal (normalize a) (normalize b) then 1.0
+  else
+    Float.max (edit_similarity a b)
+      (Float.max (jaccard_tokens a b) (0.9 *. overlap_tokens a b))

@@ -1,0 +1,28 @@
+(** String similarity, used by attribute categorization (paper,
+    Algorithm 1's [∼] relation) both natively and as the [similarity]
+    builtin of the reasoning engine.
+
+    All measures are in [\[0, 1\]], 1 meaning identical. Comparison is
+    performed on a normalized form: lowercased, with [_-./] and spaces
+    treated as token separators. *)
+
+val normalize : string -> string
+(** Lowercase and collapse separators to single spaces. *)
+
+val tokens : string -> string list
+
+val levenshtein : string -> string -> int
+(** Raw edit distance (insert/delete/substitute, all cost 1). *)
+
+val edit_similarity : string -> string -> float
+(** [1 - distance / max length] over normalized forms; 1.0 for two empty
+    strings. *)
+
+val jaccard_tokens : string -> string -> float
+(** Token-set Jaccard index over normalized forms. *)
+
+val similarity : string -> string -> float
+(** The default blend: max of {!edit_similarity}, {!jaccard_tokens} and a
+    0.9-scaled token-overlap coefficient (so "sector_code" scores high
+    against "sector"), with a short-circuit 1.0 on equal normalized forms.
+    This is what the [similarity(a, b)] engine builtin computes. *)

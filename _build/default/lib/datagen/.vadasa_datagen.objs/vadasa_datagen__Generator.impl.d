@@ -1,0 +1,1 @@
+lib/datagen/generator.ml: Array Float Hashtbl List Printf Vadasa_base Vadasa_relational Vadasa_sdc Vadasa_stats

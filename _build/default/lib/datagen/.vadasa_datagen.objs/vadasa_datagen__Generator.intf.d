@@ -1,0 +1,1 @@
+lib/datagen/generator.mli: Vadasa_sdc

@@ -1,0 +1,1 @@
+lib/datagen/ig_survey.ml: Array List Vadasa_base Vadasa_relational Vadasa_sdc

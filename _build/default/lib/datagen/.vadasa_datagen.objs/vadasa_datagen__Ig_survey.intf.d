@@ -1,0 +1,1 @@
+lib/datagen/ig_survey.mli: Vadasa_sdc

@@ -1,0 +1,1 @@
+lib/datagen/ownership_gen.ml: Array Hashtbl List Vadasa_base Vadasa_relational Vadasa_sdc Vadasa_stats

@@ -1,0 +1,1 @@
+lib/datagen/ownership_gen.mli: Vadasa_sdc Vadasa_stats

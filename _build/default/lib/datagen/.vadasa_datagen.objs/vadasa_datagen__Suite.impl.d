@@ -1,0 +1,1 @@
+lib/datagen/suite.ml: Char Format Generator List String

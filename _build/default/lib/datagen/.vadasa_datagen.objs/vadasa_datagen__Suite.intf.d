@@ -1,0 +1,1 @@
+lib/datagen/suite.mli: Format Generator Vadasa_sdc

@@ -1,0 +1,202 @@
+module Value = Vadasa_base.Value
+module Stats = Vadasa_stats
+module Relational = Vadasa_relational
+module Sdc = Vadasa_sdc
+
+type distribution = W | U | V
+
+type spec = {
+  name : string;
+  tuples : int;
+  qi_count : int;
+  distribution : distribution;
+  seed : int;
+}
+
+let distribution_to_string = function W -> "W" | U -> "U" | V -> "V"
+
+let distribution_of_string = function
+  | "W" | "w" -> Some W
+  | "U" | "u" -> Some U
+  | "V" | "v" -> Some V
+  | _ -> None
+
+(* Base domain sizes echoing the I&G survey attributes (area, sector, size
+   class, revenue classes, ...). Attributes beyond the first four are the
+   coarser survey indicators (binary/ternary flags, broad classes): in the
+   real data additional columns add little selectivity, which is what keeps
+   the paper's Figure 7f flat for k-anonymity and individual risk. *)
+let base_domain_sizes = [| 4; 8; 5; 4; 3; 2; 3; 2; 3 |]
+
+let column_profile distribution j =
+  let base = base_domain_sizes.(j mod Array.length base_domain_sizes) in
+  match distribution with
+  | W -> (base, (if j < 4 then 0.9 else 1.6), 0.0)
+  | U -> (2 * base, 1.2, 0.02)
+  | V -> (8 * base, 1.2, 0.0)
+
+(* Marginal probabilities of a Zipf-distributed categorical column mixed
+   with a uniform outlier share. *)
+let column_probs ~cardinality ~skew ~outlier_share =
+  let weights = Stats.Distribution.zipf_weights ~n:cardinality ~s:skew in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  Array.map
+    (fun w ->
+      ((1.0 -. outlier_share) *. w /. total)
+      +. (outlier_share /. float_of_int cardinality))
+    weights
+
+let expansion_factor = 40.0
+
+let generate spec =
+  if spec.tuples <= 0 || spec.qi_count <= 0 then
+    invalid_arg "Generator.generate: non-positive size";
+  let rng = Stats.Rng.create ~seed:spec.seed in
+  let column_rngs = Array.init spec.qi_count (fun _ -> Stats.Rng.split rng) in
+  let noise_rng = Stats.Rng.split rng in
+  let growth_rng = Stats.Rng.split rng in
+  let profiles =
+    Array.init spec.qi_count (fun j -> column_profile spec.distribution j)
+  in
+  let probs =
+    Array.map
+      (fun (cardinality, skew, outlier_share) ->
+        column_probs ~cardinality ~skew ~outlier_share)
+      profiles
+  in
+  let qi_names = List.init spec.qi_count (fun j -> "qi_" ^ string_of_int (j + 1)) in
+  let schema =
+    Relational.Schema.of_names ~name:spec.name
+      (("id" :: qi_names) @ [ "growth"; "weight" ])
+  in
+  let rel = Relational.Relation.create schema in
+  (* The very unbalanced family (V) is a tuple-level mixture: 75% of the
+     tuples fall into a pool of combinations with expected cluster size ~3
+     (safe at k=2, risky at larger k, cheap to anonymize), 25% are deep
+     outliers drawn uniformly over the wide domains (unique even after one
+     suppression) — the bimodality behind Figure 7b's V curve. *)
+  let v_pool =
+    match spec.distribution with
+    | V ->
+      let pool_size = max 2 (spec.tuples / 3) in
+      Some
+        ( pool_size,
+          Array.init pool_size (fun _ ->
+              Array.init spec.qi_count (fun j ->
+                  Stats.Distribution.categorical column_rngs.(j) probs.(j))) )
+    | W | U -> None
+  in
+  let mixture_rng = Stats.Rng.split rng in
+  let draw_tuple () =
+    match v_pool with
+    | Some (pool_size, pool) ->
+      if Stats.Rng.float mixture_rng < 0.75 then begin
+        let indices = pool.(Stats.Rng.int mixture_rng pool_size) in
+        (indices, 0.75 /. float_of_int pool_size)
+      end
+      else begin
+        let indices =
+          Array.init spec.qi_count (fun j ->
+              Stats.Rng.int column_rngs.(j) (Array.length probs.(j)))
+        in
+        let p =
+          Array.fold_left
+            (fun acc j -> acc /. float_of_int (Array.length probs.(j)))
+            0.25
+            (Array.init spec.qi_count (fun j -> j))
+        in
+        (indices, p)
+      end
+    | None ->
+      let indices =
+        Array.init spec.qi_count (fun j ->
+            Stats.Distribution.categorical column_rngs.(j) probs.(j))
+      in
+      let p =
+        Array.fold_left ( *. ) 1.0
+          (Array.mapi (fun j v -> probs.(j).(v)) indices)
+      in
+      (indices, p)
+  in
+  for i = 0 to spec.tuples - 1 do
+    (* Sampling weight: expected population frequency of the combination,
+       with lognormal noise. *)
+    let indices, p_combo = draw_tuple () in
+    let expected =
+      float_of_int spec.tuples *. p_combo *. expansion_factor
+      *. Stats.Distribution.lognormal noise_rng ~mu:0.0 ~sigma:0.3
+    in
+    let weight = Float.max 1.0 (Float.round expected) in
+    let tuple =
+      Array.concat
+        [
+          [| Value.Str (Printf.sprintf "c%06d" (100000 + i)) |];
+          Array.mapi
+            (fun j v ->
+              Value.Str (Printf.sprintf "q%d_v%02d" (j + 1) v))
+            indices;
+          [| Value.Int (int_of_float (10.0 *. Stats.Rng.gaussian growth_rng)) |];
+          [| Value.Float weight |];
+        ]
+    in
+    Relational.Relation.add rel tuple
+  done;
+  Sdc.Microdata.make rel
+    ((("id", Sdc.Microdata.Identifier) :: List.map (fun a -> (a, Sdc.Microdata.Quasi_identifier)) qi_names)
+    @ [ ("growth", Sdc.Microdata.Non_identifying); ("weight", Sdc.Microdata.Weight) ])
+
+let synthetic_hierarchy ?(branching = 3) md =
+  if branching < 2 then invalid_arg "Generator.synthetic_hierarchy: branching < 2";
+  let h = Sdc.Hierarchy.create () in
+  let rel = Sdc.Microdata.relation md in
+  let schema = Sdc.Microdata.schema md in
+  List.iter
+    (fun attr ->
+      let pos = Relational.Schema.index_of schema attr in
+      let distinct = Hashtbl.create 32 in
+      Relational.Relation.iter
+        (fun t ->
+          let v = t.(pos) in
+          if not (Value.is_null v) then Hashtbl.replace distinct (Value.to_string v) v)
+        rel;
+      let values =
+        List.sort compare (Hashtbl.fold (fun _ v acc -> v :: acc) distinct [])
+      in
+      Sdc.Hierarchy.add_type_of h ~attr ~ty:(attr ^ "_l0");
+      let rec build level values =
+        List.iter
+          (fun v -> Sdc.Hierarchy.add_instance h ~value:v ~ty:(attr ^ "_l" ^ string_of_int level))
+          values;
+        if List.length values > 1 then begin
+          Sdc.Hierarchy.add_subtype h
+            ~sub:(attr ^ "_l" ^ string_of_int level)
+            ~super:(attr ^ "_l" ^ string_of_int (level + 1));
+          (* Group [branching] consecutive values under a synthetic parent. *)
+          let parents = ref [] in
+          let rec chunk idx = function
+            | [] -> ()
+            | group_head ->
+              let group, rest =
+                let rec take k = function
+                  | x :: xs when k > 0 ->
+                    let taken, rest = take (k - 1) xs in
+                    (x :: taken, rest)
+                  | xs -> ([], xs)
+                in
+                take branching group_head
+              in
+              let parent =
+                Value.Str
+                  (Printf.sprintf "%s_l%d_g%d" attr (level + 1) idx)
+              in
+              List.iter (fun child -> Sdc.Hierarchy.add_is_a h ~child ~parent) group;
+              parents := parent :: !parents;
+              chunk (idx + 1) rest
+          in
+          chunk 0 values;
+          build (level + 1) (List.rev !parents)
+        end
+      in
+      build 0 values)
+    (Sdc.Microdata.quasi_identifiers md);
+  h

@@ -1,0 +1,42 @@
+(** Synthetic microdata generation (paper, Section 5 / Figure 6).
+
+    Datasets are parameterized by tuple count, number of quasi-identifiers
+    and a distribution family:
+
+    - [W] — fitted to the real-world Inflation & Growth survey: modest
+      categorical domains, mild skew; very few sample-unique combinations.
+    - [U] — unbalanced: larger domains, strong skew; many tuples carry
+      selective combinations with high disclosure risk.
+    - [V] — very unbalanced: wide domains, extreme skew plus a share of
+      uniformly-drawn outliers; a large fraction of risky tuples.
+
+    Every tuple receives a sampling weight proportional to the expected
+    population frequency of its combination (the product of its values'
+    marginal probabilities times an expansion factor, with lognormal
+    noise), so rare combinations get low weights — exactly the
+    outlier/weight relationship the paper leans on. Generation is fully
+    deterministic in the seed. *)
+
+type distribution = W | U | V
+
+type spec = {
+  name : string;
+  tuples : int;
+  qi_count : int;
+  distribution : distribution;
+  seed : int;
+}
+
+val distribution_to_string : distribution -> string
+val distribution_of_string : string -> distribution option
+
+val generate : spec -> Vadasa_sdc.Microdata.t
+(** Schema: [id] (identifier), [qi_1 … qi_m] (quasi-identifiers),
+    [growth] (non-identifying), [weight] (sampling weight). *)
+
+val synthetic_hierarchy :
+  ?branching:int -> Vadasa_sdc.Microdata.t -> Vadasa_sdc.Hierarchy.t
+(** A generalization hierarchy over every quasi-identifier: distinct values
+    grouped [branching] at a time (default 3) into synthetic parents,
+    recursively up to a single root per attribute. Enables global recoding
+    on generated data. *)

@@ -1,0 +1,131 @@
+module Value = Vadasa_base.Value
+module Relational = Vadasa_relational
+module Sdc = Vadasa_sdc
+
+let v = Value.of_literal
+
+(* Figure 1: microdata DB about inflation and growth. Columns: Id, Area,
+   Sector, Employees, Residential Rev., Export Rev., Exp. to DE, Growth
+   6mos, Weight. *)
+let figure1_rows =
+  [
+    [ "612276"; "North"; "Public Service"; "50-200"; "0-30"; "0-30"; "30-60"; "2"; "230" ];
+    [ "737536"; "South"; "Commerce"; "201-1000"; "0-30"; "90+"; "0-30"; "-1"; "190" ];
+    [ "971906"; "Center"; "Commerce"; "1000+"; "0-30"; "30-60"; "0-30"; "4"; "70" ];
+    [ "589681"; "North"; "Textiles"; "1000+"; "90+"; "0-30"; "0-30"; "30"; "60" ];
+    [ "419410"; "North"; "Construction"; "1000+"; "90+"; "0-30"; "0-30"; "300"; "50" ];
+    [ "972915"; "North"; "Other"; "1000+"; "0-30"; "0-30"; "30-60"; "50"; "70" ];
+    [ "501118"; "North"; "Other"; "201-1000"; "60-90"; "90+"; "90+"; "-20"; "300" ];
+    [ "815363"; "North"; "Textiles"; "201-1000"; "60-90"; "30-60"; "90+"; "2"; "230" ];
+    [ "490065"; "South"; "Public Service"; "50-200"; "0-30"; "0-30"; "0-30"; "12"; "123" ];
+    [ "415487"; "South"; "Commerce"; "1000+"; "0-30"; "0-30"; "90+"; "3"; "145" ];
+    [ "399087"; "South"; "Commerce"; "50-200"; "30-60"; "0-30"; "30-60"; "2"; "70" ];
+    [ "170034"; "Center"; "Commerce"; "1000+"; "60-90"; "0-30"; "0-30"; "45"; "90" ];
+    [ "724905"; "Center"; "Construction"; "201-1000"; "0-30"; "30-60"; "0-30"; "2"; "200" ];
+    [ "554475"; "Center"; "Other"; "50-200"; "0-30"; "90+"; "0-30"; "0"; "104" ];
+    [ "946251"; "Center"; "Public Service"; "201-1000"; "30-60"; "90+"; "90+"; "150"; "30" ];
+    [ "581077"; "North"; "Textiles"; "50-200"; "0-30"; "60-90"; "30-60"; "-20"; "160" ];
+    [ "765562"; "South"; "Textiles"; "50-200"; "0-30"; "60-90"; "0-30"; "-7"; "200" ];
+    [ "154840"; "Center"; "Commerce"; "201-1000"; "0-30"; "60-90"; "0-30"; "4"; "220" ];
+    [ "600837"; "Center"; "Construction"; "50-200"; "0-30"; "60-90"; "0-30"; "20"; "190" ];
+    [ "220712"; "Center"; "Financial"; "1000+"; "30-60"; "60-90"; "30-60"; "-30"; "90" ];
+  ]
+
+let figure1 () =
+  let schema =
+    Relational.Schema.make ~name:"ig_survey"
+      (List.map
+         (fun (n, d) -> { Relational.Schema.attr_name = n; attr_description = d })
+         [
+           ("id", "Company Identifier");
+           ("area", "Geographic Area");
+           ("sector", "Product Sector");
+           ("employees", "Num. of employees");
+           ("residential_revenue", "Rev. from internal market");
+           ("export_revenue", "Rev. from external market");
+           ("export_to_de", "Rev. from DE market");
+           ("growth", "Rev. growth last 6 mths");
+           ("weight", "Sampling Weight");
+         ])
+  in
+  let rel =
+    Relational.Relation.of_tuples schema
+      (List.map (fun row -> Array.of_list (List.map v row)) figure1_rows)
+  in
+  Sdc.Microdata.make rel
+    [
+      ("id", Sdc.Microdata.Identifier);
+      ("area", Sdc.Microdata.Quasi_identifier);
+      ("sector", Sdc.Microdata.Quasi_identifier);
+      ("employees", Sdc.Microdata.Quasi_identifier);
+      ("residential_revenue", Sdc.Microdata.Quasi_identifier);
+      ("export_revenue", Sdc.Microdata.Quasi_identifier);
+      ("export_to_de", Sdc.Microdata.Non_identifying);
+      ("growth", Sdc.Microdata.Non_identifying);
+      ("weight", Sdc.Microdata.Weight);
+    ]
+
+let figure5_rows =
+  [
+    [ "099876"; "Roma"; "Textiles"; "1000+"; "0-30" ];
+    [ "765389"; "Roma"; "Commerce"; "1000+"; "0-30" ];
+    [ "231654"; "Roma"; "Commerce"; "1000+"; "0-30" ];
+    [ "097302"; "Roma"; "Financial"; "1000+"; "0-30" ];
+    [ "120967"; "Roma"; "Financial"; "1000+"; "0-30" ];
+    [ "232498"; "Milano"; "Construction"; "0-200"; "60-90" ];
+    [ "340901"; "Torino"; "Construction"; "0-200"; "60-90" ];
+  ]
+
+let figure5 () =
+  let schema =
+    Relational.Schema.of_names ~name:"figure5"
+      [ "id"; "area"; "sector"; "employees"; "residential_revenue" ]
+  in
+  let rel =
+    Relational.Relation.of_tuples schema
+      (List.map (fun row -> Array.of_list (List.map v row)) figure5_rows)
+  in
+  Sdc.Microdata.make rel
+    [
+      ("id", Sdc.Microdata.Identifier);
+      ("area", Sdc.Microdata.Quasi_identifier);
+      ("sector", Sdc.Microdata.Quasi_identifier);
+      ("employees", Sdc.Microdata.Quasi_identifier);
+      ("residential_revenue", Sdc.Microdata.Quasi_identifier);
+    ]
+
+let figure5_hierarchy () =
+  let h = Sdc.Hierarchy.create () in
+  Sdc.Hierarchy.add_type_of h ~attr:"area" ~ty:"city";
+  Sdc.Hierarchy.add_subtype h ~sub:"city" ~super:"region";
+  Sdc.Hierarchy.add_subtype h ~sub:"region" ~super:"country";
+  let city name region =
+    Sdc.Hierarchy.add_instance h ~value:(Value.Str name) ~ty:"city";
+    Sdc.Hierarchy.add_is_a h ~child:(Value.Str name) ~parent:(Value.Str region)
+  in
+  let region name =
+    Sdc.Hierarchy.add_instance h ~value:(Value.Str name) ~ty:"region";
+    Sdc.Hierarchy.add_is_a h ~child:(Value.Str name) ~parent:(Value.Str "Italy")
+  in
+  city "Roma" "Center";
+  city "Milano" "North";
+  city "Torino" "North";
+  city "Napoli" "South";
+  region "North";
+  region "Center";
+  region "South";
+  Sdc.Hierarchy.add_instance h ~value:(Value.Str "Italy") ~ty:"country";
+  h
+
+let figure4_experience =
+  [
+    ("id", Sdc.Microdata.Identifier);
+    ("area", Sdc.Microdata.Quasi_identifier);
+    ("sector", Sdc.Microdata.Quasi_identifier);
+    ("employees", Sdc.Microdata.Quasi_identifier);
+    ("residential_revenue", Sdc.Microdata.Quasi_identifier);
+    ("export_revenue", Sdc.Microdata.Quasi_identifier);
+    ("export_to_de", Sdc.Microdata.Non_identifying);
+    ("growth", Sdc.Microdata.Non_identifying);
+    ("weight", Sdc.Microdata.Weight);
+  ]

@@ -1,0 +1,20 @@
+(** The paper's running examples as ready-made microdata DBs.
+
+    {!figure1} is the Inflation & Growth Survey fragment of Figure 1
+    (20 tuples; categories per Section 2.2: Id a direct identifier; Area,
+    Sector, Employees, Residential Rev., Export Rev. quasi-identifiers;
+    Export to DE and Growth non-identifying; Weight the sampling weight).
+
+    {!figure5} is the 7-tuple local-suppression/global-recoding example of
+    Figure 5a, with {!figure5_hierarchy} the geographic knowledge
+    (Roma IsA Center, Milano/Torino IsA North; City ⊂ Region). *)
+
+val figure1 : unit -> Vadasa_sdc.Microdata.t
+
+val figure5 : unit -> Vadasa_sdc.Microdata.t
+
+val figure5_hierarchy : unit -> Vadasa_sdc.Hierarchy.t
+
+val figure4_experience : Vadasa_sdc.Categorize.experience
+(** The experience base that lets Algorithm 1 reconstruct Figure 4's
+    category assignment for the I&G attributes. *)

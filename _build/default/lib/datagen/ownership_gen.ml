@@ -1,0 +1,86 @@
+module Value = Vadasa_base.Value
+module Stats = Vadasa_stats
+module Sdc = Vadasa_sdc
+module Relational = Vadasa_relational
+
+let generate rng md ~id_attr ~edges ?(chain_length = 3) ?(seed_entities = [])
+    () =
+  if edges < 0 then invalid_arg "Ownership_gen.generate: negative edge count";
+  let rel = Sdc.Microdata.relation md in
+  let pos = Relational.Schema.index_of (Sdc.Microdata.schema md) id_attr in
+  let n = Relational.Relation.cardinal rel in
+  if n < 2 then []
+  else begin
+    let id_of i = Value.to_string (Relational.Relation.get rel i).(pos) in
+    (* Shuffled company order keeps the graph acyclic: stakes point from
+       earlier to later positions only. *)
+    let order = Array.init n (fun i -> i) in
+    Stats.Rng.shuffle rng order;
+    let position_in_order = Array.make n 0 in
+    Array.iteri (fun slot i -> position_in_order.(i) <- slot) order;
+    (* Tuple indexes of the seed entities, if they exist in the DB. *)
+    let seeds =
+      let by_id = Hashtbl.create (List.length seed_entities) in
+      List.iter (fun e -> Hashtbl.replace by_id e ()) seed_entities;
+      let acc = ref [] in
+      for i = 0 to n - 1 do
+        if Hashtbl.mem by_id (id_of i) then acc := i :: !acc
+      done;
+      Array.of_list !acc
+    in
+    let swap_into_slot slot i =
+      let other = order.(slot) in
+      let seed_slot = position_in_order.(i) in
+      order.(slot) <- i;
+      order.(seed_slot) <- other;
+      position_in_order.(i) <- slot;
+      position_in_order.(other) <- seed_slot
+    in
+    let out = ref [] in
+    let made = ref 0 in
+    let cursor = ref 0 in
+    while !made < edges && !cursor < n - 1 do
+      (* Half of the chains start at a seed entity (an identifiable
+         outlier joining a company group). *)
+      if
+        Array.length seeds > 0
+        && Stats.Rng.float rng < 0.5
+        && !cursor < n
+      then begin
+        let seed = Stats.Rng.choice rng seeds in
+        if position_in_order.(seed) > !cursor then swap_into_slot !cursor seed
+      end;
+      let len = min (2 + Stats.Rng.int rng (max 1 (chain_length - 1))) (n - !cursor) in
+      (* A chain owner -> c1 -> c2 ... of majority stakes. *)
+      for k = 0 to len - 2 do
+        if !made < edges then begin
+          let share = 0.51 +. (Stats.Rng.float rng *. 0.48) in
+          out :=
+            {
+              Sdc.Business.owner = id_of order.(!cursor + k);
+              owned = id_of order.(!cursor + k + 1);
+              share;
+            }
+            :: !out;
+          incr made
+        end
+      done;
+      (* Occasionally add a minority stake from the chain head into the
+         chain tail, exercising the joint-control rule. *)
+      if !made < edges && len >= 3 && Stats.Rng.float rng < 0.3 then begin
+        out :=
+          {
+            Sdc.Business.owner = id_of order.(!cursor);
+            owned = id_of order.(!cursor + len - 1);
+            share = 0.1 +. (Stats.Rng.float rng *. 0.3);
+          }
+          :: !out;
+        incr made
+      end;
+      cursor := !cursor + len
+    done;
+    List.rev !out
+  end
+
+let inferred_relationships ownerships =
+  List.length (Sdc.Business.control_closure ownerships)

@@ -1,0 +1,28 @@
+(** Random company-ownership graphs for the business-knowledge experiments
+    (paper, Section 4.4 and Figure 7d). *)
+
+val generate :
+  Vadasa_stats.Rng.t ->
+  Vadasa_sdc.Microdata.t ->
+  id_attr:string ->
+  edges:int ->
+  ?chain_length:int ->
+  ?seed_entities:string list ->
+  unit ->
+  Vadasa_sdc.Business.ownership list
+(** [edges] direct ownership stakes among the microdata DB's company
+    identifiers, arranged in chains of up to [chain_length] (default 3)
+    companies so that the control closure infers transitive relationships
+    and forms multi-company clusters. Majority stakes (share in (0.5, 1])
+    dominate, with a sprinkling of minority stakes to exercise the joint
+    control rule. Acyclic by construction.
+
+    [seed_entities]: company identifiers that chains preferentially start
+    from (half of the chains, when seeds are available). Use it to model
+    the paper's Figure 7d situation where company groups involve the
+    identifiable outliers, so that risk actually propagates. *)
+
+val inferred_relationships :
+  Vadasa_sdc.Business.ownership list -> int
+(** Size of the control closure — the "number of relationships" axis of
+    Figure 7d. *)

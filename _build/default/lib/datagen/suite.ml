@@ -1,0 +1,59 @@
+type entry = {
+  dataset : string;
+  attrs : int;
+  tuples : int;
+  dist : Generator.distribution;
+  source : string;
+}
+
+let figure6 =
+  [
+    { dataset = "R6A4U"; attrs = 4; tuples = 6_000; dist = Generator.U; source = "Synth" };
+    { dataset = "R12A4U"; attrs = 4; tuples = 12_000; dist = Generator.U; source = "Synth" };
+    { dataset = "R25A4W"; attrs = 4; tuples = 25_000; dist = Generator.W; source = "Real-world" };
+    { dataset = "R25A4U"; attrs = 4; tuples = 25_000; dist = Generator.U; source = "Realistic" };
+    { dataset = "R25A4V"; attrs = 4; tuples = 25_000; dist = Generator.V; source = "Realistic" };
+    { dataset = "R50A4W"; attrs = 4; tuples = 50_000; dist = Generator.W; source = "Synth" };
+    { dataset = "R50A4U"; attrs = 4; tuples = 50_000; dist = Generator.U; source = "Synth" };
+    { dataset = "R50A5W"; attrs = 5; tuples = 50_000; dist = Generator.W; source = "Synth" };
+    { dataset = "R50A6W"; attrs = 6; tuples = 50_000; dist = Generator.W; source = "Synth" };
+    { dataset = "R50A8W"; attrs = 8; tuples = 50_000; dist = Generator.W; source = "Synth" };
+    { dataset = "R50A9W"; attrs = 9; tuples = 50_000; dist = Generator.W; source = "Synth" };
+    { dataset = "R100A4U"; attrs = 4; tuples = 100_000; dist = Generator.U; source = "Synth" };
+  ]
+
+let find name =
+  List.find_opt (fun e -> String.equal e.dataset name) figure6
+
+(* Deterministic seed from the dataset name. *)
+let seed_of_name name =
+  let acc = ref 0 in
+  String.iter (fun c -> acc := (!acc * 31) + Char.code c) name;
+  (!acc land 0xFFFFFF) + 1
+
+let load_entry ?(scale = 1.0) entry =
+  let tuples = max 10 (int_of_float (float_of_int entry.tuples *. scale)) in
+  Generator.generate
+    {
+      Generator.name = entry.dataset;
+      tuples;
+      qi_count = entry.attrs;
+      distribution = entry.dist;
+      seed = seed_of_name entry.dataset;
+    }
+
+let load ?scale name =
+  match find name with
+  | Some entry -> load_entry ?scale entry
+  | None -> raise Not_found
+
+let pp_table ppf () =
+  Format.fprintf ppf "%-10s %-8s %-10s %-6s %s@." "Dataset" "No. Att."
+    "No. Tuples" "Dist." "Data";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-10s %-8d %-10d %-6s %s@." e.dataset e.attrs
+        e.tuples
+        (Generator.distribution_to_string e.dist)
+        e.source)
+    figure6

@@ -1,0 +1,27 @@
+(** The experimental dataset suite of the paper's Figure 6. *)
+
+type entry = {
+  dataset : string;  (** e.g. "R25A4W" *)
+  attrs : int;  (** quasi-identifier count *)
+  tuples : int;
+  dist : Generator.distribution;
+  source : string;  (** "Synth", "Real-world" or "Realistic", per Figure 6 *)
+}
+
+val figure6 : entry list
+(** The twelve datasets, in the paper's order: R6A4U, R12A4U, R25A4W,
+    R25A4U, R25A4V, R50A4W, R50A4U, R50A5W, R50A6W, R50A8W, R50A9W,
+    R100A4U. *)
+
+val find : string -> entry option
+
+val load : ?scale:float -> string -> Vadasa_sdc.Microdata.t
+(** Generate the named dataset (deterministic seed derived from the name).
+    [scale] (default 1.0) multiplies the tuple count — benches use scaled
+    sizes to keep runtimes tractable while preserving the shapes. Raises
+    [Not_found] for unknown names. *)
+
+val load_entry : ?scale:float -> entry -> Vadasa_sdc.Microdata.t
+
+val pp_table : Format.formatter -> unit -> unit
+(** Render Figure 6's inventory table. *)

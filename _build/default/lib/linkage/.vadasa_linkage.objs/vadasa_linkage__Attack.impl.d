@@ -1,0 +1,1 @@
+lib/linkage/attack.ml: Blocking Fellegi_sunter Format List Matching Oracle String Vadasa_sdc Vadasa_stats

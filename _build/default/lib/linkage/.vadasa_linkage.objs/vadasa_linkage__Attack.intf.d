@@ -1,0 +1,1 @@
+lib/linkage/attack.mli: Format Oracle Vadasa_sdc

@@ -1,0 +1,1 @@
+lib/linkage/blocking.ml: Array Hashtbl List Oracle Vadasa_base Vadasa_relational

@@ -1,0 +1,1 @@
+lib/linkage/fellegi_sunter.ml: Array Float Hashtbl List Matching Oracle Vadasa_base Vadasa_stats

@@ -1,0 +1,1 @@
+lib/linkage/matching.ml: Array List Oracle Vadasa_base Vadasa_stats

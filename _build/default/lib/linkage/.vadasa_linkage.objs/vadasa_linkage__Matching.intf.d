@@ -1,0 +1,1 @@
+lib/linkage/matching.mli: Oracle Vadasa_relational Vadasa_stats

@@ -1,0 +1,1 @@
+lib/linkage/oracle.ml: Array Float List Printf Vadasa_base Vadasa_relational Vadasa_sdc Vadasa_stats

@@ -1,0 +1,1 @@
+lib/linkage/oracle.mli: Vadasa_relational Vadasa_sdc Vadasa_stats

@@ -1,0 +1,59 @@
+module Stats = Vadasa_stats
+module Sdc = Vadasa_sdc
+
+type result = {
+  attempted : int;
+  exact_hits : int;
+  expected_hits : float;
+  mean_block : float;
+  singleton_blocks : int;
+}
+
+let run ?(seed = 7) ?(matcher = `Agreement) oracle md =
+  let rng = Stats.Rng.create ~seed in
+  let blocking = Blocking.build oracle in
+  let guess =
+    match matcher with
+    | `Agreement -> Matching.best_guess rng oracle
+    | `Fellegi_sunter ->
+      let fs = Fellegi_sunter.estimate oracle in
+      Fellegi_sunter.best_guess rng fs oracle
+  in
+  let n = Sdc.Microdata.cardinal md in
+  let exact = ref 0 in
+  let expected = ref 0.0 in
+  let block_total = ref 0 in
+  let singletons = ref 0 in
+  for i = 0 to n - 1 do
+    let target = Sdc.Microdata.qi_projection md i in
+    let cohort = Blocking.candidates blocking target in
+    block_total := !block_total + List.length cohort;
+    if List.length cohort = 1 then incr singletons;
+    (match cohort with
+    | [] -> ()
+    | _ -> expected := !expected +. (1.0 /. float_of_int (List.length cohort)));
+    match guess target cohort with
+    | None -> ()
+    | Some g ->
+      if String.equal g.Matching.identity (Oracle.true_identity oracle i)
+      then incr exact
+  done;
+  {
+    attempted = n;
+    exact_hits = !exact;
+    expected_hits = !expected;
+    mean_block = (if n = 0 then 0.0 else float_of_int !block_total /. float_of_int n);
+    singleton_blocks = !singletons;
+  }
+
+let success_rate r =
+  if r.attempted = 0 then 0.0
+  else float_of_int r.exact_hits /. float_of_int r.attempted
+
+let pp ppf r =
+  Format.fprintf ppf
+    "attack: %d attempted, %d exact re-identifications (%.2f%%), expected \
+     hits %.1f, mean cohort %.1f, singleton cohorts %d@."
+    r.attempted r.exact_hits
+    (100.0 *. success_rate r)
+    r.expected_hits r.mean_block r.singleton_blocks

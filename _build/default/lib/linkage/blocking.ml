@@ -1,0 +1,64 @@
+module Value = Vadasa_base.Value
+module Relational = Vadasa_relational
+module Tuple = Relational.Tuple
+module Relation = Relational.Relation
+
+type t = {
+  oracle : Oracle.t;
+  width : int;
+  full_index : (string, int list) Hashtbl.t;
+  (* per-attribute value index, for targets with suppressed values *)
+  attr_index : (string, int list) Hashtbl.t array;
+  total : int;
+}
+
+let build oracle =
+  let rel = Oracle.relation oracle in
+  let n = Relation.cardinal rel in
+  let width =
+    match n with
+    | 0 -> 0
+    | _ -> Array.length (Oracle.qi_values oracle 0)
+  in
+  let full_index = Hashtbl.create (max 16 n) in
+  let attr_index = Array.init width (fun _ -> Hashtbl.create (max 16 n)) in
+  for r = n - 1 downto 0 do
+    let qi = Oracle.qi_values oracle r in
+    let key = Tuple.key qi in
+    let existing = try Hashtbl.find full_index key with Not_found -> [] in
+    Hashtbl.replace full_index key (r :: existing);
+    Array.iteri
+      (fun p v ->
+        let k = Value.to_string v in
+        let existing = try Hashtbl.find attr_index.(p) k with Not_found -> [] in
+        Hashtbl.replace attr_index.(p) k (r :: existing))
+      qi
+  done;
+  { oracle; width; full_index; attr_index; total = n }
+
+let candidates t target =
+  if Array.length target <> t.width then
+    invalid_arg "Blocking.candidates: arity mismatch";
+  let constant_positions =
+    List.filter
+      (fun p -> not (Value.is_null target.(p)))
+      (List.init t.width (fun p -> p))
+  in
+  match constant_positions with
+  | [] -> List.init t.total (fun r -> r)
+  | _ when List.length constant_positions = t.width ->
+    (try Hashtbl.find t.full_index (Tuple.key target) with Not_found -> [])
+  | p0 :: rest ->
+    (* Intersect per-attribute postings, starting from one list and
+       filtering against the others via the oracle rows themselves. *)
+    let initial =
+      try Hashtbl.find t.attr_index.(p0) (Value.to_string target.(p0))
+      with Not_found -> []
+    in
+    List.filter
+      (fun r ->
+        let qi = Oracle.qi_values t.oracle r in
+        List.for_all (fun p -> Value.equal qi.(p) target.(p)) rest)
+      initial
+
+let block_size t target = List.length (candidates t target)

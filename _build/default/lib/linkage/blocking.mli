@@ -1,0 +1,19 @@
+(** Blocking — step 1 of the attack strategy (paper, Section 2.2, Figure 2):
+    restrict the oracle to the rows compatible with the target tuple's
+    quasi-identifier values.
+
+    Labelled nulls in the target act as wildcards for the attacker (an
+    unknown value constrains nothing), which is precisely why suppression
+    inflates the candidate cohort and defeats the attack. *)
+
+type t
+
+val build : Oracle.t -> t
+(** Index the oracle by full quasi-identifier key plus one index per
+    attribute for wildcard queries. *)
+
+val candidates : t -> Vadasa_relational.Tuple.t -> int list
+(** Oracle rows matching the (possibly null-bearing) quasi-identifier
+    tuple under maybe-match semantics. *)
+
+val block_size : t -> Vadasa_relational.Tuple.t -> int

@@ -1,0 +1,40 @@
+(** Fellegi–Sunter probabilistic record linkage — the matching side of the
+    attack toolbox the paper points at (Christen 2012, its ref. [13]).
+
+    Each attribute contributes a log₂ likelihood-ratio weight: agreement on
+    attribute j adds log₂(m_j/u_j), disagreement adds
+    log₂((1−m_j)/(1−u_j)), where m_j is the probability that true matches
+    agree on j and u_j the probability that random non-matches do. The u
+    probabilities are estimated from the oracle's value distributions
+    (Σ f_v² over the attribute's empirical frequencies), so agreement on a
+    {e rare} value weighs much more than agreement on a common one —
+    exactly why selective quasi-identifier values endanger confidentiality
+    and why suppressing them defuses the attack. *)
+
+type t
+
+val estimate : ?m:float -> Oracle.t -> t
+(** Estimate per-attribute weights from the oracle. [m] (default 0.95) is
+    the assumed agreement probability among true matches, uniform across
+    attributes. *)
+
+val agreement_weight : t -> int -> float
+(** log₂(m/u) of attribute [j] — positive, higher for selective attributes. *)
+
+val disagreement_weight : t -> int -> float
+(** log₂((1−m)/(1−u)) — negative. *)
+
+val score : t -> Vadasa_relational.Tuple.t -> Vadasa_relational.Tuple.t -> float
+(** Total weight of a record pair. A labelled null in the target
+    contributes 0 (the attacker can neither confirm nor refute). *)
+
+type decision = Match | Possible | Non_match
+
+val classify : t -> upper:float -> lower:float -> float -> decision
+(** The classic three-way decision on a pair's total weight. *)
+
+val best_guess :
+  Vadasa_stats.Rng.t -> t -> Oracle.t -> Vadasa_relational.Tuple.t ->
+  int list -> Matching.guess option
+(** Drop-in replacement for {!Matching.best_guess} ranking the blocked
+    cohort by Fellegi–Sunter score instead of raw agreement counts. *)

@@ -1,0 +1,40 @@
+module Value = Vadasa_base.Value
+module Stats = Vadasa_stats
+
+type guess = {
+  row : int;
+  identity : string;
+  confidence : float;
+  block : int;
+}
+
+let score target candidate =
+  let agree = ref 0 in
+  Array.iteri
+    (fun p v ->
+      if
+        p < Array.length candidate
+        && (not (Value.is_null v))
+        && Value.equal v candidate.(p)
+      then incr agree)
+    target;
+  !agree
+
+let best_guess rng oracle target rows =
+  match rows with
+  | [] -> None
+  | _ ->
+    let scored =
+      List.map (fun r -> (r, score target (Oracle.qi_values oracle r))) rows
+    in
+    let best_score = List.fold_left (fun acc (_, s) -> max acc s) min_int scored in
+    let best = List.filter (fun (_, s) -> s = best_score) scored in
+    let pick = Stats.Rng.int rng (List.length best) in
+    let row, _ = List.nth best pick in
+    Some
+      {
+        row;
+        identity = Oracle.identity_of_row oracle row;
+        confidence = 1.0 /. float_of_int (List.length best);
+        block = List.length rows;
+      }

@@ -1,0 +1,25 @@
+(** Matching — step 2 of the attack strategy: choose the candidate that
+    best fits the target tuple.
+
+    With only quasi-identifiers available (the identifiers were dropped
+    before exchange), all blocked candidates are equally plausible; the
+    attacker's best move is a uniform guess, and the score of the guess is
+    1/|candidates|. The scorer still ranks by value agreement so partial
+    suppression degrades gracefully. *)
+
+type guess = {
+  row : int;  (** oracle row guessed *)
+  identity : string;
+  confidence : float;  (** 1 / (number of best-scoring candidates) *)
+  block : int;  (** size of the blocked cohort *)
+}
+
+val score : Vadasa_relational.Tuple.t -> Vadasa_relational.Tuple.t -> int
+(** Number of positions agreeing exactly (nulls never agree — the attacker
+    cannot confirm an unknown). *)
+
+val best_guess :
+  Vadasa_stats.Rng.t -> Oracle.t -> Vadasa_relational.Tuple.t -> int list ->
+  guess option
+(** Rank the candidate rows by {!score} against the target, break ties
+    uniformly at random. [None] on an empty cohort. *)

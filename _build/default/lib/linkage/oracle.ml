@@ -1,0 +1,59 @@
+module Value = Vadasa_base.Value
+module Stats = Vadasa_stats
+module Relational = Vadasa_relational
+module Relation = Relational.Relation
+module Tuple = Relational.Tuple
+module Sdc = Vadasa_sdc
+
+type t = {
+  relation : Relation.t;
+  qi_width : int;
+  true_rows : int array;  (* microdata tuple -> oracle row of its respondent *)
+}
+
+let from_microdata rng md ?(max_decoys_per_tuple = 25) () =
+  let qi_attrs = Sdc.Microdata.quasi_identifiers md in
+  let schema =
+    Relational.Schema.of_names
+      ~name:(Sdc.Microdata.name md ^ "_oracle")
+      (qi_attrs @ [ "identity" ])
+  in
+  let oracle = Relation.create schema in
+  let n = Sdc.Microdata.cardinal md in
+  let true_rows = Array.make n (-1) in
+  let next_identity = ref 0 in
+  let fresh_identity () =
+    incr next_identity;
+    Printf.sprintf "person_%06d" !next_identity
+  in
+  for i = 0 to n - 1 do
+    let qi = Sdc.Microdata.qi_projection md i in
+    true_rows.(i) <- Relation.cardinal oracle;
+    Relation.add oracle (Array.append qi [| Value.Str (fresh_identity ()) |]);
+    let weight = Sdc.Microdata.weight_of md i in
+    (* The tuple's weight estimates how many population members share its
+       combination; the decoy count is Poisson around weight - 1, capped so
+       the oracle stays tractable. *)
+    let mean = Float.min 60.0 (Float.max 0.0 (weight -. 1.0)) in
+    let decoys =
+      min max_decoys_per_tuple (Stats.Distribution.poisson rng ~mean)
+    in
+    for _ = 1 to decoys do
+      Relation.add oracle (Array.append qi [| Value.Str (fresh_identity ()) |])
+    done
+  done;
+  { relation = oracle; qi_width = List.length qi_attrs; true_rows }
+
+let relation t = t.relation
+let cardinal t = Relation.cardinal t.relation
+
+let true_identity t i =
+  let row = t.true_rows.(i) in
+  Value.to_string (Relation.get t.relation row).(t.qi_width)
+
+let qi_values t r =
+  Tuple.project (Relation.get t.relation r)
+    (Array.init t.qi_width (fun i -> i))
+
+let identity_of_row t r =
+  Value.to_string (Relation.get t.relation r).(t.qi_width)

@@ -1,0 +1,38 @@
+(** The identity oracle (paper, Section 2): an external data source holding
+    the identities of every respondent, against which re-identification is
+    attempted.
+
+    {!from_microdata} synthesizes the oracle a realistic attacker could
+    hold: for every microdata tuple it contains the respondent's record
+    (same quasi-identifier values, a known identity) plus decoy records —
+    other population members sharing the combination, in number driven by
+    the tuple's sampling weight. The ground-truth link (microdata tuple →
+    oracle row) is retained so attack success can be scored. *)
+
+type t
+
+val from_microdata :
+  Vadasa_stats.Rng.t ->
+  Vadasa_sdc.Microdata.t ->
+  ?max_decoys_per_tuple:int ->
+  unit ->
+  t
+(** Decoys per tuple are Poisson-distributed around weight − 1, capped at
+    [max_decoys_per_tuple] (default 25), each with the same
+    quasi-identifier combination and a fresh identity, so the oracle
+    mirrors the population frequencies the weights estimate. *)
+
+val relation : t -> Vadasa_relational.Relation.t
+(** Oracle rows: the quasi-identifier attributes of the source microdata DB
+    followed by an [identity] attribute. *)
+
+val cardinal : t -> int
+
+val true_identity : t -> int -> string
+(** Ground truth: the identity of the respondent behind microdata tuple
+    [i]. *)
+
+val qi_values : t -> int -> Vadasa_relational.Tuple.t
+(** Quasi-identifier values of oracle row [r]. *)
+
+val identity_of_row : t -> int -> string

@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array Hashtbl List Null_semantics Relation Schema Tuple Vadasa_base

@@ -1,0 +1,1 @@
+lib/relational/null_semantics.ml: Array Format Vadasa_base

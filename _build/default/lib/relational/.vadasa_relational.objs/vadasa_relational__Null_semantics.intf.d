@@ -1,0 +1,1 @@
+lib/relational/null_semantics.mli: Format Tuple Vadasa_base

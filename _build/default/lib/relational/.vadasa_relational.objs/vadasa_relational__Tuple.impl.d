@@ -1,0 +1,1 @@
+lib/relational/tuple.ml: Array Buffer Format Int String Vadasa_base

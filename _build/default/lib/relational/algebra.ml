@@ -1,0 +1,302 @@
+module Value = Vadasa_base.Value
+
+let select pred rel = Relation.filter pred rel
+
+let project rel attrs =
+  let positions = Schema.indices_of (Relation.schema rel) attrs in
+  let schema' = Schema.restrict (Relation.schema rel) attrs in
+  let out = Relation.create schema' in
+  Relation.iter (fun t -> Relation.add out (Tuple.project t positions)) rel;
+  out
+
+let distinct rel =
+  let seen = Hashtbl.create 256 in
+  Relation.filter
+    (fun t ->
+      let k = Tuple.key t in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    rel
+
+let union a b =
+  if Schema.arity (Relation.schema a) <> Schema.arity (Relation.schema b) then
+    invalid_arg "Algebra.union: arity mismatch";
+  let out = Relation.create (Relation.schema a) in
+  Relation.iter (Relation.add out) a;
+  Relation.iter (Relation.add out) b;
+  out
+
+let sort_by rel cmp =
+  let arr = Array.of_list (Relation.to_list rel) in
+  Array.sort cmp arr;
+  Relation.of_tuples (Relation.schema rel) (Array.to_list arr)
+
+let group_indices rel ~cols =
+  let groups = Hashtbl.create 1024 in
+  Relation.iteri
+    (fun i t ->
+      let k = Tuple.key (Tuple.project t cols) in
+      let members = try Hashtbl.find groups k with Not_found -> [] in
+      Hashtbl.replace groups k (i :: members))
+    rel;
+  (* Store members ascending. *)
+  Hashtbl.iter (fun k members -> Hashtbl.replace groups k (List.rev members)) groups;
+  groups
+
+let joined_schema ~left ~right ~right_only =
+  let ls = Relation.schema left and rs = Relation.schema right in
+  let left_attrs = Array.to_list (Schema.attributes ls) in
+  let right_attrs =
+    List.filter_map
+      (fun a ->
+        if List.mem a.Schema.attr_name right_only then Some a else None)
+      (Array.to_list (Schema.attributes rs))
+  in
+  Schema.make
+    ~name:(Schema.name ls ^ "_" ^ Schema.name rs)
+    (left_attrs @ right_attrs)
+
+let natural_join left right =
+  let ls = Relation.schema left and rs = Relation.schema right in
+  let shared =
+    List.filter (Schema.mem rs) (Schema.attribute_names ls)
+  in
+  let right_only =
+    List.filter (fun a -> not (List.mem a shared)) (Schema.attribute_names rs)
+  in
+  let schema' = joined_schema ~left ~right ~right_only in
+  let out = Relation.create schema' in
+  let l_shared = Schema.indices_of ls shared in
+  let r_shared = Schema.indices_of rs shared in
+  let r_only = Schema.indices_of rs right_only in
+  (* Hash the right side on the shared-attribute key. *)
+  let index = Hashtbl.create 1024 in
+  Relation.iter
+    (fun t ->
+      let k = Tuple.key (Tuple.project t r_shared) in
+      let existing = try Hashtbl.find index k with Not_found -> [] in
+      Hashtbl.replace index k (t :: existing))
+    right;
+  Relation.iter
+    (fun lt ->
+      let k = Tuple.key (Tuple.project lt l_shared) in
+      match Hashtbl.find_opt index k with
+      | None -> ()
+      | Some matches ->
+        List.iter
+          (fun rt -> Relation.add out (Array.append lt (Tuple.project rt r_only)))
+          matches)
+    left;
+  out
+
+let equi_join ~left ~right ~on =
+  let ls = Relation.schema left and rs = Relation.schema right in
+  let l_cols = Schema.indices_of ls (List.map fst on) in
+  let r_cols = Schema.indices_of rs (List.map snd on) in
+  let rename a =
+    if Schema.mem ls a.Schema.attr_name then
+      { a with Schema.attr_name = Schema.name rs ^ "." ^ a.Schema.attr_name }
+    else a
+  in
+  let schema' =
+    Schema.make
+      ~name:(Schema.name ls ^ "_" ^ Schema.name rs)
+      (Array.to_list (Schema.attributes ls)
+      @ List.map rename (Array.to_list (Schema.attributes rs)))
+  in
+  let out = Relation.create schema' in
+  let index = Hashtbl.create 1024 in
+  Relation.iter
+    (fun t ->
+      let k = Tuple.key (Tuple.project t r_cols) in
+      let existing = try Hashtbl.find index k with Not_found -> [] in
+      Hashtbl.replace index k (t :: existing))
+    right;
+  Relation.iter
+    (fun lt ->
+      let k = Tuple.key (Tuple.project lt l_cols) in
+      match Hashtbl.find_opt index k with
+      | None -> ()
+      | Some matches ->
+        List.iter (fun rt -> Relation.add out (Array.append lt rt)) matches)
+    left;
+  out
+
+module Group_stats = struct
+  type t = {
+    freq : int array;
+    weight_sum : float array;
+  }
+
+  let weight_of rel weight i =
+    match weight with
+    | None -> 1.0
+    | Some w ->
+      (match Value.as_float (Tuple.get (Relation.get rel i) w) with
+      | Some x -> x
+      | None -> 1.0)
+
+  (* Exact (standard-semantics) grouping: one hash pass. *)
+  let compute_standard ~rel ~qi ~weight =
+    let n = Relation.cardinal rel in
+    let freq = Array.make n 0 in
+    let weight_sum = Array.make n 0.0 in
+    let groups = Hashtbl.create (max 16 n) in
+    Relation.iteri
+      (fun i t ->
+        let k = Tuple.key (Tuple.project t qi) in
+        let members, ws =
+          try Hashtbl.find groups k with Not_found -> ([], 0.0)
+        in
+        Hashtbl.replace groups k (i :: members, ws +. weight_of rel weight i))
+      rel;
+    Hashtbl.iter
+      (fun _ (members, ws) ->
+        let size = List.length members in
+        List.iter
+          (fun i ->
+            freq.(i) <- size;
+            weight_sum.(i) <- ws)
+          members)
+      groups;
+    { freq; weight_sum }
+
+  (* Maybe-match grouping: constants grouped exactly; null-bearing tuples
+     matched against per-mask indexes of the constant cohort and pairwise
+     against each other. *)
+  let compute_maybe ~rel ~qi ~weight =
+    let n = Relation.cardinal rel in
+    let freq = Array.make n 0 in
+    let weight_sum = Array.make n 0.0 in
+    let proj = Array.init n (fun i -> Tuple.project (Relation.get rel i) qi) in
+    let w = Array.init n (fun i -> weight_of rel weight i) in
+    let const_idx = ref [] and null_idx = ref [] in
+    for i = n - 1 downto 0 do
+      if Tuple.has_null proj.(i) then null_idx := i :: !null_idx
+      else const_idx := i :: !const_idx
+    done;
+    let const_idx = !const_idx and null_idx = !null_idx in
+    (* 1. Exact groups among all-constant tuples. *)
+    let groups = Hashtbl.create (max 16 n) in
+    List.iter
+      (fun i ->
+        let k = Tuple.key proj.(i) in
+        let members, ws = try Hashtbl.find groups k with Not_found -> ([], 0.0) in
+        Hashtbl.replace groups k (i :: members, ws +. w.(i)))
+      const_idx;
+    Hashtbl.iter
+      (fun _ (members, ws) ->
+        let size = List.length members in
+        List.iter
+          (fun i ->
+            freq.(i) <- size;
+            weight_sum.(i) <- ws)
+          members)
+      groups;
+    (* Null tuples start by matching themselves. *)
+    List.iter
+      (fun i ->
+        freq.(i) <- 1;
+        weight_sum.(i) <- w.(i))
+      null_idx;
+    (* 2. Null vs constant, via one index per distinct null mask: constant
+       tuples keyed by their values at the mask's constant positions. *)
+    let masks = Hashtbl.create 8 in
+    List.iter
+      (fun i ->
+        let m = Tuple.null_mask proj.(i) in
+        let members = try Hashtbl.find masks m with Not_found -> [] in
+        Hashtbl.replace masks m (i :: members))
+      null_idx;
+    let width = Array.length qi in
+    let const_positions_of_mask m =
+      let acc = ref [] in
+      for p = width - 1 downto 0 do
+        if m land (1 lsl p) = 0 then acc := p :: !acc
+      done;
+      Array.of_list !acc
+    in
+    Hashtbl.iter
+      (fun m members ->
+        let positions = const_positions_of_mask m in
+        let index = Hashtbl.create 1024 in
+        List.iter
+          (fun j ->
+            let k = Tuple.key (Tuple.project proj.(j) positions) in
+            let cohort, ws = try Hashtbl.find index k with Not_found -> ([], 0.0) in
+            Hashtbl.replace index k (j :: cohort, ws +. w.(j)))
+          const_idx;
+        List.iter
+          (fun i ->
+            let k = Tuple.key (Tuple.project proj.(i) positions) in
+            match Hashtbl.find_opt index k with
+            | None -> ()
+            | Some (cohort, ws) ->
+              freq.(i) <- freq.(i) + List.length cohort;
+              weight_sum.(i) <- weight_sum.(i) +. ws;
+              List.iter
+                (fun j ->
+                  freq.(j) <- freq.(j) + 1;
+                  weight_sum.(j) <- weight_sum.(j) +. w.(i))
+                cohort)
+          members)
+      masks;
+    (* 3. Null vs null. Suppressed tuples cluster into few patterns (same
+       null positions, same remaining constants — null labels are
+       irrelevant to =⊥), so we compare pattern classes, not tuples:
+       O(c²) class tests plus O(m) bookkeeping instead of O(m²). *)
+    let class_key p =
+      let normalized =
+        Array.map (fun v -> if Value.is_null v then Value.Null 0 else v) p
+      in
+      Tuple.key normalized
+    in
+    let classes = Hashtbl.create 64 in
+    List.iter
+      (fun i ->
+        let k = class_key proj.(i) in
+        match Hashtbl.find_opt classes k with
+        | Some (repr, members, ws) ->
+          Hashtbl.replace classes k (repr, i :: members, ws +. w.(i))
+        | None -> Hashtbl.add classes k (proj.(i), [ i ], w.(i)))
+      null_idx;
+    let class_list =
+      Hashtbl.fold (fun _ cls acc -> cls :: acc) classes []
+    in
+    let class_arr = Array.of_list class_list in
+    let c = Array.length class_arr in
+    let credit members ~count ~weight =
+      List.iter
+        (fun i ->
+          freq.(i) <- freq.(i) + count;
+          weight_sum.(i) <- weight_sum.(i) +. weight)
+        members
+    in
+    for a = 0 to c - 1 do
+      let repr_a, members_a, ws_a = class_arr.(a) in
+      let size_a = List.length members_a in
+      (* Within a class every member matches every other member. *)
+      if size_a > 1 then
+        List.iter
+          (fun i ->
+            freq.(i) <- freq.(i) + size_a - 1;
+            weight_sum.(i) <- weight_sum.(i) +. ws_a -. w.(i))
+          members_a;
+      for b = a + 1 to c - 1 do
+        let repr_b, members_b, ws_b = class_arr.(b) in
+        if Null_semantics.equal_tuple Maybe_match repr_a repr_b then begin
+          credit members_a ~count:(List.length members_b) ~weight:ws_b;
+          credit members_b ~count:size_a ~weight:ws_a
+        end
+      done
+    done;
+    { freq; weight_sum }
+
+  let compute ~semantics ~rel ~qi ?weight () =
+    match (semantics : Null_semantics.t) with
+    | Standard -> compute_standard ~rel ~qi ~weight
+    | Maybe_match -> compute_maybe ~rel ~qi ~weight
+end

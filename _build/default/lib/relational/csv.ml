@@ -1,0 +1,112 @@
+module Value = Vadasa_base.Value
+
+let parse_line line =
+  let n = String.length line in
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let rec plain i =
+    if i >= n then flush_field ()
+    else
+      match line.[i] with
+      | ',' ->
+        flush_field ();
+        plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then flush_field ()
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  plain 0;
+  List.rev !fields
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let render_field s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let render_line fields = String.concat "," (List.map render_field fields)
+
+let lines_of_string s =
+  String.split_on_char '\n' s
+  |> List.map (fun l ->
+         if String.length l > 0 && l.[String.length l - 1] = '\r' then
+           String.sub l 0 (String.length l - 1)
+         else l)
+  |> List.filter (fun l -> String.length l > 0)
+
+let read_string ?(header = true) ~name doc =
+  match lines_of_string doc with
+  | [] -> Relation.create (Schema.of_names ~name [])
+  | first :: rest ->
+    let first_fields = parse_line first in
+    let names, data_lines =
+      if header then (first_fields, rest)
+      else
+        ( List.mapi (fun i _ -> "c" ^ string_of_int i) first_fields,
+          first :: rest )
+    in
+    let schema = Schema.of_names ~name names in
+    let rel = Relation.create schema in
+    let arity = Schema.arity schema in
+    List.iteri
+      (fun lineno line ->
+        let fields = parse_line line in
+        if List.length fields <> arity then
+          failwith
+            (Printf.sprintf "Csv.read_string: row %d has %d fields, expected %d"
+               (lineno + if header then 2 else 1)
+               (List.length fields) arity);
+        Relation.add rel (Array.of_list (List.map Value.of_literal fields)))
+      data_lines;
+    rel
+
+let write_string rel =
+  let buf = Buffer.create 1024 in
+  let schema = Relation.schema rel in
+  Buffer.add_string buf (render_line (Schema.attribute_names schema));
+  Buffer.add_char buf '\n';
+  Relation.iter
+    (fun t ->
+      Buffer.add_string buf
+        (render_line (Array.to_list (Array.map Value.to_string t)));
+      Buffer.add_char buf '\n')
+    rel;
+  Buffer.contents buf
+
+let load ?header ~name path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let doc = really_input_string ic len in
+  close_in ic;
+  read_string ?header ~name doc
+
+let save rel path =
+  let oc = open_out path in
+  output_string oc (write_string rel);
+  close_out oc

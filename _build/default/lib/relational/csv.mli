@@ -1,0 +1,24 @@
+(** Minimal CSV reader/writer for microdata interchange.
+
+    Handles RFC-4180-style quoting (double quotes, escaped by doubling).
+    Values are parsed with {!Vadasa_base.Value.of_literal}, so numeric
+    columns round-trip as numbers and ["#3"] as a labelled null. *)
+
+val parse_line : string -> string list
+(** Split one CSV record into fields. *)
+
+val render_line : string list -> string
+(** Quote fields containing commas, quotes or newlines. *)
+
+val read_string : ?header:bool -> name:string -> string -> Relation.t
+(** Parse a whole CSV document. With [header] (default true) the first line
+    gives the attribute names; otherwise attributes are named [c0, c1, …].
+    Raises [Failure] on ragged rows. *)
+
+val write_string : Relation.t -> string
+(** Render with a header line. *)
+
+val load : ?header:bool -> name:string -> string -> Relation.t
+(** [load ~name path] reads the file at [path]. *)
+
+val save : Relation.t -> string -> unit

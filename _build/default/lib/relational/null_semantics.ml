@@ -1,0 +1,27 @@
+module Value = Vadasa_base.Value
+
+type t = Standard | Maybe_match
+
+let equal_value semantics a b =
+  match semantics with
+  | Standard -> Value.equal a b
+  | Maybe_match -> Value.equal_maybe a b
+
+let equal_tuple semantics a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i =
+    i >= Array.length a || (equal_value semantics a.(i) b.(i) && go (i + 1))
+  in
+  go 0
+
+let to_string = function
+  | Standard -> "standard"
+  | Maybe_match -> "maybe-match"
+
+let of_string = function
+  | "standard" -> Some Standard
+  | "maybe-match" | "maybe_match" -> Some Maybe_match
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

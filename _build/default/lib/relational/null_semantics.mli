@@ -1,0 +1,28 @@
+(** Pluggable equality semantics for labelled nulls.
+
+    The anonymization cycle forms aggregation groups by comparing
+    quasi-identifier combinations. Once local suppression injects labelled
+    nulls, the comparison semantics decides whether suppression actually
+    reduces risk:
+
+    - {b Standard} (the Skolem-chase semantics): ⊥ᵢ equals only ⊥ᵢ. A
+      freshly suppressed tuple forms a singleton group, so its frequency
+      stays 1 and its risk stays maximal — this is the null proliferation
+      the paper demonstrates in Figure 7c.
+    - {b Maybe_match} (the paper's choice, after Ciglic et al.): a null
+      matches any value, so a suppressed tuple joins every group compatible
+      with its remaining constants, and groups no longer partition the DB. *)
+
+type t = Standard | Maybe_match
+
+val equal_value : t -> Vadasa_base.Value.t -> Vadasa_base.Value.t -> bool
+
+val equal_tuple : t -> Tuple.t -> Tuple.t -> bool
+(** Positional comparison of same-arity tuples; [false] on arity mismatch. *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Recognizes ["standard"] and ["maybe-match"] (also ["maybe_match"]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+type attribute = {
+  attr_name : string;
+  attr_description : string;
+}
+
+type t = {
+  name : string;
+  attributes : attribute array;
+  positions : (string, int) Hashtbl.t;
+}
+
+let make ~name attrs =
+  let attributes = Array.of_list attrs in
+  let positions = Hashtbl.create (Array.length attributes) in
+  Array.iteri
+    (fun i a ->
+      if Hashtbl.mem positions a.attr_name then
+        invalid_arg ("Schema.make: duplicate attribute " ^ a.attr_name);
+      Hashtbl.add positions a.attr_name i)
+    attributes;
+  { name; attributes; positions }
+
+let of_names ~name names =
+  make ~name
+    (List.map (fun n -> { attr_name = n; attr_description = "" }) names)
+
+let name t = t.name
+let attributes t = t.attributes
+let arity t = Array.length t.attributes
+
+let attribute_names t =
+  Array.to_list (Array.map (fun a -> a.attr_name) t.attributes)
+
+let index_of t attr = Hashtbl.find t.positions attr
+let index_of_opt t attr = Hashtbl.find_opt t.positions attr
+let mem t attr = Hashtbl.mem t.positions attr
+
+let indices_of t attrs = Array.of_list (List.map (index_of t) attrs)
+
+let description t attr = t.attributes.(index_of t attr).attr_description
+
+let restrict t attrs =
+  make ~name:t.name (List.map (fun a -> t.attributes.(index_of t a)) attrs)
+
+let equal a b =
+  String.equal a.name b.name
+  && Array.length a.attributes = Array.length b.attributes
+  && Array.for_all2
+       (fun x y -> String.equal x.attr_name y.attr_name)
+       a.attributes b.attributes
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s)" t.name
+    (String.concat ", " (attribute_names t))

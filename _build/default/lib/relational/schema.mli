@@ -1,0 +1,46 @@
+(** Relation schemas: a named, ordered list of attributes.
+
+    The Vada-SA framework is schema independent — microdata DBs of any shape
+    flow through the same rules — so the schema layer is deliberately plain:
+    names, positions and descriptions, no types. Types live in the values. *)
+
+type attribute = {
+  attr_name : string;
+  attr_description : string;
+}
+
+type t
+
+val make : name:string -> attribute list -> t
+(** Raises [Invalid_argument] on duplicate attribute names. *)
+
+val of_names : name:string -> string list -> t
+(** Schema with empty descriptions. *)
+
+val name : t -> string
+
+val attributes : t -> attribute array
+
+val arity : t -> int
+
+val attribute_names : t -> string list
+
+val index_of : t -> string -> int
+(** Position of an attribute. Raises [Not_found]. *)
+
+val index_of_opt : t -> string -> int option
+
+val mem : t -> string -> bool
+
+val indices_of : t -> string list -> int array
+(** Positions of several attributes, in the given order. Raises
+    [Not_found] if any is missing. *)
+
+val description : t -> string -> string
+
+val restrict : t -> string list -> t
+(** Sub-schema with only the given attributes, in the given order. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

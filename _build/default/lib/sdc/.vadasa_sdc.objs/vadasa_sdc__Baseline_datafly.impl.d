@@ -1,0 +1,1 @@
+lib/sdc/baseline_datafly.ml: Array Float Hashtbl Hierarchy List Microdata Recoding Suppression Vadasa_base Vadasa_relational

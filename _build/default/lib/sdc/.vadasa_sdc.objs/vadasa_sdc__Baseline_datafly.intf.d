@@ -1,0 +1,1 @@
+lib/sdc/baseline_datafly.mli: Hierarchy Microdata

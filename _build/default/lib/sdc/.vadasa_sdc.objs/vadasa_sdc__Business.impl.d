@@ -1,0 +1,1 @@
+lib/sdc/business.ml: Array Float Hashtbl List Microdata String Vadasa_base Vadasa_relational Vadasa_vadalog

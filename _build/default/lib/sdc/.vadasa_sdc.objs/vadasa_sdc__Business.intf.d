@@ -1,0 +1,1 @@
+lib/sdc/business.mli: Microdata

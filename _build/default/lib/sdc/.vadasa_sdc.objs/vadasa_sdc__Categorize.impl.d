@@ -1,0 +1,1 @@
+lib/sdc/categorize.ml: Array List Microdata Option Printf Similarity String Vadasa_base Vadasa_relational Vadasa_vadalog

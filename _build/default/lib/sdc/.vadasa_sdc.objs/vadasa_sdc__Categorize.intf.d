@@ -1,0 +1,1 @@
+lib/sdc/categorize.mli: Microdata Result Similarity Vadasa_relational

@@ -1,0 +1,1 @@
+lib/sdc/cycle.ml: Array Format Hashtbl Heuristics Hierarchy Info_loss List Logs Microdata Recoding Risk Suppression Vadasa_base Vadasa_relational

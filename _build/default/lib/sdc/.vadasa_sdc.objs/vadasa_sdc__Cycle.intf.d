@@ -1,0 +1,1 @@
+lib/sdc/cycle.mli: Format Heuristics Hierarchy Microdata Risk Vadasa_base Vadasa_relational

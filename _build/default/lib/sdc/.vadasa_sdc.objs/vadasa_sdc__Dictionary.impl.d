@@ -1,0 +1,1 @@
+lib/sdc/dictionary.ml: Array Format Hashtbl List Microdata Printf String Vadasa_base Vadasa_relational

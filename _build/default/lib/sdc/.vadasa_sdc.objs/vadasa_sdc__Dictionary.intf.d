@@ -1,0 +1,1 @@
+lib/sdc/dictionary.mli: Format Microdata Vadasa_base Vadasa_relational

@@ -1,0 +1,1 @@
+lib/sdc/explain.ml: Array Buffer Cycle List Microdata Printf Risk String Vadasa_base Vadasa_relational

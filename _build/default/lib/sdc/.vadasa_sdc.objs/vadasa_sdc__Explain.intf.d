@@ -1,0 +1,1 @@
+lib/sdc/explain.mli: Cycle Microdata Risk

@@ -1,0 +1,1 @@
+lib/sdc/heuristics.ml: Array Float Hashtbl List Microdata String Vadasa_base Vadasa_relational

@@ -1,0 +1,1 @@
+lib/sdc/heuristics.mli: Microdata

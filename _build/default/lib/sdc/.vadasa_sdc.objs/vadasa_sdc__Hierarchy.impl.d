@@ -1,0 +1,1 @@
+lib/sdc/hierarchy.ml: Array Format Hashtbl List String Vadasa_base

@@ -1,0 +1,1 @@
+lib/sdc/hierarchy.mli: Format Vadasa_base

@@ -1,0 +1,1 @@
+lib/sdc/info_loss.ml: Array Hashtbl Hierarchy List Microdata Vadasa_base Vadasa_relational

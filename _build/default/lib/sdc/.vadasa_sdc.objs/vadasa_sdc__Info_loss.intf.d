@@ -1,0 +1,1 @@
+lib/sdc/info_loss.mli: Hierarchy Microdata

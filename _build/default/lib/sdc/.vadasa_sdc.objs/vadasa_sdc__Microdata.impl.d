@@ -1,0 +1,1 @@
+lib/sdc/microdata.ml: Array Format Hashtbl List Vadasa_base Vadasa_relational

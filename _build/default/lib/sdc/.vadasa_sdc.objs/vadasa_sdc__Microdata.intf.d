@@ -1,0 +1,1 @@
+lib/sdc/microdata.mli: Format Vadasa_relational

@@ -1,0 +1,1 @@
+lib/sdc/recoding.ml: Hashtbl Hierarchy Microdata Vadasa_base Vadasa_relational

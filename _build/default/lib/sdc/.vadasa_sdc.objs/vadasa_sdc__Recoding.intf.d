@@ -1,0 +1,1 @@
+lib/sdc/recoding.mli: Hierarchy Microdata Vadasa_base

@@ -1,0 +1,1 @@
+lib/sdc/risk.ml: Array Float Format List Microdata Printf Risk_suda Vadasa_relational Vadasa_stats

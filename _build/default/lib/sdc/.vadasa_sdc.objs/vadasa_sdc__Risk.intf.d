@@ -1,0 +1,1 @@
+lib/sdc/risk.mli: Format Microdata Vadasa_relational

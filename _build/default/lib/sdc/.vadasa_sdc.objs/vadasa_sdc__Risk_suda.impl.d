@@ -1,0 +1,1 @@
+lib/sdc/risk_suda.ml: Array Float Hashtbl Int List Microdata Vadasa_base Vadasa_relational

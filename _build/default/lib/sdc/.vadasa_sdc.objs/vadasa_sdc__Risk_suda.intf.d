@@ -1,0 +1,1 @@
+lib/sdc/risk_suda.mli: Microdata

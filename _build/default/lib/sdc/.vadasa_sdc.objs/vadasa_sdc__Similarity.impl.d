@@ -1,0 +1,1 @@
+lib/sdc/similarity.ml: Float List String Vadasa_base

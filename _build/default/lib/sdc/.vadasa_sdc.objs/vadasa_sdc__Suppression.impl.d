@@ -1,0 +1,1 @@
+lib/sdc/suppression.ml: List Microdata Vadasa_base Vadasa_relational

@@ -1,0 +1,1 @@
+lib/sdc/suppression.mli: Microdata Vadasa_base

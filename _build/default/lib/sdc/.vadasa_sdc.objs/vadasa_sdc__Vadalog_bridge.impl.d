@@ -1,0 +1,1 @@
+lib/sdc/vadalog_bridge.ml: Array Business Float Heuristics List Microdata Option Risk Suppression Vadasa_base Vadasa_relational Vadasa_vadalog

@@ -1,0 +1,1 @@
+lib/sdc/vadalog_bridge.mli: Business Microdata Risk Vadasa_base

@@ -1,0 +1,38 @@
+(** The Datafly baseline (Sweeney 1997, cited in the paper's related work).
+
+    Datafly is the classic procedural route to k-anonymity that Vada-SA's
+    declarative, cell-level approach is positioned against: it repeatedly
+    applies {e full-domain generalization} — every value of the attribute
+    with the most distinct values rolls up one hierarchy level — until the
+    number of tuples in small (< k) combinations falls below a suppression
+    budget; the survivors are suppressed outright.
+
+    Coarse but fast: where Vada-SA erases single cells of the risky tuples,
+    Datafly rewrites whole columns, so its information loss concentrates in
+    generalization rather than suppression. The bench harness contrasts
+    both on the same datasets. *)
+
+type outcome = {
+  anonymized : Microdata.t;
+  generalization_rounds : (string * int) list;
+      (** attribute → number of full-domain roll-ups applied *)
+  suppressed_tuples : int list;
+      (** tuples whose quasi-identifiers were fully suppressed at the end *)
+  satisfied : bool;
+      (** k-anonymity achieved within the suppression budget *)
+  cells_generalized : int;
+}
+
+val run :
+  ?k:int ->
+  ?max_suppression:float ->
+  hierarchy:Hierarchy.t ->
+  Microdata.t ->
+  outcome
+(** [k] defaults to 2; [max_suppression] (default 0.01) is the fraction of
+    tuples that may be suppressed instead of further generalizing. The
+    input is copied, never mutated. *)
+
+val k_anonymous : ?k:int -> Microdata.t -> bool
+(** Check: every tuple's combination (fully suppressed tuples excluded)
+    reaches frequency ≥ k under standard equality of generalized values. *)

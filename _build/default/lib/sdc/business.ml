@@ -1,0 +1,182 @@
+module Value = Vadasa_base.Value
+module V = Vadasa_vadalog
+
+type ownership = {
+  owner : string;
+  owned : string;
+  share : float;
+}
+
+(* Duplicate (owner, owned) stakes are normalized to the largest share,
+   matching the engine's per-contributor monotonic-aggregation semantics. *)
+let normalize ownerships =
+  let best = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      match Hashtbl.find_opt best (o.owner, o.owned) with
+      | Some s when s >= o.share -> ()
+      | _ -> Hashtbl.replace best (o.owner, o.owned) o.share)
+    ownerships;
+  Hashtbl.fold
+    (fun (owner, owned) share acc -> { owner; owned; share } :: acc)
+    best []
+
+(* Native fixpoint mirroring the two Vadalog rules: direct majority, then
+   joint majority through already-controlled companies. *)
+let control_closure ownerships =
+  let ownerships = normalize ownerships in
+  let direct = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      if o.share > 0.5 then Hashtbl.replace direct (o.owner, o.owned) ())
+    ownerships;
+  let controls = Hashtbl.copy direct in
+  let owners_of = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      let existing = try Hashtbl.find owners_of o.owned with Not_found -> [] in
+      Hashtbl.replace owners_of o.owned ((o.owner, o.share) :: existing))
+    ownerships;
+  let controllers () =
+    List.sort_uniq String.compare
+      (Hashtbl.fold (fun (x, _) () acc -> x :: acc) controls [])
+  in
+  let companies =
+    List.sort_uniq String.compare
+      (List.concat_map (fun o -> [ o.owner; o.owned ]) ownerships)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun x ->
+        List.iter
+          (fun y ->
+            if (not (Hashtbl.mem controls (x, y))) && not (String.equal x y)
+            then begin
+              (* Joint ownership of y by x itself plus companies controlled
+                 by x. *)
+              let owners = try Hashtbl.find owners_of y with Not_found -> [] in
+              let joint =
+                List.fold_left
+                  (fun acc (z, w) ->
+                    if String.equal z x || Hashtbl.mem controls (x, z) then
+                      acc +. w
+                    else acc)
+                  0.0 owners
+              in
+              if joint > 0.5 then begin
+                Hashtbl.replace controls (x, y) ();
+                changed := true
+              end
+            end)
+          companies)
+      (controllers ())
+  done;
+  List.sort compare (Hashtbl.fold (fun pair () acc -> pair :: acc) controls [])
+
+(* Union-find over entity names. *)
+let clusters pairs =
+  let parent = Hashtbl.create 64 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None ->
+      Hashtbl.add parent x x;
+      x
+    | Some p when String.equal p x -> x
+    | Some p ->
+      let root = find p in
+      Hashtbl.replace parent x root;
+      root
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if not (String.equal ra rb) then Hashtbl.replace parent ra rb
+  in
+  List.iter (fun (a, b) -> union a b) pairs;
+  let members = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun x _ ->
+      let root = find x in
+      let existing = try Hashtbl.find members root with Not_found -> [] in
+      Hashtbl.replace members root (x :: existing))
+    parent;
+  Hashtbl.fold
+    (fun _ group acc ->
+      if List.length group > 1 then List.sort String.compare group :: acc
+      else acc)
+    members []
+  |> List.sort compare
+
+let propagate ~entity_of ~clusters risks =
+  let cluster_of = Hashtbl.create 64 in
+  List.iteri
+    (fun ci group -> List.iter (fun e -> Hashtbl.replace cluster_of e ci) group)
+    clusters;
+  let n = Array.length risks in
+  (* Combined risk per cluster: 1 - prod(1 - rho) over member tuples. *)
+  let survive = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    match entity_of i with
+    | None -> ()
+    | Some e ->
+      (match Hashtbl.find_opt cluster_of e with
+      | None -> ()
+      | Some ci ->
+        let s = try Hashtbl.find survive ci with Not_found -> 1.0 in
+        Hashtbl.replace survive ci (s *. (1.0 -. Float.min 1.0 risks.(i))))
+  done;
+  Array.mapi
+    (fun i r ->
+      match entity_of i with
+      | None -> r
+      | Some e ->
+        (match Hashtbl.find_opt cluster_of e with
+        | None -> r
+        | Some ci ->
+          let combined = 1.0 -. Hashtbl.find survive ci in
+          Float.max r combined))
+    risks
+
+let risk_transform ~id_attr ~ownerships =
+  let pairs = control_closure ownerships in
+  let groups = clusters pairs in
+  fun md risks ->
+    let rel = Microdata.relation md in
+    let pos = Vadasa_relational.Schema.index_of (Microdata.schema md) id_attr in
+    let entity_of i =
+      Some (Value.to_string (Vadasa_relational.Relation.get rel i).(pos))
+    in
+    propagate ~entity_of ~clusters:groups risks
+
+let program =
+  {|
+% Company control (paper, Section 4.4): direct majority ownership, or
+% joint majority through already-controlled companies.
+@label("direct_control").
+rel(X, Y) :- own(X, Y, W), W > 0.5.
+@label("joint_control").
+rel(X, Y) :- rel(X, Z), own(Z, Y, W), X != Y, msum(W, <Z>) > 0.5.
+% A company contributes its own direct holdings to its joint totals.
+@label("self").
+rel(X, X) :- own(X, Y, W).
+@output("rel").
+|}
+
+let control_closure_via_engine ownerships =
+  let parsed = V.Parser.parse program in
+  let facts =
+    List.map
+      (fun o ->
+        ("own", [| Value.Str o.owner; Value.Str o.owned; Value.Float o.share |]))
+      ownerships
+  in
+  let engine = V.Engine.create (V.Program.union parsed (V.Program.make ~facts [])) in
+  V.Engine.run engine;
+  V.Engine.facts engine "rel"
+  |> List.filter_map (fun fact ->
+         match fact with
+         | [| Value.Str x; Value.Str y |] when not (String.equal x y) ->
+           Some (x, y)
+         | _ -> None)
+  |> List.sort_uniq compare

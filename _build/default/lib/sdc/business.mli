@@ -1,0 +1,52 @@
+(** Business knowledge: company-control relationships and disclosure-risk
+    propagation along linked entities (paper, Section 4.4 / Algorithm 9).
+
+    Risk propagates along relationships: if one member of a cluster of
+    linked entities (same company group, same household, …) can be
+    re-identified, the others follow. All members of a cluster get the
+    combined risk 1 − ∏(1 − ρ_c).
+
+    Control is the paper's recursive definition: X controls Y when X
+    directly owns more than half of Y, or when companies controlled by X
+    jointly own more than half of Y. The native closure mirrors the two
+    Vadalog rules exactly; {!program} ships them for the engine. *)
+
+type ownership = {
+  owner : string;
+  owned : string;
+  share : float;  (** in (0, 1] *)
+}
+
+val control_closure : ownership list -> (string * string) list
+(** All (controller, controlled) pairs under the recursive joint-control
+    definition, sorted. *)
+
+val clusters : (string * string) list -> string list list
+(** Connected components of the control relation (undirected view):
+    entities whose disclosure risks are linked. Singletons omitted. *)
+
+val propagate :
+  entity_of:(int -> string option) ->
+  clusters:string list list ->
+  float array ->
+  float array
+(** Per-tuple risk transform (plug into {!Cycle.config.risk_transform}):
+    [entity_of] maps a tuple position to its entity identifier (e.g. the
+    value of the [Id] attribute); every tuple whose entity belongs to a
+    cluster receives the cluster's combined risk
+    [1 − ∏(1 − ρ)] (at least its own risk). *)
+
+val risk_transform :
+  id_attr:string -> ownerships:ownership list ->
+  Microdata.t -> float array -> float array
+(** Convenience wiring of {!control_closure}, {!clusters} and {!propagate}
+    keyed on a direct-identifier attribute. *)
+
+val program : string
+(** Vadalog source of the control rules:
+    [rel(X,Y) :- own(X,Y,W), W > 0.5] and
+    [rel(X,Y) :- rel(X,Z), own(Z,Y,W), msum(W, <Z>) > 0.5]. *)
+
+val control_closure_via_engine : ownership list -> (string * string) list
+(** Run {!program} on the reasoning engine (cross-check of the native
+    closure; also the explainable path). *)

@@ -1,0 +1,166 @@
+module Value = Vadasa_base.Value
+module Schema = Vadasa_relational.Schema
+module V = Vadasa_vadalog
+
+type assignment = {
+  attr : string;
+  category : Microdata.category;
+  matched : string;
+  score : float;
+}
+
+type conflict = {
+  conflict_attr : string;
+  candidates : (Microdata.category * string * float) list;
+}
+
+type result = {
+  assigned : assignment list;
+  unresolved : string list;
+  conflicts : conflict list;
+}
+
+type experience = (string * Microdata.category) list
+
+let builtin_experience =
+  let id = Microdata.Identifier
+  and qi = Microdata.Quasi_identifier
+  and non = Microdata.Non_identifying
+  and w = Microdata.Weight in
+  [
+    (* direct identifiers *)
+    ("id", id); ("identifier", id); ("ssn", id); ("social_security_number", id);
+    ("fiscal_code", id); ("tax_code", id); ("vat_number", id);
+    ("licence_number", id); ("passport", id); ("iban", id); ("account_number", id);
+    ("company_id", id); ("customer_id", id);
+    (* quasi-identifiers *)
+    ("qi", qi); (* the synthetic generator's qi_1, qi_2, ... columns *)
+    ("quasi_identifier", qi);
+    ("area", qi); ("region", qi); ("city", qi); ("province", qi);
+    ("zip_code", qi); ("country", qi); ("sector", qi); ("industry", qi);
+    ("employees", qi); ("num_employees", qi); ("size_class", qi);
+    ("age", qi); ("gender", qi); ("occupation", qi); ("education", qi);
+    ("marital_status", qi); ("income_class", qi); ("revenue_class", qi);
+    ("residential_revenue", qi); ("export_revenue", qi); ("legal_form", qi);
+    ("birth_year", qi);
+    (* non-identifying *)
+    ("growth", non); ("growth_6mos", non); ("export_to_de", non);
+    ("inflation_expectation", non); ("interest_rate", non); ("notes", non);
+    ("amount", non); ("balance", non); ("score", non); ("flag", non);
+    ("internal_key", non); ("timestamp", non);
+    (* sampling weight *)
+    ("weight", w); ("sampling_weight", w); ("sample_weight", w);
+  ]
+
+let run ?(similarity = Similarity.default) ?(threshold = 0.55)
+    ?(conflict_margin = 0.05) ?(feedback = true) ~experience schema =
+  let base = ref experience in
+  let assigned = ref [] in
+  let unresolved = ref [] in
+  let conflicts = ref [] in
+  List.iter
+    (fun attr ->
+      let scored = Similarity.best_matches similarity attr !base in
+      match List.filter (fun (_, _, s) -> s >= threshold) scored with
+      | [] -> unresolved := attr :: !unresolved
+      | ((best_cat, best_name, best_score) :: _ as hits) ->
+        (* EGD check (Rule 4): near-tied hits with differing categories. *)
+        let rivals =
+          List.filter
+            (fun (cat, _, s) ->
+              cat <> best_cat && best_score -. s <= conflict_margin)
+            hits
+        in
+        if rivals <> [] then
+          conflicts :=
+            {
+              conflict_attr = attr;
+              candidates = (best_cat, best_name, best_score) :: rivals;
+            }
+            :: !conflicts;
+        assigned :=
+          { attr; category = best_cat; matched = best_name; score = best_score }
+          :: !assigned;
+        if feedback then base := (attr, best_cat) :: !base)
+    (Schema.attribute_names schema);
+  ( {
+      assigned = List.rev !assigned;
+      unresolved = List.rev !unresolved;
+      conflicts = List.rev !conflicts;
+    },
+    !base )
+
+let categorize_microdata ?similarity ?threshold
+    ?(experience = builtin_experience) ?(overrides = []) relation =
+  let schema = Vadasa_relational.Relation.schema relation in
+  let result, _ = run ?similarity ?threshold ~experience schema in
+  let category_of attr =
+    match List.assoc_opt attr overrides with
+    | Some cat -> Some cat
+    | None ->
+      List.find_map
+        (fun a -> if String.equal a.attr attr then Some a.category else None)
+        result.assigned
+  in
+  let missing =
+    List.filter
+      (fun attr -> category_of attr = None)
+      (Schema.attribute_names schema)
+  in
+  if missing <> [] then
+    Error
+      ("uncategorized attributes (expert input needed): "
+      ^ String.concat ", " missing)
+  else
+    Ok
+      (Microdata.make relation
+         (List.map
+            (fun attr -> (attr, Option.get (category_of attr)))
+            (Schema.attribute_names schema)))
+
+let program ~threshold =
+  {|
+% Algorithm 1 - attribute categorization by recursive experience.
+@label("borrow_category").
+cat(M, A, C) :- att(M, A, D), exp_base(A1, C), similarity(A, A1) >= |}
+  ^ Printf.sprintf "%.6f" threshold
+  ^ {|.
+@label("feedback").
+exp_base(A, C) :- cat(M, A, C).
+@label("egd_check").
+conflict(M, A, C1, C2) :- cat(M, A, C1), cat(M, A, C2), C1 != C2.
+@output("cat").
+@output("conflict").
+|}
+
+let run_via_engine ?(threshold = 0.55) ~experience schema =
+  let source = program ~threshold in
+  let parsed = V.Parser.parse source in
+  let facts =
+    List.map
+      (fun a ->
+        ( "att",
+          [|
+            Value.Str (Schema.name schema);
+            Value.Str a.Schema.attr_name;
+            Value.Str a.Schema.attr_description;
+          |] ))
+      (Array.to_list (Schema.attributes schema))
+    @ List.map
+        (fun (name, cat) ->
+          ( "exp_base",
+            [| Value.Str name; Value.Str (Microdata.category_to_string cat) |] ))
+        experience
+  in
+  let program = V.Program.union parsed (V.Program.make ~facts []) in
+  let engine = V.Engine.create program in
+  V.Engine.run engine;
+  V.Engine.facts engine "cat"
+  |> List.filter_map (fun fact ->
+         match fact with
+         | [| Value.Str m; Value.Str attr; Value.Str cat |]
+           when String.equal m (Schema.name schema) ->
+           (match Microdata.category_of_string cat with
+           | Some category -> Some (attr, category)
+           | None -> None)
+         | _ -> None)

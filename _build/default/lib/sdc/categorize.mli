@@ -1,0 +1,77 @@
+(** Attribute categorization — Algorithm 1 of the paper.
+
+    A recursive application of experience: an attribute sufficiently
+    similar to an attribute of the {e experience base} borrows its known
+    category (Rule 2), and, when feedback is enabled, the conclusion is fed
+    back into the experience base to aid later decisions (Rule 3). Each
+    attribute gets one category (the EGD of Rule 4): when two candidates
+    with different categories score within a small margin, the assignment
+    is flagged as a {e conflict} for human inspection rather than silently
+    resolved. Attributes matching nothing stay {e unresolved} — these are
+    Rule 1's existentially categorized attributes awaiting an expert.
+
+    Two execution paths: {!run} is native; {!program} emits the equivalent
+    Vadalog rules (using the [similarity] builtin) so the categorization
+    can be executed — and explained — by the reasoning engine. *)
+
+type assignment = {
+  attr : string;
+  category : Microdata.category;
+  matched : string;  (** experience-base attribute that lent the category *)
+  score : float;
+}
+
+type conflict = {
+  conflict_attr : string;
+  candidates : (Microdata.category * string * float) list;
+      (** near-tied candidates with differing categories, best first *)
+}
+
+type result = {
+  assigned : assignment list;
+  unresolved : string list;
+  conflicts : conflict list;
+}
+
+type experience = (string * Microdata.category) list
+
+val builtin_experience : experience
+(** A seed experience base with common financial/statistical attribute
+    names (identifiers, geography, sector, size classes, weights, …). *)
+
+val run :
+  ?similarity:Similarity.func ->
+  ?threshold:float ->
+  ?conflict_margin:float ->
+  ?feedback:bool ->
+  experience:experience ->
+  Vadasa_relational.Schema.t ->
+  result * experience
+(** Categorize every attribute of a schema. [threshold] (default 0.55) is
+    the minimum similarity to borrow a category; [conflict_margin] (default
+    0.05) the score gap under which differing categories conflict;
+    [feedback] (default true) enables Rule 3. Returns the result and the
+    (possibly grown) experience base. *)
+
+val categorize_microdata :
+  ?similarity:Similarity.func ->
+  ?threshold:float ->
+  ?experience:experience ->
+  ?overrides:(string * Microdata.category) list ->
+  Vadasa_relational.Relation.t ->
+  (Microdata.t, string) Result.t
+(** End-to-end: categorize a relation's attributes and build the
+    {!Microdata.t}. [overrides] are expert decisions taking precedence.
+    Fails listing the unresolved attributes if any remain. *)
+
+val program : threshold:float -> string
+(** Vadalog source of Algorithm 1 (Rules 2–4) against [att/3] and
+    [exp_base/2] facts, deriving [cat/3] and [conflict/4]. *)
+
+val run_via_engine :
+  ?threshold:float ->
+  experience:experience ->
+  Vadasa_relational.Schema.t ->
+  (string * Microdata.category) list
+(** Execute {!program} on the engine and decode the derived categories
+    (used to cross-check the native path and for explainability demos). *)

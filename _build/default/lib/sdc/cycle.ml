@@ -1,0 +1,316 @@
+module Value = Vadasa_base.Value
+module Ids = Vadasa_base.Ids
+module Relational = Vadasa_relational
+
+let log_src = Logs.Src.create "vadasa.cycle" ~doc:"anonymization cycle"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type anonymization_method =
+  | Local_suppression
+  | Global_recoding of Hierarchy.t
+  | Recode_then_suppress of Hierarchy.t
+
+type action_kind =
+  | Suppressed of Value.t
+  | Recoded of Value.t * Value.t
+
+type action = {
+  round : int;
+  tuple : int;
+  attr : string;
+  kind : action_kind;
+  risk_before : float;
+  freq_before : int;
+}
+
+type config = {
+  measure : Risk.measure;
+  threshold : float;
+  semantics : Relational.Null_semantics.t;
+  tuple_order : Heuristics.tuple_order;
+  qi_choice : Heuristics.qi_choice;
+  method_ : anonymization_method;
+  max_rounds : int;
+  per_round_limit : int option;
+  share_nulls : bool;
+  risk_transform : (Microdata.t -> float array -> float array) option;
+}
+
+let default_config =
+  {
+    measure = Risk.K_anonymity { k = 2 };
+    threshold = 0.5;
+    semantics = Relational.Null_semantics.Maybe_match;
+    tuple_order = Heuristics.Less_significant_first;
+    qi_choice = Heuristics.Most_risky_qi;
+    method_ = Local_suppression;
+    max_rounds = 100;
+    per_round_limit = None;
+    share_nulls = true;
+    risk_transform = None;
+  }
+
+type outcome = {
+  anonymized : Microdata.t;
+  rounds : int;
+  nulls_injected : int;
+  recoded_cells : int;
+  risky_initial : int;
+  unresolved : int list;
+  info_loss : float;
+  trace : action list;
+  converged : bool;
+}
+
+(* Attributes of [tuple] on which the configured method can still act. *)
+let candidates config md ~tuple =
+  let non_null = Suppression.suppressible md ~tuple in
+  match config.method_ with
+  | Local_suppression | Recode_then_suppress _ -> non_null
+  | Global_recoding hierarchy ->
+    let rel = Microdata.relation md in
+    let schema = Microdata.schema md in
+    List.filter
+      (fun attr ->
+        let pos = Relational.Schema.index_of schema attr in
+        let v = Relational.Tuple.get (Relational.Relation.get rel tuple) pos in
+        Hierarchy.parent hierarchy v <> None)
+      non_null
+
+let apply_action config ids md ~tuple ~attr =
+  match config.method_ with
+  | Local_suppression ->
+    (match Suppression.suppress ids md ~tuple ~attr with
+    | Some old -> Some (Suppressed old)
+    | None -> None)
+  | Global_recoding hierarchy ->
+    (match Recoding.recode_tuple hierarchy md ~tuple ~attr with
+    | Some step -> Some (Recoded (step.Recoding.from_value, step.Recoding.to_value))
+    | None -> None)
+  | Recode_then_suppress hierarchy ->
+    (match Recoding.recode_tuple hierarchy md ~tuple ~attr with
+    | Some step -> Some (Recoded (step.Recoding.from_value, step.Recoding.to_value))
+    | None ->
+      (match Suppression.suppress ids md ~tuple ~attr with
+      | Some old -> Some (Suppressed old)
+      | None -> None))
+
+(* Within-round bookkeeping of this round's suppressions, so one labelled
+   null can rescue several pending tuples (the paper's "wider risk
+   reduction effect", Figure 7b). Each suppression event is recorded as the
+   suppressed tuple's new projection: null-position mask plus the canonical
+   key of its constant positions. A pending tuple gains one maybe-match per
+   recorded event agreeing with it on the event's constant positions. The
+   gain is an over-approximation (it may recount tuples that already
+   matched), which is safe: a skipped tuple is re-examined by the next
+   round's exact risk evaluation. *)
+module Round_gains = struct
+  type t = {
+    qi : int array;
+    tables : (int, (string, int) Hashtbl.t) Hashtbl.t;  (* mask -> key -> count *)
+  }
+
+  let create qi = { qi; tables = Hashtbl.create 8 }
+
+  let projection md tuple qi =
+    Relational.Tuple.project
+      (Relational.Relation.get (Microdata.relation md) tuple)
+      qi
+
+  let constant_positions proj =
+    let acc = ref [] in
+    for p = Array.length proj - 1 downto 0 do
+      if not (Value.is_null proj.(p)) then acc := p :: !acc
+    done;
+    Array.of_list !acc
+
+  let record t md ~tuple =
+    let proj = projection md tuple t.qi in
+    let mask = Relational.Tuple.null_mask proj in
+    let positions = constant_positions proj in
+    let key = Relational.Tuple.key (Relational.Tuple.project proj positions) in
+    let table =
+      match Hashtbl.find_opt t.tables mask with
+      | Some table -> table
+      | None ->
+        let table = Hashtbl.create 64 in
+        Hashtbl.add t.tables mask table;
+        table
+    in
+    let current = try Hashtbl.find table key with Not_found -> 0 in
+    Hashtbl.replace table key (current + 1)
+
+  let gained t md ~tuple =
+    let proj = projection md tuple t.qi in
+    Hashtbl.fold
+      (fun mask table acc ->
+        let positions =
+          let keep = ref [] in
+          for p = Array.length proj - 1 downto 0 do
+            if mask land (1 lsl p) = 0 then keep := p :: !keep
+          done;
+          Array.of_list !keep
+        in
+        (* Conservative: only count events whose constant positions are all
+           constant in the pending tuple too. *)
+        if Array.exists (fun p -> Value.is_null proj.(p)) positions then acc
+        else
+          let key =
+            Relational.Tuple.key (Relational.Tuple.project proj positions)
+          in
+          acc + (try Hashtbl.find table key with Not_found -> 0))
+      t.tables 0
+end
+
+let run ?(config = default_config) input =
+  let md = Microdata.copy input in
+  let ids = Ids.create () in
+  let trace = ref [] in
+  let recoded_cells = ref 0 in
+  let risky_initial = ref (-1) in
+  let unresolved = ref [] in
+  let converged = ref false in
+  let round = ref 0 in
+  let continue = ref true in
+  while !continue && !round < config.max_rounds do
+    incr round;
+    let report = Risk.estimate ~semantics:config.semantics config.measure md in
+    let risk =
+      match config.risk_transform with
+      | Some f -> f md report.Risk.risk
+      | None -> report.Risk.risk
+    in
+    let risky =
+      let acc = ref [] in
+      Array.iteri (fun i r -> if r > config.threshold then acc := i :: !acc) risk;
+      List.rev !acc
+    in
+    if !risky_initial < 0 then risky_initial := List.length risky;
+    Log.debug (fun m ->
+        m "round %d: %d risky tuples under %s (T=%.2f)" !round
+          (List.length risky)
+          (Risk.measure_to_string config.measure)
+          config.threshold);
+    if risky = [] then begin
+      converged := true;
+      continue := false
+    end
+    else begin
+      let ordered = Heuristics.order_tuples config.tuple_order md ~risk risky in
+      let ordered =
+        match config.per_round_limit with
+        | Some limit -> List.filteri (fun i _ -> i < limit) ordered
+        | None -> ordered
+      in
+      let cache = Heuristics.build_cache md in
+      let progressed = ref false in
+      let blocked = ref [] in
+      (* Under maybe-match semantics with k-anonymity, a suppression made
+         earlier in this round may already have rescued a pending tuple:
+         skip it when its frequency plus the maybe-matches gained so far
+         reaches k (it is re-checked exactly next round). *)
+      let gains =
+        match config.semantics with
+        | Relational.Null_semantics.Maybe_match when config.share_nulls ->
+          Some (Round_gains.create (Microdata.qi_positions md))
+        | Relational.Null_semantics.Maybe_match
+        | Relational.Null_semantics.Standard ->
+          None
+      in
+      (* The skip only applies when the tuple's own scarcity is what makes
+         it risky; a tuple flagged through a risk transform (Algorithm 9's
+         cluster propagation) while its own frequency is fine must be
+         anonymized now — its risk comes from elsewhere. *)
+      let satisfied_by_gains tuple =
+        match gains, config.measure with
+        | Some g, Risk.K_anonymity { k } ->
+          report.Risk.freq.(tuple) < k
+          && report.Risk.freq.(tuple) + Round_gains.gained g md ~tuple >= k
+        | Some g, Risk.Re_identification ->
+          let base = report.Risk.weight_sum.(tuple) in
+          let scarcity_bound = base <= 1.0 || 1.0 /. base > config.threshold in
+          scarcity_bound
+          &&
+          (* Gained matches contribute at least weight 1 each. *)
+          let w =
+            base +. float_of_int (Round_gains.gained g md ~tuple)
+          in
+          w > 1.0 && 1.0 /. w <= config.threshold
+        | Some _, (Risk.Individual _ | Risk.Suda _ | Risk.Custom _)
+        | None, _ ->
+          false
+      in
+      List.iter
+        (fun tuple ->
+          if satisfied_by_gains tuple then ()
+          else
+            let cands = candidates config md ~tuple in
+            match Heuristics.choose_qi config.qi_choice cache md ~tuple ~candidates:cands with
+            | None -> blocked := tuple :: !blocked
+            | Some attr ->
+              (match apply_action config ids md ~tuple ~attr with
+              | None -> blocked := tuple :: !blocked
+              | Some kind ->
+                (match kind, gains with
+                | Recoded _, _ -> incr recoded_cells
+                | Suppressed _, Some g -> Round_gains.record g md ~tuple
+                | Suppressed _, None -> ());
+                progressed := true;
+                trace :=
+                  {
+                    round = !round;
+                    tuple;
+                    attr;
+                    kind;
+                    risk_before = risk.(tuple);
+                    freq_before = report.Risk.freq.(tuple);
+                  }
+                  :: !trace))
+        ordered;
+      Log.debug (fun m ->
+          m "round %d: %d actions, %d blocked" !round
+            (List.length !trace) (List.length !blocked));
+      if not !progressed then begin
+        (* No move left for any risky tuple: report them and stop. *)
+        unresolved := List.rev !blocked;
+        continue := false
+      end
+    end
+  done;
+  let qi_count = Array.length (Microdata.qi_positions md) in
+  {
+    anonymized = md;
+    rounds = !round;
+    nulls_injected = Ids.count ids;
+    recoded_cells = !recoded_cells;
+    risky_initial = max 0 !risky_initial;
+    unresolved = !unresolved;
+    info_loss =
+      Info_loss.suppression_loss ~nulls_injected:(Ids.count ids)
+        ~risky_tuples:(max 0 !risky_initial) ~qi_count;
+    trace = List.rev !trace;
+    converged = !converged;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "anonymization cycle: %d rounds, %s@.  initial risky tuples: %d@.  nulls \
+     injected: %d@.  cells recoded: %d@.  information loss: %.3f@.  \
+     unresolved: %d@."
+    o.rounds
+    (if o.converged then "converged" else "stopped")
+    o.risky_initial o.nulls_injected o.recoded_cells o.info_loss
+    (List.length o.unresolved);
+  if List.length o.trace <= 25 then
+    List.iter
+      (fun a ->
+        Format.fprintf ppf "  round %d: tuple %d, %s %s (risk %.3f, freq %d)@."
+          a.round a.tuple a.attr
+          (match a.kind with
+          | Suppressed v -> "suppressed " ^ Value.to_string v
+          | Recoded (f, t) ->
+            "recoded " ^ Value.to_string f ^ " -> " ^ Value.to_string t)
+          a.risk_before a.freq_before)
+      o.trace
+  else Format.fprintf ppf "  (%d actions)@." (List.length o.trace)

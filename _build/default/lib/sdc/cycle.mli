@@ -1,0 +1,72 @@
+(** The anonymization cycle — the core of the Vada-SA architecture
+    (paper, Algorithm 2; enhanced form, Algorithm 9).
+
+    Disclosure-risk evaluation and anonymization alternate until every
+    tuple's risk falls under the threshold T: each round estimates risk
+    with the configured polymorphic measure, selects the violating tuples,
+    and greedily removes a minimal amount of information (one suppression
+    or recoding per risky tuple per round), in the order given by the
+    runtime heuristics. The cycle is {e preemptive} (risk is known before
+    sharing), {e active} (it transforms the data), {e statistics
+    preserving} (minimal, utility-ordered removal) and {e fully explained}
+    (every action carries the binding that motivated it). *)
+
+type anonymization_method =
+  | Local_suppression  (** Algorithm 7: fresh labelled nulls *)
+  | Global_recoding of Hierarchy.t  (** Algorithm 8: hierarchy roll-up *)
+  | Recode_then_suppress of Hierarchy.t
+      (** try the hierarchy first, fall back to suppression when the value
+          has no coarser parent *)
+
+type action_kind =
+  | Suppressed of Vadasa_base.Value.t  (** the erased value *)
+  | Recoded of Vadasa_base.Value.t * Vadasa_base.Value.t  (** from, to *)
+
+type action = {
+  round : int;
+  tuple : int;
+  attr : string;
+  kind : action_kind;
+  risk_before : float;
+  freq_before : int;
+}
+
+type config = {
+  measure : Risk.measure;
+  threshold : float;  (** T *)
+  semantics : Vadasa_relational.Null_semantics.t;
+  tuple_order : Heuristics.tuple_order;
+  qi_choice : Heuristics.qi_choice;
+  method_ : anonymization_method;
+  max_rounds : int;
+  per_round_limit : int option;
+      (** anonymize at most this many tuples per round (finer greed) *)
+  share_nulls : bool;
+      (** within-round gain bookkeeping: skip a pending risky tuple once
+          earlier suppressions of the round already gave it enough
+          maybe-matches — the paper's "wider risk reduction effect"
+          (default true; disable for ablation) *)
+  risk_transform : (Microdata.t -> float array -> float array) option;
+      (** Algorithm 9 hook: e.g. propagate risk along business clusters *)
+}
+
+val default_config : config
+(** k-anonymity (k=2), T=0.5, maybe-match semantics, less-significant-first,
+    most-risky-qi, local suppression, 100 rounds. *)
+
+type outcome = {
+  anonymized : Microdata.t;  (** a transformed copy; the input is untouched *)
+  rounds : int;
+  nulls_injected : int;
+  recoded_cells : int;
+  risky_initial : int;
+  unresolved : int list;
+      (** tuples still over threshold with no anonymization move left *)
+  info_loss : float;  (** Figure 7b's metric *)
+  trace : action list;  (** chronological *)
+  converged : bool;
+}
+
+val run : ?config:config -> Microdata.t -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

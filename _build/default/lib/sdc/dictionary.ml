@@ -1,0 +1,128 @@
+module Value = Vadasa_base.Value
+module Schema = Vadasa_relational.Schema
+
+type entry = {
+  microdb : string;
+  attr : string;
+  description : string;
+  category : Microdata.category option;
+}
+
+type t = {
+  mutable entries : entry list;  (* reverse registration order *)
+  index : (string * string, entry) Hashtbl.t;
+}
+
+let create () = { entries = []; index = Hashtbl.create 32 }
+
+let add t entry =
+  let key = (entry.microdb, entry.attr) in
+  if Hashtbl.mem t.index key then
+    invalid_arg
+      (Printf.sprintf "Dictionary: %s.%s already registered" entry.microdb
+         entry.attr);
+  Hashtbl.add t.index key entry;
+  t.entries <- entry :: t.entries
+
+let register t schema =
+  let microdb = Schema.name schema in
+  Array.iter
+    (fun a ->
+      add t
+        {
+          microdb;
+          attr = a.Schema.attr_name;
+          description = a.Schema.attr_description;
+          category = None;
+        })
+    (Schema.attributes schema)
+
+let replace t entry =
+  let key = (entry.microdb, entry.attr) in
+  Hashtbl.replace t.index key entry;
+  t.entries <-
+    List.map
+      (fun e ->
+        if String.equal e.microdb entry.microdb && String.equal e.attr entry.attr
+        then entry
+        else e)
+      t.entries
+
+let set_category t ~microdb ~attr category =
+  match Hashtbl.find_opt t.index (microdb, attr) with
+  | None ->
+    invalid_arg (Printf.sprintf "Dictionary: %s.%s not registered" microdb attr)
+  | Some entry -> replace t { entry with category = Some category }
+
+let register_microdata t md =
+  register t (Microdata.schema md);
+  List.iter
+    (fun (attr, cat) -> set_category t ~microdb:(Microdata.name md) ~attr cat)
+    (Microdata.categories md)
+
+let category t ~microdb ~attr =
+  match Hashtbl.find_opt t.index (microdb, attr) with
+  | None -> None
+  | Some entry -> entry.category
+
+let entries t = List.rev t.entries
+
+let microdbs t =
+  List.sort_uniq String.compare (List.map (fun e -> e.microdb) t.entries)
+
+let attributes t ~microdb =
+  List.filter (fun e -> String.equal e.microdb microdb) (entries t)
+
+let uncategorized t = List.filter (fun e -> e.category = None) (entries t)
+
+let to_facts t =
+  let db_facts =
+    List.map (fun name -> ("microdb", [| Value.Str name |])) (microdbs t)
+  in
+  let att_facts =
+    List.map
+      (fun e ->
+        ("att", [| Value.Str e.microdb; Value.Str e.attr; Value.Str e.description |]))
+      (entries t)
+  in
+  let cat_facts =
+    List.filter_map
+      (fun e ->
+        match e.category with
+        | None -> None
+        | Some cat ->
+          Some
+            ( "cat",
+              [|
+                Value.Str e.microdb;
+                Value.Str e.attr;
+                Value.Str (Microdata.category_to_string cat);
+              |] ))
+      (entries t)
+  in
+  db_facts @ att_facts @ cat_facts
+
+let categories_for t schema =
+  let microdb = Schema.name schema in
+  let rec collect acc = function
+    | [] -> Some (List.rev acc)
+    | attr :: rest ->
+      (match category t ~microdb ~attr with
+      | Some cat -> collect ((attr, cat) :: acc) rest
+      | None -> None)
+  in
+  collect [] (Schema.attribute_names schema)
+
+let pp ppf t =
+  List.iter
+    (fun name ->
+      Format.fprintf ppf "microdata DB %s@." name;
+      List.iter
+        (fun e ->
+          Format.fprintf ppf "  %-20s %-30s %s@." e.attr
+            (match e.category with
+            | Some cat -> Microdata.category_to_string cat
+            | None -> "(uncategorized)")
+            e.description)
+        (attributes t ~microdb:name))
+    (microdbs t)

@@ -1,0 +1,51 @@
+(** The metadata dictionary (paper, Section 4.1 and Figure 4).
+
+    The dictionary is the meta-level view that makes Vada-SA schema
+    independent: facts [MicroDB(name)], [Att(microDB, attr, description)]
+    and [Category(microDB, attr, category)] describe every registered
+    microdata DB, and all reasoning modules work against these facts rather
+    than against concrete schemas. *)
+
+type entry = {
+  microdb : string;
+  attr : string;
+  description : string;
+  category : Microdata.category option;  (** [None] until categorized *)
+}
+
+type t
+
+val create : unit -> t
+
+val register :
+  t -> Vadasa_relational.Schema.t -> unit
+(** Add [MicroDB] and [Att] entries for every attribute of a schema;
+    categories start undetermined. *)
+
+val register_microdata : t -> Microdata.t -> unit
+(** Register a fully categorized microdata DB. *)
+
+val set_category : t -> microdb:string -> attr:string -> Microdata.category -> unit
+
+val category : t -> microdb:string -> attr:string -> Microdata.category option
+
+val entries : t -> entry list
+(** All entries, grouped by microdata DB, in registration order. *)
+
+val microdbs : t -> string list
+
+val attributes : t -> microdb:string -> entry list
+
+val uncategorized : t -> entry list
+(** Entries still lacking a category — the human-in-the-loop queue. *)
+
+val to_facts : t -> (string * Vadasa_base.Value.t array) list
+(** The extensional encoding: [microdb/1], [att/3] and [cat/3] facts as
+    consumed by the reasoning programs. *)
+
+val categories_for : t -> Vadasa_relational.Schema.t ->
+  (string * Microdata.category) list option
+(** The full category assignment for a schema, if every attribute has
+    one — ready for {!Microdata.make}. *)
+
+val pp : Format.formatter -> t -> unit

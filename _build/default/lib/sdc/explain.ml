@@ -1,0 +1,79 @@
+module Value = Vadasa_base.Value
+module Tuple = Vadasa_relational.Tuple
+
+let qi_binding md tuple =
+  let attrs = Microdata.quasi_identifiers md in
+  let proj = Microdata.qi_projection md tuple in
+  String.concat ", "
+    (List.mapi
+       (fun i attr -> attr ^ "=" ^ Value.to_string (Tuple.get proj i))
+       attrs)
+
+let action md (a : Cycle.action) =
+  let what =
+    match a.Cycle.kind with
+    | Cycle.Suppressed v ->
+      Printf.sprintf "suppressed %s (value %s replaced by a labelled null)"
+        a.Cycle.attr (Value.to_string v)
+    | Cycle.Recoded (f, t) ->
+      Printf.sprintf "recoded %s from %s to %s (hierarchy roll-up)"
+        a.Cycle.attr (Value.to_string f) (Value.to_string t)
+  in
+  Printf.sprintf
+    "round %d: tuple %d %s because its combination {%s} had frequency %d and \
+     risk %.4f"
+    a.Cycle.round a.Cycle.tuple what (qi_binding md a.Cycle.tuple)
+    a.Cycle.freq_before a.Cycle.risk_before
+
+let trace md (o : Cycle.outcome) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "anonymization of %s: %d rounds, %d initially risky tuples, %d nulls, \
+        %d recodings, information loss %.3f, %s\n"
+       (Microdata.name md) o.Cycle.rounds o.Cycle.risky_initial
+       o.Cycle.nulls_injected o.Cycle.recoded_cells o.Cycle.info_loss
+       (if o.Cycle.converged then "converged" else "stopped short"));
+  List.iter
+    (fun a ->
+      Buffer.add_string buf (action md a);
+      Buffer.add_char buf '\n')
+    o.Cycle.trace;
+  (match o.Cycle.unresolved with
+  | [] -> ()
+  | tuples ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "unresolved tuples (no anonymization move left): %s\n"
+         (String.concat ", " (List.map string_of_int tuples))));
+  Buffer.contents buf
+
+let tuple_risk md report ~tuple =
+  Printf.sprintf
+    "tuple %d: risk %.4f under %s; its quasi-identifier combination {%s} is \
+     shared by %d sample tuple(s) representing an estimated %.1f population \
+     unit(s)"
+    tuple
+    report.Risk.risk.(tuple)
+    (Risk.measure_to_string report.Risk.measure)
+    (qi_binding md tuple) report.Risk.freq.(tuple)
+    report.Risk.weight_sum.(tuple)
+
+let summary md report ~threshold =
+  let risky = Risk.risky report ~threshold in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%s: %d tuples, measure %s, threshold %.2f\nglobal risk (expected \
+        re-identifications): %.3f\nrisky tuples: %d\n"
+       (Microdata.name md) (Microdata.cardinal md)
+       (Risk.measure_to_string report.Risk.measure)
+       threshold (Risk.global_risk report) (List.length risky));
+  List.iteri
+    (fun rank tuple ->
+      if rank < 10 then begin
+        Buffer.add_string buf (tuple_risk md report ~tuple);
+        Buffer.add_char buf '\n'
+      end)
+    risky;
+  Buffer.contents buf

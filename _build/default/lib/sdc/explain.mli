@@ -1,0 +1,19 @@
+(** Explainability surface (paper desideratum vi): every risk figure and
+    every anonymization decision rendered in domain terms. *)
+
+val action : Microdata.t -> Cycle.action -> string
+(** One-line, human-readable account of an anonymization action: which
+    tuple, which attribute, what was removed or generalized, and the risk
+    binding that motivated it. *)
+
+val trace : Microdata.t -> Cycle.outcome -> string
+(** The full anonymization narrative. *)
+
+val tuple_risk :
+  Microdata.t -> Risk.report -> tuple:int -> string
+(** Why a tuple carries its risk: measure, frequency, weight sum and the
+    quasi-identifier combination concerned. *)
+
+val summary : Microdata.t -> Risk.report -> threshold:float -> string
+(** File-level account: global risk, risky-tuple count, riskiest
+    combinations. *)

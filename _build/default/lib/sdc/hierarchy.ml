@@ -1,0 +1,115 @@
+module Value = Vadasa_base.Value
+
+type t = {
+  attr_types : (string, string) Hashtbl.t;
+  supertypes : (string, string) Hashtbl.t;
+  instance_types : (string, string) Hashtbl.t;  (* value key -> type *)
+  parents : (string, Value.t) Hashtbl.t;  (* value key -> parent value *)
+  mutable insertion : (string * Value.t array) list;  (* fact log, reversed *)
+}
+
+let key = Value.to_string
+
+let create () =
+  {
+    attr_types = Hashtbl.create 16;
+    supertypes = Hashtbl.create 16;
+    instance_types = Hashtbl.create 64;
+    parents = Hashtbl.create 64;
+    insertion = [];
+  }
+
+let log t pred args = t.insertion <- (pred, args) :: t.insertion
+
+let add_type_of t ~attr ~ty =
+  Hashtbl.replace t.attr_types attr ty;
+  log t "type_of" [| Value.Str attr; Value.Str ty |]
+
+let add_subtype t ~sub ~super =
+  Hashtbl.replace t.supertypes sub super;
+  log t "sub_type_of" [| Value.Str sub; Value.Str super |]
+
+let add_instance t ~value ~ty =
+  Hashtbl.replace t.instance_types (key value) ty;
+  log t "inst_of" [| value; Value.Str ty |]
+
+let add_is_a t ~child ~parent =
+  Hashtbl.replace t.parents (key child) parent;
+  log t "is_a" [| child; parent |]
+
+let type_of_attr t attr = Hashtbl.find_opt t.attr_types attr
+let supertype t ty = Hashtbl.find_opt t.supertypes ty
+let type_of_value t v = Hashtbl.find_opt t.instance_types (key v)
+
+let parent t v =
+  match Hashtbl.find_opt t.parents (key v) with
+  | None -> None
+  | Some p ->
+    (* Algorithm 8 climbs via the type system when it can: the parent must
+       be an instance of the value's supertype. With incomplete typing we
+       still honour the direct IsA link. *)
+    (match type_of_value t v with
+    | None -> Some p
+    | Some ty ->
+      (match supertype t ty with
+      | None -> Some p
+      | Some super ->
+        (match type_of_value t p with
+        | Some pty when String.equal pty super -> Some p
+        | Some _ -> Some p  (* typed differently: trust the IsA link *)
+        | None -> Some p)))
+
+let level_of_value t v =
+  match type_of_value t v with
+  | None -> 0
+  | Some ty ->
+    (* Count how many subtype steps lie below this type across all chains
+       that end at it. We walk down is not stored; instead count steps from
+       any base: level = distance from a type with no subtype pointing to
+       it... simpler: count supertype steps from the attribute base is the
+       caller's business; here count how many supertype hops remain and
+       derive nothing. We instead count hops from the bottom by walking the
+       subtype table backwards. *)
+    let rec below current acc =
+      match
+        Hashtbl.fold
+          (fun sub super found ->
+            if found <> None then found
+            else if String.equal super current then Some sub
+            else found)
+          t.supertypes None
+      with
+      | Some sub when acc < 32 -> below sub (acc + 1)
+      | Some _ | None -> acc
+    in
+    below ty 0
+
+let height t ~attr =
+  match type_of_attr t attr with
+  | None -> 0
+  | Some ty ->
+    let rec climb current acc =
+      match supertype t current with
+      | Some super when acc < 32 -> climb super (acc + 1)
+      | Some _ | None -> acc
+    in
+    climb ty 0
+
+let generalization_chain t v =
+  let rec go current acc guard =
+    if guard <= 0 then List.rev acc
+    else
+      match parent t current with
+      | Some p when not (Value.equal p current) -> go p (p :: acc) (guard - 1)
+      | Some _ | None -> List.rev acc
+  in
+  go v [ v ] 32
+
+let to_facts t = List.rev t.insertion
+
+let pp ppf t =
+  List.iter
+    (fun (pred, args) ->
+      Format.fprintf ppf "%s(%s).@." pred
+        (String.concat ", " (Array.to_list (Array.map Value.to_string args))))
+    (to_facts t)

@@ -1,0 +1,49 @@
+(** Domain-knowledge hierarchies for global recoding (paper, Section 4.3).
+
+    The knowledge base stores what the paper encodes as
+    [TypeOf(Area, City)], [SubTypeOf(City, Region)], [InstOf(Milano, City)],
+    [IsA(Milano, North)]: attribute domains arranged in levels, every value
+    linked to its coarser parent. Rolling a value up one level is the
+    single recoding step; several roll-ups may be needed (the hierarchy is
+    climbed recursively). *)
+
+type t
+
+val create : unit -> t
+
+val add_type_of : t -> attr:string -> ty:string -> unit
+(** The attribute's base (finest) type, e.g. Area : City. *)
+
+val add_subtype : t -> sub:string -> super:string -> unit
+(** City ⊂ Region ⊂ Country, … *)
+
+val add_instance : t -> value:Vadasa_base.Value.t -> ty:string -> unit
+
+val add_is_a : t -> child:Vadasa_base.Value.t -> parent:Vadasa_base.Value.t -> unit
+(** Milano IsA North. *)
+
+val type_of_attr : t -> string -> string option
+
+val supertype : t -> string -> string option
+
+val type_of_value : t -> Vadasa_base.Value.t -> string option
+
+val parent : t -> Vadasa_base.Value.t -> Vadasa_base.Value.t option
+(** One-level roll-up of a value, when the KB knows one whose type is the
+    supertype of the value's type (Algorithm 8's climb). Falls back to the
+    plain IsA parent when type information is incomplete. *)
+
+val level_of_value : t -> Vadasa_base.Value.t -> int
+(** 0 for values of a base type, +1 per supertype level; 0 when unknown. *)
+
+val height : t -> attr:string -> int
+(** Number of levels above the attribute's base type. *)
+
+val generalization_chain : t -> Vadasa_base.Value.t -> Vadasa_base.Value.t list
+(** The value followed by its successive roll-ups, finest first. *)
+
+val to_facts : t -> (string * Vadasa_base.Value.t array) list
+(** [type_of/2], [sub_type_of/2], [inst_of/2], [is_a/2] facts for the
+    reasoning engine. *)
+
+val pp : Format.formatter -> t -> unit

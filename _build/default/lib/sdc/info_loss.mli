@@ -1,0 +1,24 @@
+(** Information-loss metrics — the statistical-preservation side of the
+    trade-off (paper, Figure 7b).
+
+    The paper's headline metric weighs the injected nulls against the
+    maximum number of values that could theoretically have been removed:
+    the quasi-identifier cells of the risky tuples. *)
+
+val suppression_loss :
+  nulls_injected:int -> risky_tuples:int -> qi_count:int -> float
+(** [nulls / (risky_tuples × qi_count)], 0 when nothing was risky. This is
+    Figure 7b's "loss of information". *)
+
+val cell_suppression_rate : Microdata.t -> float
+(** Fraction of quasi-identifier cells currently holding labelled nulls. *)
+
+val generalization_loss : Hierarchy.t -> Microdata.t -> float
+(** Average normalized hierarchy level of the quasi-identifier values:
+    0 when everything sits at the finest level, 1 when every value reached
+    its coarsest ancestor. Attributes without a hierarchy contribute 0. *)
+
+val distinct_combination_ratio : Microdata.t -> Microdata.t -> float
+(** [distinct QI combinations after / before] — a utility proxy: global
+    recoding collapses combinations, suppression (with nulls counted as
+    fresh symbols) does not reduce it below the suppressed share. *)

@@ -1,0 +1,64 @@
+(** Microdata DBs: a relation whose attributes are categorized as direct
+    identifiers, quasi-identifiers, non-identifying attributes or the
+    sampling weight (paper, Section 2.1, schema M(i, q, a, W)). *)
+
+module Relational = Vadasa_relational
+
+type category =
+  | Identifier  (** a single value discloses the respondent (SSN, fiscal code) *)
+  | Quasi_identifier  (** combinations disclose (area, sector, size, …) *)
+  | Non_identifying  (** never disclose, alone or combined *)
+  | Weight  (** the sampling weight W *)
+
+val category_to_string : category -> string
+
+val category_of_string : string -> category option
+
+type t
+
+val make :
+  Relational.Relation.t -> (string * category) list -> t
+(** Pairs every attribute of the relation's schema with a category. Raises
+    [Invalid_argument] when an attribute is missing a category, a category
+    names an unknown attribute, or more than one attribute is the
+    [Weight]. *)
+
+val relation : t -> Relational.Relation.t
+
+val schema : t -> Relational.Schema.t
+
+val name : t -> string
+
+val cardinal : t -> int
+
+val category_of : t -> string -> category
+
+val categories : t -> (string * category) list
+(** In schema order. *)
+
+val quasi_identifiers : t -> string list
+
+val qi_positions : t -> int array
+
+val identifier_positions : t -> int array
+
+val weight_position : t -> int option
+
+val weight_of : t -> int -> float
+(** Sampling weight of the tuple at a position; [1.0] when the microdata DB
+    has no weight attribute or the value is not numeric. *)
+
+val with_relation : t -> Relational.Relation.t -> t
+(** Same categorization over another relation with an equal schema. *)
+
+val copy : t -> t
+(** Deep copy (fresh relation, fresh tuples). *)
+
+val drop_identifiers : t -> Relational.Relation.t
+(** The exchanged view: direct identifiers removed (they must never be
+    disclosed), all other attributes kept. *)
+
+val qi_projection : t -> int -> Relational.Tuple.t
+(** Quasi-identifier values of the tuple at a position. *)
+
+val pp : Format.formatter -> t -> unit

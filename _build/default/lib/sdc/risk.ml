@@ -1,0 +1,105 @@
+module Relational = Vadasa_relational
+module Stats = Vadasa_stats
+module Algebra = Relational.Algebra
+
+type estimator =
+  | Naive
+  | Benedetti_franconi
+  | Monte_carlo of { samples : int; seed : int }
+
+type measure =
+  | Re_identification
+  | K_anonymity of { k : int }
+  | Individual of estimator
+  | Suda of { max_msu_size : int; threshold_size : int }
+  | Custom of {
+      name : string;
+      score : freq:int -> weight_sum:float -> float;
+    }
+
+type report = {
+  measure : measure;
+  risk : float array;
+  freq : int array;
+  weight_sum : float array;
+}
+
+let group_stats ?(semantics = Relational.Null_semantics.Maybe_match) md =
+  let rel = Microdata.relation md in
+  let qi = Microdata.qi_positions md in
+  match Microdata.weight_position md with
+  | Some weight -> Algebra.Group_stats.compute ~semantics ~rel ~qi ~weight ()
+  | None -> Algebra.Group_stats.compute ~semantics ~rel ~qi ()
+
+let clamp01 x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
+
+let estimate ?semantics measure md =
+  let stats = group_stats ?semantics md in
+  let freq = stats.Algebra.Group_stats.freq in
+  let weight_sum = stats.Algebra.Group_stats.weight_sum in
+  let risk =
+    match measure with
+    | Re_identification ->
+      Array.map
+        (fun w -> if w <= 1.0 then 1.0 else clamp01 (1.0 /. w))
+        weight_sum
+    | K_anonymity { k } ->
+      Array.map (fun f -> if f < k then 1.0 else 0.0) freq
+    | Individual estimator ->
+      let estimate_one =
+        match estimator with
+        | Naive -> fun f w -> Stats.Estimator.naive ~freq:f ~weight_sum:w
+        | Benedetti_franconi ->
+          fun f w -> Stats.Estimator.benedetti_franconi ~freq:f ~weight_sum:w
+        | Monte_carlo { samples; seed } ->
+          let rng = Stats.Rng.create ~seed in
+          fun f w ->
+            Stats.Estimator.monte_carlo rng ~samples ~freq:f ~weight_sum:w
+      in
+      Array.init (Array.length freq) (fun i ->
+          estimate_one freq.(i) weight_sum.(i))
+    | Suda { max_msu_size; threshold_size } ->
+      Risk_suda.estimate ~max_msu_size ~threshold_size md
+    | Custom { score; _ } ->
+      Array.init (Array.length freq) (fun i ->
+          clamp01 (score ~freq:freq.(i) ~weight_sum:weight_sum.(i)))
+  in
+  { measure; risk; freq; weight_sum }
+
+let risky report ~threshold =
+  let out = ref [] in
+  Array.iteri
+    (fun i r -> if r > threshold then out := i :: !out)
+    report.risk;
+  List.rev !out
+
+let global_risk report = Array.fold_left ( +. ) 0.0 report.risk
+
+let measure_to_string = function
+  | Re_identification -> "re-identification"
+  | K_anonymity { k } -> Printf.sprintf "k-anonymity (k=%d)" k
+  | Individual Naive -> "individual risk (naive f/w)"
+  | Individual Benedetti_franconi -> "individual risk (Benedetti-Franconi)"
+  | Individual (Monte_carlo { samples; _ }) ->
+    Printf.sprintf "individual risk (Monte Carlo, %d samples)" samples
+  | Suda { max_msu_size; threshold_size } ->
+    Printf.sprintf "SUDA (MSU size <= %d, threshold %d)" max_msu_size
+      threshold_size
+  | Custom { name; _ } -> Printf.sprintf "custom (%s)" name
+
+let pp_report ?(limit = 10) ppf (md, report) =
+  Format.fprintf ppf "risk report: %s over %s (%d tuples)@."
+    (measure_to_string report.measure)
+    (Microdata.name md) (Microdata.cardinal md);
+  Format.fprintf ppf "global risk (expected re-identifications): %.3f@."
+    (global_risk report);
+  let order = Array.init (Array.length report.risk) (fun i -> i) in
+  Array.sort (fun a b -> Float.compare report.risk.(b) report.risk.(a)) order;
+  let shown = min limit (Array.length order) in
+  Format.fprintf ppf "top %d tuples by risk:@." shown;
+  for rank = 0 to shown - 1 do
+    let i = order.(rank) in
+    Format.fprintf ppf "  tuple %-6d risk %.4f  freq %-4d  weight sum %.1f  qi %s@."
+      i report.risk.(i) report.freq.(i) report.weight_sum.(i)
+      (Relational.Tuple.to_string (Microdata.qi_projection md i))
+  done

@@ -1,0 +1,69 @@
+(** Statistical disclosure risk estimation — the [#risk] plug-in point of
+    the anonymization cycle (paper, Section 4.2).
+
+    All measures instantiate the same scheme ρ_q̂ = 1/λ(σ_{q=q̂} M): an
+    aggregate λ over the tuples sharing a quasi-identifier combination,
+    turned into a per-tuple risk in [\[0, 1\]]. The polymorphic {!measure}
+    selects the λ:
+
+    - {!Re_identification}: λ = Σ W over the combination's tuples
+      (Algorithm 3);
+    - {!K_anonymity}: risky iff the combination's frequency < k
+      (Algorithm 4);
+    - {!Individual}: Benedetti–Franconi-style estimation of E[1/F | f]
+      (Algorithm 5), with the estimator variants of
+      {!Vadasa_stats.Estimator};
+    - {!Suda}: risky iff some minimal sample unique is smaller than a
+      threshold (Algorithm 6, see {!Risk_suda}). *)
+
+type estimator =
+  | Naive  (** f/Σw, the paper's λ = ΣW_t/f *)
+  | Benedetti_franconi  (** closed-form posterior mean *)
+  | Monte_carlo of { samples : int; seed : int }
+      (** sampling from the negative-binomial posterior — the "off-the-shelf
+          statistical library" plug-in whose cost dominates Figure 7e *)
+
+type measure =
+  | Re_identification
+  | K_anonymity of { k : int }
+  | Individual of estimator
+  | Suda of { max_msu_size : int; threshold_size : int }
+  | Custom of {
+      name : string;
+      score : freq:int -> weight_sum:float -> float;
+    }
+      (** user-delegated measure (paper desideratum vii): any risk-weight
+          function λ over the combination's frequency and weight sum, i.e.
+          an instance of ρ_q̂ = 1/λ(σ_{q=q̂} M); must land in [0,1] *)
+
+type report = {
+  measure : measure;
+  risk : float array;  (** per tuple, in [\[0,1\]] *)
+  freq : int array;  (** sample frequency of each tuple's combination *)
+  weight_sum : float array;  (** estimated population frequency *)
+}
+
+val group_stats :
+  ?semantics:Vadasa_relational.Null_semantics.t ->
+  Microdata.t ->
+  Vadasa_relational.Algebra.Group_stats.t
+(** Frequency and weight sum of every tuple's quasi-identifier combination;
+    default semantics is [Maybe_match] so anonymized tuples are credited. *)
+
+val estimate :
+  ?semantics:Vadasa_relational.Null_semantics.t ->
+  measure ->
+  Microdata.t ->
+  report
+
+val risky : report -> threshold:float -> int list
+(** Tuple positions whose risk strictly exceeds the threshold, ascending. *)
+
+val global_risk : report -> float
+(** Expected number of re-identifications (sum of per-tuple risks). *)
+
+val measure_to_string : measure -> string
+
+val pp_report :
+  ?limit:int -> Format.formatter -> Microdata.t * report -> unit
+(** Human-readable top-risk table (explainability surface). *)

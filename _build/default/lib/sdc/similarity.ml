@@ -1,0 +1,15 @@
+module Strsim = Vadasa_base.Strsim
+
+type func = string -> string -> float
+
+let exact a b =
+  if String.equal (Strsim.normalize a) (Strsim.normalize b) then 1.0 else 0.0
+
+let edit = Strsim.edit_similarity
+let token = Strsim.jaccard_tokens
+let default = Strsim.similarity
+
+let best_matches f name base =
+  base
+  |> List.map (fun (candidate, payload) -> (payload, candidate, f name candidate))
+  |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a)

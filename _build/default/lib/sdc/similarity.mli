@@ -1,0 +1,23 @@
+(** Pluggable attribute-name similarity for categorization (the [∼] of
+    Algorithm 1). *)
+
+type func = string -> string -> float
+(** Symmetric, in [\[0,1\]]. *)
+
+val exact : func
+(** 1.0 on equal normalized names, 0.0 otherwise. *)
+
+val edit : func
+(** Normalized Levenshtein similarity. *)
+
+val token : func
+(** Token-set Jaccard. *)
+
+val default : func
+(** The blend used by default ({!Vadasa_base.Strsim.similarity}) — also
+    what the engine's [similarity] builtin computes, so the native and
+    reasoned categorization paths agree. *)
+
+val best_matches :
+  func -> string -> (string * 'a) list -> ('a * string * float) list
+(** All experience-base entries scored against a name, best first. *)

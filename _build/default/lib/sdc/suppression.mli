@@ -1,0 +1,25 @@
+(** Local suppression with labelled nulls (paper, Algorithm 7).
+
+    Suppressing a quasi-identifier replaces its value with a fresh labelled
+    null ⊥ₙ. Under the maybe-match group semantics the suppressed tuple
+    then joins every compatible combination, raising its frequency — one
+    null can raise several tuples' anonymity at once (the paper's Figure 5
+    example). *)
+
+val suppress :
+  Vadasa_base.Ids.t -> Microdata.t -> tuple:int -> attr:string ->
+  Vadasa_base.Value.t option
+(** Replace the tuple's value for a quasi-identifier attribute with a fresh
+    null, in place. Returns the suppressed (previous) value, or [None] when
+    the value was already a null (nothing to do — Algorithm 7's
+    ["VSet\[A\] is not null"] guard). Raises [Invalid_argument] when [attr]
+    is not a quasi-identifier. *)
+
+val suppressible : Microdata.t -> tuple:int -> string list
+(** Quasi-identifier attributes of the tuple still holding constants — the
+    remaining suppression moves. *)
+
+val program : string
+(** Vadalog source of Algorithm 7: given [anonymize(I, A)] directives and
+    [tuple(I, VSet)] facts, derive the suppressed
+    [tuple_s(I, (A,Z) ∪ (VSet \ (A,_)))] with an invented null Z. *)

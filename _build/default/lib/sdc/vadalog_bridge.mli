@@ -1,0 +1,87 @@
+(** The reasoned execution path: microdata encoded as extensional facts,
+    risk measures and anonymization as Vadalog programs run by the engine.
+
+    This is the paper's actual architecture — the native implementations in
+    {!Risk} and {!Cycle} are the "compiled" fast path, and the property
+    tests assert both paths agree. The reasoned path additionally yields
+    {!Vadasa_vadalog.Provenance} explanations for every derived risk fact.
+
+    Encoding: each tuple at position [i] contributes
+    [val(M, i, attr, value)] facts for its quasi-identifiers and weight,
+    plus the dictionary's [cat(M, attr, category)] facts (categories are
+    rendered with [-] replaced by [_], e.g. [quasi_identifier], to keep
+    them bare Vadalog constants). *)
+
+val microdata_facts :
+  Microdata.t -> (string * Vadasa_base.Value.t array) list
+
+val base_program : string
+(** Algorithm 2, Rule 1: assemble [qset(I, QSet)] (quasi-identifier
+    name–value pairs) and [wval(I, W)] from the [val]/[cat] encoding. *)
+
+val k_anonymity_program : k:int -> string
+(** Algorithm 4 over the encoding, deriving [riskoutput(I, R)]. Groups by
+    exact combination equality — correct on null-free data. *)
+
+val k_anonymity_maybe_program : k:int -> string
+(** Algorithm 4 under the maybe-match semantics of Section 4.3: frequencies
+    are counted over the pairwise =⊥ relation ([maybe_eq] builtin), so
+    labelled nulls from earlier suppression rounds are credited. Quadratic
+    in the tuple count — the faithful semantics for the reasoned cycle. *)
+
+val reidentification_program : string
+(** Algorithm 3: R = 1 / msum of weights per combination. *)
+
+val individual_program : string
+(** Algorithm 5: R = F / msum of weights (frequency over estimated
+    population frequency). *)
+
+val suda_program : max_size:int -> threshold_size:int -> string
+(** Algorithm 6: combination generation, sample uniques, minimal sample
+    uniques, risk 1 for tuples with an MSU smaller than the threshold.
+    Exponential in the quasi-identifier count — reasoned path for small
+    data only. *)
+
+val enhanced_k_anonymity_program : k:int -> string
+(** Algorithm 9 declaratively: the k-anonymity program, the company-control
+    rules, the symmetric-transitive link closure, and the cluster risk
+    1 − mprod(1 − ρ), deriving [enhancedrisk(I, R)]. Needs [ident(I, E)]
+    (tuple → entity) and [own(X, Y, W)] facts. *)
+
+val enhanced_risk_via_engine :
+  ?k:int ->
+  Microdata.t ->
+  id_attr:string ->
+  ownerships:Business.ownership list ->
+  float array
+(** Run {!enhanced_k_anonymity_program} end-to-end on the engine; the
+    declarative counterpart of {!Risk.estimate} +
+    {!Business.risk_transform}. *)
+
+exception Unsupported of string
+
+val risk_via_engine :
+  ?threshold:float -> Risk.measure -> Microdata.t -> float array
+(** Run the measure's program and decode per-tuple risks (0 where no
+    [riskoutput] fact was derived). Raises {!Unsupported} for
+    [Individual (Monte_carlo _)] (sampling lives outside the logic). *)
+
+val explain_risk :
+  Risk.measure -> Microdata.t -> tuple:int -> string option
+(** Provenance tree of the tuple's [riskoutput] fact, rendered. *)
+
+type reasoned_outcome = {
+  anonymized : Microdata.t;
+  rounds : int;
+  nulls_injected : int;
+  suppressed : (int * string) list;  (** (tuple, attribute) chronological *)
+}
+
+val reasoned_cycle :
+  ?k:int -> ?threshold:float -> ?max_rounds:int -> Microdata.t ->
+  reasoned_outcome
+(** The full anonymization cycle with {e both} phases on the engine:
+    null-tolerant k-anonymity risk ({!k_anonymity_maybe_program}) and local
+    suppression (Algorithm 7) alternate until convergence. Suppressed
+    values come back as the chase's labelled nulls, with labels kept
+    distinct across rounds. *)

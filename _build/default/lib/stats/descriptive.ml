@@ -1,0 +1,62 @@
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Descriptive.mean: empty array";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+
+let std xs = sqrt (variance xs)
+
+let quantile xs q =
+  if Array.length xs = 0 then invalid_arg "Descriptive.quantile: empty array";
+  if q < 0.0 || q > 1.0 then invalid_arg "Descriptive.quantile: q out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = quantile xs 0.5
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Descriptive.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let histogram ~bins xs =
+  if bins <= 0 then invalid_arg "Descriptive.histogram: bins <= 0";
+  let lo, hi = min_max xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let i = int_of_float ((x -. lo) /. width) in
+      let i = if i >= bins then bins - 1 else if i < 0 then 0 else i in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  Array.mapi
+    (fun i c ->
+      let l = lo +. (float_of_int i *. width) in
+      (l, l +. width, c))
+    counts
+
+let frequency_table table =
+  let counts = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun key _ ->
+      let current = try Hashtbl.find counts key with Not_found -> 0 in
+      Hashtbl.replace counts key (current + 1))
+    table;
+  let entries = Hashtbl.fold (fun k c acc -> (k, c) :: acc) counts [] in
+  List.sort (fun (_, a) (_, b) -> Int.compare b a) entries

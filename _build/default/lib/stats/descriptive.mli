@@ -1,0 +1,25 @@
+(** Descriptive statistics for experiment reporting. *)
+
+val mean : float array -> float
+(** Mean of a non-empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for arrays of length < 2. *)
+
+val std : float array -> float
+
+val median : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for q in [\[0,1\]], linear interpolation between order
+    statistics. Does not mutate its argument. *)
+
+val min_max : float array -> float * float
+
+val histogram : bins:int -> float array -> (float * float * int) array
+(** Equal-width bins over the data range; each entry is
+    [(lo, hi, count)]. *)
+
+val frequency_table : ('a, 'b) Hashtbl.t -> ('a * int) list
+(** Count keys of a hashtable (multi-bindings counted), sorted descending by
+    count. Used to summarize categorical columns in reports. *)

@@ -1,0 +1,106 @@
+let exponential rng ~rate =
+  if rate <= 0.0 then invalid_arg "Distribution.exponential: rate <= 0";
+  -.log (1.0 -. Rng.float rng) /. rate
+
+let rec gamma rng ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then
+    invalid_arg "Distribution.gamma: non-positive parameter";
+  if shape < 1.0 then
+    (* Boost: Gamma(a) = Gamma(a+1) * U^(1/a). *)
+    let u = Rng.float rng in
+    gamma rng ~shape:(shape +. 1.0) ~scale *. (u ** (1.0 /. shape))
+  else
+    (* Marsaglia & Tsang (2000). *)
+    let d = shape -. (1.0 /. 3.0) in
+    let c = 1.0 /. sqrt (9.0 *. d) in
+    let rec draw () =
+      let x = Rng.gaussian rng in
+      let v = 1.0 +. (c *. x) in
+      if v <= 0.0 then draw ()
+      else
+        let v = v *. v *. v in
+        let u = Rng.float rng in
+        if u < 1.0 -. (0.0331 *. (x *. x) *. (x *. x)) then d *. v
+        else if log u < (0.5 *. x *. x) +. (d *. (1.0 -. v +. log v)) then d *. v
+        else draw ()
+    in
+    scale *. draw ()
+
+let beta rng ~a ~b =
+  let x = gamma rng ~shape:a ~scale:1.0 in
+  let y = gamma rng ~shape:b ~scale:1.0 in
+  x /. (x +. y)
+
+let lognormal rng ~mu ~sigma = exp (mu +. (sigma *. Rng.gaussian rng))
+
+let poisson rng ~mean =
+  if mean < 0.0 then invalid_arg "Distribution.poisson: negative mean";
+  if mean = 0.0 then 0
+  else if mean < 30.0 then begin
+    let l = exp (-.mean) in
+    let k = ref 0 in
+    let p = ref 1.0 in
+    let continue = ref true in
+    while !continue do
+      p := !p *. Rng.float rng;
+      if !p <= l then continue := false else incr k
+    done;
+    !k
+  end
+  else
+    (* Normal approximation with continuity correction; adequate for the
+       data-generation purposes this library serves. *)
+    let x = mean +. (sqrt mean *. Rng.gaussian rng) +. 0.5 in
+    if x < 0.0 then 0 else int_of_float x
+
+let binomial rng ~n ~p =
+  if n < 0 || p < 0.0 || p > 1.0 then invalid_arg "Distribution.binomial";
+  if n <= 64 then begin
+    let k = ref 0 in
+    for _ = 1 to n do
+      if Rng.float rng < p then incr k
+    done;
+    !k
+  end
+  else
+    let mean = float_of_int n *. p in
+    let std = sqrt (float_of_int n *. p *. (1.0 -. p)) in
+    let x = int_of_float (mean +. (std *. Rng.gaussian rng) +. 0.5) in
+    max 0 (min n x)
+
+let negative_binomial rng ~r ~p =
+  if r <= 0.0 || p <= 0.0 || p > 1.0 then
+    invalid_arg "Distribution.negative_binomial";
+  if p = 1.0 then 0
+  else
+    let lambda = gamma rng ~shape:r ~scale:((1.0 -. p) /. p) in
+    poisson rng ~mean:lambda
+
+let neg_binomial_log_pmf ~r ~p k =
+  if k < 0 then neg_infinity
+  else
+    let kf = float_of_int k in
+    Special.log_gamma (kf +. r)
+    -. Special.log_gamma r
+    -. Special.log_factorial k
+    +. (r *. log p)
+    +. (kf *. log (1.0 -. p))
+
+let geometric rng ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Distribution.geometric";
+  if p = 1.0 then 0
+  else
+    let u = Rng.float rng in
+    int_of_float (Float.floor (log (1.0 -. u) /. log (1.0 -. p)))
+
+let categorical = Rng.weighted_index
+
+let zipf_weights ~n ~s =
+  Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** s))
+
+let zipf rng ~n ~s = Rng.weighted_index rng (zipf_weights ~n ~s)
+
+let dirichlet rng ~alpha =
+  let draws = Array.map (fun a -> gamma rng ~shape:a ~scale:1.0) alpha in
+  let total = Array.fold_left ( +. ) 0.0 draws in
+  Array.map (fun x -> x /. total) draws

@@ -1,0 +1,50 @@
+(** Probability distributions used by the synthetic-data generator and the
+    individual-risk estimator.
+
+    Samplers take an explicit {!Rng.t}; log-densities are exposed where the
+    estimators need them. *)
+
+(** {1 Discrete} *)
+
+val poisson : Rng.t -> mean:float -> int
+(** Knuth's method below mean 30, normal approximation (rounded,
+    non-negative) above. *)
+
+val binomial : Rng.t -> n:int -> p:float -> int
+
+val negative_binomial : Rng.t -> r:float -> p:float -> int
+(** Number of failures before the [r]-th success, success probability [p];
+    generalized to real [r] via the Gamma–Poisson mixture
+    [lambda ~ Gamma(r, (1-p)/p); X ~ Poisson(lambda)]. Mean [r(1-p)/p]. *)
+
+val neg_binomial_log_pmf : r:float -> p:float -> int -> float
+
+val geometric : Rng.t -> p:float -> int
+(** Failures before the first success. *)
+
+val categorical : Rng.t -> float array -> int
+(** Alias of {!Rng.weighted_index}: index drawn with the given weights. *)
+
+val zipf : Rng.t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [\[0, n)], exponent [s]; inversion on the
+    precomputed CDF is left to callers that need bulk draws — this is the
+    simple linear-scan sampler used for modest [n]. *)
+
+val zipf_weights : n:int -> s:float -> float array
+(** The unnormalized Zipf weights [1/(i+1)^s], useful to feed categorical
+    column generators directly. *)
+
+(** {1 Continuous} *)
+
+val gamma : Rng.t -> shape:float -> scale:float -> float
+(** Marsaglia–Tsang squeeze method; boosting for [shape < 1]. *)
+
+val beta : Rng.t -> a:float -> b:float -> float
+
+val exponential : Rng.t -> rate:float -> float
+
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+
+val dirichlet : Rng.t -> alpha:float array -> float array
+(** A random probability vector; used to draw "unbalanced" category
+    frequencies for the synthetic datasets (paper, Figure 6). *)

@@ -1,0 +1,56 @@
+(* Lanczos approximation with g = 7, n = 9 coefficients. *)
+let lanczos =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  if x <= 0.0 then invalid_arg "Special.log_gamma: non-positive argument"
+  else if x < 0.5 then
+    (* Reflection formula keeps precision near zero. *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else
+    let x = x -. 1.0 in
+    let a = ref lanczos.(0) in
+    let t = x +. 7.5 in
+    for i = 1 to 8 do
+      a := !a +. lanczos.(i) /. (x +. float_of_int i)
+    done;
+    0.5 *. log (2.0 *. Float.pi) +. ((x +. 0.5) *. log t) -. t +. log !a
+
+let log_factorial_table =
+  lazy
+    (let table = Array.make 257 0.0 in
+     for n = 2 to 256 do
+       table.(n) <- table.(n - 1) +. log (float_of_int n)
+     done;
+     table)
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Special.log_factorial: negative argument"
+  else if n <= 256 then (Lazy.force log_factorial_table).(n)
+  else log_gamma (float_of_int n +. 1.0)
+
+let log_choose n k =
+  if k < 0 || k > n then neg_infinity
+  else log_factorial n -. log_factorial k -. log_factorial (n - k)
+
+let log_beta a b = log_gamma a +. log_gamma b -. log_gamma (a +. b)
+
+let erf x =
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let y =
+    1.0
+    -. (((((1.061405429 *. t -. 1.453152027) *. t) +. 1.421413741) *. t
+         -. 0.284496736)
+        *. t
+       +. 0.254829592)
+       *. t
+       *. exp (-.x *. x)
+  in
+  sign *. y
+
+let normal_cdf ~mean ~std x =
+  0.5 *. (1.0 +. erf ((x -. mean) /. (std *. sqrt 2.0)))

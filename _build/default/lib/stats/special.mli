@@ -1,0 +1,18 @@
+(** Special mathematical functions needed by the distribution layer. *)
+
+val log_gamma : float -> float
+(** Natural log of the Gamma function for positive arguments (Lanczos
+    approximation, ~15 significant digits). *)
+
+val log_factorial : int -> float
+(** [log n!]; exact summation for small [n], [log_gamma] beyond. *)
+
+val log_choose : int -> int -> float
+(** [log (n choose k)]; [neg_infinity] when [k < 0 || k > n]. *)
+
+val log_beta : float -> float -> float
+
+val erf : float -> float
+(** Error function (Abramowitz–Stegun 7.1.26, |error| < 1.5e-7). *)
+
+val normal_cdf : mean:float -> std:float -> float -> float

@@ -1,0 +1,1 @@
+lib/vadalog/aggregate.ml: Hashtbl Option Vadasa_base

@@ -1,0 +1,1 @@
+lib/vadalog/aggregate.mli: Vadasa_base

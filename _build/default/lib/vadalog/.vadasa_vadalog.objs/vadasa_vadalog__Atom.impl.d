@@ -1,0 +1,1 @@
+lib/vadalog/atom.ml: Array Expr Format Hashtbl List String Term

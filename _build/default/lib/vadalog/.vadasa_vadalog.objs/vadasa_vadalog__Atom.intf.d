@@ -1,0 +1,1 @@
+lib/vadalog/atom.mli: Expr Format Term

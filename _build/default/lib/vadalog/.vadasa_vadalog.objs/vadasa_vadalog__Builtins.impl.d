@@ -1,0 +1,1 @@
+lib/vadalog/builtins.ml: Float Hashtbl List Printf String Vadasa_base

@@ -1,0 +1,1 @@
+lib/vadalog/builtins.mli: Vadasa_base

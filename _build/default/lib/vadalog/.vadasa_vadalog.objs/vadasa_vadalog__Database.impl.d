@@ -1,0 +1,1 @@
+lib/vadalog/database.ml: Array Buffer Hashtbl List String Vadasa_base

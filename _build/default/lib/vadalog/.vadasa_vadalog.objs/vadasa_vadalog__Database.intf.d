@@ -1,0 +1,1 @@
+lib/vadalog/database.mli: Vadasa_base

@@ -1,0 +1,1 @@
+lib/vadalog/engine.ml: Aggregate Array Atom Buffer Database Expr Hashtbl List Option Printf Program Provenance Rule Stratify String Term Vadasa_base

@@ -1,0 +1,1 @@
+lib/vadalog/engine.mli: Database Program Provenance Vadasa_base

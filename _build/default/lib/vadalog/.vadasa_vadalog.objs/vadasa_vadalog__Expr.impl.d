@@ -1,0 +1,1 @@
+lib/vadalog/expr.ml: Builtins Float Format Hashtbl List Printf String Term Vadasa_base

@@ -1,0 +1,1 @@
+lib/vadalog/expr.mli: Format Hashtbl Term Vadasa_base

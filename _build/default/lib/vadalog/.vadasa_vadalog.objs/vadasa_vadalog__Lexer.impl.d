@@ -1,0 +1,1 @@
+lib/vadalog/lexer.ml: Array Buffer List Printf String

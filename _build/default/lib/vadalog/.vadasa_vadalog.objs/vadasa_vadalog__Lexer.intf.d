@@ -1,0 +1,1 @@
+lib/vadalog/lexer.mli:

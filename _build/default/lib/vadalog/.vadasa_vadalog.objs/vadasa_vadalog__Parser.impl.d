@@ -1,0 +1,1 @@
+lib/vadalog/parser.ml: Aggregate Array Atom Builtins Expr Hashtbl Lexer List Option Printf Program Rule String Term Vadasa_base

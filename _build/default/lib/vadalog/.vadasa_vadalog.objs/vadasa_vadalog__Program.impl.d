@@ -1,0 +1,1 @@
+lib/vadalog/program.ml: Array Format List Rule String Vadasa_base

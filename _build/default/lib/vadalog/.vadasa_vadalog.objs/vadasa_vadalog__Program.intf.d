@@ -1,0 +1,1 @@
+lib/vadalog/program.mli: Format Rule Vadasa_base

@@ -1,0 +1,1 @@
+lib/vadalog/provenance.ml: Array Database Format List String Vadasa_base

@@ -1,0 +1,1 @@
+lib/vadalog/provenance.mli: Database Format Vadasa_base

@@ -1,0 +1,1 @@
+lib/vadalog/rule.ml: Aggregate Atom Expr Format Hashtbl List Printf String Term

@@ -1,0 +1,1 @@
+lib/vadalog/rule.mli: Aggregate Atom Expr Format Term

@@ -1,0 +1,1 @@
+lib/vadalog/stratify.ml: Array Hashtbl List Printf Program Rule String

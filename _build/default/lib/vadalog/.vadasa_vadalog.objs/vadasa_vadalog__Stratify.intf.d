@@ -1,0 +1,1 @@
+lib/vadalog/stratify.mli: Hashtbl Program Rule

@@ -1,0 +1,1 @@
+lib/vadalog/term.ml: Format Hashtbl List String Vadasa_base

@@ -1,0 +1,1 @@
+lib/vadalog/term.mli: Format Vadasa_base

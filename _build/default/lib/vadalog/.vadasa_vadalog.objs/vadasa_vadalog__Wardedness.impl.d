@@ -1,0 +1,1 @@
+lib/vadalog/wardedness.ml: Array Atom Expr Format Hashtbl List Program Rule String Term

@@ -1,0 +1,1 @@
+lib/vadalog/wardedness.mli: Format Program

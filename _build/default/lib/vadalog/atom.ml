@@ -1,0 +1,46 @@
+type t = {
+  pred : string;
+  args : Expr.t array;
+}
+
+let make pred args = { pred; args = Array.of_list args }
+
+let of_terms pred terms = make pred (List.map Expr.of_term terms)
+
+let arity t = Array.length t.args
+
+let vars t =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  Array.iter
+    (fun e ->
+      List.iter
+        (fun v ->
+          if not (Hashtbl.mem seen v) then begin
+            Hashtbl.add seen v ();
+            acc := v :: !acc
+          end)
+        (Expr.vars e))
+    t.args;
+  List.rev !acc
+
+let as_terms t =
+  let n = Array.length t.args in
+  let out = Array.make n (Term.Var "_") in
+  let rec go i =
+    if i >= n then Some out
+    else
+      match Expr.as_term t.args.(i) with
+      | Some term ->
+        out.(i) <- term;
+        go (i + 1)
+      | None -> None
+  in
+  go 0
+
+let to_string t =
+  t.pred ^ "("
+  ^ String.concat ", " (Array.to_list (Array.map Expr.to_string t.args))
+  ^ ")"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,27 @@
+(** Atoms: a predicate name applied to arguments.
+
+    Body atoms must have term-shaped arguments (variables/constants); head
+    atoms may carry full expressions, evaluated at emission time — this is
+    how Algorithm 7 writes [tuple(M, I, union(remove_key(VSet,A), (A,Z)))].
+    {!Rule.validate} enforces the distinction. *)
+
+type t = {
+  pred : string;
+  args : Expr.t array;
+}
+
+val make : string -> Expr.t list -> t
+
+val of_terms : string -> Term.t list -> t
+
+val arity : t -> int
+
+val vars : t -> string list
+(** Distinct variables across all argument expressions. *)
+
+val as_terms : t -> Term.t array option
+(** [Some] when every argument is term-shaped. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

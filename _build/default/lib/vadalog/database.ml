@@ -1,0 +1,160 @@
+module Value = Vadasa_base.Value
+
+type provenance =
+  | Edb
+  | Derived of {
+      rule_id : int;
+      rule_label : string;
+      parents : (string * Value.t array) list;
+    }
+
+let value_key v = Value.type_name v ^ "\x01" ^ Value.to_string v
+
+let args_key args =
+  let buf = Buffer.create 32 in
+  Array.iter
+    (fun v ->
+      let s = value_key v in
+      Buffer.add_string buf (string_of_int (String.length s));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf s)
+    args;
+  Buffer.contents buf
+
+type pred_store = {
+  mutable data : Value.t array array;
+  mutable size : int;
+  keys : (string, int) Hashtbl.t;  (* fact key -> insertion index *)
+  mutable prov : provenance array;
+  indexes : (int, (string, int list ref) Hashtbl.t) Hashtbl.t;
+}
+
+type t = {
+  preds : (string, pred_store) Hashtbl.t;
+  mutable total : int;
+  track_provenance : bool;
+}
+
+let create ?(track_provenance = true) () =
+  { preds = Hashtbl.create 64; total = 0; track_provenance }
+
+let store t pred =
+  match Hashtbl.find_opt t.preds pred with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        data = [||];
+        size = 0;
+        keys = Hashtbl.create 256;
+        prov = [||];
+        indexes = Hashtbl.create 4;
+      }
+    in
+    Hashtbl.add t.preds pred s;
+    s
+
+let grow s =
+  let cap = Array.length s.data in
+  if s.size >= cap then begin
+    let cap' = max 16 (2 * cap) in
+    let data' = Array.make cap' [||] in
+    Array.blit s.data 0 data' 0 s.size;
+    s.data <- data';
+    let prov' = Array.make cap' Edb in
+    Array.blit s.prov 0 prov' 0 s.size;
+    s.prov <- prov'
+  end
+
+let index_insert s pos v idx =
+  match Hashtbl.find_opt s.indexes pos with
+  | None -> ()
+  | Some table ->
+    let k = value_key v in
+    (match Hashtbl.find_opt table k with
+    | Some cell -> cell := idx :: !cell
+    | None -> Hashtbl.add table k (ref [ idx ]))
+
+let add t ?(prov = Edb) pred args =
+  let s = store t pred in
+  let key = args_key args in
+  if Hashtbl.mem s.keys key then false
+  else begin
+    grow s;
+    let idx = s.size in
+    s.data.(idx) <- args;
+    if t.track_provenance then s.prov.(idx) <- prov;
+    Hashtbl.add s.keys key idx;
+    s.size <- idx + 1;
+    t.total <- t.total + 1;
+    Array.iteri (fun pos v -> index_insert s pos v idx) args;
+    true
+  end
+
+let mem t pred args =
+  match Hashtbl.find_opt t.preds pred with
+  | None -> false
+  | Some s -> Hashtbl.mem s.keys (args_key args)
+
+let pred_size t pred =
+  match Hashtbl.find_opt t.preds pred with None -> 0 | Some s -> s.size
+
+let nth t pred i =
+  let s = store t pred in
+  if i < 0 || i >= s.size then invalid_arg "Database.nth: out of bounds";
+  s.data.(i)
+
+let facts t pred =
+  match Hashtbl.find_opt t.preds pred with
+  | None -> []
+  | Some s -> List.init s.size (fun i -> s.data.(i))
+
+let iter_pred t pred f =
+  match Hashtbl.find_opt t.preds pred with
+  | None -> ()
+  | Some s ->
+    for i = 0 to s.size - 1 do
+      f s.data.(i)
+    done
+
+let build_index s pos =
+  let table = Hashtbl.create (max 16 s.size) in
+  for i = 0 to s.size - 1 do
+    let args = s.data.(i) in
+    if pos < Array.length args then begin
+      let k = value_key args.(pos) in
+      match Hashtbl.find_opt table k with
+      | Some cell -> cell := i :: !cell
+      | None -> Hashtbl.add table k (ref [ i ])
+    end
+  done;
+  Hashtbl.add s.indexes pos table;
+  table
+
+let lookup t pred ~pos v =
+  match Hashtbl.find_opt t.preds pred with
+  | None -> []
+  | Some s ->
+    let table =
+      match Hashtbl.find_opt s.indexes pos with
+      | Some table -> table
+      | None -> build_index s pos
+    in
+    (match Hashtbl.find_opt table (value_key v) with
+    | Some cell -> List.rev !cell
+    | None -> [])
+
+let total t = t.total
+
+let predicates t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.preds [])
+
+let provenance_of t pred args =
+  if not t.track_provenance then None
+  else
+    match Hashtbl.find_opt t.preds pred with
+    | None -> None
+    | Some s ->
+      (match Hashtbl.find_opt s.keys (args_key args) with
+      | None -> None
+      | Some idx -> Some s.prov.(idx))

@@ -1,0 +1,50 @@
+(** The fact store: facts per predicate, in insertion order, with duplicate
+    elimination, lazily-built positional indexes and optional provenance.
+
+    Insertion order is what the semi-naive evaluator's deltas are defined
+    over: facts with index ≥ a watermark are "new". *)
+
+type provenance =
+  | Edb  (** asserted input fact *)
+  | Derived of {
+      rule_id : int;
+      rule_label : string;
+      parents : (string * Vadasa_base.Value.t array) list;
+    }
+
+type t
+
+val create : ?track_provenance:bool -> unit -> t
+
+val add : t -> ?prov:provenance -> string -> Vadasa_base.Value.t array -> bool
+(** [true] when the fact was new. Default provenance is [Edb]. *)
+
+val mem : t -> string -> Vadasa_base.Value.t array -> bool
+
+val pred_size : t -> string -> int
+(** Number of facts of a predicate (0 for unknown predicates). *)
+
+val nth : t -> string -> int -> Vadasa_base.Value.t array
+(** Fact by insertion index. *)
+
+val facts : t -> string -> Vadasa_base.Value.t array list
+(** All facts of a predicate, in insertion order. *)
+
+val iter_pred : t -> string -> (Vadasa_base.Value.t array -> unit) -> unit
+
+val lookup : t -> string -> pos:int -> Vadasa_base.Value.t -> int list
+(** Insertion indexes of facts whose argument at [pos] equals the value
+    (standard equality); builds the positional index on first use and
+    maintains it afterwards. *)
+
+val total : t -> int
+
+val predicates : t -> string list
+
+val provenance_of : t -> string -> Vadasa_base.Value.t array -> provenance option
+(** [None] when the fact is absent or provenance tracking is off. *)
+
+val value_key : Vadasa_base.Value.t -> string
+(** Canonical, type-tagged key — distinguishes [Int 1] from [Str "1"]. *)
+
+val args_key : Vadasa_base.Value.t array -> string

@@ -1,0 +1,693 @@
+module Value = Vadasa_base.Value
+module Ids = Vadasa_base.Ids
+
+type config = {
+  track_provenance : bool;
+  max_iterations : int;
+  max_facts : int;
+}
+
+let default_config =
+  { track_provenance = true; max_iterations = 100_000; max_facts = 10_000_000 }
+
+exception Limit of string
+
+(* A compiled body literal. Atom terms are pre-extracted. *)
+type step =
+  | S_atom of { pred : string; terms : Term.t array }
+  | S_neg of { pred : string; terms : Term.t array }
+  | S_guard of Expr.t
+  | S_assign of string * Expr.t
+
+type compiled_rule = {
+  rule : Rule.t;
+  pos_atoms : (string * Term.t array) array;  (* in source order *)
+  agg : Rule.agg option;
+  frontier : string list;
+  existentials : string list;
+  group_vars : string list;
+      (* for aggregate rules: head variables bound during the join phase —
+         the aggregation group key *)
+  post : step array;
+      (* assignments/guards that depend on the aggregate's bound result,
+         evaluated per group after aggregation *)
+  (* plans.(k) = literal schedule with positive atom [k] first (the delta
+     atom); plans.(n) = schedule for "no delta restriction". *)
+  plans : step array array;
+}
+
+type group = {
+  state : Aggregate.state;
+  snapshot : (string * Value.t) list;  (* frontier bindings of the group *)
+}
+
+type t = {
+  program : Program.t;
+  config : config;
+  db : Database.t;
+  strat : Stratify.t;
+  ids : Ids.t;
+  skolem : (string, (string * Value.t) list) Hashtbl.t;
+  agg_groups : (int, (string, group) Hashtbl.t) Hashtbl.t;
+  compiled : (int, compiled_rule) Hashtbl.t;
+}
+
+(* ---- compilation ------------------------------------------------------ *)
+
+let literal_steps body =
+  List.filter_map
+    (function
+      | Rule.Pos atom ->
+        (match Atom.as_terms atom with
+        | Some terms -> Some (`Pos (atom.Atom.pred, terms))
+        | None -> invalid_arg "Engine: non-term body atom (validate first)")
+      | Rule.Neg atom ->
+        (match Atom.as_terms atom with
+        | Some terms -> Some (`Neg (atom.Atom.pred, terms))
+        | None -> invalid_arg "Engine: non-term negated atom")
+      | Rule.Guard e -> Some (`Guard e)
+      | Rule.Assign (x, e) -> Some (`Assign (x, e))
+      | Rule.Agg _ -> None)
+    body
+
+let term_vars terms =
+  Array.to_list terms
+  |> List.filter_map (function Term.Var v -> Some v | Term.Const _ -> None)
+
+(* Greedy left-deep schedule. [first] is the index of the delta atom among
+   the positive atoms, or none for an unrestricted schedule. Returns the
+   scheduled steps plus the guard/assignment literals that could not be
+   placed (they depend on an aggregate's bound result and run post-group). *)
+let schedule literals ~first =
+  let items = Array.of_list literals in
+  let n = Array.length items in
+  let used = Array.make n false in
+  let bound = Hashtbl.create 16 in
+  let bind_vars vars = List.iter (fun v -> Hashtbl.replace bound v ()) vars in
+  let all_bound vars = List.for_all (Hashtbl.mem bound) vars in
+  let out = ref [] in
+  let take i =
+    used.(i) <- true;
+    (match items.(i) with
+    | `Pos (pred, terms) ->
+      bind_vars (term_vars terms);
+      out := S_atom { pred; terms } :: !out
+    | `Neg (pred, terms) -> out := S_neg { pred; terms } :: !out
+    | `Guard e -> out := S_guard e :: !out
+    | `Assign (x, e) ->
+      Hashtbl.replace bound x ();
+      out := S_assign (x, e) :: !out)
+  in
+  (* Position of the k-th positive atom in the literal array. *)
+  let pos_positions =
+    Array.of_list
+      (List.filteri (fun _ _ -> true)
+         (List.concat
+            (List.mapi
+               (fun i item ->
+                 match item with `Pos _ -> [ i ] | _ -> [])
+               (Array.to_list items))))
+  in
+  (match first with
+  | Some k when k < Array.length pos_positions -> take pos_positions.(k)
+  | Some _ | None -> ());
+  let remaining () = Array.exists (fun u -> not u) used in
+  while remaining () do
+    (* 1. Cheap literals whose dependencies are satisfied. *)
+    let progressed = ref false in
+    Array.iteri
+      (fun i item ->
+        if not used.(i) then
+          match item with
+          | `Assign (_, e) when all_bound (Expr.vars e) ->
+            take i;
+            progressed := true
+          | `Guard e when all_bound (Expr.vars e) ->
+            take i;
+            progressed := true
+          | `Neg (_, terms) when all_bound (term_vars terms) ->
+            take i;
+            progressed := true
+          | _ -> ())
+      items;
+    if not !progressed then begin
+      (* 2. The positive atom sharing the most bound variables. *)
+      let best = ref (-1) in
+      let best_score = ref (-1) in
+      Array.iteri
+        (fun i item ->
+          if not used.(i) then
+            match item with
+            | `Pos (_, terms) ->
+              let vars = term_vars terms in
+              let score =
+                List.length (List.filter (Hashtbl.mem bound) vars)
+              in
+              if score > !best_score then begin
+                best := i;
+                best_score := score
+              end
+            | _ -> ())
+        items;
+      if !best >= 0 then take !best
+      else
+        invalid_arg
+          "Engine: cannot schedule rule body (unbound guard or negation)"
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let compile_rule rule =
+  let literals = literal_steps rule.Rule.body in
+  let agg = Rule.the_agg rule in
+  (* Split off guard/assignment literals that cannot be evaluated before the
+     aggregate binds its result variable: they form the post-group phase. *)
+  let pre_bound = Hashtbl.create 16 in
+  List.iter
+    (function
+      | `Pos (_, terms) ->
+        List.iter (fun v -> Hashtbl.replace pre_bound v ()) (term_vars terms)
+      | _ -> ())
+    literals;
+  let assigns =
+    List.filter_map (function `Assign (x, e) -> Some (x, e) | _ -> None) literals
+  in
+  let fixpoint () =
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      List.iter
+        (fun (x, e) ->
+          if
+            (not (Hashtbl.mem pre_bound x))
+            && List.for_all (Hashtbl.mem pre_bound) (Expr.vars e)
+          then begin
+            Hashtbl.replace pre_bound x ();
+            progress := true
+          end)
+        assigns
+    done
+  in
+  fixpoint ();
+  let placeable_pre = Hashtbl.copy pre_bound in
+  let is_pre = function
+    | `Pos _ | `Neg _ -> true
+    | `Guard e -> List.for_all (Hashtbl.mem placeable_pre) (Expr.vars e)
+    | `Assign (x, _) -> Hashtbl.mem placeable_pre x
+  in
+  let pre_literals, post_literals =
+    match agg with
+    | Some { Rule.agg_result = Rule.Bind x; _ } ->
+      let pre, post = List.partition is_pre literals in
+      Hashtbl.replace pre_bound x ();
+      fixpoint ();
+      (pre, post)
+    | Some { Rule.agg_result = Rule.Test _; _ } | None -> (literals, [])
+  in
+  (* Order the post phase by assignment dependencies. *)
+  let post_steps =
+    let remaining = ref post_literals in
+    let placed = ref [] in
+    let bound = Hashtbl.copy placeable_pre in
+    (match agg with
+    | Some { Rule.agg_result = Rule.Bind x; _ } -> Hashtbl.replace bound x ()
+    | _ -> ());
+    let guard_budget = ref (List.length post_literals + 1) in
+    while !remaining <> [] && !guard_budget > 0 do
+      decr guard_budget;
+      let ready, blocked =
+        List.partition
+          (function
+            | `Guard e -> List.for_all (Hashtbl.mem bound) (Expr.vars e)
+            | `Assign (_, e) -> List.for_all (Hashtbl.mem bound) (Expr.vars e)
+            | `Pos _ | `Neg _ -> false)
+          !remaining
+      in
+      List.iter
+        (function
+          | `Guard e -> placed := S_guard e :: !placed
+          | `Assign (x, e) ->
+            Hashtbl.replace bound x ();
+            placed := S_assign (x, e) :: !placed
+          | `Pos _ | `Neg _ -> ())
+        ready;
+      remaining := blocked;
+      if ready = [] && blocked <> [] then
+        invalid_arg
+          ("Engine: cannot schedule post-aggregation literals of rule "
+          ^ rule.Rule.label)
+    done;
+    Array.of_list (List.rev !placed)
+  in
+  let pos_atoms =
+    Array.of_list
+      (List.filter_map
+         (function `Pos (p, ts) -> Some (p, ts) | _ -> None)
+         pre_literals)
+  in
+  let n = Array.length pos_atoms in
+  let plans =
+    Array.init (n + 1) (fun k ->
+        schedule pre_literals ~first:(if k < n then Some k else None))
+  in
+  let group_vars =
+    match agg with
+    | Some _ ->
+      List.filter (Hashtbl.mem placeable_pre) (Rule.head_vars rule)
+    | None -> []
+  in
+  {
+    rule;
+    pos_atoms;
+    agg;
+    frontier = Rule.frontier_vars rule;
+    existentials = Rule.existential_vars rule;
+    group_vars;
+    post = post_steps;
+    plans;
+  }
+
+(* ---- construction ----------------------------------------------------- *)
+
+let create ?(config = default_config) ?(first_null_label = 1) program =
+  (match Program.validate program with
+  | Ok () -> ()
+  | Error errors ->
+    invalid_arg ("Engine.create: " ^ String.concat "; " errors));
+  let strat = Stratify.compute program in
+  let db = Database.create ~track_provenance:config.track_provenance () in
+  List.iter
+    (fun (pred, args) -> ignore (Database.add db pred args))
+    program.Program.facts;
+  let compiled = Hashtbl.create 64 in
+  List.iter
+    (fun rule -> Hashtbl.replace compiled rule.Rule.id (compile_rule rule))
+    program.Program.rules;
+  {
+    program;
+    config;
+    db;
+    strat;
+    ids = Ids.create ~start:first_null_label ();
+    skolem = Hashtbl.create 256;
+    agg_groups = Hashtbl.create 16;
+    compiled;
+  }
+
+let add_fact_array t pred args = ignore (Database.add t.db pred args)
+
+let add_fact t pred args = add_fact_array t pred (Array.of_list args)
+
+(* ---- evaluation ------------------------------------------------------- *)
+
+type binding_ctx = {
+  env : (string, Value.t) Hashtbl.t;
+  mutable parents : (string * Value.t array) list;
+}
+
+let env_key env vars =
+  let buf = Buffer.create 32 in
+  List.iter
+    (fun v ->
+      let value =
+        match Hashtbl.find_opt env v with
+        | Some value -> value
+        | None -> invalid_arg ("Engine: unbound frontier variable " ^ v)
+      in
+      let s = Database.value_key value in
+      Buffer.add_string buf (string_of_int (String.length s));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf s)
+    vars;
+  Buffer.contents buf
+
+(* Match [fact] against [terms] under the context's environment; on success
+   call [k] and undo trail afterwards; returns unit. *)
+let match_terms ctx terms fact k =
+  if Array.length fact <> Array.length terms then ()
+  else begin
+    let trail = ref [] in
+    let ok = ref true in
+    (try
+       Array.iteri
+         (fun i term ->
+           match term with
+           | Term.Const c ->
+             if not (Value.equal c fact.(i)) then raise Exit
+           | Term.Var v ->
+             (match Hashtbl.find_opt ctx.env v with
+             | Some bound -> if not (Value.equal bound fact.(i)) then raise Exit
+             | None ->
+               Hashtbl.replace ctx.env v fact.(i);
+               trail := v :: !trail))
+         terms
+     with Exit -> ok := false);
+    if !ok then k ();
+    List.iter (Hashtbl.remove ctx.env) !trail
+  end
+
+(* Candidate fact indexes for an atom: delta range for the first step when
+   given, otherwise an index lookup on some bound position, otherwise a
+   scan. *)
+let candidates t ctx pred terms ~delta =
+  match delta with
+  | Some (lo, hi) -> `Range (lo, hi)
+  | None ->
+    let bound_pos = ref None in
+    Array.iteri
+      (fun i term ->
+        if !bound_pos = None then
+          match term with
+          | Term.Const c -> bound_pos := Some (i, c)
+          | Term.Var v ->
+            (match Hashtbl.find_opt ctx.env v with
+            | Some value -> bound_pos := Some (i, value)
+            | None -> ()))
+      terms;
+    (match !bound_pos with
+    | Some (pos, value) -> `List (Database.lookup t.db pred ~pos value)
+    | None -> `Range (0, Database.pred_size t.db pred))
+
+let run_plan t plan ~delta_range ctx ~on_binding =
+  let steps = plan in
+  let n = Array.length steps in
+  let rec exec i =
+    if i >= n then on_binding ()
+    else
+      match steps.(i) with
+      | S_atom { pred; terms } ->
+        let delta = if i = 0 then delta_range else None in
+        let visit idx =
+          let fact = Database.nth t.db pred idx in
+          match_terms ctx terms fact (fun () ->
+              if t.config.track_provenance then begin
+                let saved = ctx.parents in
+                ctx.parents <- (pred, fact) :: saved;
+                exec (i + 1);
+                ctx.parents <- saved
+              end
+              else exec (i + 1))
+        in
+        (match candidates t ctx pred terms ~delta with
+        | `Range (lo, hi) ->
+          for idx = lo to hi - 1 do
+            visit idx
+          done
+        | `List idxs -> List.iter visit idxs)
+      | S_neg { pred; terms } ->
+        let args =
+          Array.map
+            (fun term ->
+              match term with
+              | Term.Const c -> c
+              | Term.Var v ->
+                (match Hashtbl.find_opt ctx.env v with
+                | Some value -> value
+                | None ->
+                  invalid_arg "Engine: unbound variable in negated atom"))
+            terms
+        in
+        if not (Database.mem t.db pred args) then exec (i + 1)
+      | S_guard e -> if Expr.eval_bool ctx.env e then exec (i + 1)
+      | S_assign (x, e) ->
+        let value = Expr.eval ctx.env e in
+        (match Hashtbl.find_opt ctx.env x with
+        | Some bound -> if Value.equal bound value then exec (i + 1)
+        | None ->
+          Hashtbl.replace ctx.env x value;
+          exec (i + 1);
+          Hashtbl.remove ctx.env x)
+  in
+  exec 0
+
+let check_fact_limit t =
+  if Database.total t.db > t.config.max_facts then
+    raise
+      (Limit
+         (Printf.sprintf "fact limit exceeded (%d facts)" t.config.max_facts))
+
+(* Emit the heads of a plain (non-aggregate) rule under a complete body
+   binding. Returns true when at least one fact was new. *)
+let emit_plain t cr ctx =
+  let rule = cr.rule in
+  (* Existential variables: one null per (rule, frontier binding). *)
+  let introduced =
+    match cr.existentials with
+    | [] -> []
+    | existentials ->
+      let key =
+        string_of_int rule.Rule.id ^ "|" ^ env_key ctx.env cr.frontier
+      in
+      let assignment =
+        match Hashtbl.find_opt t.skolem key with
+        | Some assignment -> assignment
+        | None ->
+          let assignment =
+            List.map (fun v -> (v, Ids.fresh_null t.ids)) existentials
+          in
+          Hashtbl.add t.skolem key assignment;
+          assignment
+      in
+      assignment
+  in
+  List.iter (fun (v, value) -> Hashtbl.replace ctx.env v value) introduced;
+  let prov =
+    if t.config.track_provenance then
+      Database.Derived
+        {
+          rule_id = rule.Rule.id;
+          rule_label = rule.Rule.label;
+          parents = List.rev ctx.parents;
+        }
+    else Database.Edb
+  in
+  let any_new = ref false in
+  List.iter
+    (fun atom ->
+      let args = Array.map (Expr.eval ctx.env) atom.Atom.args in
+      if Database.add t.db ~prov atom.Atom.pred args then any_new := true)
+    rule.Rule.head;
+  List.iter (fun (v, _) -> Hashtbl.remove ctx.env v) introduced;
+  check_fact_limit t;
+  !any_new
+
+let contributor_key ctx contributors =
+  let buf = Buffer.create 16 in
+  List.iter
+    (fun term ->
+      let value =
+        match term with
+        | Term.Const c -> c
+        | Term.Var v ->
+          (match Hashtbl.find_opt ctx.env v with
+          | Some value -> value
+          | None -> invalid_arg "Engine: unbound contributor variable")
+      in
+      let s = Database.value_key value in
+      Buffer.add_string buf (string_of_int (String.length s));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf s)
+    contributors;
+  Buffer.contents buf
+
+let groups_of_rule t rule_id =
+  match Hashtbl.find_opt t.agg_groups rule_id with
+  | Some groups -> groups
+  | None ->
+    let groups = Hashtbl.create 64 in
+    Hashtbl.add t.agg_groups rule_id groups;
+    groups
+
+(* Evaluate the post-aggregation phase (assignments and guards over the
+   bound aggregate result) and, if every guard holds, emit the heads.
+   [bindings] seeds the environment with the group's variables. *)
+let emit_agg_head t cr bindings =
+  let rule = cr.rule in
+  let env = Hashtbl.create 16 in
+  List.iter (fun (v, value) -> Hashtbl.replace env v value) bindings;
+  let passes =
+    Array.for_all
+      (function
+        | S_assign (x, e) ->
+          Hashtbl.replace env x (Expr.eval env e);
+          true
+        | S_guard e -> Expr.eval_bool env e
+        | S_atom _ | S_neg _ -> true)
+      cr.post
+  in
+  if not passes then false
+  else begin
+    let prov =
+      if t.config.track_provenance then
+        Database.Derived
+          { rule_id = rule.Rule.id; rule_label = rule.Rule.label; parents = [] }
+      else Database.Edb
+    in
+    let any_new = ref false in
+    List.iter
+      (fun atom ->
+        let args = Array.map (Expr.eval env) atom.Atom.args in
+        if Database.add t.db ~prov atom.Atom.pred args then any_new := true)
+      rule.Rule.head;
+    check_fact_limit t;
+    !any_new
+  end
+
+(* One full evaluation of an aggregate rule. For Bind rules, [finalize]
+   emits every group at the end; for Test rules, groups that pass emit as
+   soon as they pass. Returns true when new facts appeared. *)
+let eval_agg_rule t cr ~delta_range ~plan_idx =
+  let agg = Option.get cr.agg in
+  let groups = groups_of_rule t cr.rule.Rule.id in
+  let group_vars = cr.group_vars in
+  let ctx = { env = Hashtbl.create 16; parents = [] } in
+  let any_new = ref false in
+  let on_binding () =
+    let gkey = env_key ctx.env group_vars in
+    let group =
+      match Hashtbl.find_opt groups gkey with
+      | Some group -> group
+      | None ->
+        let snapshot =
+          List.map (fun v -> (v, Hashtbl.find ctx.env v)) group_vars
+        in
+        let group = { state = Aggregate.create agg.Rule.agg_op; snapshot } in
+        Hashtbl.add groups gkey group;
+        group
+    in
+    let ckey = contributor_key ctx agg.Rule.agg_contributors in
+    let contribution = Expr.eval ctx.env agg.Rule.agg_arg in
+    ignore (Aggregate.contribute group.state ~contributor:ckey contribution);
+    (match agg.Rule.agg_result with
+    | Rule.Test (op, rhs) ->
+      let current = Aggregate.current group.state in
+      let passes =
+        Expr.eval_bool ctx.env
+          (Expr.Binop (op, Expr.Const current, rhs))
+      in
+      if passes && emit_agg_head t cr group.snapshot then any_new := true
+    | Rule.Bind _ -> ())
+  in
+  run_plan t cr.plans.(plan_idx) ~delta_range ctx ~on_binding;
+  (match agg.Rule.agg_result with
+  | Rule.Bind x ->
+    Hashtbl.iter
+      (fun _ group ->
+        if Aggregate.contributors group.state > 0 then begin
+          let bindings = (x, Aggregate.current group.state) :: group.snapshot in
+          if emit_agg_head t cr bindings then any_new := true
+        end)
+      groups
+  | Rule.Test _ -> ());
+  !any_new
+
+let eval_plain_rule t cr ~delta_range ~plan_idx =
+  let ctx = { env = Hashtbl.create 16; parents = [] } in
+  let any_new = ref false in
+  run_plan t cr.plans.(plan_idx) ~delta_range ctx ~on_binding:(fun () ->
+      if emit_plain t cr ctx then any_new := true);
+  !any_new
+
+let is_bind_rule cr =
+  match cr.agg with
+  | Some { agg_result = Rule.Bind _; _ } -> true
+  | Some { agg_result = Rule.Test _; _ } | None -> false
+
+let is_test_rule cr =
+  match cr.agg with
+  | Some { agg_result = Rule.Test _; _ } -> true
+  | Some { agg_result = Rule.Bind _; _ } | None -> false
+
+let run_stratum t rules =
+  let compiled = List.map (fun r -> Hashtbl.find t.compiled r.Rule.id) rules in
+  let bind_rules = List.filter is_bind_rule compiled in
+  let test_rules = List.filter is_test_rule compiled in
+  let plain_rules =
+    List.filter (fun cr -> not (is_bind_rule cr || is_test_rule cr)) compiled
+  in
+  (* Aggregate-binding rules: inputs are saturated, evaluate once. *)
+  List.iter
+    (fun cr ->
+      let n = Array.length cr.pos_atoms in
+      ignore (eval_agg_rule t cr ~delta_range:None ~plan_idx:n))
+    bind_rules;
+  (* Fixpoint for the rest. *)
+  let seen = Hashtbl.create 16 in
+  let watermark pred =
+    match Hashtbl.find_opt seen pred with Some w -> w | None -> 0
+  in
+  let iteration = ref 0 in
+  let continue = ref (plain_rules <> [] || test_rules <> []) in
+  while !continue do
+    incr iteration;
+    if !iteration > t.config.max_iterations then
+      raise
+        (Limit
+           (Printf.sprintf "iteration limit exceeded (%d)"
+              t.config.max_iterations));
+    let before = Database.total t.db in
+    (* Snapshot the frontier: facts in [watermark, snapshot) are the delta. *)
+    let snapshot = Hashtbl.create 16 in
+    let preds_of cr = Array.to_list (Array.map fst cr.pos_atoms) in
+    List.iter
+      (fun cr ->
+        List.iter
+          (fun p ->
+            if not (Hashtbl.mem snapshot p) then
+              Hashtbl.add snapshot p (Database.pred_size t.db p))
+          (preds_of cr))
+      (plain_rules @ test_rules);
+    let snap pred =
+      match Hashtbl.find_opt snapshot pred with Some s -> s | None -> 0
+    in
+    List.iter
+      (fun cr ->
+        let n = Array.length cr.pos_atoms in
+        if n = 0 then begin
+          if !iteration = 1 then
+            ignore (eval_plain_rule t cr ~delta_range:None ~plan_idx:n)
+        end
+        else
+          for k = 0 to n - 1 do
+            let pred = fst cr.pos_atoms.(k) in
+            let lo = watermark pred and hi = snap pred in
+            if lo < hi then
+              ignore (eval_plain_rule t cr ~delta_range:(Some (lo, hi)) ~plan_idx:k)
+          done)
+      plain_rules;
+    List.iter
+      (fun cr ->
+        let dirty =
+          !iteration = 1
+          || List.exists (fun p -> watermark p < snap p) (preds_of cr)
+        in
+        if dirty then
+          let n = Array.length cr.pos_atoms in
+          ignore (eval_agg_rule t cr ~delta_range:None ~plan_idx:n))
+      test_rules;
+    Hashtbl.iter (fun pred s -> Hashtbl.replace seen pred s) snapshot;
+    let after = Database.total t.db in
+    (* Stop when this pass derived nothing new and every delta was consumed:
+       any fact born during the pass is above the stored watermark and will
+       be someone's delta next pass. *)
+    let frontier_pending =
+      List.exists
+        (fun cr ->
+          List.exists
+            (fun p -> watermark p < Database.pred_size t.db p)
+            (preds_of cr))
+        (plain_rules @ test_rules)
+    in
+    continue := after > before || frontier_pending
+  done
+
+let run t =
+  Array.iter (fun rules -> run_stratum t rules) t.strat.Stratify.strata
+
+let facts t pred = Database.facts t.db pred
+
+let database t = t.db
+
+let explain ?max_depth t pred args = Provenance.explain ?max_depth t.db pred args
+
+let nulls_created t = Ids.count t.ids

@@ -1,0 +1,57 @@
+(** The reasoning engine: chase-based saturation of a Vadalog program.
+
+    Evaluation strategy:
+    - rules are {!Stratify}ed; strata run bottom-up;
+    - within a stratum, aggregate-{e binding} rules run first, once (their
+      bodies are saturated by construction), then the remaining rules reach
+      a fixpoint by semi-naive evaluation (per-atom deltas over the fact
+      store's insertion order);
+    - existential head variables are satisfied by the Skolem chase: one
+      fresh labelled null per (rule, existential variable, frontier
+      binding), memoized so the chase terminates on warded programs;
+    - monotone aggregate {e tests} re-evaluate while their inputs grow —
+      their contributor tables persist across iterations, so recursion
+      through [msum(...) > t] converges (Section 4.4's company control);
+    - every derived fact can record its rule and parent facts for
+      {!Provenance} explanations. *)
+
+type config = {
+  track_provenance : bool;  (** default [true] *)
+  max_iterations : int;  (** per-stratum fixpoint guard, default 100_000 *)
+  max_facts : int;  (** global derivation guard, default 10_000_000 *)
+}
+
+val default_config : config
+
+exception Limit of string
+(** Raised when an iteration or fact guard trips — the symptom of a
+    non-warded program whose chase diverges. *)
+
+type t
+
+val create : ?config:config -> ?first_null_label:int -> Program.t -> t
+(** Loads the program's inline facts; raises [Invalid_argument] on programs
+    that fail {!Program.validate} and {!Stratify.Not_stratifiable} on
+    non-stratifiable ones. [first_null_label] seeds the chase's labelled-null
+    counter, so successive engine runs over evolving data can keep their
+    invented nulls distinct. *)
+
+val add_fact : t -> string -> Vadasa_base.Value.t list -> unit
+
+val add_fact_array : t -> string -> Vadasa_base.Value.t array -> unit
+
+val run : t -> unit
+(** Saturate. Idempotent: calling [run] again after adding facts resumes
+    from the current state (all strata re-run). *)
+
+val facts : t -> string -> Vadasa_base.Value.t array list
+(** Facts of a predicate, insertion order. *)
+
+val database : t -> Database.t
+
+val explain :
+  ?max_depth:int -> t -> string -> Vadasa_base.Value.t array ->
+  Provenance.t option
+
+val nulls_created : t -> int
+(** Labelled nulls invented by the chase so far. *)

@@ -1,0 +1,55 @@
+(** Expressions: the computational layer of rule bodies and heads.
+
+    Expressions appear as guards ([R > T]), assignments ([R = 1/S]) and head
+    arguments (e.g. the suppression head
+    [tuple(M, I, union(remove_key(VSet, A), pair(A, Z)))], Algorithm 7). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** always real division *)
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type t =
+  | Const of Vadasa_base.Value.t
+  | Var of string
+  | Call of string * t list  (** builtin function application *)
+  | Binop of binop * t * t
+  | Not of t
+  | Neg of t
+
+exception Eval_error of string
+
+type env = (string, Vadasa_base.Value.t) Hashtbl.t
+
+val eval : env -> t -> Vadasa_base.Value.t
+(** Raises {!Eval_error} on unbound variables or type errors. Arithmetic on
+    two [Int]s stays integral except [Div]; comparisons use the total value
+    order; [Eq]/[Ne] use standard (not maybe-match) equality — use the
+    [maybe_eq] builtin for =⊥. *)
+
+val eval_bool : env -> t -> bool
+(** Evaluates and requires a boolean. *)
+
+val vars : t -> string list
+(** Distinct variables, first-occurrence order. *)
+
+val of_term : Term.t -> t
+
+val as_term : t -> Term.t option
+(** [Some] when the expression is a bare variable or constant. *)
+
+val binop_to_string : binop -> string
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

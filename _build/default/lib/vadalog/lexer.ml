@@ -1,0 +1,207 @@
+type token =
+  | IDENT of string
+  | VAR of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | DOT
+  | IMPLIES
+  | AT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | KW_NOT
+  | KW_TRUE
+  | KW_FALSE
+  | KW_AND
+  | KW_OR
+  | HASH_INT of int
+  | EOF
+
+exception Error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_ident_char c = is_lower c || is_upper c || is_digit c || c = '_'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '%' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if !i + 1 < n && src.[!i] = '.' && is_digit src.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        emit (FLOAT (float_of_string (String.sub src start (!i - start))))
+      end
+      else emit (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_lower c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      emit
+        (match word with
+        | "not" -> KW_NOT
+        | "mod" -> PERCENT
+        | "true" -> KW_TRUE
+        | "false" -> KW_FALSE
+        | "and" -> KW_AND
+        | "or" -> KW_OR
+        | _ -> IDENT word)
+    end
+    else if is_upper c || c = '_' then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      emit (VAR (String.sub src start (!i - start)))
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        let d = src.[!i] in
+        if d = '"' then begin
+          closed := true;
+          incr i
+        end
+        else if d = '\\' && !i + 1 < n then begin
+          (match src.[!i + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | other -> Buffer.add_char buf other);
+          i := !i + 2
+        end
+        else begin
+          if d = '\n' then incr line;
+          Buffer.add_char buf d;
+          incr i
+        end
+      done;
+      if not !closed then fail !line "unterminated string literal";
+      emit (STRING (Buffer.contents buf))
+    end
+    else if c = '#' then begin
+      incr i;
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if !i = start then fail !line "expected digits after '#'";
+      emit (HASH_INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | ":-" ->
+        emit IMPLIES;
+        i := !i + 2
+      | "!=" ->
+        emit NE;
+        i := !i + 2
+      | "<=" ->
+        emit LE;
+        i := !i + 2
+      | ">=" ->
+        emit GE;
+        i := !i + 2
+      | _ ->
+        (match c with
+        | '(' -> emit LPAREN
+        | ')' -> emit RPAREN
+        | '{' -> emit LBRACE
+        | '}' -> emit RBRACE
+        | ',' -> emit COMMA
+        | ';' -> emit SEMI
+        | '.' -> emit DOT
+        | '@' -> emit AT
+        | '=' -> emit EQ
+        | '<' -> emit LT
+        | '>' -> emit GT
+        | '+' -> emit PLUS
+        | '-' -> emit MINUS
+        | '*' -> emit STAR
+        | '/' -> emit SLASH
+        | '%' -> emit PERCENT
+        | _ -> fail !line "unexpected character %C" c);
+        incr i
+    end
+  done;
+  emit EOF;
+  Array.of_list (List.rev !tokens)
+
+let token_to_string = function
+  | IDENT s -> s
+  | VAR s -> s
+  | INT x -> string_of_int x
+  | FLOAT x -> string_of_float x
+  | STRING s -> "\"" ^ s ^ "\""
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | DOT -> "."
+  | IMPLIES -> ":-"
+  | AT -> "@"
+  | EQ -> "="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | KW_NOT -> "not"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_AND -> "and"
+  | KW_OR -> "or"
+  | HASH_INT n -> "#" ^ string_of_int n
+  | EOF -> "<eof>"

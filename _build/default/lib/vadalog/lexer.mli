@@ -1,0 +1,47 @@
+(** Tokenizer for the Vadalog surface syntax.
+
+    Conventions follow Datalog tradition: identifiers starting lowercase are
+    predicate names, builtin functions or symbolic constants; identifiers
+    starting uppercase (or [_]) are variables; [%] opens a line comment;
+    [#n] is the labelled null ⊥ₙ. *)
+
+type token =
+  | IDENT of string
+  | VAR of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | DOT
+  | IMPLIES  (** [:-] *)
+  | AT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT  (** the [mod] keyword ([%] itself opens a comment) *)
+  | KW_NOT
+  | KW_TRUE
+  | KW_FALSE
+  | KW_AND
+  | KW_OR
+  | HASH_INT of int  (** labelled null literal [#n] *)
+  | EOF
+
+exception Error of { line : int; message : string }
+
+val tokenize : string -> (token * int) array
+(** Token with its 1-based source line; ends with [EOF]. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,416 @@
+module Value = Vadasa_base.Value
+
+exception Error of { line : int; message : string }
+
+type state = {
+  tokens : (Lexer.token * int) array;
+  mutable pos : int;
+  mutable next_rule_id : int;
+  mutable next_anon : int;
+  mutable pending_label : string option;
+}
+
+let peek st = fst st.tokens.(st.pos)
+let peek_at st k =
+  if st.pos + k < Array.length st.tokens then fst st.tokens.(st.pos + k)
+  else Lexer.EOF
+
+let line st = snd st.tokens.(st.pos)
+
+let fail st fmt =
+  Printf.ksprintf (fun message -> raise (Error { line = line st; message })) fmt
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st token =
+  if peek st = token then advance st
+  else
+    fail st "expected %s but found %s"
+      (Lexer.token_to_string token)
+      (Lexer.token_to_string (peek st))
+
+let fresh_anon st =
+  st.next_anon <- st.next_anon + 1;
+  "_anon" ^ string_of_int st.next_anon
+
+let cmp_of_token = function
+  | Lexer.EQ -> Some Expr.Eq
+  | Lexer.NE -> Some Expr.Ne
+  | Lexer.LT -> Some Expr.Lt
+  | Lexer.LE -> Some Expr.Le
+  | Lexer.GT -> Some Expr.Gt
+  | Lexer.GE -> Some Expr.Ge
+  | _ -> None
+
+(* --- expressions ------------------------------------------------------ *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if peek st = Lexer.KW_OR then begin
+    advance st;
+    Expr.Binop (Expr.Or, left, parse_or st)
+  end
+  else left
+
+and parse_and st =
+  let left = parse_cmp st in
+  if peek st = Lexer.KW_AND then begin
+    advance st;
+    Expr.Binop (Expr.And, left, parse_and st)
+  end
+  else left
+
+and parse_cmp st =
+  let left = parse_add st in
+  match cmp_of_token (peek st) with
+  | Some op ->
+    advance st;
+    Expr.Binop (op, left, parse_add st)
+  | None -> left
+
+and parse_add st =
+  let left = ref (parse_mul st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      left := Expr.Binop (Expr.Add, !left, parse_mul st)
+    | Lexer.MINUS ->
+      advance st;
+      left := Expr.Binop (Expr.Sub, !left, parse_mul st)
+    | _ -> continue := false
+  done;
+  !left
+
+and parse_mul st =
+  let left = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      left := Expr.Binop (Expr.Mul, !left, parse_unary st)
+    | Lexer.SLASH ->
+      advance st;
+      left := Expr.Binop (Expr.Div, !left, parse_unary st)
+    | Lexer.PERCENT ->
+      advance st;
+      left := Expr.Binop (Expr.Mod, !left, parse_unary st)
+    | _ -> continue := false
+  done;
+  !left
+
+and parse_unary st =
+  match peek st with
+  | Lexer.MINUS ->
+    advance st;
+    Expr.Neg (parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT x ->
+    advance st;
+    Expr.Const (Value.Int x)
+  | Lexer.FLOAT x ->
+    advance st;
+    Expr.Const (Value.Float x)
+  | Lexer.STRING s ->
+    advance st;
+    Expr.Const (Value.Str s)
+  | Lexer.KW_TRUE ->
+    advance st;
+    Expr.Const (Value.Bool true)
+  | Lexer.KW_FALSE ->
+    advance st;
+    Expr.Const (Value.Bool false)
+  | Lexer.HASH_INT n ->
+    advance st;
+    Expr.Const (Value.Null n)
+  | Lexer.VAR v ->
+    advance st;
+    if v = "_" then Expr.Var (fresh_anon st) else Expr.Var v
+  | Lexer.IDENT name ->
+    advance st;
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let args = parse_expr_list st in
+      expect st Lexer.RPAREN;
+      Expr.Call (name, args)
+    end
+    else Expr.Const (Value.Str name)
+  | Lexer.LPAREN ->
+    advance st;
+    let first = parse_expr st in
+    if peek st = Lexer.COMMA then begin
+      (* Parenthesized comma builds (nested) pairs: (a, b, c) = (a, (b, c)). *)
+      let rest = ref [] in
+      while peek st = Lexer.COMMA do
+        advance st;
+        rest := parse_expr st :: !rest
+      done;
+      expect st Lexer.RPAREN;
+      let elements = first :: List.rev !rest in
+      let rec fold = function
+        | [ x ] -> x
+        | x :: more -> Expr.Call ("pair", [ x; fold more ])
+        | [] -> assert false
+      in
+      fold elements
+    end
+    else begin
+      expect st Lexer.RPAREN;
+      first
+    end
+  | Lexer.KW_NOT when peek_at st 1 = Lexer.LPAREN ->
+    (* Boolean negation in expressions: not(member(S, P)). *)
+    advance st;
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    Expr.Not e
+  | Lexer.LBRACE ->
+    advance st;
+    let elems = ref [] in
+    if peek st <> Lexer.RBRACE then begin
+      elems := [ parse_expr st ];
+      while peek st = Lexer.SEMI || peek st = Lexer.COMMA do
+        advance st;
+        elems := parse_expr st :: !elems
+      done
+    end;
+    expect st Lexer.RBRACE;
+    Expr.Call ("coll", List.rev !elems)
+  | t -> fail st "unexpected token %s in expression" (Lexer.token_to_string t)
+
+and parse_expr_list st =
+  if peek st = Lexer.RPAREN then []
+  else begin
+    let acc = ref [ parse_expr st ] in
+    while peek st = Lexer.COMMA do
+      advance st;
+      acc := parse_expr st :: !acc
+    done;
+    List.rev !acc
+  end
+
+(* --- atoms, aggregates, literals -------------------------------------- *)
+
+let parse_atom st =
+  match peek st with
+  | Lexer.IDENT name ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let args = parse_expr_list st in
+    expect st Lexer.RPAREN;
+    Atom.make name args
+  | t -> fail st "expected an atom but found %s" (Lexer.token_to_string t)
+
+let parse_contributor st =
+  match peek st with
+  | Lexer.VAR v ->
+    advance st;
+    if v = "_" then fail st "anonymous variables cannot be contributors"
+    else Term.Var v
+  | Lexer.INT x ->
+    advance st;
+    Term.Const (Value.Int x)
+  | Lexer.STRING s ->
+    advance st;
+    Term.Const (Value.Str s)
+  | Lexer.IDENT s when peek_at st 1 <> Lexer.LPAREN ->
+    advance st;
+    Term.Const (Value.Str s)
+  | t -> fail st "expected a contributor term, found %s" (Lexer.token_to_string t)
+
+(* [op] name was already recognized; cursor on '('. *)
+let parse_agg_call st op =
+  expect st Lexer.LPAREN;
+  let arg =
+    if op = Aggregate.Count then Expr.Const (Value.Int 1)
+    else begin
+      let e = parse_expr st in
+      expect st Lexer.COMMA;
+      e
+    end
+  in
+  expect st Lexer.LT;
+  let contributors = ref [ parse_contributor st ] in
+  while peek st = Lexer.COMMA do
+    advance st;
+    contributors := parse_contributor st :: !contributors
+  done;
+  expect st Lexer.GT;
+  expect st Lexer.RPAREN;
+  (arg, List.rev !contributors)
+
+let agg_name_at st k =
+  match peek_at st k with
+  | Lexer.IDENT name -> Aggregate.op_of_string name
+  | _ -> None
+
+let parse_literal st =
+  match peek st with
+  | Lexer.KW_NOT when peek_at st 1 <> Lexer.LPAREN ->
+    advance st;
+    Rule.Neg (parse_atom st)
+  | Lexer.KW_NOT ->
+    (* not(expr) is a boolean guard, not atom negation. *)
+    let e = parse_expr st in
+    Rule.Guard e
+  | Lexer.VAR v
+    when peek_at st 1 = Lexer.EQ
+         && agg_name_at st 2 <> None
+         && peek_at st 3 = Lexer.LPAREN ->
+    (* X = msum(E, <C>) *)
+    advance st;
+    advance st;
+    let op = Option.get (agg_name_at st 0) in
+    advance st;
+    let arg, contributors = parse_agg_call st op in
+    Rule.Agg
+      {
+        agg_op = op;
+        agg_arg = arg;
+        agg_contributors = contributors;
+        agg_result = Rule.Bind v;
+      }
+  | Lexer.IDENT name
+    when Aggregate.op_of_string name <> None && peek_at st 1 = Lexer.LPAREN ->
+    (* msum(E, <C>) > threshold *)
+    let op = Option.get (Aggregate.op_of_string name) in
+    advance st;
+    let arg, contributors = parse_agg_call st op in
+    let cmp =
+      match cmp_of_token (peek st) with
+      | Some op -> op
+      | None -> fail st "aggregate guard needs a comparison operator"
+    in
+    advance st;
+    let rhs = parse_add st in
+    Rule.Agg
+      {
+        agg_op = op;
+        agg_arg = arg;
+        agg_contributors = contributors;
+        agg_result = Rule.Test (cmp, rhs);
+      }
+  | _ ->
+    let e = parse_expr st in
+    (match e with
+    | Expr.Binop (Expr.Eq, Expr.Var x, rhs) -> Rule.Assign (x, rhs)
+    | Expr.Binop ((Eq | Ne | Lt | Le | Gt | Ge | And | Or), _, _) | Expr.Not _ ->
+      Rule.Guard e
+    | Expr.Call (name, _) when Builtins.is_builtin name -> Rule.Guard e
+    | Expr.Call (name, args) -> Rule.Pos (Atom.make name args)
+    | Expr.Const _ | Expr.Var _ | Expr.Binop _ | Expr.Neg _ ->
+      fail st "expression %s is not a valid literal" (Expr.to_string e))
+
+(* --- statements -------------------------------------------------------- *)
+
+type accum = {
+  mutable rules : Rule.t list;
+  mutable facts : (string * Value.t array) list;
+  mutable inputs : string list;
+  mutable outputs : string list;
+}
+
+let ground_args st atom =
+  let env = Hashtbl.create 1 in
+  Array.map
+    (fun e ->
+      try Expr.eval env e
+      with Expr.Eval_error m -> fail st "fact arguments must be ground: %s" m)
+    atom.Atom.args
+
+let parse_statement st acc =
+  match peek st with
+  | Lexer.AT ->
+    advance st;
+    let kind =
+      match peek st with
+      | Lexer.IDENT k ->
+        advance st;
+        k
+      | t -> fail st "expected annotation name, found %s" (Lexer.token_to_string t)
+    in
+    expect st Lexer.LPAREN;
+    let arg =
+      match peek st with
+      | Lexer.STRING s ->
+        advance st;
+        s
+      | t -> fail st "annotation expects a string, found %s" (Lexer.token_to_string t)
+    in
+    expect st Lexer.RPAREN;
+    expect st Lexer.DOT;
+    (match kind with
+    | "input" -> acc.inputs <- arg :: acc.inputs
+    | "output" -> acc.outputs <- arg :: acc.outputs
+    | "label" -> st.pending_label <- Some arg
+    | other -> fail st "unknown annotation @%s" other)
+  | _ ->
+    let first = parse_atom st in
+    (match peek st with
+    | Lexer.DOT ->
+      advance st;
+      acc.facts <- (first.Atom.pred, ground_args st first) :: acc.facts
+    | Lexer.COMMA | Lexer.IMPLIES ->
+      let head = ref [ first ] in
+      while peek st = Lexer.COMMA do
+        advance st;
+        head := parse_atom st :: !head
+      done;
+      expect st Lexer.IMPLIES;
+      let body = ref [ parse_literal st ] in
+      while peek st = Lexer.COMMA do
+        advance st;
+        body := parse_literal st :: !body
+      done;
+      expect st Lexer.DOT;
+      let id = st.next_rule_id in
+      st.next_rule_id <- id + 1;
+      let label = st.pending_label in
+      st.pending_label <- None;
+      acc.rules <-
+        Rule.make ?label ~id ~head:(List.rev !head) ~body:(List.rev !body) ()
+        :: acc.rules
+    | t ->
+      fail st "expected '.' or ':-' after atom, found %s"
+        (Lexer.token_to_string t))
+
+let parse src =
+  let tokens = Lexer.tokenize src in
+  let st =
+    { tokens; pos = 0; next_rule_id = 0; next_anon = 0; pending_label = None }
+  in
+  let acc = { rules = []; facts = []; inputs = []; outputs = [] } in
+  while peek st <> Lexer.EOF do
+    parse_statement st acc
+  done;
+  let program =
+    Program.make ~facts:(List.rev acc.facts) ~inputs:(List.rev acc.inputs)
+      ~outputs:(List.rev acc.outputs) (List.rev acc.rules)
+  in
+  (match Program.validate program with
+  | Ok () -> ()
+  | Error errors ->
+    raise (Error { line = 0; message = String.concat "; " errors }));
+  program
+
+let parse_rule src =
+  let program = parse src in
+  match program.Program.rules with
+  | [ rule ] -> rule
+  | rules ->
+    raise
+      (Error
+         {
+           line = 0;
+           message =
+             Printf.sprintf "expected exactly one rule, found %d"
+               (List.length rules);
+         })

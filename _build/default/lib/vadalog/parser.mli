@@ -1,0 +1,33 @@
+(** Recursive-descent parser for the Vadalog surface syntax.
+
+    Grammar sketch (see the test suite for worked programs):
+    {v
+    program    ::= statement*
+    statement  ::= '@input'  '(' STRING ')' '.'
+                 | '@output' '(' STRING ')' '.'
+                 | '@label'  '(' STRING ')' '.'       (names the next rule)
+                 | atom '.'                            (ground fact)
+                 | atom (',' atom)* ':-' body '.'      (rule)
+    body       ::= literal (',' literal)*
+    literal    ::= 'not' atom
+                 | VAR '=' AGG '(' [expr ','] '<' term+ '>' ')'
+                 | AGG '(' [expr ','] '<' term+ '>' ')' CMP expr
+                 | expr                                 (guard / assign / atom)
+    v}
+
+    Expression conventions: lowercase identifiers without parentheses are
+    symbolic string constants ([cat(M, A, quasi_identifier)]); with
+    parentheses they are builtin calls or, at literal level, predicate
+    atoms; [(a, b)] builds a pair; [{x; y}] a collection; [#3] the labelled
+    null ⊥₃. A literal [X = e] assigns when [X] is free and checks equality
+    when bound. Aggregates: msum, mcount, mprod, mmin, mmax, munion with
+    contributors in angle brackets. *)
+
+exception Error of { line : int; message : string }
+
+val parse : string -> Program.t
+(** Raises {!Error} or {!Lexer.Error} on malformed input; the returned
+    program is already validated ({!Program.validate}). *)
+
+val parse_rule : string -> Rule.t
+(** Parse a single rule (utility for tests and the REPL-style CLI). *)

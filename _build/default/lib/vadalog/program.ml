@@ -1,0 +1,59 @@
+type t = {
+  rules : Rule.t list;
+  facts : (string * Vadasa_base.Value.t array) list;
+  inputs : string list;
+  outputs : string list;
+}
+
+let empty = { rules = []; facts = []; inputs = []; outputs = [] }
+
+let make ?(facts = []) ?(inputs = []) ?(outputs = []) rules =
+  { rules; facts; inputs; outputs }
+
+let validate t =
+  let errors =
+    List.filter_map
+      (fun r -> match Rule.validate r with Ok () -> None | Error e -> Some e)
+      t.rules
+  in
+  if errors = [] then Ok () else Error errors
+
+let dedup_sorted xs = List.sort_uniq String.compare xs
+
+let predicates t =
+  dedup_sorted
+    (List.concat_map
+       (fun r ->
+         Rule.head_predicates r @ List.map fst (Rule.body_predicates r))
+       t.rules
+    @ List.map fst t.facts)
+
+let idb_predicates t =
+  dedup_sorted (List.concat_map Rule.head_predicates t.rules)
+
+let edb_predicates t =
+  let idb = idb_predicates t in
+  List.filter (fun p -> not (List.mem p idb)) (predicates t)
+
+let union a b =
+  let max_id = List.fold_left (fun acc r -> max acc r.Rule.id) 0 a.rules in
+  let shifted =
+    List.map (fun r -> { r with Rule.id = r.Rule.id + max_id + 1 }) b.rules
+  in
+  {
+    rules = a.rules @ shifted;
+    facts = a.facts @ b.facts;
+    inputs = dedup_sorted (a.inputs @ b.inputs);
+    outputs = dedup_sorted (a.outputs @ b.outputs);
+  }
+
+let pp ppf t =
+  List.iter (fun p -> Format.fprintf ppf "@@input(\"%s\").@." p) t.inputs;
+  List.iter (fun p -> Format.fprintf ppf "@@output(\"%s\").@." p) t.outputs;
+  List.iter
+    (fun (pred, args) ->
+      Format.fprintf ppf "%s(%s).@." pred
+        (String.concat ", "
+           (Array.to_list (Array.map Vadasa_base.Value.to_string args))))
+    t.facts;
+  List.iter (fun r -> Format.fprintf ppf "%a@." Rule.pp r) t.rules

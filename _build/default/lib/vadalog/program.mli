@@ -1,0 +1,36 @@
+(** Programs: a set of rules plus inline facts and I/O annotations. *)
+
+type t = {
+  rules : Rule.t list;
+  facts : (string * Vadasa_base.Value.t array) list;
+      (** inline EDB facts, in source order *)
+  inputs : string list;  (** predicates declared [@input] *)
+  outputs : string list;  (** predicates declared [@output] *)
+}
+
+val empty : t
+
+val make :
+  ?facts:(string * Vadasa_base.Value.t array) list ->
+  ?inputs:string list ->
+  ?outputs:string list ->
+  Rule.t list ->
+  t
+
+val validate : t -> (unit, string list) result
+(** Validates every rule; collects all errors. *)
+
+val predicates : t -> string list
+(** Every predicate mentioned, sorted. *)
+
+val idb_predicates : t -> string list
+(** Predicates appearing in some rule head. *)
+
+val edb_predicates : t -> string list
+(** Predicates appearing only in bodies or facts. *)
+
+val union : t -> t -> t
+(** Concatenates rules and facts, re-numbering the second program's rule ids
+    to stay unique. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+module Value = Vadasa_base.Value
+
+type t = {
+  pred : string;
+  args : Value.t array;
+  how : how;
+}
+
+and how =
+  | Input
+  | By_rule of { label : string; parents : t list }
+  | Unknown
+
+let rec build db depth pred args =
+  if depth <= 0 then { pred; args; how = Unknown }
+  else
+    match Database.provenance_of db pred args with
+    | None -> { pred; args; how = Unknown }
+    | Some Database.Edb -> { pred; args; how = Input }
+    | Some (Database.Derived { rule_label; parents; _ }) ->
+      let parents =
+        List.map (fun (p, a) -> build db (depth - 1) p a) parents
+      in
+      { pred; args; how = By_rule { label = rule_label; parents } }
+
+let explain ?(max_depth = 12) db pred args =
+  if Database.mem db pred args then Some (build db max_depth pred args)
+  else None
+
+let fact_to_string pred args =
+  pred ^ "("
+  ^ String.concat ", " (Array.to_list (Array.map Value.to_string args))
+  ^ ")"
+
+let rec pp_indented ppf indent node =
+  let pad = String.make indent ' ' in
+  (match node.how with
+  | Input ->
+    Format.fprintf ppf "%s%s  [input]@." pad (fact_to_string node.pred node.args)
+  | Unknown ->
+    Format.fprintf ppf "%s%s  [unknown]@." pad (fact_to_string node.pred node.args)
+  | By_rule { label; parents } ->
+    Format.fprintf ppf "%s%s  [by %s]@." pad
+      (fact_to_string node.pred node.args)
+      label;
+    List.iter (pp_indented ppf (indent + 2)) parents)
+
+let pp ppf node = pp_indented ppf 0 node
+
+let to_string node = Format.asprintf "%a" pp node

@@ -1,0 +1,28 @@
+(** Explanations: why is a fact in the result?
+
+    Full explainability is one of the paper's central desiderata (vi): every
+    anonymization decision must be traceable to the rule and the facts that
+    motivated it. The engine records, for each derived fact, the rule and
+    the parent facts of its first derivation; this module unfolds that
+    record into a tree and renders it. *)
+
+type t = {
+  pred : string;
+  args : Vadasa_base.Value.t array;
+  how : how;
+}
+
+and how =
+  | Input  (** extensional fact *)
+  | By_rule of { label : string; parents : t list }
+  | Unknown  (** provenance tracking was disabled *)
+
+val explain :
+  ?max_depth:int -> Database.t -> string -> Vadasa_base.Value.t array -> t option
+(** [None] when the fact is not in the database. Subtrees deeper than
+    [max_depth] (default 12) are cut with [Unknown]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented derivation tree. *)
+
+val to_string : t -> string

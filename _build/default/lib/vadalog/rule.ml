@@ -1,0 +1,191 @@
+type agg_result =
+  | Bind of string
+  | Test of Expr.binop * Expr.t
+
+type agg = {
+  agg_op : Aggregate.op;
+  agg_arg : Expr.t;
+  agg_contributors : Term.t list;
+  agg_result : agg_result;
+}
+
+type literal =
+  | Pos of Atom.t
+  | Neg of Atom.t
+  | Guard of Expr.t
+  | Assign of string * Expr.t
+  | Agg of agg
+
+type t = {
+  id : int;
+  label : string;
+  head : Atom.t list;
+  body : literal list;
+}
+
+let make ?label ~id ~head ~body () =
+  let label = match label with Some l -> l | None -> "r" ^ string_of_int id in
+  { id; label; head; body }
+
+let dedup xs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+let head_vars t = dedup (List.concat_map Atom.vars t.head)
+
+let positive_body_vars t =
+  dedup
+    (List.concat_map
+       (function Pos a -> Atom.vars a | Neg _ | Guard _ | Assign _ | Agg _ -> [])
+       t.body)
+
+let the_agg t =
+  List.find_map (function Agg a -> Some a | _ -> None) t.body
+
+(* Variables bindable by the body: positive atoms seed the set; assignments
+   join once their right-hand sides are covered; the aggregate's Bind
+   variable comes last. *)
+let bound_vars t =
+  let bound = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace bound v ()) (positive_body_vars t);
+  let assigns =
+    List.filter_map (function Assign (x, e) -> Some (x, e) | _ -> None) t.body
+  in
+  let fixpoint () =
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      List.iter
+        (fun (x, e) ->
+          if
+            (not (Hashtbl.mem bound x))
+            && List.for_all (Hashtbl.mem bound) (Expr.vars e)
+          then begin
+            Hashtbl.replace bound x ();
+            progress := true
+          end)
+        assigns
+    done
+  in
+  fixpoint ();
+  (* Assignments may also depend on the aggregate's bound result: they are
+     evaluated in the post-aggregation phase (see Engine). *)
+  (match the_agg t with
+  | Some { agg_result = Bind x; _ } ->
+    Hashtbl.replace bound x ();
+    fixpoint ()
+  | Some { agg_result = Test _; _ } | None -> ());
+  Hashtbl.fold (fun v () acc -> v :: acc) bound []
+
+let existential_vars t =
+  let bound = bound_vars t in
+  List.filter (fun v -> not (List.mem v bound)) (head_vars t)
+
+let frontier_vars t =
+  let bound = bound_vars t in
+  List.filter (fun v -> List.mem v bound) (head_vars t)
+
+let body_predicates t =
+  List.filter_map
+    (function
+      | Pos a -> Some (a.Atom.pred, `Pos)
+      | Neg a -> Some (a.Atom.pred, `Neg)
+      | Guard _ | Assign _ | Agg _ -> None)
+    t.body
+
+let head_predicates t = dedup (List.map (fun a -> a.Atom.pred) t.head)
+
+let validate t =
+  let fail fmt = Printf.ksprintf (fun s -> Error (t.label ^ ": " ^ s)) fmt in
+  let rec check literals =
+    match literals with
+    | [] -> Ok ()
+    | Pos a :: rest ->
+      (match Atom.as_terms a with
+      | Some _ -> check rest
+      | None -> fail "body atom %s has non-term arguments" (Atom.to_string a))
+    | Neg a :: rest ->
+      (match Atom.as_terms a with
+      | Some _ -> check rest
+      | None -> fail "negated atom %s has non-term arguments" (Atom.to_string a))
+    | (Guard _ | Assign _ | Agg _) :: rest -> check rest
+  in
+  match check t.body with
+  | Error _ as e -> e
+  | Ok () ->
+    let bound = bound_vars t in
+    let is_bound v = List.mem v bound in
+    let aggs = List.filter (function Agg _ -> true | _ -> false) t.body in
+    if List.length aggs > 1 then fail "more than one aggregate literal"
+    else if List.length t.head = 0 then fail "empty head"
+    else
+      let unbound_in what vars =
+        match List.filter (fun v -> not (is_bound v)) vars with
+        | [] -> None
+        | missing -> Some (what, missing)
+      in
+      let problems =
+        List.filter_map
+          (function
+            | Guard e -> unbound_in ("guard " ^ Expr.to_string e) (Expr.vars e)
+            | Assign (x, e) ->
+              unbound_in
+                ("assignment " ^ x ^ " = " ^ Expr.to_string e)
+                (Expr.vars e)
+            | Neg a -> unbound_in ("negated atom " ^ Atom.to_string a) (Atom.vars a)
+            | Agg a ->
+              let contributor_vars = Term.vars a.agg_contributors in
+              let arg_vars = Expr.vars a.agg_arg in
+              let test_vars =
+                match a.agg_result with
+                | Test (_, e) -> Expr.vars e
+                | Bind _ -> []
+              in
+              unbound_in "aggregate" (contributor_vars @ arg_vars @ test_vars)
+            | Pos _ -> None)
+          t.body
+      in
+      (match problems with
+      | (what, missing) :: _ ->
+        fail "%s uses unbound variable(s) %s" what (String.concat ", " missing)
+      | [] ->
+        let existentials = existential_vars t in
+        if existentials <> [] && the_agg t <> None then
+          fail "aggregate rules cannot have existential variables (%s)"
+            (String.concat ", " existentials)
+        else Ok ())
+
+let literal_to_string = function
+  | Pos a -> Atom.to_string a
+  | Neg a -> "not " ^ Atom.to_string a
+  | Guard e -> Expr.to_string e
+  | Assign (x, e) -> x ^ " = " ^ Expr.to_string e
+  | Agg a ->
+    let call =
+      Aggregate.op_to_string a.agg_op
+      ^ "("
+      ^ (match a.agg_op with
+        | Aggregate.Count -> ""
+        | _ -> Expr.to_string a.agg_arg ^ ", ")
+      ^ "<"
+      ^ String.concat ", " (List.map Term.to_string a.agg_contributors)
+      ^ ">)"
+    in
+    (match a.agg_result with
+    | Bind x -> x ^ " = " ^ call
+    | Test (op, e) -> call ^ " " ^ Expr.binop_to_string op ^ " " ^ Expr.to_string e)
+
+let to_string t =
+  String.concat ", " (List.map Atom.to_string t.head)
+  ^ " :- "
+  ^ String.concat ", " (List.map literal_to_string t.body)
+  ^ "."
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,72 @@
+(** Rules: existential rules (tuple-generating dependencies) extended with
+    guards, assignments, stratified negation and monotonic aggregation. *)
+
+type agg_result =
+  | Bind of string
+      (** [R = msum(E, <C>)] — the aggregate value is bound to a variable
+          used in the head. Such rules must be stratified: their body
+          predicates must be saturated before the rule fires. *)
+  | Test of Expr.binop * Expr.t
+      (** [msum(E, <C>) > 0.5] — the aggregate is only compared against a
+          threshold. Because the test's truth can only flip monotonically,
+          these rules may take part in recursion (paper, Section 4.4:
+          company-control clusters). *)
+
+type agg = {
+  agg_op : Aggregate.op;
+  agg_arg : Expr.t;  (** ignored for [mcount] *)
+  agg_contributors : Term.t list;
+  agg_result : agg_result;
+}
+
+type literal =
+  | Pos of Atom.t
+  | Neg of Atom.t  (** stratified negation *)
+  | Guard of Expr.t  (** must evaluate to [true] *)
+  | Assign of string * Expr.t
+      (** binds when the variable is free, checks equality when bound *)
+  | Agg of agg
+
+type t = {
+  id : int;
+  label : string;
+  head : Atom.t list;
+  body : literal list;
+}
+
+val make :
+  ?label:string -> id:int -> head:Atom.t list -> body:literal list -> unit -> t
+
+val head_vars : t -> string list
+
+val positive_body_vars : t -> string list
+(** Variables bound by positive body atoms, in join order. *)
+
+val bound_vars : t -> string list
+(** Variables bound by positive atoms, assignments or an aggregate [Bind]. *)
+
+val existential_vars : t -> string list
+(** Head variables not bound by the body: each gets a fresh labelled null
+    per distinct binding of the frontier (the bound head variables). *)
+
+val frontier_vars : t -> string list
+(** Head variables that {e are} bound by the body. *)
+
+val the_agg : t -> agg option
+(** The rule's aggregate literal, if any. *)
+
+val body_predicates : t -> (string * [ `Pos | `Neg ]) list
+
+val head_predicates : t -> string list
+
+val validate : t -> (unit, string) result
+(** Structural safety: body atoms term-shaped; guards/assignments only over
+    bindable variables; negated atoms safe; at most one aggregate, placed
+    semantically last; no existentials in aggregate rules. Existential
+    variables may appear inside head expressions — e.g. Algorithm 7's
+    suppression head [(A, Z) ∪ (VSet \ (A, _))] — where they evaluate to
+    the invented labelled null. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,156 @@
+exception Not_stratifiable of string
+
+type t = {
+  strata : Rule.t list array;
+  stratum_of_pred : (string, int) Hashtbl.t;
+}
+
+type edge = { src : string; dst : string; raising : bool }
+
+let edges_of_rule rule =
+  let heads = Rule.head_predicates rule in
+  let raising_body =
+    match Rule.the_agg rule with
+    | Some { agg_result = Rule.Bind _; _ } -> true
+    | Some { agg_result = Rule.Test _; _ } | None -> false
+  in
+  let body_edges =
+    List.concat_map
+      (fun (pred, sign) ->
+        List.map
+          (fun h ->
+            { src = pred; dst = h; raising = raising_body || sign = `Neg })
+          heads)
+      (Rule.body_predicates rule)
+  in
+  (* Tie the head predicates of one rule together: they are derived by the
+     same firing so they must share a stratum. *)
+  let head_ties =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if String.equal a b then None
+            else Some { src = a; dst = b; raising = false })
+          heads)
+      heads
+  in
+  body_edges @ head_ties
+
+(* Tarjan's strongly connected components over the predicate graph. *)
+let sccs predicates successors =
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let component = Hashtbl.create 64 in
+  let component_count = ref 0 in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (successors v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let id = !component_count in
+      incr component_count;
+      let continue = ref true in
+      while !continue do
+        match !stack with
+        | [] -> continue := false
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          Hashtbl.replace component w id;
+          if String.equal w v then continue := false
+      done
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) predicates;
+  (component, !component_count)
+
+let compute program =
+  let predicates = Program.predicates program in
+  let edges = List.concat_map edges_of_rule program.Program.rules in
+  let succ_table = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let existing = try Hashtbl.find succ_table e.src with Not_found -> [] in
+      Hashtbl.replace succ_table e.src (e.dst :: existing))
+    edges;
+  let successors v = try Hashtbl.find succ_table v with Not_found -> [] in
+  let component, count = sccs predicates successors in
+  let comp_of p = Hashtbl.find component p in
+  (* Raising edges inside a component make the program non-stratifiable. *)
+  List.iter
+    (fun e ->
+      if e.raising && comp_of e.src = comp_of e.dst then
+        raise
+          (Not_stratifiable
+             (Printf.sprintf
+                "predicate %s depends on %s through negation or a bound \
+                 aggregate inside a cycle"
+                e.dst e.src)))
+    edges;
+  (* Longest-path strata over the condensation: raising edges add one. *)
+  let comp_stratum = Array.make count 0 in
+  let changed = ref true in
+  let guard = ref 0 in
+  while !changed do
+    changed := false;
+    incr guard;
+    if !guard > count + List.length edges + 2 then
+      raise (Not_stratifiable "stratum computation failed to converge");
+    List.iter
+      (fun e ->
+        let cs = comp_of e.src and cd = comp_of e.dst in
+        if cs <> cd then begin
+          let need = comp_stratum.(cs) + if e.raising then 1 else 0 in
+          if comp_stratum.(cd) < need then begin
+            comp_stratum.(cd) <- need;
+            changed := true
+          end
+        end)
+      edges
+  done;
+  let stratum_of_pred = Hashtbl.create 64 in
+  List.iter
+    (fun p -> Hashtbl.replace stratum_of_pred p comp_stratum.(comp_of p))
+    predicates;
+  let max_stratum = Array.fold_left max 0 comp_stratum in
+  let strata = Array.make (max_stratum + 1) [] in
+  let rule_stratum rule =
+    List.fold_left
+      (fun acc p -> max acc (Hashtbl.find stratum_of_pred p))
+      0 (Rule.head_predicates rule)
+  in
+  List.iter
+    (fun rule ->
+      let s = rule_stratum rule in
+      strata.(s) <- rule :: strata.(s))
+    program.Program.rules;
+  let binds_first rules =
+    let is_bind r =
+      match Rule.the_agg r with
+      | Some { agg_result = Rule.Bind _; _ } -> true
+      | Some { agg_result = Rule.Test _; _ } | None -> false
+    in
+    let binds, others = List.partition is_bind rules in
+    binds @ others
+  in
+  let strata = Array.map (fun rs -> binds_first (List.rev rs)) strata in
+  { strata; stratum_of_pred }
+
+let stratum_count t = Array.length t.strata

@@ -1,0 +1,25 @@
+(** Stratification of programs with negation and aggregation.
+
+    Edges of the predicate dependency graph are {e positive} (same stratum
+    allowed) or {e raising} (the head must live in a strictly higher
+    stratum). Negated body atoms and every body predicate of a rule whose
+    aggregate {e binds} a variable produce raising edges; aggregates used
+    only as monotone threshold tests keep positive edges and may recurse
+    (paper, Section 4.4). Head predicates of one rule are forced into the
+    same stratum. *)
+
+exception Not_stratifiable of string
+
+type t = {
+  strata : Rule.t list array;
+      (** rules grouped by stratum, evaluation order; within a stratum,
+          aggregate-binding rules are listed first (their inputs are
+          saturated by construction) *)
+  stratum_of_pred : (string, int) Hashtbl.t;
+}
+
+val compute : Program.t -> t
+(** Raises {!Not_stratifiable} when a raising edge occurs inside a cycle
+    (negation or bound aggregation through recursion). *)
+
+val stratum_count : t -> int

@@ -1,0 +1,29 @@
+module Value = Vadasa_base.Value
+
+type t =
+  | Const of Value.t
+  | Var of string
+
+let equal a b =
+  match a, b with
+  | Const x, Const y -> Value.equal x y
+  | Var x, Var y -> String.equal x y
+  | Const _, Var _ | Var _, Const _ -> false
+
+let is_var = function Var _ -> true | Const _ -> false
+
+let vars terms =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (function
+      | Var v when not (Hashtbl.mem seen v) ->
+        Hashtbl.add seen v ();
+        Some v
+      | Var _ | Const _ -> None)
+    terms
+
+let to_string = function
+  | Const v -> Value.to_string v
+  | Var v -> v
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

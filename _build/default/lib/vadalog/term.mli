@@ -1,0 +1,16 @@
+(** Terms: the arguments of body atoms — constants or variables. *)
+
+type t =
+  | Const of Vadasa_base.Value.t
+  | Var of string
+
+val equal : t -> t -> bool
+
+val is_var : t -> bool
+
+val vars : t list -> string list
+(** Distinct variable names, in first-occurrence order. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

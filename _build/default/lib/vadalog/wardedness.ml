@@ -1,0 +1,156 @@
+type rule_status =
+  | Safe_datalog
+  | Warded of string
+  | Not_warded of string list
+
+type report = {
+  affected_positions : (string * int) list;
+  rule_status : (string * rule_status) list;
+}
+
+(* Positions of a variable among the term-shaped body atoms of a rule. *)
+let body_occurrences rule var =
+  List.concat_map
+    (function
+      | Rule.Pos atom ->
+        (match Atom.as_terms atom with
+        | None -> []
+        | Some terms ->
+          List.concat
+            (List.mapi
+               (fun i t ->
+                 match t with
+                 | Term.Var v when String.equal v var -> [ (atom.Atom.pred, i) ]
+                 | Term.Var _ | Term.Const _ -> [])
+               (Array.to_list terms)))
+      | Rule.Neg _ | Rule.Guard _ | Rule.Assign _ | Rule.Agg _ -> [])
+    rule.Rule.body
+
+(* A head position is an occurrence of [var] both when the argument is the
+   bare variable and when the variable occurs inside a head expression
+   (e.g. an invented null placed inside a collection, Algorithm 7). *)
+let head_occurrences rule var =
+  List.concat_map
+    (fun atom ->
+      List.concat
+        (List.mapi
+           (fun i e ->
+             if List.mem var (Expr.vars e) then [ (atom.Atom.pred, i) ] else [])
+           (Array.to_list atom.Atom.args)))
+    rule.Rule.head
+
+let compute_affected program =
+  let affected = Hashtbl.create 64 in
+  let add (p, i) =
+    if not (Hashtbl.mem affected (p, i)) then begin
+      Hashtbl.add affected (p, i) ();
+      true
+    end
+    else false
+  in
+  (* Base: positions of existential variables in heads. *)
+  List.iter
+    (fun rule ->
+      let existentials = Rule.existential_vars rule in
+      List.iter
+        (fun v -> List.iter (fun pos -> ignore (add pos)) (head_occurrences rule v))
+        existentials)
+    program.Program.rules;
+  (* Propagation: a variable whose body occurrences are all affected marks
+     its head occurrences as affected. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun rule ->
+        let body_vars = Rule.positive_body_vars rule in
+        List.iter
+          (fun v ->
+            let occs = body_occurrences rule v in
+            if occs <> [] && List.for_all (Hashtbl.mem affected) occs then
+              List.iter
+                (fun pos -> if add pos then changed := true)
+                (head_occurrences rule v))
+          body_vars)
+      program.Program.rules
+  done;
+  affected
+
+let rule_status affected rule =
+  let body_vars = Rule.positive_body_vars rule in
+  let head_vars = Rule.head_vars rule in
+  let harmful v =
+    let occs = body_occurrences rule v in
+    occs <> [] && List.for_all (Hashtbl.mem affected) occs
+  in
+  let dangerous = List.filter (fun v -> harmful v && List.mem v head_vars) body_vars in
+  if dangerous = [] then Safe_datalog
+  else
+    (* Find a single positive atom containing every dangerous variable. *)
+    let wards =
+      List.filter_map
+        (function
+          | Rule.Pos atom ->
+            let atom_vars = Atom.vars atom in
+            if List.for_all (fun v -> List.mem v atom_vars) dangerous then
+              Some atom
+            else None
+          | Rule.Neg _ | Rule.Guard _ | Rule.Assign _ | Rule.Agg _ -> None)
+        rule.Rule.body
+    in
+    match wards with
+    | [] -> Not_warded dangerous
+    | ward :: _ ->
+      (* The ward may share only harmless variables with the other atoms. *)
+      let ward_vars = Atom.vars ward in
+      let shared_harmful =
+        List.filter
+          (fun v ->
+            harmful v
+            && (not (List.mem v dangerous))
+            && List.exists
+                 (function
+                   | Rule.Pos atom when atom != ward ->
+                     List.mem v (Atom.vars atom)
+                   | _ -> false)
+                 rule.Rule.body)
+          ward_vars
+      in
+      if shared_harmful = [] then Warded ward.Atom.pred
+      else Not_warded (dangerous @ shared_harmful)
+
+let analyze program =
+  let affected = compute_affected program in
+  let affected_positions =
+    List.sort compare (Hashtbl.fold (fun pos () acc -> pos :: acc) affected [])
+  in
+  let rule_status =
+    List.map
+      (fun rule -> (rule.Rule.label, rule_status affected rule))
+      program.Program.rules
+  in
+  { affected_positions; rule_status }
+
+let is_warded program =
+  List.for_all
+    (fun (_, status) ->
+      match status with
+      | Safe_datalog | Warded _ -> true
+      | Not_warded _ -> false)
+    (analyze program).rule_status
+
+let pp_report ppf report =
+  Format.fprintf ppf "affected positions:@.";
+  List.iter
+    (fun (p, i) -> Format.fprintf ppf "  %s[%d]@." p i)
+    report.affected_positions;
+  Format.fprintf ppf "rules:@.";
+  List.iter
+    (fun (label, status) ->
+      match status with
+      | Safe_datalog -> Format.fprintf ppf "  %s: datalog-safe@." label
+      | Warded pred -> Format.fprintf ppf "  %s: warded by %s@." label pred
+      | Not_warded vars ->
+        Format.fprintf ppf "  %s: NOT WARDED (%s)@." label
+          (String.concat ", " vars))
+    report.rule_status

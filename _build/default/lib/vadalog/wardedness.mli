@@ -1,0 +1,27 @@
+(** Static wardedness analysis (Warded Datalog±).
+
+    Labelled nulls invented for existential variables can propagate through
+    rule applications. A {e position} (predicate, argument index) is
+    {e affected} when a null can reach it; a body variable is {e harmful}
+    (for a rule) when all its body occurrences sit in affected positions,
+    and {e dangerous} when it is harmful and propagated to the head. A rule
+    is {b warded} if all its dangerous variables occur together in one body
+    atom, the {e ward}, and the ward shares only harmless variables with
+    the rest of the body. Warded programs have PTIME data-complexity
+    reasoning — the property the paper inherits its scalability from. *)
+
+type rule_status =
+  | Safe_datalog  (** no dangerous variables at all *)
+  | Warded of string  (** the ward's predicate name *)
+  | Not_warded of string list  (** dangerous variables violating the check *)
+
+type report = {
+  affected_positions : (string * int) list;  (** sorted *)
+  rule_status : (string * rule_status) list;  (** rule label → status *)
+}
+
+val analyze : Program.t -> report
+
+val is_warded : Program.t -> bool
+
+val pp_report : Format.formatter -> report -> unit

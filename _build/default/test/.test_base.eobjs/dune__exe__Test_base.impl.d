@@ -1,0 +1,1 @@
+test/test_base.ml: Alcotest List Option QCheck2 QCheck_alcotest String Vadasa_base

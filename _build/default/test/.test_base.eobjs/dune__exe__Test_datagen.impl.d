@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Astring_contains Format Hashtbl List Option Printf QCheck2 QCheck_alcotest String Vadasa_base Vadasa_datagen Vadasa_relational Vadasa_sdc Vadasa_stats

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Char Hashtbl List QCheck2 QCheck_alcotest String Vadasa_base Vadasa_relational

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float List QCheck2 QCheck_alcotest Vadasa_stats

@@ -1,0 +1,1 @@
+test/test_vadalog.ml: Alcotest Array Format Hashtbl List QCheck2 QCheck_alcotest Vadasa_base Vadasa_vadalog

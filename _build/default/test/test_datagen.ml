@@ -1,0 +1,228 @@
+(* Tests for the synthetic data generation: determinism, schema shape,
+   distribution ordering (W < U < V in risky tuples), the Figure 6 suite,
+   ownership graphs and synthetic hierarchies. *)
+
+module Value = Vadasa_base.Value
+module R = Vadasa_relational
+module S = Vadasa_sdc
+module D = Vadasa_datagen
+
+let spec ?(tuples = 800) ?(qi = 4) ?(seed = 42) dist =
+  {
+    D.Generator.name = "t";
+    tuples;
+    qi_count = qi;
+    distribution = dist;
+    seed;
+  }
+
+let test_generate_shape () =
+  let md = D.Generator.generate (spec D.Generator.W) in
+  Alcotest.(check int) "cardinality" 800 (S.Microdata.cardinal md);
+  Alcotest.(check (list string)) "quasi-identifiers"
+    [ "qi_1"; "qi_2"; "qi_3"; "qi_4" ]
+    (S.Microdata.quasi_identifiers md);
+  Alcotest.(check bool) "weight present" true
+    (S.Microdata.weight_position md <> None);
+  (* Weights are at least 1. *)
+  for i = 0 to 99 do
+    Alcotest.(check bool) "weight >= 1" true (S.Microdata.weight_of md i >= 1.0)
+  done
+
+let test_generate_deterministic () =
+  let a = D.Generator.generate (spec D.Generator.U) in
+  let b = D.Generator.generate (spec D.Generator.U) in
+  let ta = R.Relation.to_list (S.Microdata.relation a) in
+  let tb = R.Relation.to_list (S.Microdata.relation b) in
+  Alcotest.(check bool) "same tuples" true (List.for_all2 R.Tuple.equal ta tb)
+
+let test_generate_seed_sensitivity () =
+  let a = D.Generator.generate (spec ~seed:1 D.Generator.U) in
+  let b = D.Generator.generate (spec ~seed:2 D.Generator.U) in
+  let ta = R.Relation.to_list (S.Microdata.relation a) in
+  let tb = R.Relation.to_list (S.Microdata.relation b) in
+  Alcotest.(check bool) "different data" false (List.for_all2 R.Tuple.equal ta tb)
+
+let risky_count md =
+  let report = S.Risk.estimate (S.Risk.K_anonymity { k = 2 }) md in
+  List.length (S.Risk.risky report ~threshold:0.5)
+
+let test_distribution_risk_ordering () =
+  (* The paper's premise (Figure 7a): anonymizing W needs few labelled
+     nulls, U more, V the most. Risky-tuple counts order W < U; V has
+     fewer-but-deeper risky tuples (its outliers need several
+     suppressions), so the ordering shows in the nulls. *)
+  let nulls dist =
+    let md = D.Generator.generate (spec ~tuples:2000 dist) in
+    (S.Cycle.run md).S.Cycle.nulls_injected
+  in
+  let w_risky = risky_count (D.Generator.generate (spec ~tuples:2000 D.Generator.W)) in
+  let u_risky = risky_count (D.Generator.generate (spec ~tuples:2000 D.Generator.U)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "W risky (%d) < U risky (%d)" w_risky u_risky)
+    true (w_risky < u_risky);
+  let w = nulls D.Generator.W and u = nulls D.Generator.U and v = nulls D.Generator.V in
+  Alcotest.(check bool) (Printf.sprintf "W nulls (%d) < U nulls (%d)" w u) true (w < u);
+  Alcotest.(check bool) (Printf.sprintf "U nulls (%d) < V nulls (%d)" u v) true (u < v);
+  (* At the paper's full 25k size W has ~10 risky tuples; at this reduced
+     scale we only require a modest fraction. *)
+  Alcotest.(check bool) "W risky share modest" true
+    (float_of_int w_risky /. 2000.0 < 0.15)
+
+let test_weight_reflects_rarity () =
+  (* Tuples in singleton combinations must have lower average weight than
+     tuples in large groups: weights estimate population frequency. *)
+  let md = D.Generator.generate (spec ~tuples:2000 D.Generator.U) in
+  let stats = S.Risk.group_stats md in
+  let rare = ref [] and common = ref [] in
+  Array.iteri
+    (fun i f ->
+      let w = S.Microdata.weight_of md i in
+      if f = 1 then rare := w :: !rare
+      else if f >= 5 then common := w :: !common)
+    stats.R.Algebra.Group_stats.freq;
+  if !rare <> [] && !common <> [] then begin
+    let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+    Alcotest.(check bool) "rare combos weigh less" true (mean !rare < mean !common)
+  end
+
+let test_figure6_suite () =
+  Alcotest.(check int) "twelve datasets" 12 (List.length D.Suite.figure6);
+  let entry = Option.get (D.Suite.find "R25A4W") in
+  Alcotest.(check int) "tuples" 25_000 entry.D.Suite.tuples;
+  Alcotest.(check int) "attrs" 4 entry.D.Suite.attrs;
+  let md = D.Suite.load ~scale:0.01 "R25A4W" in
+  Alcotest.(check int) "scaled" 250 (S.Microdata.cardinal md);
+  Alcotest.(check bool) "unknown raises" true
+    (try
+       ignore (D.Suite.load "NOPE");
+       false
+     with Not_found -> true)
+
+let test_figure6_table_renders () =
+  let text = Format.asprintf "%a" D.Suite.pp_table () in
+  Alcotest.(check bool) "contains R100A4U" true
+    (Astring_contains.contains text "R100A4U")
+
+let test_ownership_generation () =
+  let md = D.Generator.generate (spec ~tuples:200 D.Generator.W) in
+  let rng = Vadasa_stats.Rng.create ~seed:5 in
+  let edges = D.Ownership_gen.generate rng md ~id_attr:"id" ~edges:50 () in
+  Alcotest.(check int) "requested edges" 50 (List.length edges);
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "share in (0,1]" true
+        (o.S.Business.share > 0.0 && o.S.Business.share <= 1.0);
+      Alcotest.(check bool) "no self-ownership" false
+        (String.equal o.S.Business.owner o.S.Business.owned))
+    edges;
+  let inferred = D.Ownership_gen.inferred_relationships edges in
+  Alcotest.(check bool) "closure at least as large as majority edges" true
+    (inferred >= List.length (List.filter (fun o -> o.S.Business.share > 0.5) edges))
+
+let test_ownership_scaling () =
+  let md = D.Generator.generate (spec ~tuples:500 D.Generator.W) in
+  let gen n =
+    let rng = Vadasa_stats.Rng.create ~seed:9 in
+    D.Ownership_gen.generate rng md ~id_attr:"id" ~edges:n ()
+  in
+  let r100 = D.Ownership_gen.inferred_relationships (gen 100) in
+  let r300 = D.Ownership_gen.inferred_relationships (gen 300) in
+  Alcotest.(check bool) "more edges, more relationships" true (r300 > r100)
+
+let test_synthetic_hierarchy () =
+  let md = D.Generator.generate (spec ~tuples:300 D.Generator.W) in
+  let h = D.Generator.synthetic_hierarchy md in
+  List.iter
+    (fun attr ->
+      Alcotest.(check bool) ("height of " ^ attr) true
+        (S.Hierarchy.height h ~attr >= 1))
+    (S.Microdata.quasi_identifiers md);
+  (* Every distinct value must roll up somewhere. *)
+  let rel = S.Microdata.relation md in
+  let pos =
+    R.Schema.index_of (S.Microdata.schema md) "qi_1"
+  in
+  R.Relation.iter
+    (fun t ->
+      Alcotest.(check bool) "value has parent" true
+        (S.Hierarchy.parent h t.(pos) <> None))
+    rel
+
+let test_synthetic_hierarchy_recoding_works () =
+  let md = S.Microdata.copy (D.Generator.generate (spec ~tuples:400 D.Generator.V)) in
+  let h = D.Generator.synthetic_hierarchy md in
+  let config =
+    { S.Cycle.default_config with S.Cycle.method_ = S.Cycle.Recode_then_suppress h }
+  in
+  let outcome = S.Cycle.run ~config md in
+  Alcotest.(check bool) "recoding used" true (outcome.S.Cycle.recoded_cells > 0)
+
+let test_figure1_consistency () =
+  let md = D.Ig_survey.figure1 () in
+  Alcotest.(check int) "20 tuples" 20 (S.Microdata.cardinal md);
+  Alcotest.(check int) "9 attributes" 9 (R.Schema.arity (S.Microdata.schema md))
+
+let test_figure5_consistency () =
+  let md = D.Ig_survey.figure5 () in
+  Alcotest.(check int) "7 tuples" 7 (S.Microdata.cardinal md)
+
+let prop_generation_weight_positive =
+  QCheck2.Test.make ~name:"every generated weight is >= 1" ~count:20
+    QCheck2.Gen.(
+      pair (int_range 10 200) (oneofl [ D.Generator.W; D.Generator.U; D.Generator.V ]))
+    (fun (n, dist) ->
+      let md = D.Generator.generate (spec ~tuples:n dist) in
+      let ok = ref true in
+      for i = 0 to S.Microdata.cardinal md - 1 do
+        if S.Microdata.weight_of md i < 1.0 then ok := false
+      done;
+      !ok)
+
+let prop_unique_ids =
+  QCheck2.Test.make ~name:"generated identifiers are unique" ~count:10
+    QCheck2.Gen.(int_range 10 300)
+    (fun n ->
+      let md = D.Generator.generate (spec ~tuples:n D.Generator.U) in
+      let ids = R.Relation.column (S.Microdata.relation md) "id" in
+      let seen = Hashtbl.create n in
+      Array.iter (fun v -> Hashtbl.replace seen (Value.to_string v) ()) ids;
+      Hashtbl.length seen = n)
+
+let () =
+  Alcotest.run "datagen"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "shape" `Quick test_generate_shape;
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_generate_seed_sensitivity;
+          Alcotest.test_case "distribution risk ordering" `Slow
+            test_distribution_risk_ordering;
+          Alcotest.test_case "weights reflect rarity" `Slow test_weight_reflects_rarity;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "figure 6" `Quick test_figure6_suite;
+          Alcotest.test_case "table rendering" `Quick test_figure6_table_renders;
+        ] );
+      ( "ownership",
+        [
+          Alcotest.test_case "generation" `Quick test_ownership_generation;
+          Alcotest.test_case "scaling" `Quick test_ownership_scaling;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "synthetic hierarchy" `Quick test_synthetic_hierarchy;
+          Alcotest.test_case "recoding with synthetic hierarchy" `Slow
+            test_synthetic_hierarchy_recoding_works;
+        ] );
+      ( "paper data",
+        [
+          Alcotest.test_case "figure 1" `Quick test_figure1_consistency;
+          Alcotest.test_case "figure 5" `Quick test_figure5_consistency;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_generation_weight_positive; prop_unique_ids ] );
+    ]
