@@ -7,6 +7,15 @@
      main.exe --full           paper-size datasets (slow)
      main.exe fig7a fig7e ...  selected experiments only
      main.exe micro            Bechamel kernels only
+     main.exe --json-dir DIR   write BENCH_<figure>.json reports to DIR
+     main.exe --no-json        skip the JSON reports
+     main.exe --metrics        also collect library telemetry (engine/SDC
+                               counters); printed to stderr at the end
+
+   Every figure is timed through telemetry spans on a dedicated registry
+   and dumps a machine-readable BENCH_<figure>.json report (span
+   durations per operation) next to the text output, so regressions can
+   be tracked without scraping stdout.
 
    Absolute numbers differ from the paper (different hardware, a fresh
    engine rather than the production Vadalog system); the shapes — who
@@ -18,6 +27,7 @@ module R = Vadasa_relational
 module S = Vadasa_sdc
 module D = Vadasa_datagen
 module L = Vadasa_linkage
+module T = Vadasa_telemetry.Telemetry
 
 let scale = ref 0.1
 
@@ -25,10 +35,12 @@ let section title = Printf.printf "\n=== %s ===\n%!" title
 
 let note fmt = Printf.printf ("  note: " ^^ fmt ^^ "\n%!")
 
-let elapsed f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+(* The bench registry is explicit (never gated): figures always measure.
+   Library-level telemetry on the global registry stays off unless
+   --metrics is passed, so instrumentation cannot skew the figures. *)
+let bench_registry = ref (T.create ())
+
+let timed name f = T.Span.timed ~registry:!bench_registry name f
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1: the I&G microdata fragment and its re-identification
@@ -259,12 +271,18 @@ let techniques =
     ("SUDA", S.Risk.Suda { max_msu_size = 3; threshold_size = 3 });
   ]
 
-let time_dataset md =
+let time_dataset ds md =
   List.map
     (fun (name, measure) ->
-      let _, risk_time = elapsed (fun () -> S.Risk.estimate measure md) in
+      let _, risk_time =
+        timed (Printf.sprintf "risk.%s.%s" name ds) (fun () ->
+            S.Risk.estimate measure md)
+      in
       let config = { S.Cycle.default_config with S.Cycle.measure = measure } in
-      let _, total_time = elapsed (fun () -> S.Cycle.run ~config md) in
+      let _, total_time =
+        timed (Printf.sprintf "cycle.%s.%s" name ds) (fun () ->
+            S.Cycle.run ~config md)
+      in
       (name, risk_time, total_time))
     techniques
 
@@ -285,7 +303,7 @@ let fig7e () =
   List.iter
     (fun ds ->
       let md = D.Suite.load ~scale:!scale ds in
-      print_timings ds md (time_dataset md))
+      print_timings ds md (time_dataset ds md))
     [ "R6A4U"; "R12A4U"; "R25A4U"; "R50A4U"; "R100A4U" ];
   note "paper: linear trends; k-anonymity cheapest; individual risk costly";
   note "(sampling library); SUDA in between; risk estimation dominates the cycle"
@@ -296,7 +314,7 @@ let fig7f () =
   List.iter
     (fun ds ->
       let md = D.Suite.load ~scale:!scale ds in
-      print_timings ds md (time_dataset md))
+      print_timings ds md (time_dataset ds md))
     [ "R50A4W"; "R50A5W"; "R50A6W"; "R50A8W"; "R50A9W" ];
   note "paper: individual risk and k-anonymity flat in the QI count;";
   note "SUDA grows but without combinatorial blowup (greedy MSU pruning)"
@@ -340,7 +358,7 @@ let baseline () =
       let md = D.Suite.load ~scale:!scale ds in
       let hierarchy = D.Generator.synthetic_hierarchy md in
       (* Vada-SA cycle (cell-level suppression). *)
-      let outcome, cycle_time = elapsed (fun () -> S.Cycle.run md) in
+      let outcome, cycle_time = timed ("cycle.vada-sa." ^ ds) (fun () -> S.Cycle.run md) in
       let cycle_md = outcome.S.Cycle.anonymized in
       Printf.printf "%-10s %-10s %-10b %-14d %-14d %-12.4f %.3f\n" ds "vada-sa"
         (S.Baseline_datafly.k_anonymous cycle_md
@@ -354,7 +372,7 @@ let baseline () =
         cycle_time;
       (* Datafly (full-domain generalization + residual suppression). *)
       let datafly, datafly_time =
-        elapsed (fun () -> S.Baseline_datafly.run ~hierarchy md)
+        timed ("cycle.datafly." ^ ds) (fun () -> S.Baseline_datafly.run ~hierarchy md)
       in
       let datafly_md = datafly.S.Baseline_datafly.anonymized in
       Printf.printf "%-10s %-10s %-10b %-14d %-14d %-12.4f %.3f\n" ds "datafly"
@@ -397,7 +415,7 @@ let ablation () =
     "info loss" "time (s)";
   List.iter
     (fun (name, config) ->
-      let outcome, t = elapsed (fun () -> S.Cycle.run ~config md) in
+      let outcome, t = timed ("cycle.variant." ^ name) (fun () -> S.Cycle.run ~config md) in
       Printf.printf "%-42s %-8d %-8d %-10.3f %.3f\n" name
         outcome.S.Cycle.nulls_injected outcome.S.Cycle.rounds
         outcome.S.Cycle.info_loss t)
@@ -409,7 +427,8 @@ let ablation () =
   List.iter
     (fun (name, estimator) ->
       let report, t =
-        elapsed (fun () -> S.Risk.estimate (S.Risk.Individual estimator) md)
+        timed ("risk.estimator." ^ name) (fun () ->
+            S.Risk.estimate (S.Risk.Individual estimator) md)
       in
       Printf.printf "%-42s %-14.1f %.3f\n" name (S.Risk.global_risk report) t)
     [
@@ -504,13 +523,42 @@ let experiments =
     ("micro", micro);
   ]
 
+let write_bench_report ~json_dir name =
+  let report = T.Report.capture !bench_registry in
+  let file = Filename.concat json_dir ("BENCH_" ^ name ^ ".json") in
+  let oc = open_out file in
+  output_string oc (T.Json.to_string ~indent:true (T.Report.to_json report));
+  output_char oc '\n';
+  close_out oc
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let full = List.mem "--full" args in
-  if full then scale := 1.0;
-  let selected =
-    List.filter (fun a -> not (String.equal a "--full")) args
+  let full = ref false in
+  let json = ref true in
+  let json_dir = ref "." in
+  let metrics = ref false in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--full" :: rest ->
+      full := true;
+      parse acc rest
+    | "--no-json" :: rest ->
+      json := false;
+      parse acc rest
+    | "--json-dir" :: dir :: rest ->
+      json_dir := dir;
+      parse acc rest
+    | "--json-dir" :: [] ->
+      Printf.eprintf "--json-dir expects a directory argument\n";
+      exit 2
+    | "--metrics" :: rest ->
+      metrics := true;
+      parse acc rest
+    | name :: rest -> parse (name :: acc) rest
   in
+  let selected = parse [] args in
+  if !full then scale := 1.0;
+  if !metrics then T.set_enabled true;
   let to_run =
     match selected with
     | [] -> experiments
@@ -527,5 +575,14 @@ let () =
         names
   in
   Printf.printf "Vada-SA evaluation harness (scale %.2f%s)\n" !scale
-    (if full then ", paper-size" else "; pass --full for paper sizes");
-  List.iter (fun (_, f) -> f ()) to_run
+    (if !full then ", paper-size" else "; pass --full for paper sizes");
+  List.iter
+    (fun (name, f) ->
+      (* A fresh registry per figure so each BENCH_<figure>.json report
+         holds exactly that figure's spans. *)
+      bench_registry := T.create ();
+      ignore (timed ("bench." ^ name) f);
+      if !json then write_bench_report ~json_dir:!json_dir name)
+    to_run;
+  if !metrics then
+    prerr_string (T.Report.to_text (T.Report.capture T.global))

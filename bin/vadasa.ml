@@ -15,6 +15,7 @@ module S = Vadasa_sdc
 module D = Vadasa_datagen
 module L = Vadasa_linkage
 module V = Vadasa_vadalog
+module T = Vadasa_telemetry.Telemetry
 open Cmdliner
 
 let setup_logs verbose =
@@ -24,6 +25,58 @@ let setup_logs verbose =
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "text") (some string) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Collect telemetry (engine counters, per-phase spans, I/O \
+           volumes) and print a report to stderr after the run. FMT is \
+           $(b,text) (default) or $(b,json). See docs/OBSERVABILITY.md.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write every finished telemetry span (name, path, start, \
+           duration, depth) to FILE as JSON.")
+
+(* Shared preamble of every subcommand: logging plus telemetry. Returns
+   the [finish] hook the subcommand calls once its work is done, which
+   emits the report and span trace that [--metrics]/[--trace] asked for. *)
+let telemetry_setup verbose metrics trace =
+  setup_logs verbose;
+  let fmt =
+    match metrics with
+    | None -> `None
+    | Some "json" -> `Json
+    | Some "text" -> `Text
+    | Some other ->
+      Printf.eprintf "error: unknown metrics format %s (use text or json)\n"
+        other;
+      exit 1
+  in
+  if fmt <> `None || trace <> None then T.set_enabled true;
+  fun () ->
+    (match trace with
+    | Some path -> (
+      try T.write_trace T.global path
+      with Sys_error message ->
+        Printf.eprintf "error: cannot write trace: %s\n" message;
+        exit 1)
+    | None -> ());
+    match fmt with
+    | `None -> ()
+    | `Json ->
+      prerr_endline
+        (T.Json.to_string ~indent:true (T.Report.to_json (T.Report.capture T.global)))
+    | `Text -> prerr_string (T.Report.to_text (T.Report.capture T.global))
+
+let common_term = Term.(const telemetry_setup $ verbose_arg $ metrics_arg $ trace_arg)
 
 (* ---- shared helpers --------------------------------------------------- *)
 
@@ -137,25 +190,26 @@ let generate_cmd =
   let list_flag =
     Arg.(value & flag & info [ "list" ] ~doc:"List the Figure 6 inventory and exit.")
   in
-  let run dataset scale output list_flag =
+  let run finish dataset scale output list_flag =
     if list_flag then Format.printf "%a" D.Suite.pp_table ()
     else
-      match D.Suite.find dataset with
+      (match D.Suite.find dataset with
       | None ->
         Printf.eprintf "error: unknown dataset %s (try --list)\n" dataset;
         exit 1
       | Some entry ->
         let md = D.Suite.load_entry ~scale entry in
-        write_csv (S.Microdata.relation md) output
+        write_csv (S.Microdata.relation md) output);
+    finish ()
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Synthesize a Figure 6 dataset as CSV")
-    Term.(const run $ dataset $ scale $ output_arg $ list_flag)
+    Term.(const run $ common_term $ dataset $ scale $ output_arg $ list_flag)
 
 (* ---- categorize ---------------------------------------------------------- *)
 
 let categorize_cmd =
-  let run input =
+  let run finish input =
     let name = Filename.remove_extension (Filename.basename input) in
     let rel = R.Csv.load ~name input in
     let result, _ =
@@ -182,12 +236,13 @@ let categorize_cmd =
                     (S.Microdata.category_to_string cat)
                     name score)
                 c.S.Categorize.candidates)))
-      result.S.Categorize.conflicts
+      result.S.Categorize.conflicts;
+    finish ()
   in
   Cmd.v
     (Cmd.info "categorize"
        ~doc:"Categorize a CSV's attributes with Algorithm 1 (experience base)")
-    Term.(const run $ input_arg)
+    Term.(const run $ common_term $ input_arg)
 
 (* ---- risk ------------------------------------------------------------------ *)
 
@@ -199,24 +254,49 @@ let risk_cmd =
       & info [ "explain" ] ~docv:"TUPLE"
           ~doc:"Explain one tuple's risk via the reasoning engine's provenance.")
   in
-  let run input categories measure k threshold msu_threshold explain =
+  let reasoned_flag =
+    Arg.(
+      value & flag
+      & info [ "reasoned" ]
+          ~doc:
+            "Also run the measure as a Vadalog program on the reasoning \
+             engine and report the maximum deviation from the native path.")
+  in
+  let run finish input categories measure k threshold msu_threshold explain
+      reasoned =
     let md = load_microdata ~path:input ~overrides:categories in
     let measure = parse_measure measure k msu_threshold in
     let report = S.Risk.estimate measure md in
     print_string (S.Explain.summary md report ~threshold);
-    match explain with
+    if reasoned then begin
+      match S.Vadalog_bridge.risk_via_engine ~threshold measure md with
+      | engine_risks ->
+        let max_diff = ref 0.0 in
+        Array.iteri
+          (fun i r ->
+            max_diff := Float.max !max_diff (Float.abs (r -. report.S.Risk.risk.(i))))
+          engine_risks;
+        Printf.printf
+          "\nreasoned path: %d risks derived on the engine; max |delta| vs \
+           native = %.2e\n"
+          (Array.length engine_risks) !max_diff
+      | exception S.Vadalog_bridge.Unsupported msg ->
+        Printf.printf "\nreasoned path unsupported for this measure: %s\n" msg
+    end;
+    (match explain with
     | None -> ()
     | Some tuple ->
       (match S.Vadalog_bridge.explain_risk measure md ~tuple with
       | Some text ->
         Printf.printf "\nreasoned derivation for tuple %d:\n%s" tuple text
-      | None -> Printf.printf "\nno derivation found for tuple %d\n" tuple)
+      | None -> Printf.printf "\nno derivation found for tuple %d\n" tuple));
+    finish ()
   in
   Cmd.v
     (Cmd.info "risk" ~doc:"Estimate statistical disclosure risk for a CSV")
     Term.(
-      const run $ input_arg $ category_arg $ measure_arg $ k_arg $ threshold_arg
-      $ msu_arg $ explain)
+      const run $ common_term $ input_arg $ category_arg $ measure_arg $ k_arg
+      $ threshold_arg $ msu_arg $ explain $ reasoned_flag)
 
 (* ---- anonymize --------------------------------------------------------------- *)
 
@@ -235,12 +315,14 @@ let anonymize_cmd =
       & info [ "semantics" ] ~docv:"SEM"
           ~doc:"Labelled-null semantics: maybe-match or standard.")
   in
-  let trace_flag =
-    Arg.(value & flag & info [ "trace" ] ~doc:"Print the full anonymization narrative.")
+  let narrative_flag =
+    Arg.(
+      value & flag
+      & info [ "narrative" ]
+          ~doc:"Print the full anonymization narrative (per-action story).")
   in
-  let run verbose input categories measure k threshold msu_threshold method_
-      semantics output trace =
-    setup_logs verbose;
+  let run finish input categories measure k threshold msu_threshold method_
+      semantics output narrative =
     let md = load_microdata ~path:input ~overrides:categories in
     let semantics =
       match R.Null_semantics.of_string semantics with
@@ -269,21 +351,22 @@ let anonymize_cmd =
     in
     let outcome = S.Cycle.run ~config md in
     Format.eprintf "%a" S.Cycle.pp_outcome outcome;
-    if trace then prerr_string (S.Explain.trace md outcome);
-    write_csv (S.Microdata.relation outcome.S.Cycle.anonymized) output
+    if narrative then prerr_string (S.Explain.trace md outcome);
+    write_csv (S.Microdata.relation outcome.S.Cycle.anonymized) output;
+    finish ()
   in
   Cmd.v
     (Cmd.info "anonymize"
        ~doc:"Run the anonymization cycle on a CSV until the risk threshold holds")
     Term.(
-      const run $ verbose_arg $ input_arg $ category_arg $ measure_arg $ k_arg
+      const run $ common_term $ input_arg $ category_arg $ measure_arg $ k_arg
       $ threshold_arg $ msu_arg $ method_arg $ semantics_arg $ output_arg
-      $ trace_flag)
+      $ narrative_flag)
 
 (* ---- attack --------------------------------------------------------------------- *)
 
 let attack_cmd =
-  let run input categories seed =
+  let run finish input categories seed =
     let md = load_microdata ~path:input ~overrides:categories in
     let rng = Vadasa_stats.Rng.create ~seed in
     let oracle = L.Oracle.from_microdata rng md () in
@@ -293,12 +376,13 @@ let attack_cmd =
     let outcome = S.Cycle.run md in
     let after = L.Attack.run oracle outcome.S.Cycle.anonymized in
     Format.printf "after anonymization (%d nulls): %a"
-      outcome.S.Cycle.nulls_injected L.Attack.pp after
+      outcome.S.Cycle.nulls_injected L.Attack.pp after;
+    finish ()
   in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Simulate the re-identification attack before and after anonymization")
-    Term.(const run $ input_arg $ category_arg $ seed_arg)
+    Term.(const run $ common_term $ input_arg $ category_arg $ seed_arg)
 
 (* ---- reason --------------------------------------------------------------------- *)
 
@@ -340,7 +424,7 @@ let reason_cmd =
           ~doc:
             "Load a CSV file (with header) as facts of the given predicate,              one fact per row. Repeatable.")
   in
-  let run path queries explain warded csv_facts =
+  let run finish path queries explain warded csv_facts =
     let source =
       let ic = open_in path in
       let n = in_channel_length ic in
@@ -378,13 +462,14 @@ let reason_cmd =
               | Some tree -> print_string (V.Provenance.to_string tree)
               | None -> ())
           (V.Engine.facts engine pred))
-      preds
+      preds;
+    finish ()
   in
   Cmd.v
     (Cmd.info "reason" ~doc:"Run a Vadalog program on the reasoning engine")
     Term.(
-      const run $ program_arg $ query_arg $ explain_arg $ check_warded
-      $ csv_facts_arg)
+      const run $ common_term $ program_arg $ query_arg $ explain_arg
+      $ check_warded $ csv_facts_arg)
 
 (* ---- main ------------------------------------------------------------------------- *)
 

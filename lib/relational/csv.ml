@@ -1,4 +1,5 @@
 module Value = Vadasa_base.Value
+module Telemetry = Vadasa_telemetry.Telemetry
 
 let parse_line line =
   let n = String.length line in
@@ -60,7 +61,7 @@ let lines_of_string s =
          else l)
   |> List.filter (fun l -> String.length l > 0)
 
-let read_string ?(header = true) ~name doc =
+let read_string_body ?(header = true) ~name doc =
   match lines_of_string doc with
   | [] -> Relation.create (Schema.of_names ~name [])
   | first :: rest ->
@@ -86,6 +87,15 @@ let read_string ?(header = true) ~name doc =
       data_lines;
     rel
 
+let read_string ?header ~name doc =
+  Telemetry.span "csv.read" (fun () ->
+      let rel = read_string_body ?header ~name doc in
+      if Telemetry.enabled () then begin
+        Telemetry.count "csv.read.rows" (Relation.cardinal rel);
+        Telemetry.count "csv.read.bytes" (String.length doc)
+      end;
+      rel)
+
 let write_string rel =
   let buf = Buffer.create 1024 in
   let schema = Relation.schema rel in
@@ -97,16 +107,23 @@ let write_string rel =
         (render_line (Array.to_list (Array.map Value.to_string t)));
       Buffer.add_char buf '\n')
     rel;
-  Buffer.contents buf
+  let doc = Buffer.contents buf in
+  if Telemetry.enabled () then begin
+    Telemetry.count "csv.write.rows" (Relation.cardinal rel);
+    Telemetry.count "csv.write.bytes" (String.length doc)
+  end;
+  doc
 
 let load ?header ~name path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let doc = really_input_string ic len in
-  close_in ic;
-  read_string ?header ~name doc
+  Telemetry.span "csv.load" (fun () ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let doc = really_input_string ic len in
+      close_in ic;
+      read_string ?header ~name doc)
 
 let save rel path =
-  let oc = open_out path in
-  output_string oc (write_string rel);
-  close_out oc
+  Telemetry.span "csv.save" (fun () ->
+      let oc = open_out path in
+      output_string oc (write_string rel);
+      close_out oc)

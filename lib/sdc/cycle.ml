@@ -1,6 +1,7 @@
 module Value = Vadasa_base.Value
 module Ids = Vadasa_base.Ids
 module Relational = Vadasa_relational
+module Telemetry = Vadasa_telemetry.Telemetry
 
 let log_src = Logs.Src.create "vadasa.cycle" ~doc:"anonymization cycle"
 
@@ -163,7 +164,7 @@ module Round_gains = struct
       t.tables 0
 end
 
-let run ?(config = default_config) input =
+let run_body ?(config = default_config) input =
   let md = Microdata.copy input in
   let ids = Ids.create () in
   let trace = ref [] in
@@ -175,7 +176,11 @@ let run ?(config = default_config) input =
   let continue = ref true in
   while !continue && !round < config.max_rounds do
     incr round;
-    let report = Risk.estimate ~semantics:config.semantics config.measure md in
+    Telemetry.count "sdc.cycle.rounds" 1;
+    let report =
+      Telemetry.span "sdc.cycle.risk" (fun () ->
+          Risk.estimate ~semantics:config.semantics config.measure md)
+    in
     let risk =
       match config.risk_transform with
       | Some f -> f md report.Risk.risk
@@ -187,6 +192,8 @@ let run ?(config = default_config) input =
       List.rev !acc
     in
     if !risky_initial < 0 then risky_initial := List.length risky;
+    Telemetry.observe "sdc.cycle.risky_per_round"
+      (float_of_int (List.length risky));
     Log.debug (fun m ->
         m "round %d: %d risky tuples under %s (T=%.2f)" !round
           (List.length risky)
@@ -241,33 +248,40 @@ let run ?(config = default_config) input =
         | None, _ ->
           false
       in
-      List.iter
-        (fun tuple ->
-          if satisfied_by_gains tuple then ()
-          else
-            let cands = candidates config md ~tuple in
-            match Heuristics.choose_qi config.qi_choice cache md ~tuple ~candidates:cands with
-            | None -> blocked := tuple :: !blocked
-            | Some attr ->
-              (match apply_action config ids md ~tuple ~attr with
-              | None -> blocked := tuple :: !blocked
-              | Some kind ->
-                (match kind, gains with
-                | Recoded _, _ -> incr recoded_cells
-                | Suppressed _, Some g -> Round_gains.record g md ~tuple
-                | Suppressed _, None -> ());
-                progressed := true;
-                trace :=
-                  {
-                    round = !round;
-                    tuple;
-                    attr;
-                    kind;
-                    risk_before = risk.(tuple);
-                    freq_before = report.Risk.freq.(tuple);
-                  }
-                  :: !trace))
-        ordered;
+      Telemetry.span "sdc.cycle.actions" (fun () ->
+          List.iter
+            (fun tuple ->
+              if satisfied_by_gains tuple then ()
+              else
+                let cands = candidates config md ~tuple in
+                match Heuristics.choose_qi config.qi_choice cache md ~tuple ~candidates:cands with
+                | None -> blocked := tuple :: !blocked
+                | Some attr ->
+                  (match apply_action config ids md ~tuple ~attr with
+                  | None -> blocked := tuple :: !blocked
+                  | Some kind ->
+                    (match kind, gains with
+                    | Recoded _, _ ->
+                      incr recoded_cells;
+                      Telemetry.count "sdc.cycle.recodings" 1
+                    | Suppressed _, Some g ->
+                      Telemetry.count "sdc.cycle.suppressions" 1;
+                      Round_gains.record g md ~tuple
+                    | Suppressed _, None ->
+                      Telemetry.count "sdc.cycle.suppressions" 1);
+                    progressed := true;
+                    trace :=
+                      {
+                        round = !round;
+                        tuple;
+                        attr;
+                        kind;
+                        risk_before = risk.(tuple);
+                        freq_before = report.Risk.freq.(tuple);
+                      }
+                      :: !trace))
+            ordered);
+      Telemetry.count "sdc.cycle.blocked" (List.length !blocked);
       Log.debug (fun m ->
           m "round %d: %d actions, %d blocked" !round
             (List.length !trace) (List.length !blocked));
@@ -279,19 +293,31 @@ let run ?(config = default_config) input =
     end
   done;
   let qi_count = Array.length (Microdata.qi_positions md) in
-  {
-    anonymized = md;
-    rounds = !round;
-    nulls_injected = Ids.count ids;
-    recoded_cells = !recoded_cells;
-    risky_initial = max 0 !risky_initial;
-    unresolved = !unresolved;
-    info_loss =
-      Info_loss.suppression_loss ~nulls_injected:(Ids.count ids)
-        ~risky_tuples:(max 0 !risky_initial) ~qi_count;
-    trace = List.rev !trace;
-    converged = !converged;
-  }
+  let outcome =
+    {
+      anonymized = md;
+      rounds = !round;
+      nulls_injected = Ids.count ids;
+      recoded_cells = !recoded_cells;
+      risky_initial = max 0 !risky_initial;
+      unresolved = !unresolved;
+      info_loss =
+        Info_loss.suppression_loss ~nulls_injected:(Ids.count ids)
+          ~risky_tuples:(max 0 !risky_initial) ~qi_count;
+      trace = List.rev !trace;
+      converged = !converged;
+    }
+  in
+  if Telemetry.enabled () then begin
+    Telemetry.gauge "sdc.cycle.nulls_injected" (float_of_int outcome.nulls_injected);
+    Telemetry.gauge "sdc.cycle.info_loss" outcome.info_loss;
+    Telemetry.gauge "sdc.cycle.unresolved"
+      (float_of_int (List.length outcome.unresolved))
+  end;
+  outcome
+
+let run ?config input =
+  Telemetry.span "sdc.cycle.run" (fun () -> run_body ?config input)
 
 let pp_outcome ppf o =
   Format.fprintf ppf

@@ -28,6 +28,7 @@ let recode_value hierarchy md ~attr value =
           incr changed
         end)
       rel;
+    Vadasa_telemetry.Telemetry.count "sdc.recoding.cells" !changed;
     Some
       {
         recoded_attr = attr;

@@ -1,6 +1,7 @@
 module Relational = Vadasa_relational
 module Stats = Vadasa_stats
 module Algebra = Relational.Algebra
+module Telemetry = Vadasa_telemetry.Telemetry
 
 type estimator =
   | Naive
@@ -25,15 +26,16 @@ type report = {
 }
 
 let group_stats ?(semantics = Relational.Null_semantics.Maybe_match) md =
-  let rel = Microdata.relation md in
-  let qi = Microdata.qi_positions md in
-  match Microdata.weight_position md with
-  | Some weight -> Algebra.Group_stats.compute ~semantics ~rel ~qi ~weight ()
-  | None -> Algebra.Group_stats.compute ~semantics ~rel ~qi ()
+  Telemetry.span "sdc.risk.group_stats" (fun () ->
+      let rel = Microdata.relation md in
+      let qi = Microdata.qi_positions md in
+      match Microdata.weight_position md with
+      | Some weight -> Algebra.Group_stats.compute ~semantics ~rel ~qi ~weight ()
+      | None -> Algebra.Group_stats.compute ~semantics ~rel ~qi ())
 
 let clamp01 x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
 
-let estimate ?semantics measure md =
+let estimate_body ?semantics measure md =
   let stats = group_stats ?semantics md in
   let freq = stats.Algebra.Group_stats.freq in
   let weight_sum = stats.Algebra.Group_stats.weight_sum in
@@ -65,6 +67,18 @@ let estimate ?semantics measure md =
           clamp01 (score ~freq:freq.(i) ~weight_sum:weight_sum.(i)))
   in
   { measure; risk; freq; weight_sum }
+
+let estimate ?semantics measure md =
+  Telemetry.span "sdc.risk.estimate" (fun () ->
+      let report = estimate_body ?semantics measure md in
+      if Telemetry.enabled () then begin
+        Telemetry.count "sdc.risk.estimates" 1;
+        Telemetry.gauge "sdc.risk.global"
+          (Array.fold_left ( +. ) 0.0 report.risk);
+        Telemetry.observe "sdc.risk.tuples"
+          (float_of_int (Array.length report.risk))
+      end;
+      report)
 
 let risky report ~threshold =
   let out = ref [] in

@@ -1,0 +1,818 @@
+(* Metrics and tracing for the Vada-SA stack.
+
+   Dependency-free beyond the stdlib (and [Unix.gettimeofday] for the
+   clock): counters, gauges, histograms with reservoir-sampled
+   percentiles, and nestable timed spans, all grouped in a registry.
+   Instrumented library code goes through the [count]/[observe]/[span]
+   helpers on the implicit global registry; they are gated behind a
+   single boolean so a disabled build pays one load-and-branch per
+   probe site. Harnesses that always want measurements (the bench
+   driver) create their own registry and talk to it explicitly. *)
+
+let now = Unix.gettimeofday
+
+(* ---- JSON ------------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\b' -> Buffer.add_string buf "\\b"
+        | '\012' -> Buffer.add_string buf "\\f"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  (* Shortest representation that round-trips; JSON has no nan/inf, so
+     clamp them to null-safe literals. *)
+  let float_repr f =
+    if Float.is_nan f then "0"
+    else if f = Float.infinity then "1e308"
+    else if f = Float.neg_infinity then "-1e308"
+    else
+      let s = Printf.sprintf "%.12g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+  let to_string ?(indent = false) t =
+    let buf = Buffer.create 256 in
+    let pad depth = if indent then Buffer.add_string buf (String.make (2 * depth) ' ') in
+    let nl () = if indent then Buffer.add_char buf '\n' in
+    let rec go depth = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Int i -> Buffer.add_string buf (string_of_int i)
+      | Float f -> Buffer.add_string buf (float_repr f)
+      | Str s -> escape buf s
+      | List [] -> Buffer.add_string buf "[]"
+      | List items ->
+        Buffer.add_char buf '[';
+        nl ();
+        List.iteri
+          (fun i item ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (depth + 1);
+            go (depth + 1) item)
+          items;
+        nl ();
+        pad depth;
+        Buffer.add_char buf ']'
+      | Obj [] -> Buffer.add_string buf "{}"
+      | Obj fields ->
+        Buffer.add_char buf '{';
+        nl ();
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (depth + 1);
+            escape buf k;
+            Buffer.add_string buf (if indent then ": " else ":");
+            go (depth + 1) v)
+          fields;
+        nl ();
+        pad depth;
+        Buffer.add_char buf '}'
+    in
+    go 0 t;
+    Buffer.contents buf
+
+  exception Parse of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some d when d = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word value =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else fail ("expected " ^ word)
+    in
+    let hex4 () =
+      if !pos + 4 > n then fail "truncated \\u escape";
+      let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+      pos := !pos + 4;
+      v
+    in
+    let utf8 buf cp =
+      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else if cp < 0x10000 then begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
+    let string_body () =
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' ->
+          (if !pos >= n then fail "truncated escape";
+           let e = s.[!pos] in
+           advance ();
+           match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'u' ->
+             let cp = hex4 () in
+             let cp =
+               (* surrogate pair *)
+               if cp >= 0xD800 && cp <= 0xDBFF && !pos + 1 < n && s.[!pos] = '\\'
+                  && s.[!pos + 1] = 'u'
+               then begin
+                 pos := !pos + 2;
+                 let lo = hex4 () in
+                 0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+               end
+               else cp
+             in
+             utf8 buf cp
+           | _ -> fail "bad escape");
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          go ()
+      in
+      go ()
+    in
+    let number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None ->
+          (match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail "bad number")
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec fields_loop () =
+            skip_ws ();
+            expect '"';
+            let k = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields_loop ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          fields_loop ();
+          Obj (List.rev !fields)
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec items_loop () =
+            let v = value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items_loop ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          items_loop ();
+          List (List.rev !items)
+        end
+      | Some '"' ->
+        advance ();
+        Str (string_body ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> number ()
+    in
+    match
+      let v = value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let to_int_opt = function Int i -> Some i | _ -> None
+
+  let to_float_opt = function
+    | Float f -> Some f
+    | Int i -> Some (float_of_int i)
+    | _ -> None
+
+  let to_string_opt = function Str s -> Some s | _ -> None
+
+  let to_list_opt = function List items -> Some items | _ -> None
+end
+
+(* ---- instruments ------------------------------------------------------ *)
+
+type counter = { mutable c_value : int }
+
+type gauge = { mutable g_value : float }
+
+(* Exact count/sum/min/max plus an Algorithm-R reservoir for percentile
+   summaries; the LCG keeps the sample deterministic across runs. *)
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  reservoir : float array;
+  mutable h_rng : int64;
+}
+
+let reservoir_capacity = 512
+
+type span_event = {
+  sp_name : string;
+  sp_path : string;
+  sp_start : float;
+  sp_duration : float;
+  sp_depth : int;
+}
+
+type open_span = { os_path : string; os_start : float }
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+  mutable span_stack : open_span list;
+  mutable span_events : span_event list;  (* newest first *)
+  mutable span_count : int;
+  mutable dropped_spans : int;
+  span_limit : int;
+}
+
+type registry = t
+
+let create ?(span_limit = 100_000) () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 32;
+    span_stack = [];
+    span_events = [];
+    span_count = 0;
+    dropped_spans = 0;
+    span_limit;
+  }
+
+let global = create ()
+
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+
+let set_enabled b = enabled_flag := b
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.histograms;
+  t.span_stack <- [];
+  t.span_events <- [];
+  t.span_count <- 0;
+  t.dropped_spans <- 0
+
+module Counter = struct
+  type nonrec t = counter
+
+  let v ?(registry = global) name =
+    match Hashtbl.find_opt registry.counters name with
+    | Some c -> c
+    | None ->
+      let c = { c_value = 0 } in
+      Hashtbl.add registry.counters name c;
+      c
+
+  let add c n = c.c_value <- c.c_value + n
+
+  let incr c = add c 1
+
+  let set c n = c.c_value <- n
+
+  let value c = c.c_value
+end
+
+module Gauge = struct
+  type nonrec t = gauge
+
+  let v ?(registry = global) name =
+    match Hashtbl.find_opt registry.gauges name with
+    | Some g -> g
+    | None ->
+      let g = { g_value = 0.0 } in
+      Hashtbl.add registry.gauges name g;
+      g
+
+  let set g x = g.g_value <- x
+
+  let value g = g.g_value
+end
+
+module Histogram = struct
+  type nonrec t = histogram
+
+  type summary = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    mean : float;
+    p50 : float;
+    p95 : float;
+    p99 : float;
+  }
+
+  let v ?(registry = global) name =
+    match Hashtbl.find_opt registry.histograms name with
+    | Some h -> h
+    | None ->
+      let h =
+        {
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+          reservoir = Array.make reservoir_capacity 0.0;
+          h_rng = 0x9E3779B97F4A7C15L;
+        }
+      in
+      Hashtbl.add registry.histograms name h;
+      h
+
+  (* SplitMix64-ish step; we only need a cheap unbiased-enough index. *)
+  let next_index h bound =
+    h.h_rng <- Int64.add (Int64.mul h.h_rng 6364136223846793005L) 1442695040888963407L;
+    let bits = Int64.to_int (Int64.shift_right_logical h.h_rng 17) in
+    bits mod bound
+
+  let observe h x =
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. x;
+    if x < h.h_min then h.h_min <- x;
+    if x > h.h_max then h.h_max <- x;
+    if h.h_count <= reservoir_capacity then h.reservoir.(h.h_count - 1) <- x
+    else begin
+      let j = next_index h h.h_count in
+      if j < reservoir_capacity then h.reservoir.(j) <- x
+    end
+
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else
+      let rank = int_of_float (ceil (q *. float_of_int n)) in
+      sorted.(min (n - 1) (max 0 (rank - 1)))
+
+  let summary h =
+    if h.h_count = 0 then
+      { count = 0; sum = 0.0; min = 0.0; max = 0.0; mean = 0.0; p50 = 0.0; p95 = 0.0; p99 = 0.0 }
+    else begin
+      let sample = Array.sub h.reservoir 0 (min h.h_count reservoir_capacity) in
+      Array.sort Float.compare sample;
+      {
+        count = h.h_count;
+        sum = h.h_sum;
+        min = h.h_min;
+        max = h.h_max;
+        mean = h.h_sum /. float_of_int h.h_count;
+        p50 = percentile sample 0.50;
+        p95 = percentile sample 0.95;
+        p99 = percentile sample 0.99;
+      }
+    end
+
+  let count h = h.h_count
+end
+
+module Span = struct
+  type info = span_event = {
+    sp_name : string;
+    sp_path : string;
+    sp_start : float;
+    sp_duration : float;
+    sp_depth : int;
+  }
+
+  let push registry name =
+    let path =
+      match registry.span_stack with
+      | [] -> name
+      | { os_path; _ } :: _ -> os_path ^ "/" ^ name
+    in
+    let os = { os_path = path; os_start = now () } in
+    registry.span_stack <- os :: registry.span_stack;
+    os
+
+  let pop registry name os =
+    let duration = now () -. os.os_start in
+    let depth =
+      match registry.span_stack with
+      | _ :: rest ->
+        registry.span_stack <- rest;
+        List.length rest
+      | [] -> 0
+    in
+    if registry.span_count < registry.span_limit then begin
+      registry.span_events <-
+        {
+          sp_name = name;
+          sp_path = os.os_path;
+          sp_start = os.os_start;
+          sp_duration = duration;
+          sp_depth = depth;
+        }
+        :: registry.span_events;
+      registry.span_count <- registry.span_count + 1
+    end
+    else registry.dropped_spans <- registry.dropped_spans + 1;
+    duration
+
+  let timed ?(registry = global) name f =
+    let os = push registry name in
+    match f () with
+    | result -> (result, pop registry name os)
+    | exception e ->
+      ignore (pop registry name os);
+      raise e
+
+  let with_ ?registry name f = fst (timed ?registry name f)
+
+  let finished registry = List.rev registry.span_events
+
+  let dropped registry = registry.dropped_spans
+end
+
+(* ---- gated helpers on the global registry ----------------------------- *)
+
+let count name n = if !enabled_flag then Counter.add (Counter.v name) n
+
+let gauge name x = if !enabled_flag then Gauge.set (Gauge.v name) x
+
+let observe name x = if !enabled_flag then Histogram.observe (Histogram.v name) x
+
+let span name f = if !enabled_flag then Span.with_ name f else f ()
+
+let span_timed name f =
+  if !enabled_flag then Span.timed name f
+  else begin
+    let t0 = now () in
+    let result = f () in
+    (result, now () -. t0)
+  end
+
+(* ---- reports ---------------------------------------------------------- *)
+
+module Report = struct
+  type span_agg = {
+    agg_path : string;
+    agg_count : int;
+    agg_total : float;
+    agg_max : float;
+  }
+
+  type t = {
+    counters : (string * int) list;
+    gauges : (string * float) list;
+    histograms : (string * Histogram.summary) list;
+    spans : span_agg list;
+    dropped_spans : int;
+  }
+
+  let sorted_bindings table f =
+    Hashtbl.fold (fun k v acc -> (k, f v) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let capture registry =
+    let by_path = Hashtbl.create 32 in
+    let order = ref [] in
+    List.iter
+      (fun ev ->
+        match Hashtbl.find_opt by_path ev.sp_path with
+        | Some agg ->
+          Hashtbl.replace by_path ev.sp_path
+            {
+              agg with
+              agg_count = agg.agg_count + 1;
+              agg_total = agg.agg_total +. ev.sp_duration;
+              agg_max = Float.max agg.agg_max ev.sp_duration;
+            }
+        | None ->
+          order := ev.sp_path :: !order;
+          Hashtbl.add by_path ev.sp_path
+            {
+              agg_path = ev.sp_path;
+              agg_count = 1;
+              agg_total = ev.sp_duration;
+              agg_max = ev.sp_duration;
+            })
+      (Span.finished registry);
+    {
+      counters = sorted_bindings registry.counters (fun c -> c.c_value);
+      gauges = sorted_bindings registry.gauges (fun g -> g.g_value);
+      histograms = sorted_bindings registry.histograms Histogram.summary;
+      spans = List.rev_map (Hashtbl.find by_path) !order;
+      dropped_spans = registry.dropped_spans;
+    }
+
+  let summary_to_json (s : Histogram.summary) =
+    Json.Obj
+      [
+        ("count", Json.Int s.count);
+        ("sum", Json.Float s.sum);
+        ("min", Json.Float s.min);
+        ("max", Json.Float s.max);
+        ("mean", Json.Float s.mean);
+        ("p50", Json.Float s.p50);
+        ("p95", Json.Float s.p95);
+        ("p99", Json.Float s.p99);
+      ]
+
+  let to_json t =
+    Json.Obj
+      [
+        ("version", Json.Int 1);
+        ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.counters));
+        ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) t.gauges));
+        ( "histograms",
+          Json.Obj (List.map (fun (k, s) -> (k, summary_to_json s)) t.histograms) );
+        ( "spans",
+          Json.List
+            (List.map
+               (fun a ->
+                 Json.Obj
+                   [
+                     ("path", Json.Str a.agg_path);
+                     ("count", Json.Int a.agg_count);
+                     ("total_s", Json.Float a.agg_total);
+                     ("max_s", Json.Float a.agg_max);
+                   ])
+               t.spans) );
+        ("dropped_spans", Json.Int t.dropped_spans);
+      ]
+
+  let json_error msg = Error ("Report.of_json: " ^ msg)
+
+  let of_json json =
+    let open Json in
+    let obj_field name =
+      match member name json with
+      | Some (Obj fields) -> Ok fields
+      | Some _ -> json_error (name ^ " is not an object")
+      | None -> json_error ("missing " ^ name)
+    in
+    let float_field fields name =
+      match List.assoc_opt name fields with
+      | Some v ->
+        (match to_float_opt v with
+        | Some f -> Ok f
+        | None -> json_error (name ^ " is not a number"))
+      | None -> json_error ("missing " ^ name)
+    in
+    let int_field fields name =
+      match List.assoc_opt name fields with
+      | Some (Int i) -> Ok i
+      | _ -> json_error ("missing int " ^ name)
+    in
+    let ( let* ) = Result.bind in
+    let* counters = obj_field "counters" in
+    let* counters =
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match to_int_opt v with
+          | Some i -> Ok ((k, i) :: acc)
+          | None -> json_error ("counter " ^ k ^ " is not an int"))
+        (Ok []) counters
+    in
+    let* gauges = obj_field "gauges" in
+    let* gauges =
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match to_float_opt v with
+          | Some f -> Ok ((k, f) :: acc)
+          | None -> json_error ("gauge " ^ k ^ " is not a number"))
+        (Ok []) gauges
+    in
+    let* histograms = obj_field "histograms" in
+    let* histograms =
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match v with
+          | Obj fields ->
+            let* count = int_field fields "count" in
+            let* sum = float_field fields "sum" in
+            let* min = float_field fields "min" in
+            let* max = float_field fields "max" in
+            let* mean = float_field fields "mean" in
+            let* p50 = float_field fields "p50" in
+            let* p95 = float_field fields "p95" in
+            let* p99 = float_field fields "p99" in
+            Ok
+              ((k, { Histogram.count; sum; min; max; mean; p50; p95; p99 })
+              :: acc)
+          | _ -> json_error ("histogram " ^ k ^ " is not an object"))
+        (Ok []) histograms
+    in
+    let* spans =
+      match member "spans" json with
+      | Some (List items) ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            match item with
+            | Obj fields ->
+              let* path =
+                match List.assoc_opt "path" fields with
+                | Some (Str s) -> Ok s
+                | _ -> json_error "span without path"
+              in
+              let* count = int_field fields "count" in
+              let* total = float_field fields "total_s" in
+              let* max = float_field fields "max_s" in
+              Ok
+                ({ agg_path = path; agg_count = count; agg_total = total; agg_max = max }
+                :: acc)
+            | _ -> json_error "span is not an object")
+          (Ok []) items
+      | Some _ -> json_error "spans is not a list"
+      | None -> json_error "missing spans"
+    in
+    let dropped =
+      match member "dropped_spans" json with Some (Int i) -> i | _ -> 0
+    in
+    Ok
+      {
+        counters = List.rev counters;
+        gauges = List.rev gauges;
+        histograms = List.rev histograms;
+        spans = List.rev spans;
+        dropped_spans = dropped;
+      }
+
+  let pp_text ppf t =
+    let nonempty = ref false in
+    if t.spans <> [] then begin
+      nonempty := true;
+      Format.fprintf ppf "spans (path, count, total s, max s):@.";
+      List.iter
+        (fun a ->
+          Format.fprintf ppf "  %-52s %8d %10.4f %10.4f@." a.agg_path a.agg_count
+            a.agg_total a.agg_max)
+        t.spans
+    end;
+    if t.counters <> [] then begin
+      nonempty := true;
+      Format.fprintf ppf "counters:@.";
+      List.iter
+        (fun (k, v) -> Format.fprintf ppf "  %-52s %12d@." k v)
+        t.counters
+    end;
+    if t.gauges <> [] then begin
+      nonempty := true;
+      Format.fprintf ppf "gauges:@.";
+      List.iter (fun (k, v) -> Format.fprintf ppf "  %-52s %12.4f@." k v) t.gauges
+    end;
+    if t.histograms <> [] then begin
+      nonempty := true;
+      Format.fprintf ppf "histograms (count, mean, p50, p95, p99, max):@.";
+      List.iter
+        (fun (k, s) ->
+          Format.fprintf ppf "  %-44s %8d %10.4g %10.4g %10.4g %10.4g %10.4g@." k
+            s.Histogram.count s.Histogram.mean s.Histogram.p50 s.Histogram.p95
+            s.Histogram.p99 s.Histogram.max)
+        t.histograms
+    end;
+    if t.dropped_spans > 0 then
+      Format.fprintf ppf "dropped spans: %d@." t.dropped_spans;
+    if not !nonempty then Format.fprintf ppf "telemetry: no measurements recorded@."
+
+  let to_text t = Format.asprintf "%a" pp_text t
+
+  let equal a b = a = b
+end
+
+let trace_json registry =
+  Json.List
+    (List.map
+       (fun ev ->
+         Json.Obj
+           [
+             ("name", Json.Str ev.sp_name);
+             ("path", Json.Str ev.sp_path);
+             ("start_s", Json.Float ev.sp_start);
+             ("duration_s", Json.Float ev.sp_duration);
+             ("depth", Json.Int ev.sp_depth);
+           ])
+       (Span.finished registry))
+
+let write_trace registry path =
+  let oc = open_out path in
+  output_string oc (Json.to_string ~indent:true (trace_json registry));
+  output_char oc '\n';
+  close_out oc

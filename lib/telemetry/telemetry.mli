@@ -1,0 +1,187 @@
+(** Metrics and tracing for the Vada-SA stack.
+
+    A {e registry} groups counters, gauges, histograms (with
+    reservoir-sampled p50/p95/p99 summaries) and nestable timed spans.
+    Library instrumentation goes through the {!count}/{!observe}/{!span}
+    helpers on the implicit {!global} registry; these are gated behind
+    one boolean ({!set_enabled}) so that a run with telemetry off pays a
+    single load-and-branch per probe site. Harnesses that always want
+    measurements (the bench driver) create their own registry and pass
+    it explicitly — explicit registries are never gated.
+
+    See [docs/OBSERVABILITY.md] for the metric-name and span-hierarchy
+    conventions used across the stack. *)
+
+(** Minimal JSON values: enough to export reports and re-import them. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : ?indent:bool -> t -> string
+
+  val of_string : string -> (t, string) result
+
+  val member : string -> t -> t option
+
+  val to_int_opt : t -> int option
+
+  val to_float_opt : t -> float option
+
+  val to_string_opt : t -> string option
+
+  val to_list_opt : t -> t list option
+end
+
+type t
+(** A metrics registry. *)
+
+type registry = t
+(** Alias usable inside submodule signatures that define their own [t]. *)
+
+val create : ?span_limit:int -> unit -> t
+(** [span_limit] bounds the retained finished-span events (default
+    100_000); completions beyond it are counted as dropped. *)
+
+val global : t
+(** The registry behind the gated helpers and the CLI's [--metrics]. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Arms the gated helpers on {!global}. Off by default. *)
+
+val reset : t -> unit
+
+module Counter : sig
+  type t
+
+  val v : ?registry:registry -> string -> t
+  (** Interned by name: same name, same counter. *)
+
+  val incr : t -> unit
+
+  val add : t -> int -> unit
+
+  val set : t -> int -> unit
+  (** Overwrite the value: lets producers publish absolute totals
+      idempotently (re-publishing never double-counts). *)
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val v : ?registry:registry -> string -> t
+
+  val set : t -> float -> unit
+
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  type summary = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    mean : float;
+    p50 : float;
+    p95 : float;
+    p99 : float;
+  }
+
+  val v : ?registry:registry -> string -> t
+
+  val observe : t -> float -> unit
+
+  val summary : t -> summary
+  (** Percentiles come from a 512-element reservoir sample; count, sum,
+      min, max and mean are exact. *)
+
+  val count : t -> int
+end
+
+module Span : sig
+  type info = {
+    sp_name : string;
+    sp_path : string;  (** slash-joined ancestry, e.g. ["engine.run/engine.stratum"] *)
+    sp_start : float;
+    sp_duration : float;
+    sp_depth : int;
+  }
+
+  val with_ : ?registry:registry -> string -> (unit -> 'a) -> 'a
+  (** Times [f] as a span nested under the registry's currently open
+      span; the event is recorded even when [f] raises. *)
+
+  val timed : ?registry:registry -> string -> (unit -> 'a) -> 'a * float
+  (** Like {!with_}, also returning the duration in seconds. *)
+
+  val finished : registry -> info list
+  (** Completed spans, completion order. *)
+
+  val dropped : registry -> int
+end
+
+val count : string -> int -> unit
+(** [count name n] bumps counter [name] on {!global}; no-op when
+    telemetry is disabled. *)
+
+val gauge : string -> float -> unit
+
+val observe : string -> float -> unit
+
+val span : string -> (unit -> 'a) -> 'a
+(** Gated {!Span.with_} on {!global}: runs [f] untimed when disabled. *)
+
+val span_timed : string -> (unit -> 'a) -> 'a * float
+(** Always returns a wall-clock duration; only records a span event when
+    telemetry is enabled. *)
+
+module Report : sig
+  type span_agg = {
+    agg_path : string;
+    agg_count : int;
+    agg_total : float;
+    agg_max : float;
+  }
+
+  type t = {
+    counters : (string * int) list;
+    gauges : (string * float) list;
+    histograms : (string * Histogram.summary) list;
+    spans : span_agg list;  (** aggregated per path, first-seen order *)
+    dropped_spans : int;
+  }
+
+  val capture : registry -> t
+  (** Snapshot a registry: instruments sorted by name, spans aggregated
+      by path. *)
+
+  val to_json : t -> Json.t
+
+  val of_json : Json.t -> (t, string) result
+  (** Inverse of {!to_json}; [of_json (to_json r)] is [Ok r]. *)
+
+  val to_text : t -> string
+
+  val pp_text : Format.formatter -> t -> unit
+
+  val equal : t -> t -> bool
+end
+
+val trace_json : t -> Json.t
+(** Every finished span as a JSON list of
+    [{name; path; start_s; duration_s; depth}] events. *)
+
+val write_trace : t -> string -> unit
+(** [write_trace registry path] dumps {!trace_json} to [path]. *)

@@ -1,5 +1,10 @@
 module Value = Vadasa_base.Value
 module Ids = Vadasa_base.Ids
+module Telemetry = Vadasa_telemetry.Telemetry
+
+let log_src = Logs.Src.create "vadasa.engine" ~doc:"chase evaluation"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type config = {
   track_provenance : bool;
@@ -34,11 +39,23 @@ type compiled_rule = {
   (* plans.(k) = literal schedule with positive atom [k] first (the delta
      atom); plans.(n) = schedule for "no delta restriction". *)
   plans : step array array;
+  c_derived : int ref;  (* facts this rule added to the store *)
+  c_duplicates : int ref;  (* head emissions the store already had *)
+  c_span : string;  (* "engine.rule.<label>" *)
 }
 
 type group = {
   state : Aggregate.state;
   snapshot : (string * Value.t) list;  (* frontier bindings of the group *)
+}
+
+type stats = {
+  strata_run : int;
+  iterations : int;
+  facts_derived : int;
+  duplicates_suppressed : int;
+  agg_groups_created : int;
+  nulls_created : int;
 }
 
 type t = {
@@ -50,6 +67,16 @@ type t = {
   skolem : (string, (string * Value.t) list) Hashtbl.t;
   agg_groups : (int, (string, group) Hashtbl.t) Hashtbl.t;
   compiled : (int, compiled_rule) Hashtbl.t;
+  (* Always-on chase statistics: cheap enough to keep unconditionally,
+     they make Limit errors diagnosable and feed the telemetry report. *)
+  pred_derived : (string, int ref) Hashtbl.t;
+  mutable s_stratum : int;  (* stratum currently evaluating *)
+  mutable s_iteration : int;  (* fixpoint iteration within it *)
+  mutable s_strata_run : int;
+  mutable s_iterations : int;
+  mutable s_derived : int;
+  mutable s_duplicates : int;
+  mutable s_agg_groups : int;
 }
 
 (* ---- compilation ------------------------------------------------------ *)
@@ -265,6 +292,9 @@ let compile_rule rule =
     group_vars;
     post = post_steps;
     plans;
+    c_derived = ref 0;
+    c_duplicates = ref 0;
+    c_span = "engine.rule." ^ rule.Rule.label;
   }
 
 (* ---- construction ----------------------------------------------------- *)
@@ -292,6 +322,14 @@ let create ?(config = default_config) ?(first_null_label = 1) program =
     skolem = Hashtbl.create 256;
     agg_groups = Hashtbl.create 16;
     compiled;
+    pred_derived = Hashtbl.create 32;
+    s_stratum = 0;
+    s_iteration = 0;
+    s_strata_run = 0;
+    s_iterations = 0;
+    s_derived = 0;
+    s_duplicates = 0;
+    s_agg_groups = 0;
   }
 
 let add_fact_array t pred args = ignore (Database.add t.db pred args)
@@ -420,11 +458,43 @@ let run_plan t plan ~delta_range ctx ~on_binding =
   in
   exec 0
 
+(* Book-keeping for every head emission: per-rule and per-predicate
+   derivation counts plus the duplicate-suppression tally. *)
+let record_derivation t cr pred added =
+  if added then begin
+    t.s_derived <- t.s_derived + 1;
+    incr cr.c_derived;
+    match Hashtbl.find_opt t.pred_derived pred with
+    | Some r -> incr r
+    | None -> Hashtbl.add t.pred_derived pred (ref 1)
+  end
+  else begin
+    t.s_duplicates <- t.s_duplicates + 1;
+    incr cr.c_duplicates
+  end
+
+let top_producers ?(limit = 3) t =
+  Hashtbl.fold (fun p r acc -> (p, !r) :: acc) t.pred_derived []
+  |> List.sort (fun (pa, a) (pb, b) ->
+         match compare b a with 0 -> String.compare pa pb | c -> c)
+  |> List.filteri (fun i _ -> i < limit)
+
+let limit_message t message =
+  Printf.sprintf "%s at stratum %d, iteration %d%s" message t.s_stratum
+    t.s_iteration
+    (match top_producers t with
+    | [] -> ""
+    | top ->
+      "; top producers: "
+      ^ String.concat ", "
+          (List.map (fun (p, n) -> Printf.sprintf "%s (%d new facts)" p n) top))
+
 let check_fact_limit t =
   if Database.total t.db > t.config.max_facts then
     raise
       (Limit
-         (Printf.sprintf "fact limit exceeded (%d facts)" t.config.max_facts))
+         (limit_message t
+            (Printf.sprintf "fact limit exceeded (%d facts)" t.config.max_facts)))
 
 (* Emit the heads of a plain (non-aggregate) rule under a complete body
    binding. Returns true when at least one fact was new. *)
@@ -465,7 +535,9 @@ let emit_plain t cr ctx =
   List.iter
     (fun atom ->
       let args = Array.map (Expr.eval ctx.env) atom.Atom.args in
-      if Database.add t.db ~prov atom.Atom.pred args then any_new := true)
+      let added = Database.add t.db ~prov atom.Atom.pred args in
+      record_derivation t cr atom.Atom.pred added;
+      if added then any_new := true)
     rule.Rule.head;
   List.iter (fun (v, _) -> Hashtbl.remove ctx.env v) introduced;
   check_fact_limit t;
@@ -527,7 +599,9 @@ let emit_agg_head t cr bindings =
     List.iter
       (fun atom ->
         let args = Array.map (Expr.eval env) atom.Atom.args in
-        if Database.add t.db ~prov atom.Atom.pred args then any_new := true)
+        let added = Database.add t.db ~prov atom.Atom.pred args in
+        record_derivation t cr atom.Atom.pred added;
+        if added then any_new := true)
       rule.Rule.head;
     check_fact_limit t;
     !any_new
@@ -553,6 +627,7 @@ let eval_agg_rule t cr ~delta_range ~plan_idx =
         in
         let group = { state = Aggregate.create agg.Rule.agg_op; snapshot } in
         Hashtbl.add groups gkey group;
+        t.s_agg_groups <- t.s_agg_groups + 1;
         group
     in
     let ckey = contributor_key ctx agg.Rule.agg_contributors in
@@ -598,7 +673,12 @@ let is_test_rule cr =
   | Some { agg_result = Rule.Test _; _ } -> true
   | Some { agg_result = Rule.Bind _; _ } | None -> false
 
-let run_stratum t rules =
+let run_stratum t index rules =
+  t.s_stratum <- index;
+  t.s_iteration <- 0;
+  t.s_strata_run <- t.s_strata_run + 1;
+  let facts_at_entry = Database.total t.db in
+  let duplicates_at_entry = t.s_duplicates in
   let compiled = List.map (fun r -> Hashtbl.find t.compiled r.Rule.id) rules in
   let bind_rules = List.filter is_bind_rule compiled in
   let test_rules = List.filter is_test_rule compiled in
@@ -609,7 +689,8 @@ let run_stratum t rules =
   List.iter
     (fun cr ->
       let n = Array.length cr.pos_atoms in
-      ignore (eval_agg_rule t cr ~delta_range:None ~plan_idx:n))
+      Telemetry.span cr.c_span (fun () ->
+          ignore (eval_agg_rule t cr ~delta_range:None ~plan_idx:n)))
     bind_rules;
   (* Fixpoint for the rest. *)
   let seen = Hashtbl.create 16 in
@@ -620,11 +701,16 @@ let run_stratum t rules =
   let continue = ref (plain_rules <> [] || test_rules <> []) in
   while !continue do
     incr iteration;
+    t.s_iteration <- !iteration;
+    t.s_iterations <- t.s_iterations + 1;
     if !iteration > t.config.max_iterations then
       raise
         (Limit
-           (Printf.sprintf "iteration limit exceeded (%d)"
-              t.config.max_iterations));
+           (limit_message t
+              (Printf.sprintf "iteration limit exceeded (%d)"
+                 t.config.max_iterations)));
+    let derived_before = t.s_derived in
+    let duplicates_before = t.s_duplicates in
     let before = Database.total t.db in
     (* Snapshot the frontier: facts in [watermark, snapshot) are the delta. *)
     let snapshot = Hashtbl.create 16 in
@@ -645,14 +731,19 @@ let run_stratum t rules =
         let n = Array.length cr.pos_atoms in
         if n = 0 then begin
           if !iteration = 1 then
-            ignore (eval_plain_rule t cr ~delta_range:None ~plan_idx:n)
+            Telemetry.span cr.c_span (fun () ->
+                ignore (eval_plain_rule t cr ~delta_range:None ~plan_idx:n))
         end
         else
           for k = 0 to n - 1 do
             let pred = fst cr.pos_atoms.(k) in
             let lo = watermark pred and hi = snap pred in
-            if lo < hi then
-              ignore (eval_plain_rule t cr ~delta_range:(Some (lo, hi)) ~plan_idx:k)
+            if lo < hi then begin
+              Telemetry.observe "engine.iteration.delta" (float_of_int (hi - lo));
+              Telemetry.span cr.c_span (fun () ->
+                  ignore
+                    (eval_plain_rule t cr ~delta_range:(Some (lo, hi)) ~plan_idx:k))
+            end
           done)
       plain_rules;
     List.iter
@@ -663,9 +754,14 @@ let run_stratum t rules =
         in
         if dirty then
           let n = Array.length cr.pos_atoms in
-          ignore (eval_agg_rule t cr ~delta_range:None ~plan_idx:n))
+          Telemetry.span cr.c_span (fun () ->
+              ignore (eval_agg_rule t cr ~delta_range:None ~plan_idx:n)))
       test_rules;
     Hashtbl.iter (fun pred s -> Hashtbl.replace seen pred s) snapshot;
+    Telemetry.observe "engine.iteration.derived"
+      (float_of_int (t.s_derived - derived_before));
+    Telemetry.observe "engine.iteration.duplicates"
+      (float_of_int (t.s_duplicates - duplicates_before));
     let after = Database.total t.db in
     (* Stop when this pass derived nothing new and every delta was consumed:
        any fact born during the pass is above the stored watermark and will
@@ -679,10 +775,83 @@ let run_stratum t rules =
         (plain_rules @ test_rules)
     in
     continue := after > before || frontier_pending
-  done
+  done;
+  Log.debug (fun m ->
+      m "stratum %d: %d rules, fixpoint in %d iterations, %d facts (+%d new, %d duplicates suppressed)"
+        index (List.length rules) !iteration (Database.total t.db)
+        (Database.total t.db - facts_at_entry)
+        (t.s_duplicates - duplicates_at_entry))
+
+let rule_derivations t =
+  let acc = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ cr ->
+      let label = cr.rule.Rule.label in
+      let cur = try Hashtbl.find acc label with Not_found -> (0, 0) in
+      Hashtbl.replace acc label
+        (fst cur + !(cr.c_derived), snd cur + !(cr.c_duplicates)))
+    t.compiled;
+  Hashtbl.fold (fun label (d, _) acc -> (label, d) :: acc) acc []
+  |> List.sort (fun (la, a) (lb, b) ->
+         match compare b a with 0 -> String.compare la lb | c -> c)
+
+let pred_derivations t =
+  Hashtbl.fold (fun p r acc -> (p, !r) :: acc) t.pred_derived []
+  |> List.sort (fun (pa, a) (pb, b) ->
+         match compare b a with 0 -> String.compare pa pb | c -> c)
+
+let stats t =
+  {
+    strata_run = t.s_strata_run;
+    iterations = t.s_iterations;
+    facts_derived = t.s_derived;
+    duplicates_suppressed = t.s_duplicates;
+    agg_groups_created = t.s_agg_groups;
+    nulls_created = Ids.count t.ids;
+  }
+
+(* Mirror the always-on chase statistics into the global telemetry
+   registry. Counters are {e set} to their absolute values, so re-running
+   an engine (or several engines in one process) never double-counts its
+   own totals — the last run's numbers win per counter name. *)
+let publish_telemetry t =
+  if Telemetry.enabled () then begin
+    let set name v = Telemetry.Counter.set (Telemetry.Counter.v name) v in
+    set "engine.facts.derived" t.s_derived;
+    set "engine.facts.duplicate" t.s_duplicates;
+    set "engine.facts.total" (Database.total t.db);
+    set "engine.nulls.created" (Ids.count t.ids);
+    set "engine.agg.groups" t.s_agg_groups;
+    set "engine.iterations" t.s_iterations;
+    set "engine.strata" (Array.length t.strat.Stratify.strata);
+    if t.config.track_provenance then set "engine.provenance.nodes" t.s_derived;
+    let by_label = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun _ cr ->
+        let cur =
+          try Hashtbl.find by_label cr.c_span with Not_found -> (0, 0)
+        in
+        Hashtbl.replace by_label cr.c_span
+          (fst cur + !(cr.c_derived), snd cur + !(cr.c_duplicates)))
+      t.compiled;
+    Hashtbl.iter
+      (fun name (d, dup) ->
+        set (name ^ ".derived") d;
+        set (name ^ ".duplicates") dup)
+      by_label;
+    Hashtbl.iter
+      (fun pred r -> set ("engine.pred." ^ pred ^ ".derived") !r)
+      t.pred_derived
+  end
 
 let run t =
-  Array.iter (fun rules -> run_stratum t rules) t.strat.Stratify.strata
+  Telemetry.span "engine.run" (fun () ->
+      Array.iteri
+        (fun i rules ->
+          Telemetry.span ("engine.stratum." ^ string_of_int i) (fun () ->
+              run_stratum t i rules))
+        t.strat.Stratify.strata);
+  publish_telemetry t
 
 let facts t pred = Database.facts t.db pred
 

@@ -25,7 +25,10 @@ val default_config : config
 
 exception Limit of string
 (** Raised when an iteration or fact guard trips — the symptom of a
-    non-warded program whose chase diverges. *)
+    non-warded program whose chase diverges. The message carries the
+    current stratum, the fixpoint iteration, and the top-3
+    fact-producing predicates, so a diverging program can be located
+    without re-running under a debugger. *)
 
 type t
 
@@ -55,3 +58,27 @@ val explain :
 
 val nulls_created : t -> int
 (** Labelled nulls invented by the chase so far. *)
+
+(** {2 Chase statistics}
+
+    Always-on lightweight counters (plain integer bumps on the
+    derivation path). When telemetry is enabled ({!Vadasa_telemetry}),
+    {!run} additionally records [engine.*] spans and mirrors these
+    totals into the global registry — see [docs/OBSERVABILITY.md]. *)
+
+type stats = {
+  strata_run : int;  (** stratum evaluations, cumulative over {!run}s *)
+  iterations : int;  (** fixpoint iterations, cumulative *)
+  facts_derived : int;  (** new facts added by rule heads *)
+  duplicates_suppressed : int;  (** head emissions already in the store *)
+  agg_groups_created : int;  (** aggregation groups materialized *)
+  nulls_created : int;  (** labelled nulls invented by the chase *)
+}
+
+val stats : t -> stats
+
+val rule_derivations : t -> (string * int) list
+(** New facts per rule label, most productive first. *)
+
+val pred_derivations : t -> (string * int) list
+(** New facts per head predicate, most productive first. *)

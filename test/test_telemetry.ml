@@ -1,0 +1,265 @@
+(* Tests for the telemetry subsystem: counters, gauges, histograms,
+   nested spans, the enabled gate, JSON round-trips of reports, and the
+   engine integration (per-rule derivation counters). *)
+
+module T = Vadasa_telemetry.Telemetry
+module V = Vadasa_vadalog
+
+(* --- counters and gauges ---------------------------------------------- *)
+
+let test_counter () =
+  let r = T.create () in
+  let c = T.Counter.v ~registry:r "requests" in
+  Alcotest.(check int) "starts at zero" 0 (T.Counter.value c);
+  T.Counter.incr c;
+  T.Counter.add c 4;
+  Alcotest.(check int) "incr + add" 5 (T.Counter.value c);
+  let c' = T.Counter.v ~registry:r "requests" in
+  Alcotest.(check int) "interned by name" 5 (T.Counter.value c');
+  T.Counter.set c 2;
+  Alcotest.(check int) "set is absolute" 2 (T.Counter.value c')
+
+let test_gauge () =
+  let r = T.create () in
+  let g = T.Gauge.v ~registry:r "risk" in
+  T.Gauge.set g 0.25;
+  T.Gauge.set g 0.75;
+  Alcotest.(check (float 1e-9)) "last write wins" 0.75 (T.Gauge.value g)
+
+(* --- histograms -------------------------------------------------------- *)
+
+let test_histogram_exact_stats () =
+  let r = T.create () in
+  let h = T.Histogram.v ~registry:r "delta" in
+  List.iter (fun x -> T.Histogram.observe h x) [ 4.0; 1.0; 3.0; 2.0 ];
+  let s = T.Histogram.summary h in
+  Alcotest.(check int) "count" 4 s.T.Histogram.count;
+  Alcotest.(check (float 1e-9)) "sum" 10.0 s.T.Histogram.sum;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.T.Histogram.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.T.Histogram.max;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.T.Histogram.mean
+
+let test_histogram_percentiles () =
+  let r = T.create () in
+  let h = T.Histogram.v ~registry:r "latency" in
+  (* 1..100: fits entirely in the 512-slot reservoir, so percentiles are
+     exact nearest-rank values. *)
+  for i = 1 to 100 do
+    T.Histogram.observe h (float_of_int i)
+  done;
+  let s = T.Histogram.summary h in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 s.T.Histogram.p50;
+  Alcotest.(check (float 1e-9)) "p95" 95.0 s.T.Histogram.p95;
+  Alcotest.(check (float 1e-9)) "p99" 99.0 s.T.Histogram.p99
+
+let test_histogram_reservoir_bounds () =
+  let r = T.create () in
+  let h = T.Histogram.v ~registry:r "big" in
+  for i = 1 to 10_000 do
+    T.Histogram.observe h (float_of_int i)
+  done;
+  let s = T.Histogram.summary h in
+  Alcotest.(check int) "exact count beyond reservoir" 10_000 s.T.Histogram.count;
+  (* The sampled median of uniform 1..10_000 must land well inside the
+     middle of the range. *)
+  Alcotest.(check bool) "sampled p50 plausible" true
+    (s.T.Histogram.p50 > 2000.0 && s.T.Histogram.p50 < 8000.0)
+
+(* --- spans ------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let r = T.create () in
+  let result =
+    T.Span.with_ ~registry:r "outer" (fun () ->
+        T.Span.with_ ~registry:r "inner" (fun () -> 41) + 1)
+  in
+  Alcotest.(check int) "body result" 42 result;
+  match T.Span.finished r with
+  | [ inner; outer ] ->
+    Alcotest.(check string) "inner path" "outer/inner" inner.T.Span.sp_path;
+    Alcotest.(check string) "outer path" "outer" outer.T.Span.sp_path;
+    Alcotest.(check int) "inner depth" 1 inner.T.Span.sp_depth;
+    Alcotest.(check bool) "outer contains inner" true
+      (outer.T.Span.sp_duration >= inner.T.Span.sp_duration)
+  | spans ->
+    Alcotest.failf "expected 2 finished spans, got %d" (List.length spans)
+
+let test_span_exception_safe () =
+  let r = T.create () in
+  (try
+     T.Span.with_ ~registry:r "boom" (fun () -> failwith "expected")
+   with Failure _ -> ());
+  Alcotest.(check int) "span recorded despite raise" 1
+    (List.length (T.Span.finished r));
+  (* The raise must also pop the stack: a later span is not nested. *)
+  T.Span.with_ ~registry:r "after" (fun () -> ());
+  match T.Span.finished r with
+  | [ _boom; after ] ->
+    Alcotest.(check string) "stack unwound" "after" after.T.Span.sp_path
+  | _ -> Alcotest.fail "expected 2 finished spans"
+
+let test_span_timed () =
+  let r = T.create () in
+  let x, dt = T.Span.timed ~registry:r "work" (fun () -> 7) in
+  Alcotest.(check int) "result" 7 x;
+  Alcotest.(check bool) "non-negative duration" true (dt >= 0.0)
+
+(* --- the global gate --------------------------------------------------- *)
+
+let test_disabled_global_is_noop () =
+  T.set_enabled false;
+  T.reset T.global;
+  T.count "gated.counter" 3;
+  T.observe "gated.histogram" 1.0;
+  T.span "gated.span" (fun () -> ());
+  let report = T.Report.capture T.global in
+  Alcotest.(check int) "no counters" 0 (List.length report.T.Report.counters);
+  Alcotest.(check int) "no histograms" 0
+    (List.length report.T.Report.histograms);
+  Alcotest.(check int) "no spans" 0 (List.length report.T.Report.spans)
+
+let test_enabled_global_records () =
+  T.set_enabled true;
+  T.reset T.global;
+  T.count "gated.counter" 3;
+  T.span "gated.span" (fun () -> ());
+  T.set_enabled false;
+  let report = T.Report.capture T.global in
+  Alcotest.(check (list (pair string int)))
+    "counter recorded"
+    [ ("gated.counter", 3) ]
+    report.T.Report.counters;
+  Alcotest.(check int) "span recorded" 1 (List.length report.T.Report.spans);
+  T.reset T.global
+
+(* --- reports and JSON -------------------------------------------------- *)
+
+let sample_report () =
+  let r = T.create () in
+  T.Counter.add (T.Counter.v ~registry:r "alpha \"quoted\"") 7;
+  T.Counter.add (T.Counter.v ~registry:r "beta\nnewline") 1;
+  T.Gauge.set (T.Gauge.v ~registry:r "ratio") 0.1;
+  let h = T.Histogram.v ~registry:r "sizes" in
+  List.iter (fun x -> T.Histogram.observe h x) [ 1.0; 2.0; 30.5 ];
+  T.Span.with_ ~registry:r "run" (fun () ->
+      T.Span.with_ ~registry:r "phase" (fun () -> ());
+      T.Span.with_ ~registry:r "phase" (fun () -> ()));
+  T.Report.capture r
+
+let test_report_span_aggregation () =
+  let report = sample_report () in
+  let phase =
+    List.find
+      (fun a -> String.equal a.T.Report.agg_path "run/phase")
+      report.T.Report.spans
+  in
+  Alcotest.(check int) "two phase spans aggregated" 2 phase.T.Report.agg_count;
+  Alcotest.(check bool) "max <= total" true
+    (phase.T.Report.agg_max <= phase.T.Report.agg_total)
+
+let test_report_json_roundtrip () =
+  let report = sample_report () in
+  let json = T.Report.to_json report in
+  let rendered = T.Json.to_string ~indent:true json in
+  match T.Json.of_string rendered with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok parsed -> (
+    match T.Report.of_json parsed with
+    | Error e -> Alcotest.failf "of_json failed: %s" e
+    | Ok report' ->
+      Alcotest.(check bool) "round-trip preserves report" true
+        (T.Report.equal report report'))
+
+let test_json_escapes () =
+  let tricky = "quote \" backslash \\ newline \n tab \t unicode \xc3\xa9" in
+  let json = T.Json.Obj [ ("k", T.Json.Str tricky) ] in
+  match T.Json.of_string (T.Json.to_string json) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok parsed ->
+    let got =
+      Option.bind (T.Json.member "k" parsed) T.Json.to_string_opt
+    in
+    Alcotest.(check (option string)) "string survives" (Some tricky) got
+
+(* --- engine integration ------------------------------------------------ *)
+
+let ancestry_src =
+  {|
+@label("base").
+ancestor(X, Y) :- parent(X, Y).
+@label("step").
+ancestor(X, Z) :- ancestor(X, Y), parent(Y, Z).
+parent(a, b). parent(b, c). parent(c, d).
+@output("ancestor").
+|}
+
+let test_engine_rule_counters () =
+  T.set_enabled true;
+  T.reset T.global;
+  let engine = V.Engine.create (V.Parser.parse ancestry_src) in
+  V.Engine.run engine;
+  T.set_enabled false;
+  let stats = V.Engine.stats engine in
+  Alcotest.(check bool) "facts derived" true (stats.V.Engine.facts_derived > 0);
+  let derivations = V.Engine.rule_derivations engine in
+  List.iter
+    (fun label ->
+      match List.assoc_opt label derivations with
+      | Some n -> Alcotest.(check bool) (label ^ " derived facts") true (n > 0)
+      | None -> Alcotest.failf "no derivation count for rule %S" label)
+    [ "base"; "step" ];
+  (* The published global counters must agree with the engine's stats. *)
+  let report = T.Report.capture T.global in
+  Alcotest.(check (option int))
+    "engine.facts.derived counter"
+    (Some stats.V.Engine.facts_derived)
+    (List.assoc_opt "engine.facts.derived" report.T.Report.counters);
+  Alcotest.(check bool) "per-rule counter present" true
+    (List.mem_assoc "engine.rule.step.derived" report.T.Report.counters);
+  Alcotest.(check bool) "engine.run span present" true
+    (List.exists
+       (fun a -> String.equal a.T.Report.agg_path "engine.run")
+       report.T.Report.spans);
+  T.reset T.global
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "instruments",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram exact stats" `Quick
+            test_histogram_exact_stats;
+          Alcotest.test_case "histogram percentiles" `Quick
+            test_histogram_percentiles;
+          Alcotest.test_case "histogram reservoir bounds" `Quick
+            test_histogram_reservoir_bounds;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting paths" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safe;
+          Alcotest.test_case "timed" `Quick test_span_timed;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_disabled_global_is_noop;
+          Alcotest.test_case "enabled records" `Quick
+            test_enabled_global_records;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "span aggregation" `Quick
+            test_report_span_aggregation;
+          Alcotest.test_case "json round-trip" `Quick
+            test_report_json_roundtrip;
+          Alcotest.test_case "json escapes" `Quick test_json_escapes;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "per-rule derivation counters" `Quick
+            test_engine_rule_counters;
+        ] );
+    ]

@@ -499,11 +499,19 @@ let test_fact_limit_guard () =
   let program = V.Parser.parse "f(a, b). f(X, Z) :- f(Y, X)." in
   let config = { V.Engine.default_config with V.Engine.max_facts = 200 } in
   let engine = V.Engine.create ~config program in
-  Alcotest.(check bool) "limit trips" true
+  Alcotest.(check bool) "limit trips with diagnostics" true
     (try
        V.Engine.run engine;
        false
-     with V.Engine.Limit _ -> true)
+     with V.Engine.Limit msg ->
+       (* The message must locate the blow-up: stratum, iteration, and the
+          predicates producing the facts. *)
+       let contains needle =
+         let n = String.length needle and m = String.length msg in
+         let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+         go 0
+       in
+       contains "stratum" && contains "iteration" && contains "top producers")
 
 let test_run_idempotent () =
   let engine = run_program "edge(a, b). path(X, Y) :- edge(X, Y)." in
