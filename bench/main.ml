@@ -8,9 +8,20 @@
      main.exe fig7a fig7e ...  selected experiments only
      main.exe micro            Bechamel kernels only
      main.exe --json-dir DIR   write BENCH_<figure>.json reports to DIR
+                               (created if missing)
      main.exe --no-json        skip the JSON reports
      main.exe --metrics        also collect library telemetry (engine/SDC
                                counters); printed to stderr at the end
+     main.exe --compare DIR    load prior BENCH_<figure>.json reports from
+                               DIR, print per-figure deltas, and exit
+                               non-zero when a figure slowed by more than
+                               the threshold
+     main.exe --threshold PCT  regression threshold for --compare in
+                               percent (default 25)
+     main.exe --min-delta MS   absolute slowdown (milliseconds) a figure
+                               must exceed before --compare flags it, so
+                               sub-millisecond figures do not flake on
+                               scheduler noise (default 0.5)
 
    Every figure is timed through telemetry spans on a dedicated registry
    and dumps a machine-readable BENCH_<figure>.json report (span
@@ -523,13 +534,86 @@ let experiments =
     ("micro", micro);
   ]
 
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let resolve path =
+  if Filename.is_relative path then Filename.concat (Sys.getcwd ()) path
+  else path
+
 let write_bench_report ~json_dir name =
   let report = T.Report.capture !bench_registry in
   let file = Filename.concat json_dir ("BENCH_" ^ name ^ ".json") in
   let oc = open_out file in
   output_string oc (T.Json.to_string ~indent:true (T.Report.to_json report));
   output_char oc '\n';
-  close_out oc
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" (resolve file)
+
+(* ---- the regression guard (--compare) ---------------------------------- *)
+
+let load_report file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match T.Json.of_string s with
+  | Error e -> Error e
+  | Ok json -> T.Report.of_json json
+
+let span_total report path =
+  List.find_opt
+    (fun a -> String.equal a.T.Report.agg_path path)
+    report.T.Report.spans
+  |> Option.map (fun a -> a.T.Report.agg_total)
+
+(* Slowdowns smaller than this are indistinguishable from noise on
+   sub-millisecond figures; they are printed but never fail the guard.
+   Override with --min-delta (milliseconds). *)
+let min_regression_delta = ref 0.0005
+
+let figure_regressions : (string * float * float) list ref = ref []
+
+(* Compare the figure just run (spans still in [bench_registry]) against
+   DIR/BENCH_<name>.json. The guard verdict keys on the figure's
+   enclosing bench.<name> span; sub-span slowdowns are printed as
+   context but do not fail the build on their own. *)
+let compare_figure ~dir ~threshold name =
+  let file = Filename.concat dir ("BENCH_" ^ name ^ ".json") in
+  if not (Sys.file_exists file) then
+    Printf.printf "  compare: no baseline %s (skipped)\n" (resolve file)
+  else
+    match load_report file with
+    | Error e -> Printf.printf "  compare: cannot read %s: %s\n" file e
+    | Ok baseline -> (
+      let current = T.Report.capture !bench_registry in
+      let figure_span = "bench." ^ name in
+      match (span_total baseline figure_span, span_total current figure_span) with
+      | Some b, Some c when b > 0.0 ->
+        let delta_pct = (c -. b) /. b *. 100.0 in
+        let regressed =
+          c > b *. (1.0 +. (threshold /. 100.0))
+          && c -. b > !min_regression_delta
+        in
+        Printf.printf
+          "  compare %-10s baseline %8.3f s  current %8.3f s  delta %+7.1f%%%s\n"
+          name b c delta_pct
+          (if regressed then "  ** REGRESSION" else "");
+        List.iter
+          (fun d ->
+            if not (String.equal d.T.Report.d_path figure_span) then
+              Printf.printf "    slower: %-44s %8.3f s -> %8.3f s\n"
+                d.T.Report.d_path d.T.Report.d_baseline d.T.Report.d_current)
+          (T.Report.regressions ~threshold:(threshold /. 100.0) ~baseline
+             ~current ());
+        if regressed then
+          figure_regressions := (name, b, c) :: !figure_regressions
+      | _ ->
+        Printf.printf "  compare: span %s missing in baseline or current run\n"
+          figure_span)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -537,6 +621,8 @@ let () =
   let json = ref true in
   let json_dir = ref "." in
   let metrics = ref false in
+  let compare_dir = ref None in
+  let threshold = ref 25.0 in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--full" :: rest ->
@@ -554,11 +640,38 @@ let () =
     | "--metrics" :: rest ->
       metrics := true;
       parse acc rest
+    | "--compare" :: dir :: rest ->
+      compare_dir := Some dir;
+      parse acc rest
+    | "--compare" :: [] ->
+      Printf.eprintf "--compare expects a baseline directory argument\n";
+      exit 2
+    | "--threshold" :: pct :: rest ->
+      (match float_of_string_opt pct with
+      | Some p when p >= 0.0 -> threshold := p
+      | _ ->
+        Printf.eprintf "--threshold expects a non-negative percentage\n";
+        exit 2);
+      parse acc rest
+    | "--threshold" :: [] ->
+      Printf.eprintf "--threshold expects a percentage argument\n";
+      exit 2
+    | "--min-delta" :: ms :: rest ->
+      (match float_of_string_opt ms with
+      | Some m when m >= 0.0 -> min_regression_delta := m /. 1000.0
+      | _ ->
+        Printf.eprintf "--min-delta expects a non-negative millisecond value\n";
+        exit 2);
+      parse acc rest
+    | "--min-delta" :: [] ->
+      Printf.eprintf "--min-delta expects a millisecond argument\n";
+      exit 2
     | name :: rest -> parse (name :: acc) rest
   in
   let selected = parse [] args in
   if !full then scale := 1.0;
   if !metrics then T.set_enabled true;
+  if !json then mkdir_p !json_dir;
   let to_run =
     match selected with
     | [] -> experiments
@@ -582,7 +695,22 @@ let () =
          holds exactly that figure's spans. *)
       bench_registry := T.create ();
       ignore (timed ("bench." ^ name) f);
-      if !json then write_bench_report ~json_dir:!json_dir name)
+      if !json then write_bench_report ~json_dir:!json_dir name;
+      Option.iter
+        (fun dir -> compare_figure ~dir ~threshold:!threshold name)
+        !compare_dir)
     to_run;
   if !metrics then
-    prerr_string (T.Report.to_text (T.Report.capture T.global))
+    prerr_string (T.Report.to_text (T.Report.capture T.global));
+  match !figure_regressions with
+  | [] -> ()
+  | regs ->
+    Printf.eprintf
+      "regression guard: %d figure(s) slowed by more than %.0f%%:\n"
+      (List.length regs) !threshold;
+    List.iter
+      (fun (name, b, c) ->
+        Printf.eprintf "  %-10s %.3f s -> %.3f s (%+.1f%%)\n" name b c
+          ((c -. b) /. b *. 100.0))
+      (List.rev regs);
+    exit 1

@@ -43,12 +43,34 @@ let trace_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:
           "Write every finished telemetry span (name, path, start, \
-           duration, depth) to FILE as JSON.")
+           duration, depth) to FILE; the rendering is picked by \
+           $(b,--trace-format).")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt string "json"
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:
+          "Rendering for $(b,--trace) FILE: $(b,json) (native span-event \
+           list), $(b,chrome) (Chrome/Perfetto trace-event JSON — open in \
+           ui.perfetto.dev or chrome://tracing), or $(b,folded) \
+           (folded-stacks lines for flamegraph.pl).")
+
+let span_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "span-limit" ] ~docv:"N"
+        ~doc:
+          "Retain at most N finished telemetry spans (default 100000); \
+           completions beyond the bound are counted as dropped and \
+           reported on stderr.")
 
 (* Shared preamble of every subcommand: logging plus telemetry. Returns
    the [finish] hook the subcommand calls once its work is done, which
    emits the report and span trace that [--metrics]/[--trace] asked for. *)
-let telemetry_setup verbose metrics trace =
+let telemetry_setup verbose metrics trace trace_format span_limit =
   setup_logs verbose;
   let fmt =
     match metrics with
@@ -60,15 +82,34 @@ let telemetry_setup verbose metrics trace =
         other;
       exit 1
   in
+  let tfmt =
+    match T.trace_format_of_string trace_format with
+    | Ok f -> f
+    | Error message ->
+      Printf.eprintf "error: %s\n" message;
+      exit 1
+  in
+  (match span_limit with
+  | Some n when n < 0 ->
+    Printf.eprintf "error: --span-limit must be non-negative\n";
+    exit 1
+  | Some n -> T.set_span_limit T.global n
+  | None -> ());
   if fmt <> `None || trace <> None then T.set_enabled true;
   fun () ->
     (match trace with
     | Some path -> (
-      try T.write_trace T.global path
+      try T.write_trace_as tfmt T.global path
       with Sys_error message ->
         Printf.eprintf "error: cannot write trace: %s\n" message;
         exit 1)
     | None -> ());
+    let dropped = T.Span.dropped T.global in
+    if dropped > 0 then
+      Printf.eprintf
+        "warning: %d telemetry span(s) dropped (retention limit %d; raise \
+         with --span-limit)\n"
+        dropped (T.span_limit T.global);
     match fmt with
     | `None -> ()
     | `Json ->
@@ -76,7 +117,10 @@ let telemetry_setup verbose metrics trace =
         (T.Json.to_string ~indent:true (T.Report.to_json (T.Report.capture T.global)))
     | `Text -> prerr_string (T.Report.to_text (T.Report.capture T.global))
 
-let common_term = Term.(const telemetry_setup $ verbose_arg $ metrics_arg $ trace_arg)
+let common_term =
+  Term.(
+    const telemetry_setup $ verbose_arg $ metrics_arg $ trace_arg
+    $ trace_format_arg $ span_limit_arg)
 
 (* ---- shared helpers --------------------------------------------------- *)
 
@@ -386,6 +430,40 @@ let attack_cmd =
 
 (* ---- reason --------------------------------------------------------------------- *)
 
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let csv_facts_arg =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i ->
+      Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> Error (`Msg "expected pred=path.csv")
+  in
+  let print ppf (p, f) = Format.fprintf ppf "%s=%s" p f in
+  Arg.(
+    value
+    & opt_all (conv (parse, print)) []
+    & info [ "csv-facts" ] ~docv:"PRED=FILE"
+        ~doc:
+          "Load a CSV file (with header) as facts of the given predicate, \
+           one fact per row. Repeatable.")
+
+let load_program path csv_facts =
+  let program = V.Parser.parse (read_file path) in
+  let extra_facts =
+    List.concat_map
+      (fun (pred, file) ->
+        let rel = R.Csv.load ~name:pred file in
+        List.map (fun t -> (pred, t)) (R.Relation.to_list rel))
+      csv_facts
+  in
+  V.Program.union program (V.Program.make ~facts:extra_facts [])
+
 let reason_cmd =
   let program_arg =
     Arg.(
@@ -409,40 +487,8 @@ let reason_cmd =
   let check_warded =
     Arg.(value & flag & info [ "check-warded" ] ~doc:"Print the wardedness analysis.")
   in
-  let csv_facts_arg =
-    let parse s =
-      match String.index_opt s '=' with
-      | Some i ->
-        Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
-      | None -> Error (`Msg "expected pred=path.csv")
-    in
-    let print ppf (p, f) = Format.fprintf ppf "%s=%s" p f in
-    Arg.(
-      value
-      & opt_all (conv (parse, print)) []
-      & info [ "csv-facts" ] ~docv:"PRED=FILE"
-          ~doc:
-            "Load a CSV file (with header) as facts of the given predicate,              one fact per row. Repeatable.")
-  in
   let run finish path queries explain warded csv_facts =
-    let source =
-      let ic = open_in path in
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
-      s
-    in
-    let program = V.Parser.parse source in
-    let extra_facts =
-      List.concat_map
-        (fun (pred, file) ->
-          let rel = R.Csv.load ~name:pred file in
-          List.map (fun t -> (pred, t)) (R.Relation.to_list rel))
-        csv_facts
-    in
-    let program =
-      V.Program.union program (V.Program.make ~facts:extra_facts [])
-    in
+    let program = load_program path csv_facts in
     if warded then
       Format.printf "%a@." V.Wardedness.pp_report (V.Wardedness.analyze program);
     let engine = V.Engine.create program in
@@ -471,6 +517,52 @@ let reason_cmd =
       const run $ common_term $ program_arg $ query_arg $ explain_arg
       $ check_warded $ csv_facts_arg)
 
+(* ---- profile -------------------------------------------------------------------- *)
+
+let profile_cmd =
+  let program_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"PROGRAM" ~doc:"Vadalog program file to profile.")
+  in
+  let top_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Print only the N most expensive rules (default: all).")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the profile as JSON on stdout instead of the table.")
+  in
+  let run finish path top json_out csv_facts =
+    let program = load_program path csv_facts in
+    (* The profiler itself is always on; arm the global registry too so
+       the run records the engine.run/engine.stratum.* spans the table
+       is cross-checked against. *)
+    T.set_enabled true;
+    let engine = V.Engine.create program in
+    V.Engine.run engine;
+    let report = V.Engine.profile_report engine in
+    if json_out then
+      print_endline (T.Json.to_string ~indent:true (V.Profile.to_json report))
+    else print_string (V.Profile.to_text ?top report);
+    finish ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a Vadalog program and print the chase hotspot table: per-rule \
+          self time, join selectivity (tuples scanned vs. matched), facts \
+          derived vs. duplicates, nulls invented and aggregate-group churn")
+    Term.(
+      const run $ common_term $ program_arg $ top_arg $ json_flag
+      $ csv_facts_arg)
+
 (* ---- main ------------------------------------------------------------------------- *)
 
 let () =
@@ -478,6 +570,14 @@ let () =
   let info = Cmd.info "vadasa" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ generate_cmd; categorize_cmd; risk_cmd; anonymize_cmd; attack_cmd; reason_cmd ]
+      [
+        generate_cmd;
+        categorize_cmd;
+        risk_cmd;
+        anonymize_cmd;
+        attack_cmd;
+        reason_cmd;
+        profile_cmd;
+      ]
   in
   exit (Cmd.eval group)

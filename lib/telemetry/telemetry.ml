@@ -342,7 +342,7 @@ type t = {
   mutable span_events : span_event list;  (* newest first *)
   mutable span_count : int;
   mutable dropped_spans : int;
-  span_limit : int;
+  mutable span_limit : int;
 }
 
 type registry = t
@@ -360,6 +360,10 @@ let create ?(span_limit = 100_000) () =
   }
 
 let global = create ()
+
+let set_span_limit t limit = t.span_limit <- limit
+
+let span_limit t = t.span_limit
 
 let enabled_flag = ref false
 
@@ -755,16 +759,84 @@ module Report = struct
         dropped_spans = dropped;
       }
 
+  (* Parent of a slash-joined span path, if any. *)
+  let parent_path path =
+    match String.rindex_opt path '/' with
+    | Some i -> Some (String.sub path 0 i)
+    | None -> None
+
+  let self_times t =
+    (* Self time = total minus the totals of direct children (paths one
+       component deeper); clamped at 0 against clock jitter. *)
+    let children = Hashtbl.create 32 in
+    List.iter
+      (fun a ->
+        match parent_path a.agg_path with
+        | Some p ->
+          Hashtbl.replace children p
+            ((try Hashtbl.find children p with Not_found -> 0.0)
+            +. a.agg_total)
+        | None -> ())
+      t.spans;
+    List.map
+      (fun a ->
+        let kids =
+          try Hashtbl.find children a.agg_path with Not_found -> 0.0
+        in
+        (a.agg_path, Float.max 0.0 (a.agg_total -. kids)))
+      t.spans
+
+  type span_delta = {
+    d_path : string;
+    d_baseline : float;
+    d_current : float;
+  }
+
+  let diff_spans ~baseline ~current =
+    let totals = Hashtbl.create 32 in
+    List.iter
+      (fun a -> Hashtbl.replace totals a.agg_path a.agg_total)
+      current.spans;
+    List.filter_map
+      (fun a ->
+        match Hashtbl.find_opt totals a.agg_path with
+        | Some c ->
+          Some { d_path = a.agg_path; d_baseline = a.agg_total; d_current = c }
+        | None -> None)
+      baseline.spans
+
+  let default_threshold = 0.25
+
+  let regressions ?threshold ~baseline ~current () =
+    let threshold = Option.value threshold ~default:default_threshold in
+    List.filter
+      (fun d ->
+        d.d_baseline > 0.0
+        && d.d_current > d.d_baseline *. (1.0 +. threshold))
+      (diff_spans ~baseline ~current)
+
   let pp_text ppf t =
     let nonempty = ref false in
     if t.spans <> [] then begin
       nonempty := true;
-      Format.fprintf ppf "spans (path, count, total s, max s):@.";
+      let self = self_times t in
+      let spans =
+        List.sort
+          (fun a b ->
+            match Float.compare b.agg_total a.agg_total with
+            | 0 -> String.compare a.agg_path b.agg_path
+            | c -> c)
+          t.spans
+      in
+      Format.fprintf ppf "spans (path, count, total s, self s, max s):@.";
       List.iter
         (fun a ->
-          Format.fprintf ppf "  %-52s %8d %10.4f %10.4f@." a.agg_path a.agg_count
-            a.agg_total a.agg_max)
-        t.spans
+          let s =
+            try List.assoc a.agg_path self with Not_found -> a.agg_total
+          in
+          Format.fprintf ppf "  %-52s %8d %10.4f %10.4f %10.4f@." a.agg_path
+            a.agg_count a.agg_total s a.agg_max)
+        spans
     end;
     if t.counters <> [] then begin
       nonempty := true;
@@ -811,8 +883,104 @@ let trace_json registry =
            ])
        (Span.finished registry))
 
-let write_trace registry path =
+(* ---- trace exporters --------------------------------------------------- *)
+
+type trace_format = Events | Chrome | Folded
+
+let trace_format_of_string = function
+  | "json" | "events" -> Ok Events
+  | "chrome" | "perfetto" -> Ok Chrome
+  | "folded" | "flamegraph" -> Ok Folded
+  | other ->
+    Error
+      (Printf.sprintf "unknown trace format %s (use json, chrome or folded)"
+         other)
+
+let trace_format_to_string = function
+  | Events -> "json"
+  | Chrome -> "chrome"
+  | Folded -> "folded"
+
+(* Chrome/Perfetto trace-event JSON: one complete ("ph":"X") event per
+   finished span, timestamps and durations in microseconds. All spans
+   come from one thread of control, so a single pid/tid pair lets the
+   viewers reconstruct nesting from interval containment. *)
+let trace_chrome registry =
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.Str "ms");
+      ( "traceEvents",
+        Json.List
+          (List.map
+             (fun ev ->
+               Json.Obj
+                 [
+                   ("name", Json.Str ev.sp_name);
+                   ("cat", Json.Str "span");
+                   ("ph", Json.Str "X");
+                   ("ts", Json.Float (ev.sp_start *. 1e6));
+                   ("dur", Json.Float (ev.sp_duration *. 1e6));
+                   ("pid", Json.Int 1);
+                   ("tid", Json.Int 1);
+                   ( "args",
+                     Json.Obj
+                       [
+                         ("path", Json.Str ev.sp_path);
+                         ("depth", Json.Int ev.sp_depth);
+                       ] );
+                 ])
+             (Span.finished registry)) );
+    ]
+
+(* Folded-stacks lines for flamegraph.pl: "root;child;leaf <self µs>",
+   one line per distinct span path (first-seen order), values are self
+   time so the flamegraph's widths add up correctly. *)
+let trace_folded registry =
+  let totals = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun ev ->
+      match Hashtbl.find_opt totals ev.sp_path with
+      | Some t -> Hashtbl.replace totals ev.sp_path (t +. ev.sp_duration)
+      | None ->
+        order := ev.sp_path :: !order;
+        Hashtbl.add totals ev.sp_path ev.sp_duration)
+    (Span.finished registry);
+  let children = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun path total ->
+      match String.rindex_opt path '/' with
+      | Some i ->
+        let parent = String.sub path 0 i in
+        Hashtbl.replace children parent
+          ((try Hashtbl.find children parent with Not_found -> 0.0) +. total)
+      | None -> ())
+    totals;
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun path ->
+      let total = Hashtbl.find totals path in
+      let kids = try Hashtbl.find children path with Not_found -> 0.0 in
+      let self_us =
+        int_of_float (Float.max 0.0 (total -. kids) *. 1e6 +. 0.5)
+      in
+      let stack =
+        String.concat ";" (String.split_on_char '/' path)
+      in
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" stack self_us))
+    (List.rev !order);
+  Buffer.contents buf
+
+let write_trace_as format registry path =
   let oc = open_out path in
-  output_string oc (Json.to_string ~indent:true (trace_json registry));
-  output_char oc '\n';
+  (match format with
+  | Events ->
+    output_string oc (Json.to_string ~indent:true (trace_json registry));
+    output_char oc '\n'
+  | Chrome ->
+    output_string oc (Json.to_string ~indent:true (trace_chrome registry));
+    output_char oc '\n'
+  | Folded -> output_string oc (trace_folded registry));
   close_out oc
+
+let write_trace registry path = write_trace_as Events registry path

@@ -48,6 +48,13 @@ val create : ?span_limit:int -> unit -> t
 (** [span_limit] bounds the retained finished-span events (default
     100_000); completions beyond it are counted as dropped. *)
 
+val set_span_limit : t -> int -> unit
+(** Adjust the retained finished-span bound at run time (the CLI's
+    [--span-limit]). Already-dropped spans stay dropped; raising the
+    limit only affects future completions. *)
+
+val span_limit : t -> int
+
 val global : t
 (** The registry behind the gated helpers and the CLI's [--metrics]. *)
 
@@ -173,15 +180,73 @@ module Report : sig
   (** Inverse of {!to_json}; [of_json (to_json r)] is [Ok r]. *)
 
   val to_text : t -> string
+  (** Span aggregates are printed ranked by total time (descending) with
+      a self-time column (total minus direct children), so the text
+      report doubles as a quick profile. *)
 
   val pp_text : Format.formatter -> t -> unit
 
   val equal : t -> t -> bool
+
+  val self_times : t -> (string * float) list
+  (** Self time per span path — the aggregate total minus the totals of
+      its direct children in the slash-joined path hierarchy — in report
+      order, clamped at 0. *)
+
+  (** {2 Baseline comparison (the bench regression guard)} *)
+
+  type span_delta = {
+    d_path : string;
+    d_baseline : float;  (** total seconds in the baseline report *)
+    d_current : float;  (** total seconds in the current report *)
+  }
+
+  val diff_spans : baseline:t -> current:t -> span_delta list
+  (** Per-path total-duration pairs for the span paths present in both
+      reports, baseline order. Paths unique to either side are ignored. *)
+
+  val default_threshold : float
+  (** [0.25]: the 25% slowdown bound shared by the CLI and the bench. *)
+
+  val regressions :
+    ?threshold:float -> baseline:t -> current:t -> unit -> span_delta list
+  (** The deltas of {!diff_spans} where the current total exceeds the
+      baseline by more than [threshold] (a fraction, default
+      {!default_threshold}). Baselines of 0 never regress. *)
 end
 
 val trace_json : t -> Json.t
 (** Every finished span as a JSON list of
     [{name; path; start_s; duration_s; depth}] events. *)
 
+(** {2 Trace exporters}
+
+    Three interchangeable renderings of the finished spans, selected on
+    the CLI with [--trace-format]; see [docs/OBSERVABILITY.md] for how
+    to open each one. *)
+
+type trace_format =
+  | Events  (** the native {!trace_json} event list *)
+  | Chrome  (** Chrome/Perfetto trace-event JSON ([chrome://tracing], ui.perfetto.dev) *)
+  | Folded  (** folded-stacks lines for Brendan Gregg's [flamegraph.pl] *)
+
+val trace_format_of_string : string -> (trace_format, string) result
+(** Accepts [json]/[events], [chrome]/[perfetto], [folded]/[flamegraph]. *)
+
+val trace_format_to_string : trace_format -> string
+
+val trace_chrome : t -> Json.t
+(** [{displayTimeUnit; traceEvents}] with one complete ([ph = "X"])
+    event per finished span; [ts]/[dur] in microseconds, span path and
+    depth under [args]. *)
+
+val trace_folded : t -> string
+(** One [stack self_µs] line per distinct span path, where the stack is
+    the slash path re-joined with [;] and the value is the path's self
+    time in integer microseconds. *)
+
 val write_trace : t -> string -> unit
 (** [write_trace registry path] dumps {!trace_json} to [path]. *)
+
+val write_trace_as : trace_format -> t -> string -> unit
+(** Like {!write_trace} with an explicit format. *)

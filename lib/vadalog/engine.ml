@@ -39,9 +39,9 @@ type compiled_rule = {
   (* plans.(k) = literal schedule with positive atom [k] first (the delta
      atom); plans.(n) = schedule for "no delta restriction". *)
   plans : step array array;
-  c_derived : int ref;  (* facts this rule added to the store *)
-  c_duplicates : int ref;  (* head emissions the store already had *)
+  c_prof : Profile.rule;  (* hot-path cost accumulator (see Profile) *)
   c_span : string;  (* "engine.rule.<label>" *)
+  c_preds : string list;  (* distinct positive body predicates *)
 }
 
 type group = {
@@ -70,6 +70,7 @@ type t = {
   (* Always-on chase statistics: cheap enough to keep unconditionally,
      they make Limit errors diagnosable and feed the telemetry report. *)
   pred_derived : (string, int ref) Hashtbl.t;
+  prof : Profile.t;
   mutable s_stratum : int;  (* stratum currently evaluating *)
   mutable s_iteration : int;  (* fixpoint iteration within it *)
   mutable s_strata_run : int;
@@ -184,7 +185,7 @@ let schedule literals ~first =
   done;
   Array.of_list (List.rev !out)
 
-let compile_rule rule =
+let compile_rule prof rule =
   let literals = literal_steps rule.Rule.body in
   let agg = Rule.the_agg rule in
   (* Split off guard/assignment literals that cannot be evaluated before the
@@ -292,9 +293,10 @@ let compile_rule rule =
     group_vars;
     post = post_steps;
     plans;
-    c_derived = ref 0;
-    c_duplicates = ref 0;
+    c_prof = Profile.register prof ~label:rule.Rule.label;
     c_span = "engine.rule." ^ rule.Rule.label;
+    c_preds =
+      Array.to_list (Array.map fst pos_atoms) |> List.sort_uniq compare;
   }
 
 (* ---- construction ----------------------------------------------------- *)
@@ -309,9 +311,10 @@ let create ?(config = default_config) ?(first_null_label = 1) program =
   List.iter
     (fun (pred, args) -> ignore (Database.add db pred args))
     program.Program.facts;
+  let prof = Profile.create () in
   let compiled = Hashtbl.create 64 in
   List.iter
-    (fun rule -> Hashtbl.replace compiled rule.Rule.id (compile_rule rule))
+    (fun rule -> Hashtbl.replace compiled rule.Rule.id (compile_rule prof rule))
     program.Program.rules;
   {
     program;
@@ -323,6 +326,7 @@ let create ?(config = default_config) ?(first_null_label = 1) program =
     agg_groups = Hashtbl.create 16;
     compiled;
     pred_derived = Hashtbl.create 32;
+    prof;
     s_stratum = 0;
     s_iteration = 0;
     s_strata_run = 0;
@@ -406,18 +410,23 @@ let candidates t ctx pred terms ~delta =
     | Some (pos, value) -> `List (Database.lookup t.db pred ~pos value)
     | None -> `Range (0, Database.pred_size t.db pred))
 
-let run_plan t plan ~delta_range ctx ~on_binding =
+let run_plan t plan ~delta_range ~prof ctx ~on_binding =
   let steps = plan in
   let n = Array.length steps in
   let rec exec i =
-    if i >= n then on_binding ()
+    if i >= n then begin
+      prof.Profile.r_bindings <- prof.Profile.r_bindings + 1;
+      on_binding ()
+    end
     else
       match steps.(i) with
       | S_atom { pred; terms } ->
         let delta = if i = 0 then delta_range else None in
         let visit idx =
+          prof.Profile.r_scanned <- prof.Profile.r_scanned + 1;
           let fact = Database.nth t.db pred idx in
           match_terms ctx terms fact (fun () ->
+              prof.Profile.r_matched <- prof.Profile.r_matched + 1;
               if t.config.track_provenance then begin
                 let saved = ctx.parents in
                 ctx.parents <- (pred, fact) :: saved;
@@ -461,16 +470,17 @@ let run_plan t plan ~delta_range ctx ~on_binding =
 (* Book-keeping for every head emission: per-rule and per-predicate
    derivation counts plus the duplicate-suppression tally. *)
 let record_derivation t cr pred added =
+  let p = cr.c_prof in
   if added then begin
     t.s_derived <- t.s_derived + 1;
-    incr cr.c_derived;
+    p.Profile.r_derived <- p.Profile.r_derived + 1;
     match Hashtbl.find_opt t.pred_derived pred with
     | Some r -> incr r
     | None -> Hashtbl.add t.pred_derived pred (ref 1)
   end
   else begin
     t.s_duplicates <- t.s_duplicates + 1;
-    incr cr.c_duplicates
+    p.Profile.r_duplicates <- p.Profile.r_duplicates + 1
   end
 
 let top_producers ?(limit = 3) t =
@@ -516,6 +526,8 @@ let emit_plain t cr ctx =
             List.map (fun v -> (v, Ids.fresh_null t.ids)) existentials
           in
           Hashtbl.add t.skolem key assignment;
+          cr.c_prof.Profile.r_nulls <-
+            cr.c_prof.Profile.r_nulls + List.length assignment;
           assignment
       in
       assignment
@@ -628,6 +640,7 @@ let eval_agg_rule t cr ~delta_range ~plan_idx =
         let group = { state = Aggregate.create agg.Rule.agg_op; snapshot } in
         Hashtbl.add groups gkey group;
         t.s_agg_groups <- t.s_agg_groups + 1;
+        cr.c_prof.Profile.r_groups <- cr.c_prof.Profile.r_groups + 1;
         group
     in
     let ckey = contributor_key ctx agg.Rule.agg_contributors in
@@ -643,7 +656,7 @@ let eval_agg_rule t cr ~delta_range ~plan_idx =
       if passes && emit_agg_head t cr group.snapshot then any_new := true
     | Rule.Bind _ -> ())
   in
-  run_plan t cr.plans.(plan_idx) ~delta_range ctx ~on_binding;
+  run_plan t cr.plans.(plan_idx) ~delta_range ~prof:cr.c_prof ctx ~on_binding;
   (match agg.Rule.agg_result with
   | Rule.Bind x ->
     Hashtbl.iter
@@ -659,9 +672,21 @@ let eval_agg_rule t cr ~delta_range ~plan_idx =
 let eval_plain_rule t cr ~delta_range ~plan_idx =
   let ctx = { env = Hashtbl.create 16; parents = [] } in
   let any_new = ref false in
-  run_plan t cr.plans.(plan_idx) ~delta_range ctx ~on_binding:(fun () ->
-      if emit_plain t cr ctx then any_new := true);
+  run_plan t cr.plans.(plan_idx) ~delta_range ~prof:cr.c_prof ctx
+    ~on_binding:(fun () -> if emit_plain t cr ctx then any_new := true);
   !any_new
+
+(* Every rule evaluation goes through here: the profiler's per-rule self
+   time and evaluation count come from this wrapper (plus the optional
+   telemetry span when the global registry is armed). Rule evaluations
+   never nest, so the measured wall time is pure self time. *)
+let eval_timed cr f =
+  let p = cr.c_prof in
+  p.Profile.r_evals <- p.Profile.r_evals + 1;
+  let t0 = Profile.now () in
+  Fun.protect
+    ~finally:(fun () -> p.Profile.r_time <- p.Profile.r_time +. (Profile.now () -. t0))
+    (fun () -> Telemetry.span cr.c_span f)
 
 let is_bind_rule cr =
   match cr.agg with
@@ -680,16 +705,24 @@ let run_stratum t index rules =
   let facts_at_entry = Database.total t.db in
   let duplicates_at_entry = t.s_duplicates in
   let compiled = List.map (fun r -> Hashtbl.find t.compiled r.Rule.id) rules in
+  List.iter (fun cr -> cr.c_prof.Profile.r_stratum <- index) compiled;
   let bind_rules = List.filter is_bind_rule compiled in
   let test_rules = List.filter is_test_rule compiled in
   let plain_rules =
     List.filter (fun cr -> not (is_bind_rule cr || is_test_rule cr)) compiled
   in
+  let iteration = ref 0 in
+  let stratum_start = Profile.now () in
+  Fun.protect ~finally:(fun () ->
+      Profile.stratum_add t.prof index
+        ~time:(Profile.now () -. stratum_start)
+        ~iterations:!iteration)
+  @@ fun () ->
   (* Aggregate-binding rules: inputs are saturated, evaluate once. *)
   List.iter
     (fun cr ->
       let n = Array.length cr.pos_atoms in
-      Telemetry.span cr.c_span (fun () ->
+      eval_timed cr (fun () ->
           ignore (eval_agg_rule t cr ~delta_range:None ~plan_idx:n)))
     bind_rules;
   (* Fixpoint for the rest. *)
@@ -697,7 +730,6 @@ let run_stratum t index rules =
   let watermark pred =
     match Hashtbl.find_opt seen pred with Some w -> w | None -> 0
   in
-  let iteration = ref 0 in
   let continue = ref (plain_rules <> [] || test_rules <> []) in
   while !continue do
     incr iteration;
@@ -714,7 +746,7 @@ let run_stratum t index rules =
     let before = Database.total t.db in
     (* Snapshot the frontier: facts in [watermark, snapshot) are the delta. *)
     let snapshot = Hashtbl.create 16 in
-    let preds_of cr = Array.to_list (Array.map fst cr.pos_atoms) in
+    let preds_of cr = cr.c_preds in
     List.iter
       (fun cr ->
         List.iter
@@ -731,7 +763,7 @@ let run_stratum t index rules =
         let n = Array.length cr.pos_atoms in
         if n = 0 then begin
           if !iteration = 1 then
-            Telemetry.span cr.c_span (fun () ->
+            eval_timed cr (fun () ->
                 ignore (eval_plain_rule t cr ~delta_range:None ~plan_idx:n))
         end
         else
@@ -740,7 +772,7 @@ let run_stratum t index rules =
             let lo = watermark pred and hi = snap pred in
             if lo < hi then begin
               Telemetry.observe "engine.iteration.delta" (float_of_int (hi - lo));
-              Telemetry.span cr.c_span (fun () ->
+              eval_timed cr (fun () ->
                   ignore
                     (eval_plain_rule t cr ~delta_range:(Some (lo, hi)) ~plan_idx:k))
             end
@@ -754,7 +786,7 @@ let run_stratum t index rules =
         in
         if dirty then
           let n = Array.length cr.pos_atoms in
-          Telemetry.span cr.c_span (fun () ->
+          eval_timed cr (fun () ->
               ignore (eval_agg_rule t cr ~delta_range:None ~plan_idx:n)))
       test_rules;
     Hashtbl.iter (fun pred s -> Hashtbl.replace seen pred s) snapshot;
@@ -789,7 +821,8 @@ let rule_derivations t =
       let label = cr.rule.Rule.label in
       let cur = try Hashtbl.find acc label with Not_found -> (0, 0) in
       Hashtbl.replace acc label
-        (fst cur + !(cr.c_derived), snd cur + !(cr.c_duplicates)))
+        ( fst cur + cr.c_prof.Profile.r_derived,
+          snd cur + cr.c_prof.Profile.r_duplicates ))
     t.compiled;
   Hashtbl.fold (fun label (d, _) acc -> (label, d) :: acc) acc []
   |> List.sort (fun (la, a) (lb, b) ->
@@ -832,7 +865,8 @@ let publish_telemetry t =
           try Hashtbl.find by_label cr.c_span with Not_found -> (0, 0)
         in
         Hashtbl.replace by_label cr.c_span
-          (fst cur + !(cr.c_derived), snd cur + !(cr.c_duplicates)))
+          ( fst cur + cr.c_prof.Profile.r_derived,
+            snd cur + cr.c_prof.Profile.r_duplicates ))
       t.compiled;
     Hashtbl.iter
       (fun name (d, dup) ->
@@ -845,13 +879,21 @@ let publish_telemetry t =
   end
 
 let run t =
-  Telemetry.span "engine.run" (fun () ->
-      Array.iteri
-        (fun i rules ->
-          Telemetry.span ("engine.stratum." ^ string_of_int i) (fun () ->
-              run_stratum t i rules))
-        t.strat.Stratify.strata);
+  let t0 = Profile.now () in
+  Fun.protect
+    ~finally:(fun () -> Profile.add_run_time t.prof (Profile.now () -. t0))
+    (fun () ->
+      Telemetry.span "engine.run" (fun () ->
+          Array.iteri
+            (fun i rules ->
+              Telemetry.span ("engine.stratum." ^ string_of_int i) (fun () ->
+                  run_stratum t i rules))
+            t.strat.Stratify.strata));
   publish_telemetry t
+
+let profile t = t.prof
+
+let profile_report t = Profile.report t.prof
 
 let facts t pred = Database.facts t.db pred
 

@@ -82,3 +82,18 @@ val rule_derivations : t -> (string * int) list
 
 val pred_derivations : t -> (string * int) list
 (** New facts per head predicate, most productive first. *)
+
+(** {2 Profiling}
+
+    Every engine carries an always-on {!Profile.t}: per-rule self time,
+    evaluation counts, join selectivity (tuples scanned vs. matched),
+    derivations vs. duplicate hits, nulls invented and aggregate-group
+    churn, plus per-stratum wall time. The overhead is two clock reads
+    per rule evaluation and plain integer bumps on the match path. *)
+
+val profile : t -> Profile.t
+(** The live accumulators (they keep counting across {!run}s). *)
+
+val profile_report : t -> Profile.report
+(** Snapshot of {!profile} as a ranked hotspot report; see
+    {!Profile.to_text} and {!Profile.to_json}. *)

@@ -1,0 +1,239 @@
+(* Chase profiler: per-rule and per-stratum cost attribution.
+
+   The accumulators are plain mutable records the engine writes to
+   directly from its inner loops; this module only creates them and
+   snapshots them into ranked reports. Rule evaluations never nest, so
+   per-rule wall time is self time with no parent/child arithmetic. *)
+
+module Json = Vadasa_telemetry.Telemetry.Json
+
+let now = Unix.gettimeofday
+
+type rule = {
+  r_label : string;
+  mutable r_stratum : int;
+  mutable r_evals : int;
+  mutable r_time : float;
+  mutable r_scanned : int;
+  mutable r_matched : int;
+  mutable r_bindings : int;
+  mutable r_derived : int;
+  mutable r_duplicates : int;
+  mutable r_nulls : int;
+  mutable r_groups : int;
+}
+
+type stratum = { mutable s_time : float; mutable s_iterations : int }
+
+type t = {
+  mutable p_rules : rule list;  (* reverse registration order *)
+  p_strata : (int, stratum) Hashtbl.t;
+  mutable p_run_time : float;
+}
+
+let create () =
+  { p_rules = []; p_strata = Hashtbl.create 8; p_run_time = 0.0 }
+
+let register t ~label =
+  let r =
+    {
+      r_label = label;
+      r_stratum = -1;
+      r_evals = 0;
+      r_time = 0.0;
+      r_scanned = 0;
+      r_matched = 0;
+      r_bindings = 0;
+      r_derived = 0;
+      r_duplicates = 0;
+      r_nulls = 0;
+      r_groups = 0;
+    }
+  in
+  t.p_rules <- r :: t.p_rules;
+  r
+
+let stratum_add t index ~time ~iterations =
+  let s =
+    match Hashtbl.find_opt t.p_strata index with
+    | Some s -> s
+    | None ->
+      let s = { s_time = 0.0; s_iterations = 0 } in
+      Hashtbl.add t.p_strata index s;
+      s
+  in
+  s.s_time <- s.s_time +. time;
+  s.s_iterations <- s.s_iterations + iterations
+
+let add_run_time t dt = t.p_run_time <- t.p_run_time +. dt
+
+let rules t = List.rev t.p_rules
+
+(* ---- reports ----------------------------------------------------------- *)
+
+type row = {
+  row_label : string;
+  row_stratum : int;
+  row_evals : int;
+  row_time : float;
+  row_share : float;
+  row_scanned : int;
+  row_matched : int;
+  row_selectivity : float;
+  row_bindings : int;
+  row_derived : int;
+  row_duplicates : int;
+  row_emitted : int;
+  row_nulls : int;
+  row_groups : int;
+}
+
+type stratum_row = {
+  st_index : int;
+  st_time : float;
+  st_iterations : int;
+  st_rule_time : float;
+}
+
+type report = {
+  rows : row list;
+  strata : stratum_row list;
+  run_time : float;
+  rule_time : float;
+  other_time : float;
+}
+
+let report t =
+  let run_time = t.p_run_time in
+  let row_of_rule r =
+    {
+      row_label = r.r_label;
+      row_stratum = r.r_stratum;
+      row_evals = r.r_evals;
+      row_time = r.r_time;
+      row_share = (if run_time > 0.0 then r.r_time /. run_time else 0.0);
+      row_scanned = r.r_scanned;
+      row_matched = r.r_matched;
+      row_selectivity =
+        (if r.r_scanned > 0 then
+           float_of_int r.r_matched /. float_of_int r.r_scanned
+         else 0.0);
+      row_bindings = r.r_bindings;
+      row_derived = r.r_derived;
+      row_duplicates = r.r_duplicates;
+      row_emitted = r.r_derived + r.r_duplicates;
+      row_nulls = r.r_nulls;
+      row_groups = r.r_groups;
+    }
+  in
+  let rows =
+    List.map row_of_rule (rules t)
+    |> List.sort (fun a b ->
+           match Float.compare b.row_time a.row_time with
+           | 0 -> String.compare a.row_label b.row_label
+           | c -> c)
+  in
+  let rule_time = List.fold_left (fun acc r -> acc +. r.row_time) 0.0 rows in
+  let rule_time_in index =
+    List.fold_left
+      (fun acc r -> if r.row_stratum = index then acc +. r.row_time else acc)
+      0.0 rows
+  in
+  let strata =
+    Hashtbl.fold
+      (fun index s acc ->
+        {
+          st_index = index;
+          st_time = s.s_time;
+          st_iterations = s.s_iterations;
+          st_rule_time = rule_time_in index;
+        }
+        :: acc)
+      t.p_strata []
+    |> List.sort (fun a b -> compare a.st_index b.st_index)
+  in
+  {
+    rows;
+    strata;
+    run_time;
+    rule_time;
+    other_time = Float.max 0.0 (run_time -. rule_time);
+  }
+
+let to_text ?top report =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "chase profile — hotspots ranked by self time\n";
+  add "%-28s %5s %6s %9s %6s %9s %9s %5s %8s %7s %6s %6s\n" "rule" "strat"
+    "evals" "self s" "share" "scanned" "matched" "sel%" "derived" "dupes"
+    "nulls" "groups";
+  let shown =
+    match top with
+    | Some n when n >= 0 && n < List.length report.rows ->
+      List.filteri (fun i _ -> i < n) report.rows
+    | _ -> report.rows
+  in
+  List.iter
+    (fun r ->
+      add "%-28s %5d %6d %9.4f %5.1f%% %9d %9d %5.1f %8d %7d %6d %6d\n"
+        r.row_label r.row_stratum r.row_evals r.row_time
+        (100.0 *. r.row_share) r.row_scanned r.row_matched
+        (100.0 *. r.row_selectivity)
+        r.row_derived r.row_duplicates r.row_nulls r.row_groups)
+    shown;
+  let hidden = List.length report.rows - List.length shown in
+  if hidden > 0 then add "  … %d more rule(s); raise --top to see them\n" hidden;
+  if report.strata <> [] then begin
+    add "strata:\n";
+    List.iter
+      (fun s ->
+        add "  stratum %-3d %9.4f s  %6d iterations  (rules %.4f s)\n"
+          s.st_index s.st_time s.st_iterations s.st_rule_time)
+      report.strata
+  end;
+  if report.run_time > 0.0 then
+    add "rule self time %.4f s = %.1f%% of engine run %.4f s (other %.4f s)\n"
+      report.rule_time
+      (100.0 *. report.rule_time /. report.run_time)
+      report.run_time report.other_time
+  else add "rule self time %.4f s (no run recorded)\n" report.rule_time;
+  Buffer.contents buf
+
+let to_json report =
+  let row_json r =
+    Json.Obj
+      [
+        ("label", Json.Str r.row_label);
+        ("stratum", Json.Int r.row_stratum);
+        ("evals", Json.Int r.row_evals);
+        ("self_s", Json.Float r.row_time);
+        ("share", Json.Float r.row_share);
+        ("scanned", Json.Int r.row_scanned);
+        ("matched", Json.Int r.row_matched);
+        ("selectivity", Json.Float r.row_selectivity);
+        ("bindings", Json.Int r.row_bindings);
+        ("derived", Json.Int r.row_derived);
+        ("duplicates", Json.Int r.row_duplicates);
+        ("emitted", Json.Int r.row_emitted);
+        ("nulls", Json.Int r.row_nulls);
+        ("agg_groups", Json.Int r.row_groups);
+      ]
+  in
+  let stratum_json s =
+    Json.Obj
+      [
+        ("index", Json.Int s.st_index);
+        ("time_s", Json.Float s.st_time);
+        ("iterations", Json.Int s.st_iterations);
+        ("rule_time_s", Json.Float s.st_rule_time);
+      ]
+  in
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("run_s", Json.Float report.run_time);
+      ("rule_s", Json.Float report.rule_time);
+      ("other_s", Json.Float report.other_time);
+      ("rules", Json.List (List.map row_json report.rows));
+      ("strata", Json.List (List.map stratum_json report.strata));
+    ]

@@ -1,0 +1,99 @@
+(** Chase profiler: per-rule and per-stratum cost attribution.
+
+    The engine owns one {!t} per instance and bumps the mutable fields
+    of each rule's {!rule} accumulator directly on the hot path — plain
+    field writes, no hashing — so profiling is always on and costs two
+    clock reads per rule evaluation plus integer bumps. {!report}
+    snapshots the accumulators into a hotspot report ranked by self
+    time, renderable as text ({!to_text}) or JSON ({!to_json}).
+
+    Self time is exact by construction: rule evaluations never nest
+    (one rule's plan never invokes another rule), so the time measured
+    around each evaluation is the rule's own. Whatever the run spends
+    outside rule evaluations (delta snapshots, watermark upkeep,
+    stratification glue) appears as [other_time].
+
+    See [docs/OBSERVABILITY.md] for the counter definitions and the
+    [vadasa profile] subcommand built on this module. *)
+
+type rule = {
+  r_label : string;
+  mutable r_stratum : int;  (** stratum the rule last evaluated in *)
+  mutable r_evals : int;  (** plan executions (per delta atom per iteration) *)
+  mutable r_time : float;  (** self seconds across all evaluations *)
+  mutable r_scanned : int;  (** candidate facts visited by body atoms *)
+  mutable r_matched : int;  (** candidates that unified with their atom *)
+  mutable r_bindings : int;  (** complete body bindings reached *)
+  mutable r_derived : int;  (** new facts added by the head *)
+  mutable r_duplicates : int;  (** head emissions already in the store *)
+  mutable r_nulls : int;  (** labelled nulls invented for existentials *)
+  mutable r_groups : int;  (** aggregate groups created (group churn) *)
+}
+(** Engine-facing accumulator. The fields are exposed mutable so the
+    engine's inner loops can bump them without a function call. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> label:string -> rule
+(** New accumulator for a rule, remembered by the profile. Labels are
+    not required to be unique; each registration gets its own row. *)
+
+val now : unit -> float
+(** The profiler's clock (wall seconds), shared with the engine so rule
+    and run timings are commensurable. *)
+
+val stratum_add : t -> int -> time:float -> iterations:int -> unit
+(** Accumulate one stratum evaluation (wall time and fixpoint
+    iterations) under the stratum index. *)
+
+val add_run_time : t -> float -> unit
+(** Accumulate the wall time of one full {!Engine.run}. *)
+
+val rules : t -> rule list
+(** Registered accumulators, registration order. *)
+
+(** {2 Reports} *)
+
+type row = {
+  row_label : string;
+  row_stratum : int;
+  row_evals : int;
+  row_time : float;  (** self seconds *)
+  row_share : float;  (** [row_time /. run_time] (0 when no run time) *)
+  row_scanned : int;
+  row_matched : int;
+  row_selectivity : float;  (** [matched /. scanned] (0 when nothing scanned) *)
+  row_bindings : int;
+  row_derived : int;
+  row_duplicates : int;
+  row_emitted : int;  (** [derived + duplicates] *)
+  row_nulls : int;
+  row_groups : int;
+}
+
+type stratum_row = {
+  st_index : int;
+  st_time : float;
+  st_iterations : int;
+  st_rule_time : float;  (** Σ self time of rules evaluated in it *)
+}
+
+type report = {
+  rows : row list;  (** ranked by self time, descending *)
+  strata : stratum_row list;  (** by index, ascending *)
+  run_time : float;  (** wall seconds of the enclosing run(s) *)
+  rule_time : float;  (** Σ row self times *)
+  other_time : float;  (** [run_time -. rule_time], clamped at 0 *)
+}
+
+val report : t -> report
+
+val to_text : ?top:int -> report -> string
+(** Hotspot table. [top] bounds the number of rule rows printed
+    (default: all); the footer always accounts for every rule. *)
+
+val to_json : report -> Vadasa_telemetry.Telemetry.Json.t
+(** Versioned object: [{version; run_s; rule_s; other_s; rules; strata}]
+    with one object per rule row (keys mirror the {!row} fields). *)

@@ -181,6 +181,204 @@ let test_json_escapes () =
     in
     Alcotest.(check (option string)) "string survives" (Some tricky) got
 
+(* --- trace exporters ---------------------------------------------------- *)
+
+(* A registry with a known span shape: root > child > leaf, plus a
+   sibling child2 under root. *)
+let trace_registry () =
+  let r = T.create () in
+  T.Span.with_ ~registry:r "root" (fun () ->
+      T.Span.with_ ~registry:r "child" (fun () ->
+          T.Span.with_ ~registry:r "leaf" (fun () -> ()));
+      T.Span.with_ ~registry:r "child2" (fun () -> ()));
+  r
+
+let test_trace_chrome_parses_and_nests () =
+  let r = trace_registry () in
+  let rendered = T.Json.to_string ~indent:true (T.trace_chrome r) in
+  match T.Json.of_string rendered with
+  | Error e -> Alcotest.failf "chrome trace does not parse: %s" e
+  | Ok json ->
+    let events =
+      match Option.bind (T.Json.member "traceEvents" json) T.Json.to_list_opt with
+      | Some l -> l
+      | None -> Alcotest.fail "no traceEvents list"
+    in
+    Alcotest.(check int) "one event per finished span" 4 (List.length events);
+    let field name ev =
+      match T.Json.member name ev with
+      | Some v -> v
+      | None -> Alcotest.failf "event missing %s" name
+    in
+    let num ev name =
+      match T.Json.to_float_opt (field name ev) with
+      | Some f -> f
+      | None -> Alcotest.failf "%s is not numeric" name
+    in
+    let path ev =
+      match
+        Option.bind (T.Json.member "args" ev) (fun a ->
+            Option.bind (T.Json.member "path" a) T.Json.to_string_opt)
+      with
+      | Some p -> p
+      | None -> Alcotest.fail "event missing args.path"
+    in
+    List.iter
+      (fun ev ->
+        Alcotest.(check (option string))
+          "complete event" (Some "X")
+          (T.Json.to_string_opt (field "ph" ev)))
+      events;
+    (* Every child interval must nest inside its parent's interval
+       (small slack: ts/dur round through microseconds). *)
+    let by_path = List.map (fun ev -> (path ev, ev)) events in
+    List.iter
+      (fun (p, ev) ->
+        match String.rindex_opt p '/' with
+        | None -> ()
+        | Some i -> (
+          let parent_path = String.sub p 0 i in
+          match List.assoc_opt parent_path by_path with
+          | None -> Alcotest.failf "no parent event for %s" p
+          | Some parent ->
+            let slack = 2.0 (* µs *) in
+            let ts = num ev "ts" and dur = num ev "dur" in
+            let pts = num parent "ts" and pdur = num parent "dur" in
+            Alcotest.(check bool)
+              (p ^ " starts after parent") true
+              (ts +. slack >= pts);
+            Alcotest.(check bool)
+              (p ^ " ends before parent") true
+              (ts +. dur <= pts +. pdur +. slack)))
+      by_path
+
+let test_trace_folded_roundtrip () =
+  let r = trace_registry () in
+  let folded = T.trace_folded r in
+  let lines =
+    String.split_on_char '\n' folded |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one line per distinct path" 4 (List.length lines);
+  (* Each line is "a;b;c <int>"; the stack must be a finished span path
+     with '/' replaced by ';', and ancestry must be reconstructible: every
+     stack's prefix is itself a stack in the output. *)
+  let stacks =
+    List.map
+      (fun line ->
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "malformed folded line %S" line
+        | Some i ->
+          let stack = String.sub line 0 i in
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          (match int_of_string_opt v with
+          | Some n when n >= 0 -> ()
+          | _ -> Alcotest.failf "bad self-time value in %S" line);
+          stack)
+      lines
+  in
+  let span_paths =
+    List.map
+      (fun i ->
+        String.concat ";" (String.split_on_char '/' i.T.Span.sp_path))
+      (T.Span.finished r)
+  in
+  List.iter
+    (fun stack ->
+      Alcotest.(check bool)
+        (stack ^ " is a span path") true
+        (List.mem stack span_paths);
+      match String.rindex_opt stack ';' with
+      | None -> ()
+      | Some i ->
+        let prefix = String.sub stack 0 i in
+        Alcotest.(check bool)
+          (prefix ^ " ancestor present") true
+          (List.mem prefix stacks))
+    stacks
+
+let report_of_spans spans =
+  (* Build a report with chosen span totals by round-tripping JSON. *)
+  let json =
+    T.Json.Obj
+      [
+        ("version", T.Json.Int 1);
+        ("counters", T.Json.Obj []);
+        ("gauges", T.Json.Obj []);
+        ("histograms", T.Json.Obj []);
+        ( "spans",
+          T.Json.List
+            (List.map
+               (fun (path, total) ->
+                 T.Json.Obj
+                   [
+                     ("path", T.Json.Str path);
+                     ("count", T.Json.Int 1);
+                     ("total_s", T.Json.Float total);
+                     ("max_s", T.Json.Float total);
+                   ])
+               spans) );
+        ("dropped_spans", T.Json.Int 0);
+      ]
+  in
+  match T.Report.of_json json with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "report_of_spans: %s" e
+
+let test_report_text_sorted_with_self () =
+  let report =
+    report_of_spans [ ("a", 1.0); ("b", 2.0); ("a/c", 0.25) ]
+  in
+  let self = T.Report.self_times report in
+  Alcotest.(check (option (float 1e-9)))
+    "self of a excludes child" (Some 0.75) (List.assoc_opt "a" self);
+  Alcotest.(check (option (float 1e-9)))
+    "leaf self = total" (Some 2.0) (List.assoc_opt "b" self);
+  let text = T.Report.to_text report in
+  let index needle =
+    let rec find i =
+      if i + String.length needle > String.length text then
+        Alcotest.failf "%S not in report text" needle
+      else if String.sub text i (String.length needle) = needle then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  Alcotest.(check bool) "slowest span printed first" true
+    (index "  b " < index "  a ")
+
+let test_report_regressions () =
+  let baseline = report_of_spans [ ("a", 1.0); ("b", 2.0); ("gone", 1.0) ] in
+  let current = report_of_spans [ ("a", 1.5); ("b", 2.1); ("new", 9.0) ] in
+  let deltas = T.Report.diff_spans ~baseline ~current in
+  Alcotest.(check int) "only common paths diffed" 2 (List.length deltas);
+  let regs = T.Report.regressions ~baseline ~current () in
+  (match regs with
+  | [ d ] ->
+    Alcotest.(check string) "a regressed" "a" d.T.Report.d_path;
+    Alcotest.(check (float 1e-9)) "baseline total" 1.0 d.T.Report.d_baseline;
+    Alcotest.(check (float 1e-9)) "current total" 1.5 d.T.Report.d_current
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l));
+  Alcotest.(check int) "looser threshold clears it" 0
+    (List.length (T.Report.regressions ~threshold:0.6 ~baseline ~current ()))
+
+let test_span_limit_and_dropped () =
+  let r = T.create ~span_limit:2 () in
+  for _ = 1 to 5 do
+    T.Span.with_ ~registry:r "s" (fun () -> ())
+  done;
+  Alcotest.(check int) "retained bounded" 2 (List.length (T.Span.finished r));
+  Alcotest.(check int) "overflow counted" 3 (T.Span.dropped r);
+  let report = T.Report.capture r in
+  Alcotest.(check int) "dropped in report" 3 report.T.Report.dropped_spans;
+  T.set_span_limit r 4;
+  Alcotest.(check int) "limit readable" 4 (T.span_limit r);
+  T.Span.with_ ~registry:r "t" (fun () -> ());
+  T.Span.with_ ~registry:r "t" (fun () -> ());
+  T.Span.with_ ~registry:r "t" (fun () -> ());
+  Alcotest.(check int) "raised limit retains more" 4
+    (List.length (T.Span.finished r));
+  Alcotest.(check int) "previous drops not forgotten" 4 (T.Span.dropped r)
+
 (* --- engine integration ------------------------------------------------ *)
 
 let ancestry_src =
@@ -256,6 +454,19 @@ let () =
           Alcotest.test_case "json round-trip" `Quick
             test_report_json_roundtrip;
           Alcotest.test_case "json escapes" `Quick test_json_escapes;
+          Alcotest.test_case "text sorted with self column" `Quick
+            test_report_text_sorted_with_self;
+          Alcotest.test_case "diff_spans and regressions" `Quick
+            test_report_regressions;
+        ] );
+      ( "traces",
+        [
+          Alcotest.test_case "chrome trace parses and nests" `Quick
+            test_trace_chrome_parses_and_nests;
+          Alcotest.test_case "folded stacks round-trip" `Quick
+            test_trace_folded_roundtrip;
+          Alcotest.test_case "span limit and dropped" `Quick
+            test_span_limit_and_dropped;
         ] );
       ( "engine",
         [

@@ -807,6 +807,110 @@ let prop_negation_complement =
       let marked_count = List.length (List.sort_uniq compare marked) in
       List.length (V.Engine.facts engine "unmarked") = 10 - marked_count)
 
+(* --- the chase profiler ------------------------------------------------- *)
+
+let test_profile_invariants () =
+  let engine =
+    run_program
+      {|
+        parent(a, b). parent(b, c). parent(c, d).
+        own(a, x, 0.4). own(b, x, 0.3). own(a, y, 0.9).
+        @label("base").
+        ancestor(X, Y) :- parent(X, Y).
+        @label("step").
+        ancestor(X, Z) :- ancestor(X, Y), parent(Y, Z).
+        @label("invent").
+        boss(X, Z) :- parent(X, _).
+        @label("total").
+        stake(C, S) :- own(P, C, W), S = msum(W, <P>).
+        @output("ancestor").
+      |}
+  in
+  let report = V.Engine.profile_report engine in
+  let stats = V.Engine.stats engine in
+  let rows = report.V.Profile.rows in
+  Alcotest.(check int) "one row per rule" 4 (List.length rows);
+  List.iter
+    (fun r ->
+      let l = r.V.Profile.row_label in
+      Alcotest.(check bool) (l ^ ": evaluated") true (r.V.Profile.row_evals > 0);
+      Alcotest.(check bool) (l ^ ": time >= 0") true (r.V.Profile.row_time >= 0.0);
+      Alcotest.(check bool) (l ^ ": scanned >= matched") true
+        (r.V.Profile.row_scanned >= r.V.Profile.row_matched);
+      Alcotest.(check int) (l ^ ": emitted = derived + duplicates")
+        r.V.Profile.row_emitted
+        (r.V.Profile.row_derived + r.V.Profile.row_duplicates))
+    rows;
+  (* Rows are ranked by self time, slowest first. *)
+  let times = List.map (fun r -> r.V.Profile.row_time) rows in
+  Alcotest.(check (list (float 1e-9))) "ranked by self time"
+    (List.sort (fun a b -> compare b a) times)
+    times;
+  (* Row totals must agree with the engine's own chase statistics. *)
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  Alcotest.(check int) "derived totals agree" stats.V.Engine.facts_derived
+    (sum (fun r -> r.V.Profile.row_derived));
+  Alcotest.(check int) "duplicate totals agree"
+    stats.V.Engine.duplicates_suppressed
+    (sum (fun r -> r.V.Profile.row_duplicates));
+  Alcotest.(check int) "null totals agree" stats.V.Engine.nulls_created
+    (sum (fun r -> r.V.Profile.row_nulls));
+  Alcotest.(check int) "group totals agree" stats.V.Engine.agg_groups_created
+    (sum (fun r -> r.V.Profile.row_groups));
+  let row label =
+    match List.find_opt (fun r -> r.V.Profile.row_label = label) rows with
+    | Some r -> r
+    | None -> Alcotest.failf "no profile row for rule %S" label
+  in
+  Alcotest.(check bool) "existential rule invented nulls" true
+    ((row "invent").V.Profile.row_nulls > 0);
+  Alcotest.(check int) "aggregate rule tracked groups" 2
+    (row "total").V.Profile.row_groups;
+  (* The recursive stratum is visible with its iteration count. *)
+  Alcotest.(check bool) "strata recorded" true
+    (List.exists
+       (fun s -> s.V.Profile.st_iterations > 1)
+       report.V.Profile.strata);
+  (* Rendered outputs carry the rows. *)
+  let text = V.Profile.to_text report in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (l ^ " in text") true (contains l))
+    [ "base"; "step"; "invent"; "total" ];
+  match V.Profile.to_json report with
+  | Vadasa_telemetry.Telemetry.Json.Obj fields ->
+    Alcotest.(check bool) "json has rules" true (List.mem_assoc "rules" fields)
+  | _ -> Alcotest.fail "profile json is not an object"
+
+let test_profile_time_attribution () =
+  (* A join-heavy program: rule evaluation must dominate the engine.run
+     wall time, so per-rule self times account for (nearly) all of it —
+     the acceptance bound is 10%, we assert a conservative 70% to stay
+     robust on loaded CI machines. *)
+  let facts =
+    List.init 120 (fun i -> Printf.sprintf "p(%d)." i)
+    |> String.concat " "
+  in
+  let engine =
+    run_program (facts ^ " q(X, Y) :- p(X), p(Y). @output(\"q\").")
+  in
+  let report = V.Engine.profile_report engine in
+  Alcotest.(check bool) "run time measured" true
+    (report.V.Profile.run_time > 0.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "rule self time (%.4fs) covers >= 70%% of run (%.4fs)"
+       report.V.Profile.rule_time report.V.Profile.run_time)
+    true
+    (report.V.Profile.rule_time >= 0.7 *. report.V.Profile.run_time);
+  Alcotest.(check (float 1e-9)) "other = run - rule"
+    (report.V.Profile.run_time -. report.V.Profile.rule_time)
+    report.V.Profile.other_time
+
 let () =
   let qcheck tests = List.map QCheck_alcotest.to_alcotest tests in
   Alcotest.run "vadalog"
@@ -897,6 +1001,13 @@ let () =
             test_parser_not_function_vs_negation;
           Alcotest.test_case "program union and printing" `Quick
             test_program_union_and_pp;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "counter invariants" `Quick
+            test_profile_invariants;
+          Alcotest.test_case "time attribution" `Quick
+            test_profile_time_attribution;
         ] );
       ( "properties",
         qcheck
