@@ -560,7 +560,7 @@ let load_report file =
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  match T.Json.of_string s with
+  match Vadasa_base.Json.of_string s with
   | Error e -> Error e
   | Ok json -> T.Report.of_json json
 

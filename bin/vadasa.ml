@@ -7,7 +7,8 @@
      risk        estimate disclosure risk for a CSV microdata DB
      anonymize   run the anonymization cycle and write the result
      attack      simulate the record-linkage attack against a microdata DB
-     reason      execute a Vadalog program file on the reasoning engine *)
+     reason      execute a Vadalog program file on the reasoning engine
+     serve       expose the pipeline as a concurrent HTTP service *)
 
 module Value = Vadasa_base.Value
 module R = Vadasa_relational
@@ -16,6 +17,7 @@ module D = Vadasa_datagen
 module L = Vadasa_linkage
 module V = Vadasa_vadalog
 module T = Vadasa_telemetry.Telemetry
+module Srv = Vadasa_server
 open Cmdliner
 
 let setup_logs verbose =
@@ -35,6 +37,16 @@ let metrics_arg =
           "Collect telemetry (engine counters, per-phase spans, I/O \
            volumes) and print a report to stderr after the run. FMT is \
            $(b,text) (default) or $(b,json). See docs/OBSERVABILITY.md.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write machine-readable metrics to FILE as JSON lines instead of \
+           stderr: the final telemetry report, preceded (under $(b,serve)) \
+           by one access-log line per request.")
 
 let trace_arg =
   Arg.(
@@ -68,9 +80,11 @@ let span_limit_arg =
            reported on stderr.")
 
 (* Shared preamble of every subcommand: logging plus telemetry. Returns
-   the [finish] hook the subcommand calls once its work is done, which
-   emits the report and span trace that [--metrics]/[--trace] asked for. *)
-let telemetry_setup verbose metrics trace trace_format span_limit =
+   the [finish] hook the subcommand calls once its work is done — it
+   emits the report and span trace that [--metrics]/[--trace] asked
+   for — paired with the [--metrics-out] line sink (None without the
+   flag), which [serve] reuses as its access log. *)
+let telemetry_setup verbose metrics metrics_out trace trace_format span_limit =
   setup_logs verbose;
   let fmt =
     match metrics with
@@ -95,8 +109,29 @@ let telemetry_setup verbose metrics trace trace_format span_limit =
     exit 1
   | Some n -> T.set_span_limit T.global n
   | None -> ());
-  if fmt <> `None || trace <> None then T.set_enabled true;
-  fun () ->
+  let sink, close_sink =
+    match metrics_out with
+    | None -> (None, fun () -> ())
+    | Some path ->
+      let oc =
+        try open_out path
+        with Sys_error message ->
+          Printf.eprintf "error: cannot open --metrics-out file: %s\n" message;
+          exit 1
+      in
+      let mutex = Mutex.create () in
+      ( Some
+          (fun line ->
+            Mutex.lock mutex;
+            output_string oc line;
+            output_char oc '\n';
+            flush oc;
+            Mutex.unlock mutex),
+        fun () -> close_out oc )
+  in
+  if fmt <> `None || metrics_out <> None || trace <> None then
+    T.set_enabled true;
+  let finish () =
     (match trace with
     | Some path -> (
       try T.write_trace_as tfmt T.global path
@@ -110,17 +145,24 @@ let telemetry_setup verbose metrics trace trace_format span_limit =
         "warning: %d telemetry span(s) dropped (retention limit %d; raise \
          with --span-limit)\n"
         dropped (T.span_limit T.global);
+    (match sink with
+    | Some write ->
+      write (T.Json.to_string (T.Report.to_json (T.Report.capture T.global)))
+    | None -> ());
+    close_sink ();
     match fmt with
     | `None -> ()
     | `Json ->
       prerr_endline
         (T.Json.to_string ~indent:true (T.Report.to_json (T.Report.capture T.global)))
     | `Text -> prerr_string (T.Report.to_text (T.Report.capture T.global))
+  in
+  (finish, sink)
 
 let common_term =
   Term.(
-    const telemetry_setup $ verbose_arg $ metrics_arg $ trace_arg
-    $ trace_format_arg $ span_limit_arg)
+    const telemetry_setup $ verbose_arg $ metrics_arg $ metrics_out_arg
+    $ trace_arg $ trace_format_arg $ span_limit_arg)
 
 (* ---- shared helpers --------------------------------------------------- *)
 
@@ -234,7 +276,7 @@ let generate_cmd =
   let list_flag =
     Arg.(value & flag & info [ "list" ] ~doc:"List the Figure 6 inventory and exit.")
   in
-  let run finish dataset scale output list_flag =
+  let run (finish, _) dataset scale output list_flag =
     if list_flag then Format.printf "%a" D.Suite.pp_table ()
     else
       (match D.Suite.find dataset with
@@ -253,7 +295,7 @@ let generate_cmd =
 (* ---- categorize ---------------------------------------------------------- *)
 
 let categorize_cmd =
-  let run finish input =
+  let run (finish, _) input =
     let name = Filename.remove_extension (Filename.basename input) in
     let rel = R.Csv.load ~name input in
     let result, _ =
@@ -306,12 +348,24 @@ let risk_cmd =
             "Also run the measure as a Vadalog program on the reasoning \
              engine and report the maximum deviation from the native path.")
   in
-  let run finish input categories measure k threshold msu_threshold explain
-      reasoned =
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the canonical JSON risk report on stdout instead of the \
+             text summary — the exact bytes the server's POST /v1/risk \
+             returns for the same input.")
+  in
+  let run (finish, _) input categories measure k threshold msu_threshold explain
+      reasoned json =
     let md = load_microdata ~path:input ~overrides:categories in
     let measure = parse_measure measure k msu_threshold in
     let report = S.Risk.estimate measure md in
-    print_string (S.Explain.summary md report ~threshold);
+    if json then print_string (Srv.Codec.risk_report_string ~threshold md report)
+    else print_string (S.Explain.summary md report ~threshold);
+    (* With --json, keep stdout pure JSON: extras go to stderr. *)
+    let out = if json then stderr else stdout in
     if reasoned then begin
       match S.Vadalog_bridge.risk_via_engine ~threshold measure md with
       | engine_risks ->
@@ -320,27 +374,28 @@ let risk_cmd =
           (fun i r ->
             max_diff := Float.max !max_diff (Float.abs (r -. report.S.Risk.risk.(i))))
           engine_risks;
-        Printf.printf
+        Printf.fprintf out
           "\nreasoned path: %d risks derived on the engine; max |delta| vs \
            native = %.2e\n"
           (Array.length engine_risks) !max_diff
       | exception S.Vadalog_bridge.Unsupported msg ->
-        Printf.printf "\nreasoned path unsupported for this measure: %s\n" msg
+        Printf.fprintf out "\nreasoned path unsupported for this measure: %s\n"
+          msg
     end;
     (match explain with
     | None -> ()
     | Some tuple ->
       (match S.Vadalog_bridge.explain_risk measure md ~tuple with
       | Some text ->
-        Printf.printf "\nreasoned derivation for tuple %d:\n%s" tuple text
-      | None -> Printf.printf "\nno derivation found for tuple %d\n" tuple));
+        Printf.fprintf out "\nreasoned derivation for tuple %d:\n%s" tuple text
+      | None -> Printf.fprintf out "\nno derivation found for tuple %d\n" tuple));
     finish ()
   in
   Cmd.v
     (Cmd.info "risk" ~doc:"Estimate statistical disclosure risk for a CSV")
     Term.(
       const run $ common_term $ input_arg $ category_arg $ measure_arg $ k_arg
-      $ threshold_arg $ msu_arg $ explain $ reasoned_flag)
+      $ threshold_arg $ msu_arg $ explain $ reasoned_flag $ json_flag)
 
 (* ---- anonymize --------------------------------------------------------------- *)
 
@@ -365,7 +420,7 @@ let anonymize_cmd =
       & info [ "narrative" ]
           ~doc:"Print the full anonymization narrative (per-action story).")
   in
-  let run finish input categories measure k threshold msu_threshold method_
+  let run (finish, _) input categories measure k threshold msu_threshold method_
       semantics output narrative =
     let md = load_microdata ~path:input ~overrides:categories in
     let semantics =
@@ -410,7 +465,7 @@ let anonymize_cmd =
 (* ---- attack --------------------------------------------------------------------- *)
 
 let attack_cmd =
-  let run finish input categories seed =
+  let run (finish, _) input categories seed =
     let md = load_microdata ~path:input ~overrides:categories in
     let rng = Vadasa_stats.Rng.create ~seed in
     let oracle = L.Oracle.from_microdata rng md () in
@@ -487,7 +542,7 @@ let reason_cmd =
   let check_warded =
     Arg.(value & flag & info [ "check-warded" ] ~doc:"Print the wardedness analysis.")
   in
-  let run finish path queries explain warded csv_facts =
+  let run (finish, _) path queries explain warded csv_facts =
     let program = load_program path csv_facts in
     if warded then
       Format.printf "%a@." V.Wardedness.pp_report (V.Wardedness.analyze program);
@@ -539,7 +594,7 @@ let profile_cmd =
       & info [ "json" ]
           ~doc:"Emit the profile as JSON on stdout instead of the table.")
   in
-  let run finish path top json_out csv_facts =
+  let run (finish, _) path top json_out csv_facts =
     let program = load_program path csv_facts in
     (* The profiler itself is always on; arm the global registry too so
        the run records the engine.run/engine.stratum.* spans the table
@@ -563,6 +618,105 @@ let profile_cmd =
       const run $ common_term $ program_arg $ top_arg $ json_flag
       $ csv_facts_arg)
 
+(* ---- serve ---------------------------------------------------------------------- *)
+
+let serve_cmd =
+  let host_arg =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt int 8080
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Port to bind (0 picks an ephemeral port).")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "domains" ] ~docv:"N" ~doc:"Worker pool size (OCaml domains).")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int 128
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded job-queue capacity; connections beyond it are answered \
+             503 immediately (backpressure).")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt float 30.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request deadline: socket read timeout and maximum queue \
+             wait.")
+  in
+  let max_body_arg =
+    Arg.(
+      value
+      & opt int Srv.Http.default_limits.Srv.Http.max_body_bytes
+      & info [ "max-body" ] ~docv:"BYTES"
+          ~doc:"Largest accepted request body (413 beyond it).")
+  in
+  let run (finish, sink) host port domains queue timeout max_body =
+    if domains < 1 then begin
+      Printf.eprintf "error: --domains must be >= 1\n";
+      exit 1
+    end;
+    if queue < 1 then begin
+      Printf.eprintf "error: --queue must be >= 1\n";
+      exit 1
+    end;
+    let config =
+      {
+        Srv.Server.host;
+        port;
+        domains;
+        queue_capacity = queue;
+        request_timeout = timeout;
+        max_body_bytes = max_body;
+        access_log = sink;
+      }
+    in
+    (* The global gated telemetry registry is not domain-safe (see the
+       engine's thread-safety contract): keep it off while worker
+       domains run. /metrics and the access log carry the server's
+       observability instead. *)
+    T.set_enabled false;
+    let handlers = Srv.Handlers.create () in
+    let server =
+      match Srv.Server.create ~config handlers with
+      | server -> server
+      | exception Unix.Unix_error (err, _, _) ->
+        Printf.eprintf "error: cannot bind %s:%d: %s\n" host port
+          (Unix.error_message err);
+        exit 1
+    in
+    Srv.Server.install_signal_handlers server;
+    Printf.printf
+      "vadasa serve: listening on http://%s:%d (%d domains, queue %d)\n%!" host
+      (Srv.Server.port server) domains queue;
+    Srv.Server.run server;
+    Printf.eprintf "vadasa serve: shutdown complete\n%!";
+    finish ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the SDC pipeline as a long-lived HTTP service: POST /v1/risk, \
+          /v1/anonymize, /v1/categorize, /v1/reason; GET /healthz, /metrics. \
+          See docs/SERVER.md.")
+    Term.(
+      const run $ common_term $ host_arg $ port_arg $ domains_arg $ queue_arg
+      $ timeout_arg $ max_body_arg)
+
 (* ---- main ------------------------------------------------------------------------- *)
 
 let () =
@@ -578,6 +732,7 @@ let () =
         attack_cmd;
         reason_cmd;
         profile_cmd;
+        serve_cmd;
       ]
   in
   exit (Cmd.eval group)

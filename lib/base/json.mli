@@ -1,0 +1,39 @@
+(** Minimal JSON values shared across the stack.
+
+    One encoder and one parser for everything that speaks JSON — the
+    telemetry reports ({!Vadasa_telemetry}), the bench regression-guard
+    reader and the server codec — so renderings cannot drift between
+    subsystems. Encoding is deterministic: object fields print in the
+    order given, floats use the shortest representation that
+    round-trips, and [nan]/[inf] are clamped to finite literals. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Compact by default; [~indent:true] pretty-prints with two-space
+    indentation. *)
+
+val of_string : string -> (t, string) result
+(** Full JSON parser (strings with escapes and surrogate pairs, numbers,
+    nested containers). The error carries the byte offset. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing fields and non-objects. *)
+
+val to_int_opt : t -> int option
+
+val to_float_opt : t -> float option
+(** [Int] widens to float. *)
+
+val to_string_opt : t -> string option
+
+val to_list_opt : t -> t list option
+
+val to_bool_opt : t -> bool option

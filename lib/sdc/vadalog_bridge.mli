@@ -60,6 +60,17 @@ val enhanced_risk_via_engine :
 
 exception Unsupported of string
 
+val program_of_measure : Risk.measure -> string
+(** Vadalog source of a measure's program (the text
+    {!risk_via_engine} executes). Raises {!Unsupported} for measures that
+    live outside the logic — Benedetti–Franconi closed forms, Monte
+    Carlo sampling, custom OCaml functions. Callers that cache compiled
+    programs (the server) key their cache on this text. *)
+
+val decode_risks : Vadasa_vadalog.Engine.t -> int -> float array
+(** Per-tuple risks from a saturated engine's [riskoutput] facts (0 where
+    no fact was derived), for [n] tuples. *)
+
 val risk_via_engine :
   ?threshold:float -> Risk.measure -> Microdata.t -> float array
 (** Run the measure's program and decode per-tuple risks (0 where no

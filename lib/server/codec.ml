@@ -1,0 +1,325 @@
+(* Request decoding and canonical JSON rendering of SDC results.
+
+   The CLI's [risk --json] and the server's [POST /v1/risk] both render
+   through [risk_report_string], so a byte-compare between the two is a
+   meaningful integration check (the CI smoke job does exactly that). *)
+
+module Json = Vadasa_base.Json
+module R = Vadasa_relational
+module S = Vadasa_sdc
+
+(* ---- request decoding --------------------------------------------------- *)
+
+type options = {
+  name : string;  (* dataset name used for the relation *)
+  measure : string;
+  k : int;
+  threshold : float;
+  msu_threshold : int;
+  categories : (string * string) list;  (* attr -> category string *)
+  reasoned : bool;
+  method_ : string;  (* anonymize: "suppress" | "recode" *)
+  semantics : string;  (* anonymize: "maybe-match" | "standard" *)
+}
+
+let default_options =
+  {
+    name = "request";
+    measure = "k-anonymity";
+    k = 2;
+    threshold = 0.5;
+    msu_threshold = 3;
+    categories = [];
+    reasoned = false;
+    method_ = "suppress";
+    semantics = "maybe-match";
+  }
+
+type payload = { csv : string; options : options }
+
+let ( let* ) = Result.bind
+
+let parse_category_pair s =
+  match String.index_opt s '=' with
+  | Some i ->
+    Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> Error (Printf.sprintf "bad category %S (expected attr=category)" s)
+
+let options_of_query (req : Http.request) =
+  let get name = Http.query_param req name in
+  let* categories =
+    List.fold_left
+      (fun acc (key, value) ->
+        let* acc = acc in
+        if String.equal key "category" then
+          let* pair = parse_category_pair value in
+          Ok (pair :: acc)
+        else Ok acc)
+      (Ok []) req.query
+    |> Result.map List.rev
+  in
+  let int_param name default =
+    match get name with
+    | None -> Ok default
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "parameter %s: expected an integer" name))
+  in
+  let float_param name default =
+    match get name with
+    | None -> Ok default
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "parameter %s: expected a number" name))
+  in
+  let* k = int_param "k" default_options.k in
+  let* msu_threshold = int_param "msu-threshold" default_options.msu_threshold in
+  let* threshold = float_param "threshold" default_options.threshold in
+  Ok
+    {
+      name = Option.value ~default:default_options.name (get "name");
+      measure = Option.value ~default:default_options.measure (get "measure");
+      k;
+      threshold;
+      msu_threshold;
+      categories;
+      reasoned = get "reasoned" = Some "true";
+      method_ = Option.value ~default:default_options.method_ (get "method");
+      semantics = Option.value ~default:default_options.semantics (get "semantics");
+    }
+
+let options_of_json json =
+  let str name default =
+    match Json.member name json with
+    | Some (Json.Str s) -> Ok s
+    | Some _ -> Error (Printf.sprintf "field %s: expected a string" name)
+    | None -> Ok default
+  in
+  let int_field name default =
+    match Json.member name json with
+    | Some j -> (
+      match Json.to_int_opt j with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "field %s: expected an integer" name))
+    | None -> Ok default
+  in
+  let float_field name default =
+    match Json.member name json with
+    | Some j -> (
+      match Json.to_float_opt j with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "field %s: expected a number" name))
+    | None -> Ok default
+  in
+  let bool_field name default =
+    match Json.member name json with
+    | Some j -> (
+      match Json.to_bool_opt j with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "field %s: expected a boolean" name))
+    | None -> Ok default
+  in
+  let* categories =
+    match Json.member "categories" json with
+    | None -> Ok []
+    | Some (Json.Obj fields) ->
+      List.fold_left
+        (fun acc (attr, v) ->
+          let* acc = acc in
+          match v with
+          | Json.Str cat -> Ok ((attr, cat) :: acc)
+          | _ ->
+            Error
+              (Printf.sprintf "categories.%s: expected a category string" attr))
+        (Ok []) fields
+      |> Result.map List.rev
+    | Some _ -> Error "field categories: expected an object of attr: category"
+  in
+  let* name = str "name" default_options.name in
+  let* measure = str "measure" default_options.measure in
+  let* k = int_field "k" default_options.k in
+  let* threshold = float_field "threshold" default_options.threshold in
+  let* msu_threshold = int_field "msu_threshold" default_options.msu_threshold in
+  let* reasoned = bool_field "reasoned" default_options.reasoned in
+  let* method_ = str "method" default_options.method_ in
+  let* semantics = str "semantics" default_options.semantics in
+  Ok
+    {
+      name;
+      measure;
+      k;
+      threshold;
+      msu_threshold;
+      categories;
+      reasoned;
+      method_;
+      semantics;
+    }
+
+let content_type (req : Http.request) =
+  match Http.header req "content-type" with
+  | None -> ""
+  | Some v -> (
+    (* strip parameters like "; charset=utf-8" *)
+    match String.index_opt v ';' with
+    | None -> String.trim (String.lowercase_ascii v)
+    | Some i -> String.trim (String.lowercase_ascii (String.sub v 0 i)))
+
+let parse_payload (req : Http.request) =
+  match content_type req with
+  | "application/json" -> (
+    match Json.of_string req.body with
+    | Error msg -> Error ("invalid JSON body: " ^ msg)
+    | Ok json -> (
+      match Json.member "csv" json with
+      | Some (Json.Str csv) ->
+        let* options = options_of_json json in
+        Ok { csv; options }
+      | Some _ -> Error "field csv: expected the CSV document as a string"
+      | None -> Error "missing field csv"))
+  | "" | "text/csv" | "text/plain" | "application/csv"
+  | "application/octet-stream" ->
+    if String.trim req.body = "" then Error "empty request body (expected CSV)"
+    else
+      let* options = options_of_query req in
+      Ok { csv = req.body; options }
+  | other -> Error (Printf.sprintf "unsupported content-type %s" other)
+
+(* ---- semantic decoding --------------------------------------------------- *)
+
+let measure_of_options o =
+  match o.measure with
+  | "k-anonymity" -> Ok (S.Risk.K_anonymity { k = o.k })
+  | "re-identification" -> Ok S.Risk.Re_identification
+  | "individual" -> Ok (S.Risk.Individual S.Risk.Benedetti_franconi)
+  | "individual-naive" -> Ok (S.Risk.Individual S.Risk.Naive)
+  | "suda" ->
+    Ok (S.Risk.Suda { max_msu_size = 3; threshold_size = o.msu_threshold })
+  | other -> Error (Printf.sprintf "unknown measure %s" other)
+
+let microdata_of_payload { csv; options } =
+  let* rel =
+    match R.Csv.read_string ~name:options.name csv with
+    | rel -> Ok rel
+    | exception Failure msg -> Error ("invalid CSV: " ^ msg)
+  in
+  let* overrides =
+    List.fold_left
+      (fun acc (attr, cat) ->
+        let* acc = acc in
+        match S.Microdata.category_of_string cat with
+        | Some c -> Ok ((attr, c) :: acc)
+        | None -> Error (Printf.sprintf "unknown category %s for %s" cat attr))
+      (Ok []) options.categories
+    |> Result.map List.rev
+  in
+  S.Categorize.categorize_microdata ~overrides rel
+
+(* ---- canonical renderings ------------------------------------------------ *)
+
+let float_list a = Json.List (List.map (fun f -> Json.Float f) (Array.to_list a))
+
+let int_list a = Json.List (List.map (fun i -> Json.Int i) (Array.to_list a))
+
+let risk_report_json ~threshold md (report : S.Risk.report) =
+  let risky = S.Risk.risky report ~threshold in
+  Json.Obj
+    [
+      ("dataset", Json.Str (S.Microdata.name md));
+      ("tuples", Json.Int (S.Microdata.cardinal md));
+      ("measure", Json.Str (S.Risk.measure_to_string report.S.Risk.measure));
+      ("threshold", Json.Float threshold);
+      ("global_risk", Json.Float (S.Risk.global_risk report));
+      ("risky_count", Json.Int (List.length risky));
+      ("risky", Json.List (List.map (fun i -> Json.Int i) risky));
+      ("risk", float_list report.S.Risk.risk);
+      ("freq", int_list report.S.Risk.freq);
+      ("weight_sum", float_list report.S.Risk.weight_sum);
+    ]
+
+let risk_report_string ~threshold md report =
+  Json.to_string ~indent:true (risk_report_json ~threshold md report) ^ "\n"
+
+let anonymize_outcome_json md (outcome : S.Cycle.outcome) =
+  ignore md;
+  Json.Obj
+    [
+      ("dataset", Json.Str (S.Microdata.name outcome.S.Cycle.anonymized));
+      ("rounds", Json.Int outcome.S.Cycle.rounds);
+      ("converged", Json.Bool outcome.S.Cycle.converged);
+      ("nulls_injected", Json.Int outcome.S.Cycle.nulls_injected);
+      ("recoded_cells", Json.Int outcome.S.Cycle.recoded_cells);
+      ("risky_initial", Json.Int outcome.S.Cycle.risky_initial);
+      ( "unresolved",
+        Json.List (List.map (fun i -> Json.Int i) outcome.S.Cycle.unresolved) );
+      ("info_loss", Json.Float outcome.S.Cycle.info_loss);
+      ("actions", Json.Int (List.length outcome.S.Cycle.trace));
+      ( "csv",
+        Json.Str (R.Csv.write_string (S.Microdata.relation outcome.S.Cycle.anonymized))
+      );
+    ]
+
+let categorize_result_json (result : S.Categorize.result) =
+  Json.Obj
+    [
+      ( "assigned",
+        Json.List
+          (List.map
+             (fun (a : S.Categorize.assignment) ->
+               Json.Obj
+                 [
+                   ("attr", Json.Str a.S.Categorize.attr);
+                   ( "category",
+                     Json.Str
+                       (S.Microdata.category_to_string a.S.Categorize.category)
+                   );
+                   ("matched", Json.Str a.S.Categorize.matched);
+                   ("score", Json.Float a.S.Categorize.score);
+                 ])
+             result.S.Categorize.assigned) );
+      ( "unresolved",
+        Json.List
+          (List.map (fun s -> Json.Str s) result.S.Categorize.unresolved) );
+      ( "conflicts",
+        Json.List
+          (List.map
+             (fun (c : S.Categorize.conflict) ->
+               Json.Obj
+                 [
+                   ("attr", Json.Str c.S.Categorize.conflict_attr);
+                   ( "candidates",
+                     Json.List
+                       (List.map
+                          (fun (cat, name, score) ->
+                            Json.Obj
+                              [
+                                ( "category",
+                                  Json.Str (S.Microdata.category_to_string cat)
+                                );
+                                ("via", Json.Str name);
+                                ("score", Json.Float score);
+                              ])
+                          c.S.Categorize.candidates) );
+                 ])
+             result.S.Categorize.conflicts) );
+    ]
+
+let reason_json ~cached ~warded ~threshold md risks =
+  let n = Array.length risks in
+  let risky = ref [] in
+  for i = n - 1 downto 0 do
+    if risks.(i) > threshold then risky := i :: !risky
+  done;
+  Json.Obj
+    [
+      ("dataset", Json.Str (S.Microdata.name md));
+      ("tuples", Json.Int (S.Microdata.cardinal md));
+      ("threshold", Json.Float threshold);
+      ("program_cache_hit", Json.Bool cached);
+      ("warded", Json.Bool warded);
+      ("risky_count", Json.Int (List.length !risky));
+      ("risky", Json.List (List.map (fun i -> Json.Int i) !risky));
+      ("risk", float_list risks);
+    ]

@@ -1,0 +1,62 @@
+(** Request decoding and canonical JSON rendering of SDC results.
+
+    {!risk_report_string} is shared with the CLI's [risk --json], which
+    makes server responses byte-identical to CLI output for the same
+    input — the CI smoke job byte-compares the two. *)
+
+type options = {
+  name : string;
+  measure : string;
+  k : int;
+  threshold : float;
+  msu_threshold : int;
+  categories : (string * string) list;
+  reasoned : bool;
+  method_ : string;
+  semantics : string;
+}
+
+val default_options : options
+
+type payload = { csv : string; options : options }
+
+val parse_payload : Http.request -> (payload, string) result
+(** [application/json] bodies carry [{"csv": "...", ...options}];
+    [text/csv] (or untyped) bodies are the CSV itself with options in the
+    query string ([measure], [k], [threshold], [msu-threshold],
+    [category=attr=cat] repeatable, [reasoned=true], [method],
+    [semantics], [name]). *)
+
+val measure_of_options : options -> (Vadasa_sdc.Risk.measure, string) result
+
+val microdata_of_payload :
+  payload -> (Vadasa_sdc.Microdata.t, string) result
+(** CSV → relation → categorized microdata (expert overrides honoured). *)
+
+val risk_report_json :
+  threshold:float ->
+  Vadasa_sdc.Microdata.t ->
+  Vadasa_sdc.Risk.report ->
+  Vadasa_base.Json.t
+
+val risk_report_string :
+  threshold:float -> Vadasa_sdc.Microdata.t -> Vadasa_sdc.Risk.report -> string
+(** Indented JSON plus trailing newline — the canonical rendering used
+    verbatim by both the CLI and the server. *)
+
+val anonymize_outcome_json :
+  Vadasa_sdc.Microdata.t -> Vadasa_sdc.Cycle.outcome -> Vadasa_base.Json.t
+(** Outcome counters plus the anonymized relation as a [csv] field. *)
+
+val categorize_result_json : Vadasa_sdc.Categorize.result -> Vadasa_base.Json.t
+
+val reason_json :
+  cached:bool ->
+  warded:bool ->
+  threshold:float ->
+  Vadasa_sdc.Microdata.t ->
+  float array ->
+  Vadasa_base.Json.t
+(** Reasoned-path risk report; [cached] reports whether the compiled
+    program came from the program cache, [warded] the static wardedness
+    verdict cached alongside it. *)

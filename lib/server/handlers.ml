@@ -1,0 +1,249 @@
+(* The service endpoints, wired over the two shared caches.
+
+   [compiled] is the program cache's value: parse, stratification and
+   wardedness analysis are done once per distinct program text; a cache
+   hit hands the engine a ready [Stratify.t] so repeat requests skip the
+   whole front end ([Program.union] with a facts-only program keeps rule
+   ids stable, which is what makes the cached stratification valid).
+
+   The dataset cache keys on a digest of the CSV body plus the category
+   overrides: repeat POSTs of the same document reuse the categorized
+   microdata (loading and categorization dominate small requests).
+   Handlers only read cached microdata — [Cycle.run] transforms a copy —
+   so sharing one value across worker domains is safe. *)
+
+module Json = Vadasa_base.Json
+module S = Vadasa_sdc
+module D = Vadasa_datagen
+module V = Vadasa_vadalog
+
+type compiled = {
+  program : V.Program.t;
+  strat : V.Stratify.t;
+  warded : bool;
+}
+
+type t = {
+  programs : (string, compiled) Cache.t;
+  datasets : (string, S.Microdata.t) Cache.t;
+  started_at : float;
+  counters : (string, int) Hashtbl.t;  (* "METHOD path status" -> count *)
+  counters_mutex : Mutex.t;
+}
+
+let create ?(program_capacity = 64) ?(dataset_capacity = 16) () =
+  {
+    programs = Cache.create ~capacity:program_capacity "programs";
+    datasets = Cache.create ~capacity:dataset_capacity "datasets";
+    started_at = Unix.gettimeofday ();
+    counters = Hashtbl.create 16;
+    counters_mutex = Mutex.create ();
+  }
+
+let count t (req : Http.request) (resp : Http.response) =
+  let key =
+    Printf.sprintf "%s %s %d" (Http.meth_to_string req.Http.meth) req.Http.path
+      resp.Http.status
+  in
+  Mutex.lock t.counters_mutex;
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.counters key) in
+  Hashtbl.replace t.counters key (n + 1);
+  Mutex.unlock t.counters_mutex
+
+let request_counts t =
+  Mutex.lock t.counters_mutex;
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counters [] in
+  Mutex.unlock t.counters_mutex;
+  List.sort compare entries
+
+let programs t = t.programs
+
+let datasets t = t.datasets
+
+(* ---- shared steps ------------------------------------------------------- *)
+
+let dataset_key (payload : Codec.payload) =
+  let open Codec in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          (payload.options.name :: payload.csv
+          :: List.concat_map
+               (fun (a, c) -> [ a; c ])
+               payload.options.categories)))
+
+exception Reply of Http.response
+
+let fail status message = raise (Reply (Http.json_error ~status message))
+
+let microdata_for t payload =
+  let key = dataset_key payload in
+  (* The builder can fail (bad CSV, unresolved attributes); failures are
+     not cached. *)
+  match
+    Cache.find_or_build t.datasets key (fun _ ->
+        match Codec.microdata_of_payload payload with
+        | Ok md -> md
+        | Error msg -> fail 422 msg)
+  with
+  | md -> md
+  | exception Reply r -> raise (Reply r)
+
+let payload_of_request req =
+  match Codec.parse_payload req with
+  | Ok p -> p
+  | Error msg -> fail 400 msg
+
+let measure_of_options options =
+  match Codec.measure_of_options options with
+  | Ok m -> m
+  | Error msg -> fail 422 msg
+
+let compile t source =
+  Cache.find_or_build_hit t.programs source (fun src ->
+      match V.Parser.parse src with
+      | program ->
+        {
+          program;
+          strat = V.Stratify.compute program;
+          warded = V.Wardedness.is_warded program;
+        }
+      | exception Failure msg -> fail 422 ("program does not parse: " ^ msg))
+
+(* ---- endpoints ---------------------------------------------------------- *)
+
+let healthz t _req =
+  Http.response ~status:200
+    (Json.to_string
+       (Json.Obj
+          [
+            ("status", Json.Str "ok");
+            ( "uptime_s",
+              Json.Float (Unix.gettimeofday () -. t.started_at) );
+          ]))
+
+let risk t req =
+  let payload = payload_of_request req in
+  let md = microdata_for t payload in
+  let measure = measure_of_options payload.Codec.options in
+  let threshold = payload.Codec.options.Codec.threshold in
+  let report = S.Risk.estimate measure md in
+  (* The exact string the CLI's [risk --json] prints: byte-identical. *)
+  Http.response ~status:200 (Codec.risk_report_string ~threshold md report)
+
+let anonymize t req =
+  let payload = payload_of_request req in
+  let md = microdata_for t payload in
+  let options = payload.Codec.options in
+  let measure = measure_of_options options in
+  let semantics =
+    match
+      Vadasa_relational.Null_semantics.of_string options.Codec.semantics
+    with
+    | Some s -> s
+    | None -> fail 422 ("unknown semantics " ^ options.Codec.semantics)
+  in
+  let method_ =
+    match options.Codec.method_ with
+    | "suppress" -> S.Cycle.Local_suppression
+    | "recode" ->
+      S.Cycle.Recode_then_suppress (D.Generator.synthetic_hierarchy md)
+    | other -> fail 422 ("unknown method " ^ other)
+  in
+  let config =
+    {
+      S.Cycle.default_config with
+      S.Cycle.measure;
+      threshold = options.Codec.threshold;
+      semantics;
+      method_;
+    }
+  in
+  let outcome = S.Cycle.run ~config md in
+  Http.response ~status:200
+    (Json.to_string ~indent:true (Codec.anonymize_outcome_json md outcome) ^ "\n")
+
+let categorize _t req =
+  let payload = payload_of_request req in
+  let rel =
+    match
+      Vadasa_relational.Csv.read_string ~name:payload.Codec.options.Codec.name
+        payload.Codec.csv
+    with
+    | rel -> rel
+    | exception Failure msg -> fail 422 ("invalid CSV: " ^ msg)
+  in
+  let result, _ =
+    S.Categorize.run ~experience:S.Categorize.builtin_experience
+      (Vadasa_relational.Relation.schema rel)
+  in
+  Http.response ~status:200
+    (Json.to_string ~indent:true (Codec.categorize_result_json result) ^ "\n")
+
+let reason t req =
+  let payload = payload_of_request req in
+  let md = microdata_for t payload in
+  let measure = measure_of_options payload.Codec.options in
+  let threshold = payload.Codec.options.Codec.threshold in
+  let source =
+    match S.Vadalog_bridge.program_of_measure measure with
+    | source -> source
+    | exception S.Vadalog_bridge.Unsupported msg -> fail 422 msg
+  in
+  let compiled, cached = compile t source in
+  let program =
+    V.Program.union compiled.program
+      (V.Program.make ~facts:(S.Vadalog_bridge.microdata_facts md) [])
+  in
+  let engine = V.Engine.create ~strat:compiled.strat program in
+  V.Engine.run engine;
+  let risks = S.Vadalog_bridge.decode_risks engine (S.Microdata.cardinal md) in
+  Http.response ~status:200
+    (Json.to_string ~indent:true
+       (Codec.reason_json ~cached ~warded:compiled.warded ~threshold md risks)
+    ^ "\n")
+
+let metrics ?(extra = fun () -> []) t _req =
+  let requests =
+    Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (request_counts t))
+  in
+  let body =
+    Json.Obj
+      ([
+         ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+         ( "caches",
+           Json.Obj
+             [
+               ("programs", Cache.stats t.programs);
+               ("datasets", Cache.stats t.datasets);
+             ] );
+         ("requests", requests);
+       ]
+      @ extra ())
+  in
+  Http.response ~status:200 (Json.to_string ~indent:true body ^ "\n")
+
+(* ---- router ------------------------------------------------------------- *)
+
+let guard t handler req =
+  let resp =
+    match handler req with
+    | resp -> resp
+    | exception Reply resp -> resp
+    | exception e ->
+      Http.json_error ~status:500
+        (Printf.sprintf "internal error: %s" (Printexc.to_string e))
+  in
+  count t req resp;
+  resp
+
+let router ?extra_metrics t =
+  Router.create
+    [
+      (Http.GET, "/healthz", guard t (healthz t));
+      (Http.GET, "/metrics", guard t (metrics ?extra:extra_metrics t));
+      (Http.POST, "/v1/risk", guard t (risk t));
+      (Http.POST, "/v1/anonymize", guard t (anonymize t));
+      (Http.POST, "/v1/categorize", guard t (categorize t));
+      (Http.POST, "/v1/reason", guard t (reason t));
+    ]

@@ -1,0 +1,41 @@
+(** The SDC service endpoints over the two shared caches.
+
+    - [GET /healthz] — liveness.
+    - [GET /metrics] — uptime, cache statistics, per-endpoint request
+      counters (plus whatever the server grafts on: pool stats).
+    - [POST /v1/risk] — native risk estimation; the response body is the
+      exact string the CLI's [risk --json] prints.
+    - [POST /v1/anonymize] — anonymization cycle; counters + output CSV.
+    - [POST /v1/categorize] — Algorithm 1 over the CSV's header.
+    - [POST /v1/reason] — the measure as a Vadalog program on the
+      reasoning engine, through the compiled-program cache.
+
+    Handler state is shared by all worker domains: both caches are
+    internally synchronized, and cached microdata is only ever read
+    ([Cycle.run] transforms a copy). *)
+
+type compiled = {
+  program : Vadasa_vadalog.Program.t;
+  strat : Vadasa_vadalog.Stratify.t;
+  warded : bool;
+}
+(** The program cache's value: one parse + stratification + wardedness
+    analysis per distinct program text. *)
+
+type t
+
+val create : ?program_capacity:int -> ?dataset_capacity:int -> unit -> t
+
+val programs : t -> (string, compiled) Cache.t
+
+val datasets : t -> (string, Vadasa_sdc.Microdata.t) Cache.t
+
+val request_counts : t -> (string * int) list
+(** Sorted ["METHOD path status" → count] pairs. *)
+
+val router :
+  ?extra_metrics:(unit -> (string * Vadasa_base.Json.t) list) ->
+  t ->
+  Router.t
+(** The standard endpoint surface; [extra_metrics] lets the server add
+    pool statistics to [GET /metrics]. *)

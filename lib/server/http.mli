@@ -1,0 +1,89 @@
+(** Minimal, dependency-free HTTP/1.1 over [Unix] file descriptors.
+
+    One request per connection: the parser reads a single request
+    (request line, headers, [Content-Length] body) and the serializer
+    always answers with [Connection: close]. Chunked transfer encoding
+    is rejected with 501; request line, header block and body size are
+    bounded by {!limits} (413 on an oversized body, 400 on everything
+    malformed). The parser is pure over a {!reader} function, so tests
+    drive it from strings while the server drives it from sockets. *)
+
+type meth = GET | POST | HEAD | PUT | DELETE | Other of string
+
+val meth_of_string : string -> meth
+
+val meth_to_string : meth -> string
+
+type request = {
+  meth : meth;
+  target : string;  (** raw request target, e.g. ["/v1/risk?k=3"] *)
+  path : string;  (** decoded path component *)
+  query : (string * string) list;  (** decoded key–value pairs *)
+  version : string;  (** ["HTTP/1.1"] or ["HTTP/1.0"] *)
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+type error =
+  | Bad_request of string  (** 400 *)
+  | Payload_too_large of int  (** 413; carries the limit in bytes *)
+  | Not_implemented of string  (** 501 (chunked transfer encoding) *)
+  | Timeout  (** 408: socket read deadline expired mid-request *)
+  | Closed  (** peer closed before sending a complete request *)
+
+type limits = {
+  max_request_line : int;
+  max_header_bytes : int;
+  max_body_bytes : int;
+}
+
+val default_limits : limits
+(** 8 KiB request line, 64 KiB header block, 16 MiB body. *)
+
+type reader = bytes -> int -> int -> int
+(** [read buf off len] semantics of [Unix.read]: 0 at end of input. *)
+
+exception Read_timeout
+(** Raised by {!reader_of_fd} when [SO_RCVTIMEO] expires. *)
+
+val reader_of_fd : Unix.file_descr -> reader
+
+val reader_of_string : string -> reader
+
+val read_request : ?limits:limits -> reader -> (request, error) result
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val query_param : request -> string -> string option
+
+val percent_decode : string -> string
+
+type response = {
+  status : int;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+val response :
+  ?content_type:string ->
+  ?headers:(string * string) list ->
+  status:int ->
+  string ->
+  response
+(** Defaults to [application/json]. *)
+
+val json_error : status:int -> string -> response
+(** [{"error": message}] with the given status. *)
+
+val error_response : error -> response
+
+val reason_phrase : int -> string
+
+val response_to_string : response -> string
+(** Full wire form: status line, headers, [content-length],
+    [connection: close], body. *)
+
+val write_response : Unix.file_descr -> response -> int
+(** Write the wire form, swallowing [EPIPE]/[ECONNRESET] (the client may
+    have gone away); returns the bytes written. *)

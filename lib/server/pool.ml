@@ -1,0 +1,142 @@
+(* A fixed-size pool of OCaml 5 domains draining a bounded job queue.
+
+   Backpressure is explicit: [submit] returns [false] when the queue is
+   full (the accept loop answers 503 without blocking), and jobs carry a
+   deadline — if a job has waited in the queue past its deadline the
+   worker runs its [expired] callback (the connection gets a 503)
+   instead of the job body, so a burst cannot make the tail of the queue
+   do work for clients that already gave up. [stop] drains outstanding
+   jobs and joins every domain. *)
+
+type job = {
+  run : unit -> unit;
+  expired : unit -> unit;
+  deadline : float;  (* Unix.gettimeofday () absolute; infinity = none *)
+}
+
+type state = Running | Stopping
+
+type t = {
+  queue : job Queue.t;
+  capacity : int;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  mutable state : state;
+  mutable domains : unit Domain.t list;
+  (* counters, guarded by [mutex] *)
+  mutable submitted : int;
+  mutable rejected : int;
+  mutable completed : int;
+  mutable expired_jobs : int;
+  mutable raised : int;
+}
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && t.state = Running do
+      Condition.wait t.not_empty t.mutex
+    done;
+    if Queue.is_empty t.queue then (
+      (* Stopping and drained: exit. *)
+      Mutex.unlock t.mutex)
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      let now = Unix.gettimeofday () in
+      if now > job.deadline then begin
+        (try job.expired () with _ -> ());
+        Mutex.lock t.mutex;
+        t.expired_jobs <- t.expired_jobs + 1;
+        Mutex.unlock t.mutex
+      end
+      else begin
+        (match job.run () with
+        | () ->
+          Mutex.lock t.mutex;
+          t.completed <- t.completed + 1;
+          Mutex.unlock t.mutex
+        | exception _ ->
+          Mutex.lock t.mutex;
+          t.raised <- t.raised + 1;
+          Mutex.unlock t.mutex)
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(domains = 4) ?(queue_capacity = 128) () =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  if queue_capacity < 1 then invalid_arg "Pool.create: queue_capacity must be >= 1";
+  let t =
+    {
+      queue = Queue.create ();
+      capacity = queue_capacity;
+      mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      state = Running;
+      domains = [];
+      submitted = 0;
+      rejected = 0;
+      completed = 0;
+      expired_jobs = 0;
+      raised = 0;
+    }
+  in
+  t.domains <- List.init domains (fun _ -> Domain.spawn (worker t));
+  t
+
+let submit t ?(deadline = infinity) ~expired run =
+  Mutex.lock t.mutex;
+  let accepted =
+    t.state = Running && Queue.length t.queue < t.capacity
+  in
+  if accepted then begin
+    Queue.push { run; expired; deadline } t.queue;
+    t.submitted <- t.submitted + 1;
+    Condition.signal t.not_empty
+  end
+  else t.rejected <- t.rejected + 1;
+  Mutex.unlock t.mutex;
+  accepted
+
+let stop t =
+  Mutex.lock t.mutex;
+  let domains = t.domains in
+  t.state <- Stopping;
+  t.domains <- [];
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join domains
+
+let queue_length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let counters t =
+  Mutex.lock t.mutex;
+  let c =
+    ( t.submitted,
+      t.rejected,
+      t.completed,
+      t.expired_jobs,
+      t.raised )
+  in
+  Mutex.unlock t.mutex;
+  c
+
+let stats t =
+  let submitted, rejected, completed, expired, raised = counters t in
+  Vadasa_base.Json.Obj
+    [
+      ("queue_length", Vadasa_base.Json.Int (queue_length t));
+      ("queue_capacity", Vadasa_base.Json.Int t.capacity);
+      ("submitted", Vadasa_base.Json.Int submitted);
+      ("rejected", Vadasa_base.Json.Int rejected);
+      ("completed", Vadasa_base.Json.Int completed);
+      ("expired", Vadasa_base.Json.Int expired);
+      ("raised", Vadasa_base.Json.Int raised);
+    ]

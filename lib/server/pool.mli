@@ -1,0 +1,28 @@
+(** Bounded worker pool over OCaml 5 domains.
+
+    [submit] enqueues a job and returns [false] immediately when the
+    queue is at capacity or the pool is stopping — the caller answers
+    503 without blocking the accept loop. Jobs carry an absolute
+    deadline: a job still queued past its deadline has its [expired]
+    callback run instead of its body. [stop] drains the queue and joins
+    every domain. *)
+
+type t
+
+val create : ?domains:int -> ?queue_capacity:int -> unit -> t
+(** Defaults: 4 domains, 128 queued jobs. *)
+
+val submit : t -> ?deadline:float -> expired:(unit -> unit) -> (unit -> unit) -> bool
+(** [submit t ~deadline ~expired run] — [deadline] is an absolute
+    [Unix.gettimeofday] timestamp (default: no deadline). Returns
+    [false] (and counts a rejection) when the queue is full. *)
+
+val stop : t -> unit
+(** Drain outstanding jobs, then join all worker domains. Idempotent. *)
+
+val queue_length : t -> int
+
+val counters : t -> int * int * int * int * int
+(** [(submitted, rejected, completed, expired, raised)]. *)
+
+val stats : t -> Vadasa_base.Json.t

@@ -1,0 +1,38 @@
+(* Exact-path routing: the endpoint surface is small and flat, so a
+   simple association list beats a radix tree. Unknown paths get 404;
+   known paths with the wrong method get 405 with an Allow header. *)
+
+type handler = Http.request -> Http.response
+
+type t = { routes : (Http.meth * string * handler) list }
+
+let create routes = { routes }
+
+let add t ~meth ~path handler = { routes = t.routes @ [ (meth, path, handler) ] }
+
+let routes t = List.map (fun (m, p, _) -> (m, p)) t.routes
+
+let dispatch t (req : Http.request) =
+  let matching_path =
+    List.filter (fun (_, path, _) -> String.equal path req.path) t.routes
+  in
+  match
+    List.find_opt (fun (meth, _, _) -> meth = req.meth) matching_path
+  with
+  | Some (_, _, handler) -> handler req
+  | None -> (
+    match matching_path with
+    | [] ->
+      Http.json_error ~status:404 (Printf.sprintf "no such endpoint: %s" req.path)
+    | methods ->
+      let allow =
+        String.concat ", "
+          (List.map (fun (m, _, _) -> Http.meth_to_string m) methods)
+      in
+      {
+        (Http.json_error ~status:405
+           (Printf.sprintf "%s not allowed on %s (allow: %s)"
+              (Http.meth_to_string req.meth) req.path allow))
+        with
+        Http.resp_headers = [ ("content-type", "application/json"); ("allow", allow) ];
+      })

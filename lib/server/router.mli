@@ -1,0 +1,18 @@
+(** Exact-path request routing for the service daemon. *)
+
+type handler = Http.request -> Http.response
+
+type t
+
+val create : (Http.meth * string * handler) list -> t
+
+val add : t -> meth:Http.meth -> path:string -> handler -> t
+(** Appends a route (used by tests to graft synthetic endpoints onto the
+    standard surface). *)
+
+val routes : t -> (Http.meth * string) list
+
+val dispatch : t -> Http.request -> Http.response
+(** Runs the handler of the first route matching method and path; 404 on
+    unknown paths, 405 (with an [allow] header) on known paths with the
+    wrong method. *)

@@ -1,0 +1,212 @@
+(* The daemon: a listening socket, an accept loop, and the worker pool.
+
+   The accept loop is the only place that blocks on the network; it
+   multiplexes the listener against a self-pipe with [Unix.select] so a
+   signal handler can interrupt a blocked accept portably (the handler
+   just writes one byte — the only async-signal-safe thing it does).
+   Accepted connections are handed to the pool with an absolute
+   deadline; when the queue is full the loop answers 503 itself, so
+   overload never blocks accepting (and never makes a client wait for a
+   rejection). Workers own the whole request lifecycle: read (bounded by
+   SO_RCVTIMEO), dispatch, write, close. *)
+
+module Json = Vadasa_base.Json
+
+type config = {
+  host : string;
+  port : int;  (* 0 picks an ephemeral port; see [port] *)
+  domains : int;
+  queue_capacity : int;
+  request_timeout : float;  (* seconds, read deadline + max queue wait *)
+  max_body_bytes : int;
+  access_log : (string -> unit) option;  (* one JSON line per request *)
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 8080;
+    domains = 4;
+    queue_capacity = 128;
+    request_timeout = 30.0;
+    max_body_bytes = Http.default_limits.Http.max_body_bytes;
+    access_log = None;
+  }
+
+type t = {
+  config : config;
+  handlers : Handlers.t;
+  router : Router.t;
+  pool : Pool.t;
+  listener : Unix.file_descr;
+  bound_port : int;
+  stop_r : Unix.file_descr;  (* self-pipe: handlers write, accept loop reads *)
+  stop_w : Unix.file_descr;
+  stopping : bool Atomic.t;
+  mutable accept_domain : unit Domain.t option;
+}
+
+let port t = t.bound_port
+
+let handlers t = t.handlers
+
+let pool t = t.pool
+
+let create ?(config = default_config) ?router handlers =
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let t =
+    try
+      Unix.setsockopt listener Unix.SO_REUSEADDR true;
+      let addr =
+        Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port)
+      in
+      Unix.bind listener addr;
+      Unix.listen listener 128;
+      let bound_port =
+        match Unix.getsockname listener with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> config.port
+      in
+      let pool =
+        Pool.create ~domains:config.domains
+          ~queue_capacity:config.queue_capacity ()
+      in
+      let stop_r, stop_w = Unix.pipe () in
+      let router =
+        match router with
+        | Some r -> r
+        | None ->
+          Handlers.router
+            ~extra_metrics:(fun () -> [ ("pool", Pool.stats pool) ])
+            handlers
+      in
+      {
+        config;
+        handlers;
+        router;
+        pool;
+        listener;
+        bound_port;
+        stop_r;
+        stop_w;
+        stopping = Atomic.make false;
+        accept_domain = None;
+      }
+    with e ->
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      raise e
+  in
+  t
+
+(* Async-signal-safe: a flag flip and a single pipe write. *)
+let stop t =
+  if not (Atomic.exchange t.stopping true) then
+    ignore (Unix.write t.stop_w (Bytes.of_string "x") 0 1)
+
+let install_signal_handlers t =
+  let handle = Sys.Signal_handle (fun _signum -> stop t) in
+  Sys.set_signal Sys.sigint handle;
+  Sys.set_signal Sys.sigterm handle
+
+let log_request t ~(req : Http.request option) ~status ~bytes ~elapsed =
+  match t.config.access_log with
+  | None -> ()
+  | Some sink ->
+    let meth, path =
+      match req with
+      | Some r -> (Http.meth_to_string r.Http.meth, r.Http.path)
+      | None -> ("-", "-")
+    in
+    sink
+      (Json.to_string
+         (Json.Obj
+            [
+              ("ts", Json.Float (Unix.gettimeofday ()));
+              ("method", Json.Str meth);
+              ("path", Json.Str path);
+              ("status", Json.Int status);
+              ("bytes", Json.Int bytes);
+              ("elapsed_s", Json.Float elapsed);
+            ]))
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Runs on a worker domain: one whole request lifecycle. *)
+let serve_connection t fd =
+  let started = Unix.gettimeofday () in
+  let limits =
+    { Http.default_limits with Http.max_body_bytes = t.config.max_body_bytes }
+  in
+  let req, resp =
+    match Http.read_request ~limits (Http.reader_of_fd fd) with
+    | Ok req -> (Some req, Router.dispatch t.router req)
+    | Error err -> (None, Http.error_response err)
+  in
+  let bytes = Http.write_response fd resp in
+  close_quietly fd;
+  log_request t ~req ~status:resp.Http.status ~bytes
+    ~elapsed:(Unix.gettimeofday () -. started)
+
+let reject t fd status message =
+  let resp = Http.json_error ~status message in
+  let bytes = Http.write_response fd resp in
+  close_quietly fd;
+  log_request t ~req:None ~status ~bytes ~elapsed:0.0
+
+let run t =
+  (* A worker writing to a peer that hung up must get EPIPE, not die. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let rec loop () =
+    if Atomic.get t.stopping then ()
+    else
+      match Unix.select [ t.listener; t.stop_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | readable, _, _ ->
+        if List.mem t.stop_r readable then ()
+        else begin
+          (match Unix.accept t.listener with
+          | exception
+              Unix.Unix_error
+                ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+            ->
+            ()
+          | fd, _addr ->
+            (* The read deadline rides on the socket itself. *)
+            (try
+               Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.request_timeout;
+               Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.request_timeout
+             with Unix.Unix_error _ -> ());
+            let deadline = Unix.gettimeofday () +. t.config.request_timeout in
+            let accepted =
+              Pool.submit t.pool ~deadline
+                ~expired:(fun () ->
+                  reject t fd 503 "request expired while queued")
+                (fun () -> serve_connection t fd)
+            in
+            if not accepted then
+              (* Backpressure: answer 503 from the accept loop itself. *)
+              reject t fd 503 "server saturated (queue full)");
+          loop ()
+        end
+  in
+  loop ();
+  close_quietly t.listener;
+  Pool.stop t.pool
+
+let start t =
+  match t.accept_domain with
+  | Some _ -> invalid_arg "Server.start: already started"
+  | None -> t.accept_domain <- Some (Domain.spawn (fun () -> run t))
+
+let join t =
+  match t.accept_domain with
+  | None -> ()
+  | Some d ->
+    t.accept_domain <- None;
+    Domain.join d
+
+let shutdown t =
+  stop t;
+  join t;
+  close_quietly t.stop_r;
+  close_quietly t.stop_w

@@ -1,0 +1,59 @@
+(** The [vadasa serve] daemon: listener, accept loop, worker pool.
+
+    Lifecycle: {!create} binds and listens (port 0 picks an ephemeral
+    port, read back with {!port}); {!run} blocks in the accept loop
+    until {!stop}; {!start} runs the loop on its own domain for
+    in-process use (tests). {!stop} is async-signal-safe — it flips a
+    flag and writes one byte to a self-pipe — so it is exactly what
+    {!install_signal_handlers} wires to SIGINT/SIGTERM. Shutdown is
+    graceful: the listener closes, queued requests drain, worker domains
+    are joined. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port *)
+  domains : int;  (** worker pool size *)
+  queue_capacity : int;
+  request_timeout : float;
+      (** seconds — socket read deadline and maximum queue wait *)
+  max_body_bytes : int;
+  access_log : (string -> unit) option;
+      (** called with one JSON line per finished request *)
+}
+
+val default_config : config
+(** 127.0.0.1:8080, 4 domains, 128-deep queue, 30 s timeout, 16 MiB
+    bodies, no access log. *)
+
+type t
+
+val create : ?config:config -> ?router:Router.t -> Handlers.t -> t
+(** Binds and listens; raises [Unix.Unix_error] when the address is
+    taken. The default router is {!Handlers.router} with pool statistics
+    grafted onto [GET /metrics]; tests can pass their own. *)
+
+val port : t -> int
+(** The actually bound port. *)
+
+val handlers : t -> Handlers.t
+
+val pool : t -> Pool.t
+
+val run : t -> unit
+(** Block in the accept loop until {!stop}; then drain and join the
+    pool. *)
+
+val start : t -> unit
+(** {!run} on a fresh domain. *)
+
+val stop : t -> unit
+(** Signal the accept loop to finish (async-signal-safe, idempotent). *)
+
+val join : t -> unit
+(** Wait for a {!start}ed server to finish. *)
+
+val shutdown : t -> unit
+(** [stop], [join], close the self-pipe. *)
+
+val install_signal_handlers : t -> unit
+(** SIGINT and SIGTERM → {!stop}. *)

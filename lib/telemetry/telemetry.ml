@@ -13,297 +13,9 @@ let now = Unix.gettimeofday
 
 (* ---- JSON ------------------------------------------------------------- *)
 
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  let escape buf s =
-    Buffer.add_char buf '"';
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | '\r' -> Buffer.add_string buf "\\r"
-        | '\t' -> Buffer.add_string buf "\\t"
-        | '\b' -> Buffer.add_string buf "\\b"
-        | '\012' -> Buffer.add_string buf "\\f"
-        | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s;
-    Buffer.add_char buf '"'
-
-  (* Shortest representation that round-trips; JSON has no nan/inf, so
-     clamp them to null-safe literals. *)
-  let float_repr f =
-    if Float.is_nan f then "0"
-    else if f = Float.infinity then "1e308"
-    else if f = Float.neg_infinity then "-1e308"
-    else
-      let s = Printf.sprintf "%.12g" f in
-      if float_of_string s = f then s else Printf.sprintf "%.17g" f
-
-  let to_string ?(indent = false) t =
-    let buf = Buffer.create 256 in
-    let pad depth = if indent then Buffer.add_string buf (String.make (2 * depth) ' ') in
-    let nl () = if indent then Buffer.add_char buf '\n' in
-    let rec go depth = function
-      | Null -> Buffer.add_string buf "null"
-      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-      | Int i -> Buffer.add_string buf (string_of_int i)
-      | Float f -> Buffer.add_string buf (float_repr f)
-      | Str s -> escape buf s
-      | List [] -> Buffer.add_string buf "[]"
-      | List items ->
-        Buffer.add_char buf '[';
-        nl ();
-        List.iteri
-          (fun i item ->
-            if i > 0 then begin
-              Buffer.add_char buf ',';
-              nl ()
-            end;
-            pad (depth + 1);
-            go (depth + 1) item)
-          items;
-        nl ();
-        pad depth;
-        Buffer.add_char buf ']'
-      | Obj [] -> Buffer.add_string buf "{}"
-      | Obj fields ->
-        Buffer.add_char buf '{';
-        nl ();
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then begin
-              Buffer.add_char buf ',';
-              nl ()
-            end;
-            pad (depth + 1);
-            escape buf k;
-            Buffer.add_string buf (if indent then ": " else ":");
-            go (depth + 1) v)
-          fields;
-        nl ();
-        pad depth;
-        Buffer.add_char buf '}'
-    in
-    go 0 t;
-    Buffer.contents buf
-
-  exception Parse of string
-
-  let of_string s =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      match peek () with
-      | Some d when d = c -> advance ()
-      | _ -> fail (Printf.sprintf "expected '%c'" c)
-    in
-    let literal word value =
-      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
-      then begin
-        pos := !pos + String.length word;
-        value
-      end
-      else fail ("expected " ^ word)
-    in
-    let hex4 () =
-      if !pos + 4 > n then fail "truncated \\u escape";
-      let v = int_of_string ("0x" ^ String.sub s !pos 4) in
-      pos := !pos + 4;
-      v
-    in
-    let utf8 buf cp =
-      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
-      else if cp < 0x800 then begin
-        Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
-        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
-      end
-      else if cp < 0x10000 then begin
-        Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
-        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
-        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
-      end
-      else begin
-        Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
-        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
-        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
-        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
-      end
-    in
-    let string_body () =
-      let buf = Buffer.create 16 in
-      let rec go () =
-        if !pos >= n then fail "unterminated string";
-        let c = s.[!pos] in
-        advance ();
-        match c with
-        | '"' -> Buffer.contents buf
-        | '\\' ->
-          (if !pos >= n then fail "truncated escape";
-           let e = s.[!pos] in
-           advance ();
-           match e with
-           | '"' -> Buffer.add_char buf '"'
-           | '\\' -> Buffer.add_char buf '\\'
-           | '/' -> Buffer.add_char buf '/'
-           | 'n' -> Buffer.add_char buf '\n'
-           | 't' -> Buffer.add_char buf '\t'
-           | 'r' -> Buffer.add_char buf '\r'
-           | 'b' -> Buffer.add_char buf '\b'
-           | 'f' -> Buffer.add_char buf '\012'
-           | 'u' ->
-             let cp = hex4 () in
-             let cp =
-               (* surrogate pair *)
-               if cp >= 0xD800 && cp <= 0xDBFF && !pos + 1 < n && s.[!pos] = '\\'
-                  && s.[!pos + 1] = 'u'
-               then begin
-                 pos := !pos + 2;
-                 let lo = hex4 () in
-                 0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
-               end
-               else cp
-             in
-             utf8 buf cp
-           | _ -> fail "bad escape");
-          go ()
-        | c ->
-          Buffer.add_char buf c;
-          go ()
-      in
-      go ()
-    in
-    let number () =
-      let start = !pos in
-      let is_num_char c =
-        match c with
-        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-        | _ -> false
-      in
-      while !pos < n && is_num_char s.[!pos] do
-        advance ()
-      done;
-      let tok = String.sub s start (!pos - start) in
-      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
-        match float_of_string_opt tok with
-        | Some f -> Float f
-        | None -> fail "bad number"
-      else
-        match int_of_string_opt tok with
-        | Some i -> Int i
-        | None ->
-          (match float_of_string_opt tok with
-          | Some f -> Float f
-          | None -> fail "bad number")
-    in
-    let rec value () =
-      skip_ws ();
-      match peek () with
-      | None -> fail "unexpected end of input"
-      | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let fields = ref [] in
-          let rec fields_loop () =
-            skip_ws ();
-            expect '"';
-            let k = string_body () in
-            skip_ws ();
-            expect ':';
-            let v = value () in
-            fields := (k, v) :: !fields;
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              fields_loop ()
-            | Some '}' -> advance ()
-            | _ -> fail "expected ',' or '}'"
-          in
-          fields_loop ();
-          Obj (List.rev !fields)
-        end
-      | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          List []
-        end
-        else begin
-          let items = ref [] in
-          let rec items_loop () =
-            let v = value () in
-            items := v :: !items;
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              items_loop ()
-            | Some ']' -> advance ()
-            | _ -> fail "expected ',' or ']'"
-          in
-          items_loop ();
-          List (List.rev !items)
-        end
-      | Some '"' ->
-        advance ();
-        Str (string_body ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some _ -> number ()
-    in
-    match
-      let v = value () in
-      skip_ws ();
-      if !pos <> n then fail "trailing garbage";
-      v
-    with
-    | v -> Ok v
-    | exception Parse msg -> Error msg
-
-  let member key = function
-    | Obj fields -> List.assoc_opt key fields
-    | _ -> None
-
-  let to_int_opt = function Int i -> Some i | _ -> None
-
-  let to_float_opt = function
-    | Float f -> Some f
-    | Int i -> Some (float_of_int i)
-    | _ -> None
-
-  let to_string_opt = function Str s -> Some s | _ -> None
-
-  let to_list_opt = function List items -> Some items | _ -> None
-end
+(* The shared JSON module lives in [Vadasa_base.Json]; telemetry
+   re-exports it so existing [Telemetry.Json] users keep working. *)
+module Json = Vadasa_base.Json
 
 (* ---- instruments ------------------------------------------------------ *)
 

@@ -12,31 +12,9 @@
     See [docs/OBSERVABILITY.md] for the metric-name and span-hierarchy
     conventions used across the stack. *)
 
-(** Minimal JSON values: enough to export reports and re-import them. *)
-module Json : sig
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  val to_string : ?indent:bool -> t -> string
-
-  val of_string : string -> (t, string) result
-
-  val member : string -> t -> t option
-
-  val to_int_opt : t -> int option
-
-  val to_float_opt : t -> float option
-
-  val to_string_opt : t -> string option
-
-  val to_list_opt : t -> t list option
-end
+(** The shared JSON module ({!Vadasa_base.Json}), re-exported so
+    telemetry callers can keep writing [Telemetry.Json]. *)
+module Json = Vadasa_base.Json
 
 type t
 (** A metrics registry. *)

@@ -21,12 +21,24 @@ let args_key args =
     args;
   Buffer.contents buf
 
+(* Positional indexes are built lazily on the first [lookup] over a
+   position. Publication must be safe under concurrent readers (the
+   server shares quiescent databases across domains): each index table
+   is built fully before it becomes reachable, and the position → table
+   map is an immutable value swapped in with a compare-and-set, so a
+   reader either sees no index (and builds its own candidate) or a
+   complete one — never a half-built table. See the thread-safety
+   contract in [database.mli]/[engine.mli]. *)
+module Index_map = Map.Make (Int)
+
+type index = (string, int list ref) Hashtbl.t
+
 type pred_store = {
   mutable data : Value.t array array;
   mutable size : int;
   keys : (string, int) Hashtbl.t;  (* fact key -> insertion index *)
   mutable prov : provenance array;
-  indexes : (int, (string, int list ref) Hashtbl.t) Hashtbl.t;
+  indexes : index Index_map.t Atomic.t;
 }
 
 type t = {
@@ -48,7 +60,7 @@ let store t pred =
         size = 0;
         keys = Hashtbl.create 256;
         prov = [||];
-        indexes = Hashtbl.create 4;
+        indexes = Atomic.make Index_map.empty;
       }
     in
     Hashtbl.add t.preds pred s;
@@ -66,8 +78,10 @@ let grow s =
     s.prov <- prov'
   end
 
+(* Maintaining existing indexes on insert is writer-side work: [add] is
+   only legal from the single mutating domain (see the contract). *)
 let index_insert s pos v idx =
-  match Hashtbl.find_opt s.indexes pos with
+  match Index_map.find_opt pos (Atomic.get s.indexes) with
   | None -> ()
   | Some table ->
     let k = value_key v in
@@ -128,21 +142,42 @@ let build_index s pos =
       | None -> Hashtbl.add table k (ref [ i ])
     end
   done;
-  Hashtbl.add s.indexes pos table;
   table
+
+(* Publish a fully-built candidate table. On a CAS race the loser
+   re-reads: if another domain published the position first its table
+   wins (ours is discarded), keeping exactly one live index per
+   position. *)
+let rec publish_index s pos table =
+  let m = Atomic.get s.indexes in
+  match Index_map.find_opt pos m with
+  | Some existing -> existing
+  | None ->
+    if Atomic.compare_and_set s.indexes m (Index_map.add pos table m) then table
+    else publish_index s pos table
 
 let lookup t pred ~pos v =
   match Hashtbl.find_opt t.preds pred with
   | None -> []
   | Some s ->
     let table =
-      match Hashtbl.find_opt s.indexes pos with
+      match Index_map.find_opt pos (Atomic.get s.indexes) with
       | Some table -> table
-      | None -> build_index s pos
+      | None -> publish_index s pos (build_index s pos)
     in
     (match Hashtbl.find_opt table (value_key v) with
     | Some cell -> List.rev !cell
     | None -> [])
+
+let build_all_indexes t pred =
+  match Hashtbl.find_opt t.preds pred with
+  | None -> ()
+  | Some s ->
+    let arity = if s.size = 0 then 0 else Array.length s.data.(0) in
+    for pos = 0 to arity - 1 do
+      if not (Index_map.mem pos (Atomic.get s.indexes)) then
+        ignore (publish_index s pos (build_index s pos))
+    done
 
 let total t = t.total
 

@@ -2,7 +2,19 @@
     elimination, lazily-built positional indexes and optional provenance.
 
     Insertion order is what the semi-naive evaluator's deltas are defined
-    over: facts with index ≥ a watermark are "new". *)
+    over: facts with index ≥ a watermark are "new".
+
+    {b Thread-safety contract.} A database is {e single-writer}: {!add}
+    (and anything that calls it) must come from at most one domain at a
+    time, with no concurrent readers. Once the store is {e quiescent} —
+    no further {!add} calls — any number of domains may concurrently
+    call the read-side operations ({!mem}, {!facts}, {!nth},
+    {!iter_pred}, {!lookup}, {!provenance_of}, …). {!lookup} stays safe
+    even though it builds positional indexes lazily: each index table is
+    fully built before being published through an atomic compare-and-set
+    of an immutable position → index map, so a concurrent reader sees
+    either no index (and builds its own candidate; CAS losers are
+    discarded) or a complete one, never a partially-built table. *)
 
 type provenance =
   | Edb  (** asserted input fact *)
@@ -35,7 +47,14 @@ val iter_pred : t -> string -> (Vadasa_base.Value.t array -> unit) -> unit
 val lookup : t -> string -> pos:int -> Vadasa_base.Value.t -> int list
 (** Insertion indexes of facts whose argument at [pos] equals the value
     (standard equality); builds the positional index on first use and
-    maintains it afterwards. *)
+    maintains it afterwards. Safe to call from multiple domains on a
+    quiescent store (see the thread-safety contract above). *)
+
+val build_all_indexes : t -> string -> unit
+(** Eagerly build the positional index of every argument position of a
+    predicate (no-op for unknown predicates and already-indexed
+    positions). Callers that publish a quiescent store to concurrent
+    readers can use this to pre-pay index construction. *)
 
 val total : t -> int
 

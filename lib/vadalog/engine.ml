@@ -301,12 +301,14 @@ let compile_rule prof rule =
 
 (* ---- construction ----------------------------------------------------- *)
 
-let create ?(config = default_config) ?(first_null_label = 1) program =
+let create ?(config = default_config) ?(first_null_label = 1) ?strat program =
   (match Program.validate program with
   | Ok () -> ()
   | Error errors ->
     invalid_arg ("Engine.create: " ^ String.concat "; " errors));
-  let strat = Stratify.compute program in
+  let strat =
+    match strat with Some s -> s | None -> Stratify.compute program
+  in
   let db = Database.create ~track_provenance:config.track_provenance () in
   List.iter
     (fun (pred, args) -> ignore (Database.add db pred args))

@@ -13,7 +13,21 @@
       their contributor tables persist across iterations, so recursion
       through [msum(...) > t] converges (Section 4.4's company control);
     - every derived fact can record its rule and parent facts for
-      {!Provenance} explanations. *)
+      {!Provenance} explanations.
+
+    {b Thread-safety contract.} An engine is {e single-writer}: at most
+    one domain at a time may call {!create}, {!add_fact},
+    {!add_fact_array} or {!run}, with no concurrent readers while it
+    does. Once {!run} has returned and no further mutation happens, the
+    engine is {e quiescent} and any number of domains may concurrently
+    call the read side — {!facts}, {!explain}, {!stats}, {!profile_report},
+    {!Database.lookup} on {!database}, … — including the lazily-built
+    positional indexes, whose publication is made read-after-publish safe
+    in {!Database} (fully-built tables swapped in atomically). Global
+    telemetry ({!Vadasa_telemetry}) is {e not} domain-safe: concurrent
+    engine runs must keep the gated global registry disabled and rely on
+    the always-on per-engine {!profile} instead, which touches only
+    engine-local state. *)
 
 type config = {
   track_provenance : bool;  (** default [true] *)
@@ -32,12 +46,19 @@ exception Limit of string
 
 type t
 
-val create : ?config:config -> ?first_null_label:int -> Program.t -> t
+val create :
+  ?config:config -> ?first_null_label:int -> ?strat:Stratify.t ->
+  Program.t -> t
 (** Loads the program's inline facts; raises [Invalid_argument] on programs
     that fail {!Program.validate} and {!Stratify.Not_stratifiable} on
     non-stratifiable ones. [first_null_label] seeds the chase's labelled-null
     counter, so successive engine runs over evolving data can keep their
-    invented nulls distinct. *)
+    invented nulls distinct. [strat] supplies a precomputed stratification
+    — it must be {!Stratify.compute} of a program with exactly the same
+    rules (unchecked); callers that cache program analysis across runs
+    (the server's compiled-program cache) use it to skip re-stratifying,
+    since {!Program.union} with a facts-only program keeps rule ids
+    stable. *)
 
 val add_fact : t -> string -> Vadasa_base.Value.t list -> unit
 

@@ -1,0 +1,612 @@
+(* Tests for the vadasa serve subsystem: the HTTP parser and serializer,
+   the router, the shared LRU caches, the domain worker pool, concurrent
+   reads of a quiescent fact store, and an end-to-end in-process server
+   exercised over real sockets (64 concurrent risk requests must come
+   back byte-identical to the CLI's [risk --json] rendering, a repeat
+   reasoned request must hit the compiled-program cache, and a saturated
+   pool must answer 503). *)
+
+module Srv = Vadasa_server
+module Http = Srv.Http
+module Json = Vadasa_base.Json
+module R = Vadasa_relational
+module S = Vadasa_sdc
+module D = Vadasa_datagen
+module V = Vadasa_vadalog
+
+(* --- HTTP parser -------------------------------------------------------- *)
+
+let parse s = Http.read_request (Http.reader_of_string s)
+
+let check_error what expected = function
+  | Ok (_ : Http.request) -> Alcotest.failf "%s: expected an error" what
+  | Error e ->
+    Alcotest.(check int)
+      what expected (Http.error_response e).Http.status
+
+let test_parse_get () =
+  match parse "GET /v1/x?a=1&b=hello%20world HTTP/1.1\r\nHost: h\r\n\r\n" with
+  | Error _ -> Alcotest.fail "expected a parse"
+  | Ok req ->
+    Alcotest.(check string) "path" "/v1/x" req.Http.path;
+    Alcotest.(check (option string)) "a" (Some "1") (Http.query_param req "a");
+    Alcotest.(check (option string))
+      "decoded" (Some "hello world")
+      (Http.query_param req "b");
+    Alcotest.(check (option string))
+      "header, case-insensitive" (Some "h") (Http.header req "HOST");
+    Alcotest.(check string) "empty body" "" req.Http.body
+
+let test_parse_post_body () =
+  let body = "col\n1\n2\n" in
+  let raw =
+    Printf.sprintf
+      "POST /v1/risk HTTP/1.1\r\ncontent-type: text/csv\r\ncontent-length: \
+       %d\r\n\r\n%s"
+      (String.length body) body
+  in
+  match parse raw with
+  | Error _ -> Alcotest.fail "expected a parse"
+  | Ok req ->
+    Alcotest.(check string) "body" body req.Http.body;
+    Alcotest.(check bool) "method" true (req.Http.meth = Http.POST)
+
+let test_parse_body_split_across_reads () =
+  (* a reader that yields one byte at a time still produces the body *)
+  let body = String.make 70 'x' in
+  let raw =
+    Printf.sprintf "POST / HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s"
+      (String.length body) body
+  in
+  let pos = ref 0 in
+  let one_byte buf off _len =
+    if !pos >= String.length raw then 0
+    else begin
+      Bytes.set buf off raw.[!pos];
+      incr pos;
+      1
+    end
+  in
+  match Http.read_request one_byte with
+  | Error _ -> Alcotest.fail "expected a parse"
+  | Ok req -> Alcotest.(check string) "body" body req.Http.body
+
+let test_oversized_body_413 () =
+  let limits = { Http.default_limits with Http.max_body_bytes = 10 } in
+  let raw = "POST / HTTP/1.1\r\ncontent-length: 11\r\n\r\nhello world" in
+  (match Http.read_request ~limits (Http.reader_of_string raw) with
+  | Ok _ -> Alcotest.fail "expected 413"
+  | Error e ->
+    Alcotest.(check int) "413" 413 (Http.error_response e).Http.status);
+  (* at the limit is fine *)
+  let raw = "POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nhelloworld" in
+  match Http.read_request ~limits (Http.reader_of_string raw) with
+  | Ok req -> Alcotest.(check string) "at limit" "helloworld" req.Http.body
+  | Error _ -> Alcotest.fail "10 bytes should parse"
+
+let test_malformed_400 () =
+  check_error "garbage request line" 400 (parse "NOT-HTTP\r\n\r\n");
+  check_error "bad version" 400 (parse "GET / HTTP/9.9\r\n\r\n");
+  check_error "header without colon" 400
+    (parse "GET / HTTP/1.1\r\nbadheader\r\n\r\n");
+  check_error "negative content-length" 400
+    (parse "POST / HTTP/1.1\r\ncontent-length: -1\r\n\r\n");
+  check_error "non-numeric content-length" 400
+    (parse "POST / HTTP/1.1\r\ncontent-length: ten\r\n\r\n");
+  check_error "truncated body" 400
+    (parse "POST / HTTP/1.1\r\ncontent-length: 50\r\n\r\nshort");
+  check_error "truncated headers" 400 (parse "GET / HTTP/1.1\r\nhost: h\r\n")
+
+let test_chunked_501 () =
+  check_error "chunked" 501
+    (parse "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n")
+
+let test_header_block_limit () =
+  let limits = { Http.default_limits with Http.max_header_bytes = 64 } in
+  let raw =
+    "GET / HTTP/1.1\r\nbig: " ^ String.make 200 'x' ^ "\r\n\r\n"
+  in
+  match Http.read_request ~limits (Http.reader_of_string raw) with
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error e ->
+    Alcotest.(check int) "400" 400 (Http.error_response e).Http.status
+
+let test_response_round_trip () =
+  let resp = Http.response ~status:200 "{\"ok\":true}" in
+  let wire = Http.response_to_string resp in
+  Alcotest.(check bool)
+    "status line" true
+    (Astring_contains.contains wire "HTTP/1.1 200 OK\r\n");
+  Alcotest.(check bool)
+    "content-length" true
+    (Astring_contains.contains wire "content-length: 11\r\n");
+  Alcotest.(check bool)
+    "connection close" true
+    (Astring_contains.contains wire "connection: close\r\n")
+
+let test_percent_decode () =
+  Alcotest.(check string)
+    "plus and hex" "a b/c" (Http.percent_decode "a+b%2Fc");
+  Alcotest.(check string) "lone percent" "100%" (Http.percent_decode "100%")
+
+(* --- router -------------------------------------------------------------- *)
+
+let dummy_handler body _req = Http.response ~status:200 body
+
+let test_router_dispatch () =
+  let router =
+    Srv.Router.create
+      [
+        (Http.GET, "/a", dummy_handler "a");
+        (Http.POST, "/a", dummy_handler "posted");
+        (Http.GET, "/b", dummy_handler "b");
+      ]
+  in
+  let req meth path =
+    match
+      parse (Printf.sprintf "%s %s HTTP/1.1\r\n\r\n" meth path)
+    with
+    | Ok r -> r
+    | Error _ -> Alcotest.fail "request builds"
+  in
+  Alcotest.(check string)
+    "GET /a" "a"
+    (Srv.Router.dispatch router (req "GET" "/a")).Http.resp_body;
+  Alcotest.(check string)
+    "POST /a" "posted"
+    (Srv.Router.dispatch router (req "POST" "/a")).Http.resp_body;
+  Alcotest.(check int)
+    "unknown path" 404
+    (Srv.Router.dispatch router (req "GET" "/nope")).Http.status;
+  let not_allowed = Srv.Router.dispatch router (req "DELETE" "/b") in
+  Alcotest.(check int) "wrong method" 405 not_allowed.Http.status;
+  Alcotest.(check (option string))
+    "allow header" (Some "GET")
+    (List.assoc_opt "allow" not_allowed.Http.resp_headers)
+
+(* --- cache --------------------------------------------------------------- *)
+
+let test_cache_hit_miss () =
+  let c = Srv.Cache.create ~capacity:8 "t" in
+  Alcotest.(check (option int)) "empty" None (Srv.Cache.find_opt c "k");
+  let v, hit = Srv.Cache.find_or_build_hit c "k" (fun _ -> 42) in
+  Alcotest.(check int) "built" 42 v;
+  Alcotest.(check bool) "first is a miss" false hit;
+  let v, hit = Srv.Cache.find_or_build_hit c "k" (fun _ -> 99) in
+  Alcotest.(check int) "cached value survives" 42 v;
+  Alcotest.(check bool) "second is a hit" true hit;
+  Alcotest.(check int) "hits" 1 (Srv.Cache.hits c);
+  (* find_opt "k" missed once, find_or_build_hit missed once *)
+  Alcotest.(check int) "misses" 2 (Srv.Cache.misses c)
+
+let test_cache_lru_eviction () =
+  let c = Srv.Cache.create ~capacity:2 "t" in
+  ignore (Srv.Cache.find_or_build c "a" (fun _ -> 1));
+  ignore (Srv.Cache.find_or_build c "b" (fun _ -> 2));
+  ignore (Srv.Cache.find_opt c "a");
+  (* "b" is now the least recently used; inserting "c" evicts it *)
+  ignore (Srv.Cache.find_or_build c "c" (fun _ -> 3));
+  Alcotest.(check int) "size bounded" 2 (Srv.Cache.size c);
+  Alcotest.(check (option int)) "a kept" (Some 1) (Srv.Cache.find_opt c "a");
+  Alcotest.(check (option int)) "b evicted" None (Srv.Cache.find_opt c "b");
+  Alcotest.(check int) "one eviction" 1 (Srv.Cache.evictions c)
+
+let test_cache_concurrent_builders () =
+  let c = Srv.Cache.create ~capacity:8 "t" in
+  let builds = Atomic.make 0 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            Srv.Cache.find_or_build c "k" (fun _ ->
+                Atomic.incr builds;
+                7)))
+  in
+  let values = List.map Domain.join domains in
+  List.iter (fun v -> Alcotest.(check int) "same value" 7 v) values;
+  Alcotest.(check bool)
+    "at least one build, no corruption" true
+    (Atomic.get builds >= 1);
+  Alcotest.(check int) "one entry" 1 (Srv.Cache.size c)
+
+(* --- pool ---------------------------------------------------------------- *)
+
+let test_pool_runs_jobs () =
+  let pool = Srv.Pool.create ~domains:2 ~queue_capacity:16 () in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 10 do
+    let ok =
+      Srv.Pool.submit pool ~expired:ignore (fun () -> Atomic.incr hits)
+    in
+    Alcotest.(check bool) "accepted" true ok
+  done;
+  Srv.Pool.stop pool;
+  Alcotest.(check int) "all ran before stop returned" 10 (Atomic.get hits)
+
+let test_pool_saturation_rejects () =
+  let pool = Srv.Pool.create ~domains:1 ~queue_capacity:2 () in
+  let release = Atomic.make false in
+  let block () = while not (Atomic.get release) do Domain.cpu_relax () done in
+  (* one job occupies the worker; two fill the queue; the next must bounce *)
+  Alcotest.(check bool)
+    "worker busy" true
+    (Srv.Pool.submit pool ~expired:ignore block);
+  (* wait until the worker has actually dequeued the blocking job *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Srv.Pool.queue_length pool > 0 && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check bool)
+    "queued 1" true
+    (Srv.Pool.submit pool ~expired:ignore ignore);
+  Alcotest.(check bool)
+    "queued 2" true
+    (Srv.Pool.submit pool ~expired:ignore ignore);
+  Alcotest.(check bool)
+    "queue full rejects" false
+    (Srv.Pool.submit pool ~expired:ignore ignore);
+  let _, rejected, _, _, _ = Srv.Pool.counters pool in
+  Alcotest.(check int) "rejection counted" 1 rejected;
+  Atomic.set release true;
+  Srv.Pool.stop pool
+
+let test_pool_expired_jobs () =
+  let pool = Srv.Pool.create ~domains:1 ~queue_capacity:8 () in
+  let ran = Atomic.make false in
+  let expired = Atomic.make false in
+  let ok =
+    Srv.Pool.submit pool
+      ~deadline:(Unix.gettimeofday () -. 1.0)
+      ~expired:(fun () -> Atomic.set expired true)
+      (fun () -> Atomic.set ran true)
+  in
+  Alcotest.(check bool) "accepted" true ok;
+  Srv.Pool.stop pool;
+  Alcotest.(check bool) "body skipped" false (Atomic.get ran);
+  Alcotest.(check bool) "expired callback ran" true (Atomic.get expired)
+
+(* --- concurrent reads of a quiescent fact store -------------------------- *)
+
+let test_database_concurrent_lookup () =
+  let db = V.Database.create () in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    ignore
+      (V.Database.add db "p"
+         [|
+           Vadasa_base.Value.Int (i mod 17);
+           Vadasa_base.Value.Str (Printf.sprintf "s%d" (i mod 5));
+           Vadasa_base.Value.Int i;
+         |])
+  done;
+  (* sequential ground truth, on indexes built by this domain *)
+  let expected pos v = V.Database.lookup db "p" ~pos v in
+  let truth0 = expected 0 (Vadasa_base.Value.Int 3) in
+  let truth1 = expected 1 (Vadasa_base.Value.Str "s2") in
+  (* a fresh store: the hammer builds indexes concurrently from scratch *)
+  let db2 = V.Database.create () in
+  V.Database.iter_pred db "p" (fun fact ->
+      ignore (V.Database.add db2 "p" (Array.copy fact)));
+  let errors = Atomic.make 0 in
+  let domains =
+    List.init 6 (fun d ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 200 do
+              let r0 = V.Database.lookup db2 "p" ~pos:0 (Vadasa_base.Value.Int 3) in
+              let r1 =
+                V.Database.lookup db2 "p" ~pos:1 (Vadasa_base.Value.Str "s2")
+              in
+              if r0 <> truth0 || r1 <> truth1 then Atomic.incr errors;
+              (* vary which position each domain touches first *)
+              ignore
+                (V.Database.lookup db2 "p" ~pos:(d mod 3)
+                   (V.Database.nth db2 "p" (d * 7)).(d mod 3))
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no torn reads" 0 (Atomic.get errors)
+
+(* --- tiny HTTP client for the e2e tests ---------------------------------- *)
+
+let http_call ~port ~meth ~target ?(headers = []) ?(body = "") () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let buf = Buffer.create (String.length body + 256) in
+      Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" meth target);
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+        (("host", "localhost") :: headers);
+      Buffer.add_string buf
+        (Printf.sprintf "content-length: %d\r\n\r\n" (String.length body));
+      Buffer.add_string buf body;
+      let raw = Buffer.to_bytes buf in
+      let off = ref 0 in
+      while !off < Bytes.length raw do
+        off := !off + Unix.write fd raw !off (Bytes.length raw - !off)
+      done;
+      (* the server always closes: read to EOF *)
+      let resp = Buffer.create 1024 in
+      let chunk = Bytes.create 8192 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes resp chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+      in
+      drain ();
+      let raw = Buffer.contents resp in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> int_of_string_opt code |> Option.value ~default:0
+        | _ -> 0
+      in
+      let body =
+        match Astring_contains.find_sub raw "\r\n\r\n" with
+        | Some i -> String.sub raw (i + 4) (String.length raw - i - 4)
+        | None -> ""
+      in
+      (status, body))
+
+(* --- end-to-end ----------------------------------------------------------- *)
+
+let figure6_csv () =
+  (* A scaled-down Figure 6 dataset (R6A4U shape, ~300 tuples). *)
+  let md = D.Suite.load ~scale:0.05 "R6A4U" in
+  (R.Csv.write_string (S.Microdata.relation md), S.Microdata.name md)
+
+let with_server ?config ?router k =
+  let config =
+    match config with
+    | Some c -> c
+    | None ->
+      {
+        Srv.Server.default_config with
+        Srv.Server.port = 0;
+        domains = 4;
+        request_timeout = 60.0;
+      }
+  in
+  let handlers = Srv.Handlers.create () in
+  let server = Srv.Server.create ~config ?router handlers in
+  Srv.Server.start server;
+  Fun.protect
+    ~finally:(fun () -> Srv.Server.shutdown server)
+    (fun () -> k server (Srv.Server.port server))
+
+let test_e2e_concurrent_risk () =
+  let csv, name = figure6_csv () in
+  (* What the CLI's [risk --json] prints for this input: same codec. *)
+  let expected =
+    let payload =
+      {
+        Srv.Codec.csv;
+        options = { Srv.Codec.default_options with Srv.Codec.name };
+      }
+    in
+    let md =
+      match Srv.Codec.microdata_of_payload payload with
+      | Ok md -> md
+      | Error m -> Alcotest.failf "categorization failed: %s" m
+    in
+    let report = S.Risk.estimate (S.Risk.K_anonymity { k = 2 }) md in
+    Srv.Codec.risk_report_string ~threshold:0.5 md report
+  in
+  with_server (fun _server port ->
+      let target = "/v1/risk?name=" ^ name in
+      let clients =
+        List.init 64 (fun _ ->
+            Domain.spawn (fun () ->
+                http_call ~port ~meth:"POST" ~target
+                  ~headers:[ ("content-type", "text/csv") ]
+                  ~body:csv ()))
+      in
+      let results = List.map Domain.join clients in
+      List.iteri
+        (fun i (status, body) ->
+          if status <> 200 then Alcotest.failf "client %d: status %d" i status;
+          if not (String.equal body expected) then
+            Alcotest.failf "client %d: response not byte-identical" i)
+        results;
+      (* the dataset cache collapsed 64 identical bodies into one build *)
+      let handlers = Srv.Server.handlers _server in
+      Alcotest.(check int)
+        "one dataset cached" 1
+        (Srv.Cache.size (Srv.Handlers.datasets handlers)))
+
+let test_e2e_program_cache_hit () =
+  let csv, name = figure6_csv () in
+  with_server (fun server port ->
+      let target = "/v1/reason?name=" ^ name in
+      let call () =
+        http_call ~port ~meth:"POST" ~target
+          ~headers:[ ("content-type", "text/csv") ]
+          ~body:csv ()
+      in
+      let status1, body1 = call () in
+      Alcotest.(check int) "first 200" 200 status1;
+      Alcotest.(check bool)
+        "first misses" true
+        (Astring_contains.contains body1 "\"program_cache_hit\": false");
+      let status2, body2 = call () in
+      Alcotest.(check int) "second 200" 200 status2;
+      Alcotest.(check bool)
+        "second hits" true
+        (Astring_contains.contains body2 "\"program_cache_hit\": true");
+      let handlers = Srv.Server.handlers server in
+      Alcotest.(check int)
+        "hit counted" 1
+        (Srv.Cache.hits (Srv.Handlers.programs handlers));
+      (* the hit is visible in /metrics *)
+      let status, metrics = http_call ~port ~meth:"GET" ~target:"/metrics" () in
+      Alcotest.(check int) "metrics 200" 200 status;
+      match Json.of_string metrics with
+      | Error m -> Alcotest.failf "metrics is JSON: %s" m
+      | Ok json ->
+        let hits =
+          Option.bind (Json.member "caches" json) (fun c ->
+              Option.bind (Json.member "programs" c) (Json.member "hits"))
+          |> Fun.flip Option.bind Json.to_int_opt
+        in
+        Alcotest.(check (option int)) "metrics shows the hit" (Some 1) hits)
+
+let test_e2e_error_statuses () =
+  with_server (fun _server port ->
+      let status, _ = http_call ~port ~meth:"GET" ~target:"/healthz" () in
+      Alcotest.(check int) "healthz" 200 status;
+      let status, _ = http_call ~port ~meth:"GET" ~target:"/nope" () in
+      Alcotest.(check int) "404" 404 status;
+      let status, _ = http_call ~port ~meth:"PUT" ~target:"/v1/risk" () in
+      Alcotest.(check int) "405" 405 status;
+      let status, _ =
+        http_call ~port ~meth:"POST" ~target:"/v1/risk"
+          ~headers:[ ("content-type", "application/json") ]
+          ~body:"{\"nope\"" ()
+      in
+      Alcotest.(check int) "bad JSON 400" 400 status;
+      let status, _ =
+        http_call ~port ~meth:"POST" ~target:"/v1/risk"
+          ~headers:[ ("content-type", "text/csv") ]
+          ~body:"a,b\n1\n" ()
+      in
+      Alcotest.(check int) "ragged CSV 422" 422 status)
+
+let test_e2e_oversized_413 () =
+  let config =
+    {
+      Srv.Server.default_config with
+      Srv.Server.port = 0;
+      domains = 1;
+      max_body_bytes = 64;
+    }
+  in
+  with_server ~config (fun _server port ->
+      let status, _ =
+        http_call ~port ~meth:"POST" ~target:"/v1/risk"
+          ~headers:[ ("content-type", "text/csv") ]
+          ~body:(String.make 1000 'x') ()
+      in
+      Alcotest.(check int) "413" 413 status)
+
+let test_e2e_pool_saturation_503 () =
+  (* One worker, one queue slot, and a route that blocks until released:
+     the third concurrent request must be answered 503 by the accept
+     loop itself. *)
+  let release = Atomic.make false in
+  let entered = Atomic.make 0 in
+  let blocking _req =
+    Atomic.incr entered;
+    while not (Atomic.get release) do Domain.cpu_relax () done;
+    Http.response ~status:200 "unblocked"
+  in
+  let handlers = Srv.Handlers.create () in
+  let router =
+    Srv.Router.add
+      (Srv.Handlers.router handlers)
+      ~meth:Http.GET ~path:"/block" blocking
+  in
+  let config =
+    {
+      Srv.Server.default_config with
+      Srv.Server.port = 0;
+      domains = 1;
+      queue_capacity = 1;
+      request_timeout = 60.0;
+    }
+  in
+  let server = Srv.Server.create ~config ~router handlers in
+  Srv.Server.start server;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set release true;
+      Srv.Server.shutdown server)
+    (fun () ->
+      let port = Srv.Server.port server in
+      let fire () =
+        Domain.spawn (fun () ->
+            http_call ~port ~meth:"GET" ~target:"/block" ())
+      in
+      let c1 = fire () in
+      (* wait until the worker is actually inside the handler *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while Atomic.get entered = 0 && Unix.gettimeofday () < deadline do
+        Domain.cpu_relax ()
+      done;
+      Alcotest.(check int) "worker entered" 1 (Atomic.get entered);
+      let c2 = fire () in
+      (* give the accept loop a moment to queue the second connection *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while
+        Srv.Pool.queue_length (Srv.Server.pool server) < 1
+        && Unix.gettimeofday () < deadline
+      do
+        Domain.cpu_relax ()
+      done;
+      let status3, body3 = http_call ~port ~meth:"GET" ~target:"/block" () in
+      Alcotest.(check int) "saturated: 503" 503 status3;
+      Alcotest.(check bool)
+        "saturation is explained" true
+        (Astring_contains.contains body3 "saturated");
+      Atomic.set release true;
+      let status1, _ = Domain.join c1 in
+      let status2, _ = Domain.join c2 in
+      Alcotest.(check int) "first unblocked" 200 status1;
+      Alcotest.(check int) "queued one served" 200 status2)
+
+(* --- suite ---------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "http",
+        [
+          Alcotest.test_case "parse GET with query" `Quick test_parse_get;
+          Alcotest.test_case "parse POST body" `Quick test_parse_post_body;
+          Alcotest.test_case "byte-at-a-time reader" `Quick
+            test_parse_body_split_across_reads;
+          Alcotest.test_case "oversized body 413" `Quick test_oversized_body_413;
+          Alcotest.test_case "malformed 400" `Quick test_malformed_400;
+          Alcotest.test_case "chunked 501" `Quick test_chunked_501;
+          Alcotest.test_case "header block limit" `Quick test_header_block_limit;
+          Alcotest.test_case "response wire form" `Quick test_response_round_trip;
+          Alcotest.test_case "percent decode" `Quick test_percent_decode;
+        ] );
+      ( "router",
+        [ Alcotest.test_case "dispatch/404/405" `Quick test_router_dispatch ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit and miss counters" `Quick test_cache_hit_miss;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "concurrent builders" `Quick
+            test_cache_concurrent_builders;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "runs jobs, drains on stop" `Quick
+            test_pool_runs_jobs;
+          Alcotest.test_case "saturation rejects" `Quick
+            test_pool_saturation_rejects;
+          Alcotest.test_case "queued past deadline expires" `Quick
+            test_pool_expired_jobs;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "concurrent lookup on quiescent store" `Quick
+            test_database_concurrent_lookup;
+        ] );
+      ( "e2e",
+        [
+          Alcotest.test_case "64 concurrent risk, byte-identical" `Slow
+            test_e2e_concurrent_risk;
+          Alcotest.test_case "program cache hit on repeat reason" `Slow
+            test_e2e_program_cache_hit;
+          Alcotest.test_case "status codes" `Quick test_e2e_error_statuses;
+          Alcotest.test_case "oversized body over the wire" `Quick
+            test_e2e_oversized_413;
+          Alcotest.test_case "pool saturation answers 503" `Slow
+            test_e2e_pool_saturation_503;
+        ] );
+    ]
