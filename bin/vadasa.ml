@@ -11,6 +11,9 @@
      serve       expose the pipeline as a concurrent HTTP service *)
 
 module Value = Vadasa_base.Value
+module E = Vadasa_base.Error
+module Budget = Vadasa_base.Budget
+module Faultpoint = Vadasa_resilience.Faultpoint
 module R = Vadasa_relational
 module S = Vadasa_sdc
 module D = Vadasa_datagen
@@ -79,13 +82,52 @@ let span_limit_arg =
            completions beyond the bound are counted as dropped and \
            reported on stderr.")
 
-(* Shared preamble of every subcommand: logging plus telemetry. Returns
-   the [finish] hook the subcommand calls once its work is done — it
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget for the run's reasoning work, in \
+           milliseconds. An exhausted budget does not fail the command: \
+           the chase stops cooperatively and the result is degraded \
+           (partial output, noted on stderr). See docs/RESILIENCE.md.")
+
+let max_facts_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-facts" ] ~docv:"N"
+        ~doc:
+          "Ceiling on chase-derived facts. Like $(b,--deadline), hitting \
+           it degrades the result instead of failing; under $(b,serve) it \
+           becomes the server-wide per-request ceiling.")
+
+(* Shared preamble of every subcommand: logging, telemetry, fault-point
+   arming ($VADASA_FAULTS), and the run's work budget. Returns the
+   [finish] hook the subcommand calls once its work is done — it
    emits the report and span trace that [--metrics]/[--trace] asked
    for — paired with the [--metrics-out] line sink (None without the
-   flag), which [serve] reuses as its access log. *)
-let telemetry_setup verbose metrics metrics_out trace trace_format span_limit =
+   flag), which [serve] reuses as its access log, and the
+   [--deadline]/[--max-facts] pair. *)
+let telemetry_setup verbose metrics metrics_out trace trace_format span_limit
+    deadline_ms max_facts =
   setup_logs verbose;
+  (match Faultpoint.arm_from_env () with
+  | Ok () -> ()
+  | Error e ->
+    Printf.eprintf "error[%s]: %s\n" e.E.code e.E.message;
+    exit 2);
+  (match deadline_ms with
+  | Some ms when ms < 1 ->
+    Printf.eprintf "error: --deadline must be >= 1 (milliseconds)\n";
+    exit 2
+  | _ -> ());
+  (match max_facts with
+  | Some n when n < 1 ->
+    Printf.eprintf "error: --max-facts must be >= 1\n";
+    exit 2
+  | _ -> ());
   let fmt =
     match metrics with
     | None -> `None
@@ -157,14 +199,34 @@ let telemetry_setup verbose metrics metrics_out trace trace_format span_limit =
         (T.Json.to_string ~indent:true (T.Report.to_json (T.Report.capture T.global)))
     | `Text -> prerr_string (T.Report.to_text (T.Report.capture T.global))
   in
-  (finish, sink)
+  (finish, sink, (deadline_ms, max_facts))
 
 let common_term =
   Term.(
     const telemetry_setup $ verbose_arg $ metrics_arg $ metrics_out_arg
-    $ trace_arg $ trace_format_arg $ span_limit_arg)
+    $ trace_arg $ trace_format_arg $ span_limit_arg $ deadline_arg
+    $ max_facts_arg)
 
 (* ---- shared helpers --------------------------------------------------- *)
+
+(* The work budget starts ticking when the subcommand begins its
+   reasoning work, not at process start. *)
+let budget_of_limits (deadline_ms, max_facts) =
+  match (deadline_ms, max_facts) with
+  | None, None -> None
+  | _ ->
+    Some
+      (Budget.create
+         ?deadline_in:
+           (Option.map (fun ms -> float_of_int ms /. 1000.0) deadline_ms)
+         ?max_facts ())
+
+let warn_degraded (i : V.Engine.interrupt) =
+  Printf.eprintf
+    "warning: chase interrupted (%s) at stratum %d, iteration %d; %d facts \
+     derived — output is partial\n"
+    (Budget.reason_code i.V.Engine.reason)
+    i.V.Engine.stratum i.V.Engine.iteration i.V.Engine.facts_derived
 
 let load_microdata ~path ~overrides =
   let name = Filename.remove_extension (Filename.basename path) in
@@ -178,10 +240,13 @@ let load_microdata ~path ~overrides =
   match S.Categorize.categorize_microdata ~overrides rel with
   | Ok md -> md
   | Error message ->
-    Printf.eprintf "error: %s\n" message;
-    Printf.eprintf
-      "hint: pass --category attr=identifier|quasi-identifier|non-identifying|weight\n";
-    exit 1
+    E.fail ~code:"categorize.failed" E.Wardedness message
+      ~context:
+        [
+          ( "hint",
+            "pass --category \
+             attr=identifier|quasi-identifier|non-identifying|weight" );
+        ]
 
 let parse_measure measure k threshold_size =
   match measure with
@@ -191,8 +256,8 @@ let parse_measure measure k threshold_size =
   | "individual-naive" -> S.Risk.Individual S.Risk.Naive
   | "suda" -> S.Risk.Suda { max_msu_size = 3; threshold_size }
   | other ->
-    Printf.eprintf "error: unknown measure %s\n" other;
-    exit 1
+    E.fail ~code:"measure.unknown" E.Wardedness ("unknown measure " ^ other)
+      ~context:[ ("measure", other) ]
 
 (* ---- arguments --------------------------------------------------------- *)
 
@@ -276,7 +341,7 @@ let generate_cmd =
   let list_flag =
     Arg.(value & flag & info [ "list" ] ~doc:"List the Figure 6 inventory and exit.")
   in
-  let run (finish, _) dataset scale output list_flag =
+  let run (finish, _, _) dataset scale output list_flag =
     if list_flag then Format.printf "%a" D.Suite.pp_table ()
     else
       (match D.Suite.find dataset with
@@ -295,7 +360,7 @@ let generate_cmd =
 (* ---- categorize ---------------------------------------------------------- *)
 
 let categorize_cmd =
-  let run (finish, _) input =
+  let run (finish, _, _) input =
     let name = Filename.remove_extension (Filename.basename input) in
     let rel = R.Csv.load ~name input in
     let result, _ =
@@ -357,8 +422,8 @@ let risk_cmd =
              text summary — the exact bytes the server's POST /v1/risk \
              returns for the same input.")
   in
-  let run (finish, _) input categories measure k threshold msu_threshold explain
-      reasoned json =
+  let run (finish, _, limits) input categories measure k threshold msu_threshold
+      explain reasoned json =
     let md = load_microdata ~path:input ~overrides:categories in
     let measure = parse_measure measure k msu_threshold in
     let report = S.Risk.estimate measure md in
@@ -367,7 +432,11 @@ let risk_cmd =
     (* With --json, keep stdout pure JSON: extras go to stderr. *)
     let out = if json then stderr else stdout in
     if reasoned then begin
-      match S.Vadalog_bridge.risk_via_engine ~threshold measure md with
+      match
+        S.Vadalog_bridge.risk_via_engine
+          ?budget:(budget_of_limits limits)
+          ~threshold measure md
+      with
       | engine_risks ->
         let max_diff = ref 0.0 in
         Array.iteri
@@ -381,6 +450,10 @@ let risk_cmd =
       | exception S.Vadalog_bridge.Unsupported msg ->
         Printf.fprintf out "\nreasoned path unsupported for this measure: %s\n"
           msg
+      | exception V.Engine.Interrupted i ->
+        (* The native report above is already complete — only the
+           reasoned cross-check was cut short. *)
+        warn_degraded i
     end;
     (match explain with
     | None -> ()
@@ -420,8 +493,8 @@ let anonymize_cmd =
       & info [ "narrative" ]
           ~doc:"Print the full anonymization narrative (per-action story).")
   in
-  let run (finish, _) input categories measure k threshold msu_threshold method_
-      semantics output narrative =
+  let run (finish, _, limits) input categories measure k threshold msu_threshold
+      method_ semantics output narrative =
     let md = load_microdata ~path:input ~overrides:categories in
     let semantics =
       match R.Null_semantics.of_string semantics with
@@ -448,7 +521,7 @@ let anonymize_cmd =
         method_;
       }
     in
-    let outcome = S.Cycle.run ~config md in
+    let outcome = S.Cycle.run ~config ?budget:(budget_of_limits limits) md in
     Format.eprintf "%a" S.Cycle.pp_outcome outcome;
     if narrative then prerr_string (S.Explain.trace md outcome);
     write_csv (S.Microdata.relation outcome.S.Cycle.anonymized) output;
@@ -465,14 +538,14 @@ let anonymize_cmd =
 (* ---- attack --------------------------------------------------------------------- *)
 
 let attack_cmd =
-  let run (finish, _) input categories seed =
+  let run (finish, _, limits) input categories seed =
     let md = load_microdata ~path:input ~overrides:categories in
     let rng = Vadasa_stats.Rng.create ~seed in
     let oracle = L.Oracle.from_microdata rng md () in
     Printf.printf "identity oracle: %d records\n" (L.Oracle.cardinal oracle);
     let before = L.Attack.run oracle md in
     Format.printf "before anonymization: %a" L.Attack.pp before;
-    let outcome = S.Cycle.run md in
+    let outcome = S.Cycle.run ?budget:(budget_of_limits limits) md in
     let after = L.Attack.run oracle outcome.S.Cycle.anonymized in
     Format.printf "after anonymization (%d nulls): %a"
       outcome.S.Cycle.nulls_injected L.Attack.pp after;
@@ -542,12 +615,16 @@ let reason_cmd =
   let check_warded =
     Arg.(value & flag & info [ "check-warded" ] ~doc:"Print the wardedness analysis.")
   in
-  let run (finish, _) path queries explain warded csv_facts =
+  let run (finish, _, limits) path queries explain warded csv_facts =
     let program = load_program path csv_facts in
     if warded then
       Format.printf "%a@." V.Wardedness.pp_report (V.Wardedness.analyze program);
     let engine = V.Engine.create program in
-    V.Engine.run engine;
+    (* A budgeted run may stop early: print whatever the partial chase
+       derived, flagged on stderr. *)
+    (match V.Engine.run ?budget:(budget_of_limits limits) engine with
+    | () -> ()
+    | exception V.Engine.Interrupted i -> warn_degraded i);
     let preds =
       match queries with [] -> program.V.Program.outputs | qs -> qs
     in
@@ -594,14 +671,16 @@ let profile_cmd =
       & info [ "json" ]
           ~doc:"Emit the profile as JSON on stdout instead of the table.")
   in
-  let run (finish, _) path top json_out csv_facts =
+  let run (finish, _, limits) path top json_out csv_facts =
     let program = load_program path csv_facts in
     (* The profiler itself is always on; arm the global registry too so
        the run records the engine.run/engine.stratum.* spans the table
        is cross-checked against. *)
     T.set_enabled true;
     let engine = V.Engine.create program in
-    V.Engine.run engine;
+    (match V.Engine.run ?budget:(budget_of_limits limits) engine with
+    | () -> ()
+    | exception V.Engine.Interrupted i -> warn_degraded i);
     let report = V.Engine.profile_report engine in
     if json_out then
       print_endline (T.Json.to_string ~indent:true (V.Profile.to_json report))
@@ -665,7 +744,7 @@ let serve_cmd =
       & info [ "max-body" ] ~docv:"BYTES"
           ~doc:"Largest accepted request body (413 beyond it).")
   in
-  let run (finish, sink) host port domains queue timeout max_body =
+  let run (finish, sink, (_, max_facts)) host port domains queue timeout max_body =
     if domains < 1 then begin
       Printf.eprintf "error: --domains must be >= 1\n";
       exit 1
@@ -690,7 +769,7 @@ let serve_cmd =
        domains run. /metrics and the access log carry the server's
        observability instead. *)
     T.set_enabled false;
-    let handlers = Srv.Handlers.create () in
+    let handlers = Srv.Handlers.create ?default_max_facts:max_facts () in
     let server =
       match Srv.Server.create ~config handlers with
       | server -> server
@@ -735,4 +814,12 @@ let () =
         serve_cmd;
       ]
   in
-  exit (Cmd.eval group)
+  (* [~catch:false] lets typed errors reach this handler: every failure
+     in the taxonomy prints as one [error[code]] line plus its context
+     pairs (file, line, column, …) and exits 2. *)
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception E.Error e ->
+    Printf.eprintf "error[%s]: %s\n" e.E.code e.E.message;
+    List.iter (fun (k, v) -> Printf.eprintf "  %s: %s\n" k v) e.E.context;
+    exit 2

@@ -1,0 +1,17 @@
+(* Non-decreasing wall clock: an atomic high-water mark over
+   [Unix.gettimeofday]. The CAS loop only retries when another domain
+   published a larger watermark concurrently, so the fast path is one
+   load + one compare-and-set. *)
+
+let watermark = Atomic.make 0.0
+
+let rec now () =
+  let t = Unix.gettimeofday () in
+  let seen = Atomic.get watermark in
+  if t >= seen then
+    if Atomic.compare_and_set watermark seen t then t
+    else now ()
+  else seen
+
+let deadline_in s = now () +. s
+let expired ?now:(t = now ()) deadline = t >= deadline

@@ -1,0 +1,24 @@
+(** Monotonic-enough wall clock.
+
+    The runtime has no direct binding for [CLOCK_MONOTONIC] without C
+    stubs, so this module wraps [Unix.gettimeofday] behind an atomic
+    high-water mark: [now] never goes backwards within a process even
+    if the system clock is stepped. Values stay on the Unix epoch so
+    they can be mixed with absolute deadlines computed elsewhere.
+
+    Used for every deadline comparison in the worker pool, the HTTP
+    request timeouts and {!Budget} — a single clock means a job
+    dequeued exactly at its deadline is consistently treated as
+    expired. *)
+
+val now : unit -> float
+(** Current time in seconds since the Unix epoch, never decreasing
+    across calls within this process (thread-safe). *)
+
+val deadline_in : float -> float
+(** [deadline_in s] is the absolute deadline [s] seconds from now. *)
+
+val expired : ?now:float -> float -> bool
+(** [expired d] is true iff the deadline [d] has been reached —
+    deadline comparisons are inclusive: a job observed exactly at its
+    deadline is expired, not "zero budget left". *)

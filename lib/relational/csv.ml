@@ -1,5 +1,7 @@
 module Value = Vadasa_base.Value
+module Error = Vadasa_base.Error
 module Telemetry = Vadasa_telemetry.Telemetry
+module Faultpoint = Vadasa_resilience.Faultpoint
 
 let parse_line line =
   let n = String.length line in
@@ -53,42 +55,61 @@ let render_field s =
 
 let render_line fields = String.concat "," (List.map render_field fields)
 
+(* Non-empty lines paired with their original 1-based line number, so
+   diagnostics stay accurate when blank lines are skipped. *)
 let lines_of_string s =
   String.split_on_char '\n' s
-  |> List.map (fun l ->
-         if String.length l > 0 && l.[String.length l - 1] = '\r' then
-           String.sub l 0 (String.length l - 1)
-         else l)
-  |> List.filter (fun l -> String.length l > 0)
+  |> List.mapi (fun i l ->
+         let l =
+           if String.length l > 0 && l.[String.length l - 1] = '\r' then
+             String.sub l 0 (String.length l - 1)
+           else l
+         in
+         (i + 1, l))
+  |> List.filter (fun (_, l) -> String.length l > 0)
+
+let ragged_row ~name ~line ~found ~expected =
+  (* column = 1-based index of the first extra or missing field *)
+  let column = min found expected + 1 in
+  Error.fail ~code:"csv.ragged_row" Error.Parse
+    (Printf.sprintf "row at line %d has %d fields, expected %d" line found
+       expected)
+    ~context:
+      [
+        ("dataset", name);
+        ("line", string_of_int line);
+        ("column", string_of_int column);
+        ("found", string_of_int found);
+        ("expected", string_of_int expected);
+      ]
 
 let read_string_body ?(header = true) ~name doc =
   match lines_of_string doc with
   | [] -> Relation.create (Schema.of_names ~name [])
-  | first :: rest ->
+  | (_, first) :: rest ->
     let first_fields = parse_line first in
     let names, data_lines =
       if header then (first_fields, rest)
       else
         ( List.mapi (fun i _ -> "c" ^ string_of_int i) first_fields,
-          first :: rest )
+          (1, first) :: rest )
     in
     let schema = Schema.of_names ~name names in
     let rel = Relation.create schema in
     let arity = Schema.arity schema in
-    List.iteri
-      (fun lineno line ->
+    List.iter
+      (fun (lineno, line) ->
         let fields = parse_line line in
-        if List.length fields <> arity then
-          failwith
-            (Printf.sprintf "Csv.read_string: row %d has %d fields, expected %d"
-               (lineno + if header then 2 else 1)
-               (List.length fields) arity);
+        let found = List.length fields in
+        if found <> arity then
+          ragged_row ~name ~line:lineno ~found ~expected:arity;
         Relation.add rel (Array.of_list (List.map Value.of_literal fields)))
       data_lines;
     rel
 
 let read_string ?header ~name doc =
   Telemetry.span "csv.read" (fun () ->
+      Faultpoint.hit "csv.read";
       let rel = read_string_body ?header ~name doc in
       if Telemetry.enabled () then begin
         Telemetry.count "csv.read.rows" (Relation.cardinal rel);
@@ -97,6 +118,7 @@ let read_string ?header ~name doc =
       rel)
 
 let write_string rel =
+  Faultpoint.hit "csv.write";
   let buf = Buffer.create 1024 in
   let schema = Relation.schema rel in
   Buffer.add_string buf (render_line (Schema.attribute_names schema));
@@ -116,11 +138,19 @@ let write_string rel =
 
 let load ?header ~name path =
   Telemetry.span "csv.load" (fun () ->
-      let ic = open_in path in
-      let len = in_channel_length ic in
-      let doc = really_input_string ic len in
-      close_in ic;
-      read_string ?header ~name doc)
+      let doc =
+        try
+          let ic = open_in path in
+          let len = in_channel_length ic in
+          let doc = really_input_string ic len in
+          close_in ic;
+          doc
+        with Sys_error msg ->
+          Error.fail ~code:"io.read" Error.Io msg ~context:[ ("file", path) ]
+      in
+      try read_string ?header ~name doc
+      with Error.Error e ->
+        raise (Error.Error (Error.add_context e [ ("file", path) ])))
 
 let save rel path =
   Telemetry.span "csv.save" (fun () ->

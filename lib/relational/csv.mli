@@ -13,12 +13,17 @@ val render_line : string list -> string
 val read_string : ?header:bool -> name:string -> string -> Relation.t
 (** Parse a whole CSV document. With [header] (default true) the first line
     gives the attribute names; otherwise attributes are named [c0, c1, …].
-    Raises [Failure] on ragged rows. *)
+    Raises [Vadasa_base.Error.Error] (code ["csv.ragged_row"], category
+    [Parse]) on ragged rows, with [line]/[column] context — [line] is the
+    1-based line in the original document (blank lines count), [column]
+    the 1-based index of the first extra or missing field. *)
 
 val write_string : Relation.t -> string
 (** Render with a header line. *)
 
 val load : ?header:bool -> name:string -> string -> Relation.t
-(** [load ~name path] reads the file at [path]. *)
+(** [load ~name path] reads the file at [path]. Parse errors carry a
+    [file] context entry in addition to [line]/[column]; an unreadable
+    file raises code ["io.read"] (category [Io]). *)
 
 val save : Relation.t -> string -> unit

@@ -1,0 +1,62 @@
+(** Deterministic fault injection.
+
+    The pipeline is sprinkled with named fault points — [hit "csv.read"],
+    [hit "engine.iterate"], … — that are no-ops (one atomic load)
+    unless armed. Arming happens either programmatically ({!arm}) or
+    from the [VADASA_FAULTS] environment variable ({!arm_from_env}),
+    whose spec grammar is:
+
+    {v
+    spec    ::= clause ("," clause)*
+    clause  ::= point ":" action
+    action  ::= "fail"              every hit raises
+              | "fail@" N           only the Nth hit raises (1-based)
+              | "delay=" DURATION   every hit sleeps
+              | "delay=" DURATION "@" N
+    DURATION ::= float ("ms" | "s")   bare numbers mean milliseconds
+    v}
+
+    e.g. [VADASA_FAULTS="engine.iterate:fail@3,http.write:delay=200ms"].
+
+    An injected failure raises {!Vadasa_base.Error.Error} with code
+    ["fault.<point>"], category [Io] — so every armed point surfaces
+    as a documented, machine-readable error. Point names must come
+    from {!registry}; arming an unknown point is a spec error (typos
+    in a fault spec must not silently disarm a test).
+
+    Hit counters are kept per point whether or not the point is armed
+    for failure — {!hit_count} lets tests assert a code path was
+    actually reached. All state is global to the process and guarded
+    by a mutex; the disarmed fast path is a single atomic load. *)
+
+type action = Fail | Delay of float  (** delay in seconds *)
+
+val registry : (string * string) list
+(** Known fault points, [(name, description)] — the authoritative
+    list, mirrored in [docs/RESILIENCE.md]. *)
+
+val hit : string -> unit
+(** Mark the named point reached. No-op unless the point is armed:
+    [Fail] raises [Error.Error] (code ["fault.<name>"]), [Delay d]
+    sleeps [d] seconds. [@N] clauses fire on the Nth hit only. *)
+
+val hit_count : string -> int
+(** Hits recorded for this point since the last {!reset}. *)
+
+val arm : ?at:int -> string -> action -> (unit, Vadasa_base.Error.t) result
+(** Arm one point programmatically; [?at] restricts the action to the
+    Nth hit (1-based). Fails on unknown point names. *)
+
+val arm_spec : string -> (unit, Vadasa_base.Error.t) result
+(** Parse and arm a [VADASA_FAULTS]-grammar spec. On error nothing is
+    armed. *)
+
+val arm_from_env : unit -> (unit, Vadasa_base.Error.t) result
+(** [arm_spec] on [VADASA_FAULTS] if set; [Ok ()] if unset. *)
+
+val reset : unit -> unit
+(** Disarm every point and zero all hit counters. *)
+
+val armed : unit -> (string * string) list
+(** Currently armed points, [(name, rendered action)] — for
+    [/metrics] and diagnostics. *)

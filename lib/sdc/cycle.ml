@@ -1,7 +1,9 @@
 module Value = Vadasa_base.Value
 module Ids = Vadasa_base.Ids
+module Budget = Vadasa_base.Budget
 module Relational = Vadasa_relational
 module Telemetry = Vadasa_telemetry.Telemetry
+module Faultpoint = Vadasa_resilience.Faultpoint
 
 let log_src = Logs.Src.create "vadasa.cycle" ~doc:"anonymization cycle"
 
@@ -62,6 +64,7 @@ type outcome = {
   info_loss : float;
   trace : action list;
   converged : bool;
+  interrupted : Budget.reason option;
 }
 
 (* Attributes of [tuple] on which the configured method can still act. *)
@@ -164,7 +167,7 @@ module Round_gains = struct
       t.tables 0
 end
 
-let run_body ?(config = default_config) input =
+let run_body ?(config = default_config) ?budget input =
   let md = Microdata.copy input in
   let ids = Ids.create () in
   let trace = ref [] in
@@ -172,10 +175,29 @@ let run_body ?(config = default_config) input =
   let risky_initial = ref (-1) in
   let unresolved = ref [] in
   let converged = ref false in
+  let interrupted = ref None in
   let round = ref 0 in
   let continue = ref true in
-  while !continue && !round < config.max_rounds do
+  (* The budget is polled at round boundaries: every completed round
+     leaves the working copy strictly safer than the round before, so
+     stopping between rounds yields a usable (if unfinished) DB. *)
+  let budget_exhausted () =
+    match budget with
+    | None -> false
+    | Some b -> (
+      match Budget.check b ~facts:(Ids.count ids) with
+      | None -> false
+      | Some reason ->
+        interrupted := Some reason;
+        Log.debug (fun m ->
+            m "cycle interrupted (%s) after round %d"
+              (Budget.reason_to_string reason)
+              !round);
+        true)
+  in
+  while !continue && !round < config.max_rounds && not (budget_exhausted ()) do
     incr round;
+    Faultpoint.hit "cycle.round";
     Telemetry.count "sdc.cycle.rounds" 1;
     let report =
       Telemetry.span "sdc.cycle.risk" (fun () ->
@@ -306,6 +328,7 @@ let run_body ?(config = default_config) input =
           ~risky_tuples:(max 0 !risky_initial) ~qi_count;
       trace = List.rev !trace;
       converged = !converged;
+      interrupted = !interrupted;
     }
   in
   if Telemetry.enabled () then begin
@@ -316,8 +339,8 @@ let run_body ?(config = default_config) input =
   end;
   outcome
 
-let run ?config input =
-  Telemetry.span "sdc.cycle.run" (fun () -> run_body ?config input)
+let run ?config ?budget input =
+  Telemetry.span "sdc.cycle.run" (fun () -> run_body ?config ?budget input)
 
 let pp_outcome ppf o =
   Format.fprintf ppf
@@ -325,7 +348,9 @@ let pp_outcome ppf o =
      injected: %d@.  cells recoded: %d@.  information loss: %.3f@.  \
      unresolved: %d@."
     o.rounds
-    (if o.converged then "converged" else "stopped")
+    (match o.interrupted with
+    | Some reason -> "interrupted (" ^ Budget.reason_to_string reason ^ ")"
+    | None -> if o.converged then "converged" else "stopped")
     o.risky_initial o.nulls_injected o.recoded_cells o.info_loss
     (List.length o.unresolved);
   if List.length o.trace <= 25 then

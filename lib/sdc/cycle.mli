@@ -65,8 +65,15 @@ type outcome = {
   info_loss : float;  (** Figure 7b's metric *)
   trace : action list;  (** chronological *)
   converged : bool;
+  interrupted : Vadasa_base.Budget.reason option;
+      (** [Some _] when a budget stopped the cycle at a round boundary:
+          the outcome is degraded — [anonymized] holds every action
+          applied so far but tuples may remain over threshold *)
 }
 
-val run : ?config:config -> Microdata.t -> outcome
+val run : ?config:config -> ?budget:Vadasa_base.Budget.t -> Microdata.t -> outcome
+(** [budget] is polled between rounds (the derived-fact ceiling counts
+    injected nulls); on exhaustion the cycle stops cleanly and reports
+    [interrupted = Some reason] instead of raising. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -238,14 +238,14 @@ let program_of_measure measure =
         ^ " is an OCaml function; express it as Vadalog rules to run it on \
            the engine"))
 
-let engine_for measure md ~first_null_label =
+let engine_for ?budget measure md ~first_null_label =
   let source = program_of_measure measure in
   let parsed = V.Parser.parse source in
   let program =
     V.Program.union parsed (V.Program.make ~facts:(microdata_facts md) [])
   in
   let engine = V.Engine.create ~first_null_label program in
-  V.Engine.run engine;
+  V.Engine.run ?budget engine;
   engine
 
 let decode_risks engine n =
@@ -261,8 +261,8 @@ let decode_risks engine n =
     (V.Engine.facts engine "riskoutput");
   risks
 
-let risk_via_engine ?threshold:_ measure md =
-  let engine = engine_for measure md ~first_null_label:1 in
+let risk_via_engine ?budget ?threshold:_ measure md =
+  let engine = engine_for ?budget measure md ~first_null_label:1 in
   decode_risks engine (Microdata.cardinal md)
 
 let explain_risk measure md ~tuple =

@@ -72,10 +72,17 @@ val decode_risks : Vadasa_vadalog.Engine.t -> int -> float array
     no fact was derived), for [n] tuples. *)
 
 val risk_via_engine :
-  ?threshold:float -> Risk.measure -> Microdata.t -> float array
+  ?budget:Vadasa_base.Budget.t ->
+  ?threshold:float ->
+  Risk.measure ->
+  Microdata.t ->
+  float array
 (** Run the measure's program and decode per-tuple risks (0 where no
     [riskoutput] fact was derived). Raises {!Unsupported} for
-    [Individual (Monte_carlo _)] (sampling lives outside the logic). *)
+    [Individual (Monte_carlo _)] (sampling lives outside the logic).
+    [budget] is passed to {!Vadasa_vadalog.Engine.run}; on exhaustion
+    [Vadasa_vadalog.Engine.Interrupted] escapes — callers turn it into
+    a degraded report. *)
 
 val explain_risk :
   Risk.measure -> Microdata.t -> tuple:int -> string option

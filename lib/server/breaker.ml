@@ -1,0 +1,83 @@
+module Clock = Vadasa_base.Clock
+module Json = Vadasa_base.Json
+
+type circuit =
+  | Closed of int  (* consecutive failures so far *)
+  | Open of float  (* re-evaluate at this Clock time *)
+  | Half_open  (* one probe in flight *)
+
+type t = {
+  threshold : int;
+  cooldown : float;
+  mutex : Mutex.t;
+  circuits : (string, circuit) Hashtbl.t;
+}
+
+type decision = Allow | Rejected of float
+
+let create ?(threshold = 5) ?(cooldown = 10.0) () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+  if cooldown < 0.0 then invalid_arg "Breaker.create: cooldown must be >= 0";
+  { threshold; cooldown; mutex = Mutex.create (); circuits = Hashtbl.create 8 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let get t key =
+  match Hashtbl.find_opt t.circuits key with
+  | Some c -> c
+  | None -> Closed 0
+
+let check t key =
+  locked t (fun () ->
+      match get t key with
+      | Closed _ -> Allow
+      | Half_open ->
+        (* a probe is already in flight; keep rejecting until it lands *)
+        Rejected t.cooldown
+      | Open until ->
+        let now = Clock.now () in
+        if now >= until then begin
+          (* cooldown over: this caller becomes the half-open probe *)
+          Hashtbl.replace t.circuits key Half_open;
+          Allow
+        end
+        else Rejected (until -. now))
+
+let success t key =
+  locked t (fun () -> Hashtbl.replace t.circuits key (Closed 0))
+
+let failure t key =
+  locked t (fun () ->
+      match get t key with
+      | Half_open | Open _ ->
+        Hashtbl.replace t.circuits key (Open (Clock.deadline_in t.cooldown))
+      | Closed n ->
+        let n = n + 1 in
+        if n >= t.threshold then
+          Hashtbl.replace t.circuits key (Open (Clock.deadline_in t.cooldown))
+        else Hashtbl.replace t.circuits key (Closed n))
+
+let render = function
+  | Closed _ -> "closed"
+  | Open _ -> "open"
+  | Half_open -> "half_open"
+
+let state t key = locked t (fun () -> render (get t key))
+
+let stats t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun key c acc ->
+          ( key,
+            Json.Obj
+              [
+                ("state", Json.Str (render c));
+                ( "consecutive_failures",
+                  Json.Int (match c with Closed n -> n | _ -> t.threshold) );
+              ] )
+          :: acc)
+        t.circuits []
+      |> List.sort compare
+      |> fun fields -> Json.Obj fields)

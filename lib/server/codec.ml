@@ -5,8 +5,10 @@
    meaningful integration check (the CI smoke job does exactly that). *)
 
 module Json = Vadasa_base.Json
+module E = Vadasa_base.Error
 module R = Vadasa_relational
 module S = Vadasa_sdc
+module V = Vadasa_vadalog
 
 (* ---- request decoding --------------------------------------------------- *)
 
@@ -20,6 +22,8 @@ type options = {
   reasoned : bool;
   method_ : string;  (* anonymize: "suppress" | "recode" *)
   semantics : string;  (* anonymize: "maybe-match" | "standard" *)
+  budget_ms : int option;  (* per-request chase/cycle wall-clock budget *)
+  max_facts : int option;  (* per-request derived-fact ceiling *)
 }
 
 let default_options =
@@ -33,17 +37,27 @@ let default_options =
     reasoned = false;
     method_ = "suppress";
     semantics = "maybe-match";
+    budget_ms = None;
+    max_facts = None;
   }
 
 type payload = { csv : string; options : options }
 
 let ( let* ) = Result.bind
 
+let bad_param name detail =
+  E.make ~code:"request.bad_param" E.Parse
+    (Printf.sprintf "parameter %s: %s" name detail)
+    ~context:[ ("parameter", name) ]
+
 let parse_category_pair s =
   match String.index_opt s '=' with
   | Some i ->
     Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
-  | None -> Error (Printf.sprintf "bad category %S (expected attr=category)" s)
+  | None ->
+    Error
+      (bad_param "category"
+         (Printf.sprintf "bad value %S (expected attr=category)" s))
 
 let options_of_query (req : Http.request) =
   let get name = Http.query_param req name in
@@ -64,7 +78,15 @@ let options_of_query (req : Http.request) =
     | Some v -> (
       match int_of_string_opt v with
       | Some n -> Ok n
-      | None -> Error (Printf.sprintf "parameter %s: expected an integer" name))
+      | None -> Error (bad_param name "expected an integer"))
+  in
+  let int_opt_param name =
+    match get name with
+    | None -> Ok None
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> Ok (Some n)
+      | _ -> Error (bad_param name "expected a positive integer"))
   in
   let float_param name default =
     match get name with
@@ -72,11 +94,13 @@ let options_of_query (req : Http.request) =
     | Some v -> (
       match float_of_string_opt v with
       | Some f -> Ok f
-      | None -> Error (Printf.sprintf "parameter %s: expected a number" name))
+      | None -> Error (bad_param name "expected a number"))
   in
   let* k = int_param "k" default_options.k in
   let* msu_threshold = int_param "msu-threshold" default_options.msu_threshold in
   let* threshold = float_param "threshold" default_options.threshold in
+  let* budget_ms = int_opt_param "budget-ms" in
+  let* max_facts = int_opt_param "max-facts" in
   Ok
     {
       name = Option.value ~default:default_options.name (get "name");
@@ -88,13 +112,20 @@ let options_of_query (req : Http.request) =
       reasoned = get "reasoned" = Some "true";
       method_ = Option.value ~default:default_options.method_ (get "method");
       semantics = Option.value ~default:default_options.semantics (get "semantics");
+      budget_ms;
+      max_facts;
     }
+
+let bad_field name detail =
+  E.make ~code:"request.bad_field" E.Parse
+    (Printf.sprintf "field %s: %s" name detail)
+    ~context:[ ("field", name) ]
 
 let options_of_json json =
   let str name default =
     match Json.member name json with
     | Some (Json.Str s) -> Ok s
-    | Some _ -> Error (Printf.sprintf "field %s: expected a string" name)
+    | Some _ -> Error (bad_field name "expected a string")
     | None -> Ok default
   in
   let int_field name default =
@@ -102,15 +133,23 @@ let options_of_json json =
     | Some j -> (
       match Json.to_int_opt j with
       | Some n -> Ok n
-      | None -> Error (Printf.sprintf "field %s: expected an integer" name))
+      | None -> Error (bad_field name "expected an integer"))
     | None -> Ok default
+  in
+  let int_opt_field name =
+    match Json.member name json with
+    | Some j -> (
+      match Json.to_int_opt j with
+      | Some n when n >= 1 -> Ok (Some n)
+      | _ -> Error (bad_field name "expected a positive integer"))
+    | None -> Ok None
   in
   let float_field name default =
     match Json.member name json with
     | Some j -> (
       match Json.to_float_opt j with
       | Some f -> Ok f
-      | None -> Error (Printf.sprintf "field %s: expected a number" name))
+      | None -> Error (bad_field name "expected a number"))
     | None -> Ok default
   in
   let bool_field name default =
@@ -118,7 +157,7 @@ let options_of_json json =
     | Some j -> (
       match Json.to_bool_opt j with
       | Some b -> Ok b
-      | None -> Error (Printf.sprintf "field %s: expected a boolean" name))
+      | None -> Error (bad_field name "expected a boolean"))
     | None -> Ok default
   in
   let* categories =
@@ -132,10 +171,10 @@ let options_of_json json =
           | Json.Str cat -> Ok ((attr, cat) :: acc)
           | _ ->
             Error
-              (Printf.sprintf "categories.%s: expected a category string" attr))
+              (bad_field ("categories." ^ attr) "expected a category string"))
         (Ok []) fields
       |> Result.map List.rev
-    | Some _ -> Error "field categories: expected an object of attr: category"
+    | Some _ -> Error (bad_field "categories" "expected an object of attr: category")
   in
   let* name = str "name" default_options.name in
   let* measure = str "measure" default_options.measure in
@@ -145,6 +184,8 @@ let options_of_json json =
   let* reasoned = bool_field "reasoned" default_options.reasoned in
   let* method_ = str "method" default_options.method_ in
   let* semantics = str "semantics" default_options.semantics in
+  let* budget_ms = int_opt_field "budget_ms" in
+  let* max_facts = int_opt_field "max_facts" in
   Ok
     {
       name;
@@ -156,6 +197,8 @@ let options_of_json json =
       reasoned;
       method_;
       semantics;
+      budget_ms;
+      max_facts;
     }
 
 let content_type (req : Http.request) =
@@ -171,21 +214,30 @@ let parse_payload (req : Http.request) =
   match content_type req with
   | "application/json" -> (
     match Json.of_string req.body with
-    | Error msg -> Error ("invalid JSON body: " ^ msg)
+    | Error msg ->
+      Error (E.make ~code:"json.invalid" E.Parse ("invalid JSON body: " ^ msg))
     | Ok json -> (
       match Json.member "csv" json with
       | Some (Json.Str csv) ->
         let* options = options_of_json json in
         Ok { csv; options }
-      | Some _ -> Error "field csv: expected the CSV document as a string"
-      | None -> Error "missing field csv"))
+      | Some _ -> Error (bad_field "csv" "expected the CSV document as a string")
+      | None ->
+        Error (E.make ~code:"request.missing_csv" E.Parse "missing field csv")))
   | "" | "text/csv" | "text/plain" | "application/csv"
   | "application/octet-stream" ->
-    if String.trim req.body = "" then Error "empty request body (expected CSV)"
+    if String.trim req.body = "" then
+      Error
+        (E.make ~code:"request.empty_body" E.Parse
+           "empty request body (expected CSV)")
     else
       let* options = options_of_query req in
       Ok { csv = req.body; options }
-  | other -> Error (Printf.sprintf "unsupported content-type %s" other)
+  | other ->
+    Error
+      (E.make ~code:"request.unsupported_media" E.Parse
+         (Printf.sprintf "unsupported content-type %s" other)
+         ~context:[ ("content_type", other) ])
 
 (* ---- semantic decoding --------------------------------------------------- *)
 
@@ -197,13 +249,17 @@ let measure_of_options o =
   | "individual-naive" -> Ok (S.Risk.Individual S.Risk.Naive)
   | "suda" ->
     Ok (S.Risk.Suda { max_msu_size = 3; threshold_size = o.msu_threshold })
-  | other -> Error (Printf.sprintf "unknown measure %s" other)
+  | other ->
+    Error
+      (E.make ~code:"measure.unknown" E.Wardedness
+         (Printf.sprintf "unknown measure %s" other)
+         ~context:[ ("measure", other) ])
 
 let microdata_of_payload { csv; options } =
   let* rel =
     match R.Csv.read_string ~name:options.name csv with
     | rel -> Ok rel
-    | exception Failure msg -> Error ("invalid CSV: " ^ msg)
+    | exception E.Error e -> Error e
   in
   let* overrides =
     List.fold_left
@@ -211,11 +267,54 @@ let microdata_of_payload { csv; options } =
         let* acc = acc in
         match S.Microdata.category_of_string cat with
         | Some c -> Ok ((attr, c) :: acc)
-        | None -> Error (Printf.sprintf "unknown category %s for %s" cat attr))
+        | None ->
+          Error
+            (E.make ~code:"category.unknown" E.Wardedness
+               (Printf.sprintf "unknown category %s for %s" cat attr)
+               ~context:[ ("attr", attr); ("category", cat) ]))
       (Ok []) options.categories
     |> Result.map List.rev
   in
-  S.Categorize.categorize_microdata ~overrides rel
+  match S.Categorize.categorize_microdata ~overrides rel with
+  | Ok md -> Ok md
+  | Error msg -> Error (E.make ~code:"categorize.failed" E.Wardedness msg)
+
+(* ---- typed errors on the wire -------------------------------------------- *)
+
+let status_of_category = function
+  | E.Parse -> 400
+  | E.Wardedness -> 422
+  | E.Resource -> 503
+  | E.Io -> 500
+  | E.Internal -> 500
+
+let error_of_exn = function
+  | E.Error e -> e
+  | V.Parser.Error { line; message } ->
+    E.make ~code:"program.parse" E.Wardedness
+      (Printf.sprintf "line %d: %s" line message)
+      ~context:[ ("line", string_of_int line) ]
+  | V.Lexer.Error { line; message } ->
+    E.make ~code:"program.lex" E.Wardedness
+      (Printf.sprintf "line %d: %s" line message)
+      ~context:[ ("line", string_of_int line) ]
+  | V.Stratify.Not_stratifiable msg ->
+    E.make ~code:"program.not_stratifiable" E.Wardedness msg
+  | V.Engine.Limit msg -> E.make ~code:"engine.limit" E.Resource msg
+  | S.Vadalog_bridge.Unsupported msg ->
+    E.make ~code:"measure.unsupported" E.Wardedness msg
+  | Unix.Unix_error (err, fn, arg) ->
+    E.make ~code:"io.unix" E.Io
+      (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+      ~context:(if arg = "" then [] else [ ("arg", arg) ])
+  | Invalid_argument msg -> E.make ~code:"internal.invalid_arg" E.Internal msg
+  | Failure msg -> E.make ~code:"internal.failure" E.Internal msg
+  | exn -> E.make ~code:"internal.exception" E.Internal (Printexc.to_string exn)
+
+let response_of_error (e : E.t) =
+  Http.response
+    ~status:(status_of_category e.E.category)
+    (Json.to_string (Json.Obj [ ("error", E.to_json e) ]) ^ "\n")
 
 (* ---- canonical renderings ------------------------------------------------ *)
 
@@ -242,24 +341,60 @@ let risk_report_json ~threshold md (report : S.Risk.report) =
 let risk_report_string ~threshold md report =
   Json.to_string ~indent:true (risk_report_json ~threshold md report) ^ "\n"
 
+(* ---- degraded renderings -------------------------------------------------- *)
+
+(* The partial-progress object attached to every degraded response. *)
+let interrupt_json (i : V.Engine.interrupt) =
+  Json.Obj
+    [
+      ("reason", Json.Str (Vadasa_base.Budget.reason_code i.V.Engine.reason));
+      ("stratum", Json.Int i.V.Engine.stratum);
+      ("iteration", Json.Int i.V.Engine.iteration);
+      ("facts_derived", Json.Int i.V.Engine.facts_derived);
+    ]
+
+let degrade_fields interrupt =
+  [ ("degraded", Json.Bool true); ("partial", interrupt_json interrupt) ]
+
+let risk_report_degraded_string ~threshold md report interrupt =
+  match risk_report_json ~threshold md report with
+  | Json.Obj fields ->
+    (* Baseline fields first, degraded markers appended: an unbudgeted
+       response stays byte-identical to [risk_report_string]. *)
+    Json.to_string ~indent:true (Json.Obj (fields @ degrade_fields interrupt))
+    ^ "\n"
+  | json -> Json.to_string ~indent:true json ^ "\n"
+
 let anonymize_outcome_json md (outcome : S.Cycle.outcome) =
   ignore md;
   Json.Obj
-    [
-      ("dataset", Json.Str (S.Microdata.name outcome.S.Cycle.anonymized));
-      ("rounds", Json.Int outcome.S.Cycle.rounds);
-      ("converged", Json.Bool outcome.S.Cycle.converged);
-      ("nulls_injected", Json.Int outcome.S.Cycle.nulls_injected);
-      ("recoded_cells", Json.Int outcome.S.Cycle.recoded_cells);
-      ("risky_initial", Json.Int outcome.S.Cycle.risky_initial);
-      ( "unresolved",
-        Json.List (List.map (fun i -> Json.Int i) outcome.S.Cycle.unresolved) );
-      ("info_loss", Json.Float outcome.S.Cycle.info_loss);
-      ("actions", Json.Int (List.length outcome.S.Cycle.trace));
-      ( "csv",
-        Json.Str (R.Csv.write_string (S.Microdata.relation outcome.S.Cycle.anonymized))
-      );
-    ]
+    ([
+       ("dataset", Json.Str (S.Microdata.name outcome.S.Cycle.anonymized));
+       ("rounds", Json.Int outcome.S.Cycle.rounds);
+       ("converged", Json.Bool outcome.S.Cycle.converged);
+       ("nulls_injected", Json.Int outcome.S.Cycle.nulls_injected);
+       ("recoded_cells", Json.Int outcome.S.Cycle.recoded_cells);
+       ("risky_initial", Json.Int outcome.S.Cycle.risky_initial);
+       ( "unresolved",
+         Json.List (List.map (fun i -> Json.Int i) outcome.S.Cycle.unresolved)
+       );
+       ("info_loss", Json.Float outcome.S.Cycle.info_loss);
+       ("actions", Json.Int (List.length outcome.S.Cycle.trace));
+       ( "csv",
+         Json.Str
+           (R.Csv.write_string (S.Microdata.relation outcome.S.Cycle.anonymized))
+       );
+     ]
+    @
+    (* Degraded markers only when the budget interrupted the cycle: an
+       unbudgeted outcome renders exactly as before. *)
+    match outcome.S.Cycle.interrupted with
+    | None -> []
+    | Some reason ->
+      [
+        ("degraded", Json.Bool true);
+        ("interrupt_reason", Json.Str (Vadasa_base.Budget.reason_code reason));
+      ])
 
 let categorize_result_json (result : S.Categorize.result) =
   Json.Obj
@@ -306,20 +441,21 @@ let categorize_result_json (result : S.Categorize.result) =
              result.S.Categorize.conflicts) );
     ]
 
-let reason_json ~cached ~warded ~threshold md risks =
+let reason_json ?interrupt ~cached ~warded ~threshold md risks =
   let n = Array.length risks in
   let risky = ref [] in
   for i = n - 1 downto 0 do
     if risks.(i) > threshold then risky := i :: !risky
   done;
   Json.Obj
-    [
-      ("dataset", Json.Str (S.Microdata.name md));
-      ("tuples", Json.Int (S.Microdata.cardinal md));
-      ("threshold", Json.Float threshold);
-      ("program_cache_hit", Json.Bool cached);
-      ("warded", Json.Bool warded);
-      ("risky_count", Json.Int (List.length !risky));
-      ("risky", Json.List (List.map (fun i -> Json.Int i) !risky));
-      ("risk", float_list risks);
-    ]
+    ([
+       ("dataset", Json.Str (S.Microdata.name md));
+       ("tuples", Json.Int (S.Microdata.cardinal md));
+       ("threshold", Json.Float threshold);
+       ("program_cache_hit", Json.Bool cached);
+       ("warded", Json.Bool warded);
+       ("risky_count", Json.Int (List.length !risky));
+       ("risky", Json.List (List.map (fun i -> Json.Int i) !risky));
+       ("risk", float_list risks);
+     ]
+    @ match interrupt with None -> [] | Some i -> degrade_fields i)

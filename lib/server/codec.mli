@@ -1,8 +1,12 @@
-(** Request decoding and canonical JSON rendering of SDC results.
+(** Request decoding, typed-error HTTP mapping, and canonical JSON
+    rendering of SDC results.
 
     {!risk_report_string} is shared with the CLI's [risk --json], which
     makes server responses byte-identical to CLI output for the same
-    input — the CI smoke job byte-compares the two. *)
+    input — the CI smoke job byte-compares the two. Decoding failures
+    are {!Vadasa_base.Error.t} values; {!status_of_category} maps their
+    category to an HTTP status and {!response_of_error} renders the
+    machine-readable error body. *)
 
 type options = {
   name : string;
@@ -14,24 +18,53 @@ type options = {
   reasoned : bool;
   method_ : string;
   semantics : string;
+  budget_ms : int option;
+      (** per-request chase/cycle wall-clock budget (query [budget-ms],
+          JSON [budget_ms]) *)
+  max_facts : int option;
+      (** per-request derived-fact ceiling (query [max-facts], JSON
+          [max_facts]) *)
 }
 
 val default_options : options
 
 type payload = { csv : string; options : options }
 
-val parse_payload : Http.request -> (payload, string) result
+val parse_payload : Http.request -> (payload, Vadasa_base.Error.t) result
 (** [application/json] bodies carry [{"csv": "...", ...options}];
     [text/csv] (or untyped) bodies are the CSV itself with options in the
     query string ([measure], [k], [threshold], [msu-threshold],
     [category=attr=cat] repeatable, [reasoned=true], [method],
-    [semantics], [name]). *)
+    [semantics], [name], [budget-ms], [max-facts]). All failures are
+    [Parse]-category errors (HTTP 400): [json.invalid],
+    [request.missing_csv], [request.bad_field], [request.bad_param],
+    [request.empty_body], [request.unsupported_media]. *)
 
-val measure_of_options : options -> (Vadasa_sdc.Risk.measure, string) result
+val measure_of_options :
+  options -> (Vadasa_sdc.Risk.measure, Vadasa_base.Error.t) result
+(** [measure.unknown] (Wardedness, 422) for unrecognized measures. *)
 
 val microdata_of_payload :
-  payload -> (Vadasa_sdc.Microdata.t, string) result
-(** CSV → relation → categorized microdata (expert overrides honoured). *)
+  payload -> (Vadasa_sdc.Microdata.t, Vadasa_base.Error.t) result
+(** CSV → relation → categorized microdata (expert overrides honoured).
+    Propagates the CSV reader's typed errors ([csv.ragged_row], …) and
+    adds [category.unknown] / [categorize.failed] (both Wardedness). *)
+
+val status_of_category : Vadasa_base.Error.category -> int
+(** Parse → 400, Wardedness → 422, Resource → 503, Io → 500,
+    Internal → 500. *)
+
+val error_of_exn : exn -> Vadasa_base.Error.t
+(** Total mapping of escaped exceptions to the taxonomy:
+    [Vadasa_base.Error.Error] passes through; parser/lexer/stratifier
+    failures become [program.*] (Wardedness); [Engine.Limit] becomes
+    [engine.limit] (Resource); [Vadalog_bridge.Unsupported] becomes
+    [measure.unsupported] (Wardedness); [Unix_error] becomes [io.unix];
+    everything else lands in [internal.*]. *)
+
+val response_of_error : Vadasa_base.Error.t -> Http.response
+(** [{"error": {"code", "category", "message", "context"}}] with the
+    status from {!status_of_category}. *)
 
 val risk_report_json :
   threshold:float ->
@@ -44,13 +77,30 @@ val risk_report_string :
 (** Indented JSON plus trailing newline — the canonical rendering used
     verbatim by both the CLI and the server. *)
 
+val interrupt_json : Vadasa_vadalog.Engine.interrupt -> Vadasa_base.Json.t
+(** [{"reason", "stratum", "iteration", "facts_derived"}] — the partial
+    progress carried by a degraded response. *)
+
+val risk_report_degraded_string :
+  threshold:float ->
+  Vadasa_sdc.Microdata.t ->
+  Vadasa_sdc.Risk.report ->
+  Vadasa_vadalog.Engine.interrupt ->
+  string
+(** {!risk_report_string}'s fields followed by ["degraded": true] and a
+    ["partial"] object — the baseline prefix is byte-identical to the
+    unbudgeted rendering. *)
+
 val anonymize_outcome_json :
   Vadasa_sdc.Microdata.t -> Vadasa_sdc.Cycle.outcome -> Vadasa_base.Json.t
-(** Outcome counters plus the anonymized relation as a [csv] field. *)
+(** Outcome counters plus the anonymized relation as a [csv] field.
+    When the cycle was interrupted by its budget, appends
+    ["degraded": true] and ["interrupt_reason"]. *)
 
 val categorize_result_json : Vadasa_sdc.Categorize.result -> Vadasa_base.Json.t
 
 val reason_json :
+  ?interrupt:Vadasa_vadalog.Engine.interrupt ->
   cached:bool ->
   warded:bool ->
   threshold:float ->
@@ -59,4 +109,6 @@ val reason_json :
   Vadasa_base.Json.t
 (** Reasoned-path risk report; [cached] reports whether the compiled
     program came from the program cache, [warded] the static wardedness
-    verdict cached alongside it. *)
+    verdict cached alongside it. [interrupt] marks a chase cut short by
+    its budget: the risks rendered are the partial decode and the body
+    carries ["degraded": true]. *)

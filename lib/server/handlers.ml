@@ -10,9 +10,20 @@
    overrides: repeat POSTs of the same document reuse the categorized
    microdata (loading and categorization dominate small requests).
    Handlers only read cached microdata — [Cycle.run] transforms a copy —
-   so sharing one value across worker domains is safe. *)
+   so sharing one value across worker domains is safe.
+
+   Failure paths are typed: every error a handler produces is a
+   [Vadasa_base.Error.t] (raised as [Error.Error] or mapped from an
+   escaped exception by [Codec.error_of_exn]) and renders through
+   [Codec.response_of_error], so every non-2xx body carries a stable
+   [error.code]. Engine work runs under a [Budget] derived from the
+   request deadline and the request's [budget_ms]/[max_facts] options;
+   an interrupted chase degrades to a partial 200 instead of failing. *)
 
 module Json = Vadasa_base.Json
+module E = Vadasa_base.Error
+module Budget = Vadasa_base.Budget
+module Faultpoint = Vadasa_resilience.Faultpoint
 module S = Vadasa_sdc
 module D = Vadasa_datagen
 module V = Vadasa_vadalog
@@ -26,15 +37,21 @@ type compiled = {
 type t = {
   programs : (string, compiled) Cache.t;
   datasets : (string, S.Microdata.t) Cache.t;
+  breaker : Breaker.t;
+  default_max_facts : int option;  (* server-wide derived-fact ceiling *)
   started_at : float;
   counters : (string, int) Hashtbl.t;  (* "METHOD path status" -> count *)
   counters_mutex : Mutex.t;
 }
 
-let create ?(program_capacity = 64) ?(dataset_capacity = 16) () =
+let create ?(program_capacity = 64) ?(dataset_capacity = 16)
+    ?breaker_threshold ?breaker_cooldown ?default_max_facts () =
   {
     programs = Cache.create ~capacity:program_capacity "programs";
     datasets = Cache.create ~capacity:dataset_capacity "datasets";
+    breaker =
+      Breaker.create ?threshold:breaker_threshold ?cooldown:breaker_cooldown ();
+    default_max_facts;
     started_at = Unix.gettimeofday ();
     counters = Hashtbl.create 16;
     counters_mutex = Mutex.create ();
@@ -60,6 +77,8 @@ let programs t = t.programs
 
 let datasets t = t.datasets
 
+let breaker t = t.breaker
+
 (* ---- shared steps ------------------------------------------------------- *)
 
 let dataset_key (payload : Codec.payload) =
@@ -72,43 +91,51 @@ let dataset_key (payload : Codec.payload) =
                (fun (a, c) -> [ a; c ])
                payload.options.categories)))
 
-exception Reply of Http.response
+let ok_or_raise = function Ok v -> v | Error e -> raise (E.Error e)
 
-let fail status message = raise (Reply (Http.json_error ~status message))
+(* The per-request work budget: the earlier of the response deadline the
+   server stamped on the request and the client's own [budget_ms],
+   capped by [max_facts]. [None] only when no constraint applies. *)
+let budget_of (req : Http.request) (options : Codec.options) =
+  let deadline_in =
+    Option.map (fun ms -> float_of_int ms /. 1000.0) options.Codec.budget_ms
+  in
+  match (req.Http.deadline, deadline_in, options.Codec.max_facts) with
+  | None, None, None -> None
+  | deadline, deadline_in, max_facts ->
+    Some (Budget.create ?deadline ?deadline_in ?max_facts ())
+
+(* [budget_of] plus the server-wide fact ceiling ([serve --max-facts])
+   when the request didn't bring its own. *)
+let budget_for t req (options : Codec.options) =
+  let options =
+    match options.Codec.max_facts with
+    | Some _ -> options
+    | None -> { options with Codec.max_facts = t.default_max_facts }
+  in
+  budget_of req options
 
 let microdata_for t payload =
   let key = dataset_key payload in
-  (* The builder can fail (bad CSV, unresolved attributes); failures are
-     not cached. *)
-  match
-    Cache.find_or_build t.datasets key (fun _ ->
-        match Codec.microdata_of_payload payload with
-        | Ok md -> md
-        | Error msg -> fail 422 msg)
-  with
-  | md -> md
-  | exception Reply r -> raise (Reply r)
+  (* The builder can fail (bad CSV, unresolved attributes); failures
+     escape as [Error.Error] and are not cached. *)
+  Cache.find_or_build t.datasets key (fun _ ->
+      ok_or_raise (Codec.microdata_of_payload payload))
 
-let payload_of_request req =
-  match Codec.parse_payload req with
-  | Ok p -> p
-  | Error msg -> fail 400 msg
+let payload_of_request req = ok_or_raise (Codec.parse_payload req)
 
-let measure_of_options options =
-  match Codec.measure_of_options options with
-  | Ok m -> m
-  | Error msg -> fail 422 msg
+let measure_of_options options = ok_or_raise (Codec.measure_of_options options)
 
 let compile t source =
   Cache.find_or_build_hit t.programs source (fun src ->
-      match V.Parser.parse src with
-      | program ->
-        {
-          program;
-          strat = V.Stratify.compute program;
-          warded = V.Wardedness.is_warded program;
-        }
-      | exception Failure msg -> fail 422 ("program does not parse: " ^ msg))
+      (* Parser/lexer/stratifier failures escape as typed [program.*]
+         errors via [Codec.error_of_exn] in the guard. *)
+      let program = V.Parser.parse src in
+      {
+        program;
+        strat = V.Stratify.compute program;
+        warded = V.Wardedness.is_warded program;
+      })
 
 (* ---- endpoints ---------------------------------------------------------- *)
 
@@ -125,11 +152,27 @@ let healthz t _req =
 let risk t req =
   let payload = payload_of_request req in
   let md = microdata_for t payload in
-  let measure = measure_of_options payload.Codec.options in
-  let threshold = payload.Codec.options.Codec.threshold in
+  let options = payload.Codec.options in
+  let measure = measure_of_options options in
+  let threshold = options.Codec.threshold in
   let report = S.Risk.estimate measure md in
-  (* The exact string the CLI's [risk --json] prints: byte-identical. *)
-  Http.response ~status:200 (Codec.risk_report_string ~threshold md report)
+  if not options.Codec.reasoned then
+    (* The exact string the CLI's [risk --json] prints: byte-identical. *)
+    Http.response ~status:200 (Codec.risk_report_string ~threshold md report)
+  else
+    (* Reasoned cross-check: run the measure's program on the engine
+       under the request budget. A chase cut short by the budget
+       degrades to the native report plus partial-progress markers —
+       still a 200, never a timeout error. *)
+    match
+      S.Vadalog_bridge.risk_via_engine ?budget:(budget_for t req options)
+        ~threshold measure md
+    with
+    | _engine_risks ->
+      Http.response ~status:200 (Codec.risk_report_string ~threshold md report)
+    | exception V.Engine.Interrupted interrupt ->
+      Http.response ~status:200
+        (Codec.risk_report_degraded_string ~threshold md report interrupt)
 
 let anonymize t req =
   let payload = payload_of_request req in
@@ -141,14 +184,19 @@ let anonymize t req =
       Vadasa_relational.Null_semantics.of_string options.Codec.semantics
     with
     | Some s -> s
-    | None -> fail 422 ("unknown semantics " ^ options.Codec.semantics)
+    | None ->
+      E.fail ~code:"semantics.unknown" E.Wardedness
+        ("unknown semantics " ^ options.Codec.semantics)
+        ~context:[ ("semantics", options.Codec.semantics) ]
   in
   let method_ =
     match options.Codec.method_ with
     | "suppress" -> S.Cycle.Local_suppression
     | "recode" ->
       S.Cycle.Recode_then_suppress (D.Generator.synthetic_hierarchy md)
-    | other -> fail 422 ("unknown method " ^ other)
+    | other ->
+      E.fail ~code:"method.unknown" E.Wardedness ("unknown method " ^ other)
+        ~context:[ ("method", other) ]
   in
   let config =
     {
@@ -159,19 +207,15 @@ let anonymize t req =
       method_;
     }
   in
-  let outcome = S.Cycle.run ~config md in
+  let outcome = S.Cycle.run ~config ?budget:(budget_for t req options) md in
   Http.response ~status:200
     (Json.to_string ~indent:true (Codec.anonymize_outcome_json md outcome) ^ "\n")
 
 let categorize _t req =
   let payload = payload_of_request req in
   let rel =
-    match
-      Vadasa_relational.Csv.read_string ~name:payload.Codec.options.Codec.name
-        payload.Codec.csv
-    with
-    | rel -> rel
-    | exception Failure msg -> fail 422 ("invalid CSV: " ^ msg)
+    Vadasa_relational.Csv.read_string ~name:payload.Codec.options.Codec.name
+      payload.Codec.csv
   in
   let result, _ =
     S.Categorize.run ~experience:S.Categorize.builtin_experience
@@ -183,24 +227,28 @@ let categorize _t req =
 let reason t req =
   let payload = payload_of_request req in
   let md = microdata_for t payload in
-  let measure = measure_of_options payload.Codec.options in
-  let threshold = payload.Codec.options.Codec.threshold in
-  let source =
-    match S.Vadalog_bridge.program_of_measure measure with
-    | source -> source
-    | exception S.Vadalog_bridge.Unsupported msg -> fail 422 msg
-  in
+  let options = payload.Codec.options in
+  let measure = measure_of_options options in
+  let threshold = options.Codec.threshold in
+  let source = S.Vadalog_bridge.program_of_measure measure in
   let compiled, cached = compile t source in
   let program =
     V.Program.union compiled.program
       (V.Program.make ~facts:(S.Vadalog_bridge.microdata_facts md) [])
   in
   let engine = V.Engine.create ~strat:compiled.strat program in
-  V.Engine.run engine;
+  (* An interrupted chase still answers: [decode_risks] reads whatever
+     riskoutput facts the partial saturation derived. *)
+  let interrupt =
+    match V.Engine.run ?budget:(budget_for t req options) engine with
+    | () -> None
+    | exception V.Engine.Interrupted i -> Some i
+  in
   let risks = S.Vadalog_bridge.decode_risks engine (S.Microdata.cardinal md) in
   Http.response ~status:200
     (Json.to_string ~indent:true
-       (Codec.reason_json ~cached ~warded:compiled.warded ~threshold md risks)
+       (Codec.reason_json ?interrupt ~cached ~warded:compiled.warded ~threshold
+          md risks)
     ^ "\n")
 
 let metrics ?(extra = fun () -> []) t _req =
@@ -218,6 +266,12 @@ let metrics ?(extra = fun () -> []) t _req =
                ("datasets", Cache.stats t.datasets);
              ] );
          ("requests", requests);
+         ("breaker", Breaker.stats t.breaker);
+         ( "faults_armed",
+           Json.List
+             (List.map
+                (fun (name, action) -> Json.Str (name ^ ":" ^ action))
+                (Faultpoint.armed ())) );
        ]
       @ extra ())
   in
@@ -225,14 +279,44 @@ let metrics ?(extra = fun () -> []) t _req =
 
 (* ---- router ------------------------------------------------------------- *)
 
+(* Wraps every endpoint with the resilience plumbing: the
+   [handler.dispatch] fault point, the per-endpoint circuit breaker
+   (open circuit → 503 + Retry-After without running the handler), and
+   the total exception→typed-error mapping. A 5xx response counts as a
+   breaker failure; anything else closes the circuit. *)
 let guard t handler req =
+  let key =
+    Printf.sprintf "%s %s" (Http.meth_to_string req.Http.meth) req.Http.path
+  in
   let resp =
-    match handler req with
-    | resp -> resp
-    | exception Reply resp -> resp
-    | exception e ->
-      Http.json_error ~status:500
-        (Printf.sprintf "internal error: %s" (Printexc.to_string e))
+    match Breaker.check t.breaker key with
+    | Breaker.Rejected retry_after ->
+      let resp =
+        Http.json_error ~status:503 ~code:"breaker.open"
+          (Printf.sprintf "circuit open for %s; retry later" key)
+      in
+      {
+        resp with
+        Http.resp_headers =
+          resp.Http.resp_headers
+          @ [
+              ( "Retry-After",
+                string_of_int (max 1 (int_of_float (Float.ceil retry_after)))
+              );
+            ];
+      }
+    | Breaker.Allow ->
+      let resp =
+        match
+          Faultpoint.hit "handler.dispatch";
+          handler req
+        with
+        | resp -> resp
+        | exception e -> Codec.response_of_error (Codec.error_of_exn e)
+      in
+      if resp.Http.status >= 500 then Breaker.failure t.breaker key
+      else Breaker.success t.breaker key;
+      resp
   in
   count t req resp;
   resp

@@ -2,13 +2,27 @@
 
     - [GET /healthz] — liveness.
     - [GET /metrics] — uptime, cache statistics, per-endpoint request
-      counters (plus whatever the server grafts on: pool stats).
+      counters, circuit-breaker states, armed fault points (plus
+      whatever the server grafts on: pool stats).
     - [POST /v1/risk] — native risk estimation; the response body is the
-      exact string the CLI's [risk --json] prints.
+      exact string the CLI's [risk --json] prints. With
+      [reasoned=true] the measure also runs as a Vadalog program under
+      the request budget; an interrupted chase degrades to the native
+      report plus ["degraded": true].
     - [POST /v1/anonymize] — anonymization cycle; counters + output CSV.
     - [POST /v1/categorize] — Algorithm 1 over the CSV's header.
     - [POST /v1/reason] — the measure as a Vadalog program on the
-      reasoning engine, through the compiled-program cache.
+      reasoning engine, through the compiled-program cache; an
+      interrupted chase answers with the partial risk decode and
+      ["degraded": true].
+
+    Every failure renders through {!Codec.response_of_error}: the body
+    carries a stable [error.code] and the status follows the error's
+    category. Each endpoint sits behind a per-endpoint circuit breaker
+    — consecutive 5xx responses open the circuit and subsequent
+    requests get 503 [breaker.open] with a [Retry-After] until the
+    cooldown lets a probe through. Fault point ["handler.dispatch"]
+    fires on every guarded request.
 
     Handler state is shared by all worker domains: both caches are
     internally synchronized, and cached microdata is only ever read
@@ -24,14 +38,32 @@ type compiled = {
 
 type t
 
-val create : ?program_capacity:int -> ?dataset_capacity:int -> unit -> t
+val create :
+  ?program_capacity:int ->
+  ?dataset_capacity:int ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown:float ->
+  ?default_max_facts:int ->
+  unit ->
+  t
+(** Breaker defaults as {!Breaker.create}: 5 consecutive failures to
+    open, 10 s cooldown. [default_max_facts] is a server-wide
+    derived-fact ceiling ([serve --max-facts]) applied to requests that
+    don't carry their own. *)
 
 val programs : t -> (string, compiled) Cache.t
 
 val datasets : t -> (string, Vadasa_sdc.Microdata.t) Cache.t
 
+val breaker : t -> Breaker.t
+
 val request_counts : t -> (string * int) list
 (** Sorted ["METHOD path status" → count] pairs. *)
+
+val budget_of : Http.request -> Codec.options -> Vadasa_base.Budget.t option
+(** The per-request work budget: the earlier of the deadline the server
+    stamped on the request and the request's own [budget_ms], capped by
+    [max_facts]; [None] when no constraint applies. *)
 
 val router :
   ?extra_metrics:(unit -> (string * Vadasa_base.Json.t) list) ->

@@ -31,6 +31,10 @@ type request = {
   version : string;
   headers : (string * string) list;  (* names lowercased, document order *)
   body : string;
+  mutable deadline : float option;
+      (* absolute Clock time by which the response should be written;
+         set by the server once the request is parsed, read by
+         handlers to derive a work budget *)
 }
 
 type error =
@@ -264,7 +268,7 @@ let read_request ?(limits = default_limits) (read : reader) =
   let* () = fill_body () in
   let body = String.sub (Buffer.contents acc) body_start content_length in
   let path, query = split_target target in
-  Ok { meth; target; path; query; version; headers; body }
+  Ok { meth; target; path; query; version; headers; body; deadline = None }
 
 (* ---- responses --------------------------------------------------------- *)
 
@@ -293,17 +297,43 @@ let response ?(content_type = "application/json") ?(headers = []) ~status body =
 
 let json_body fields = Vadasa_base.Json.to_string (Vadasa_base.Json.Obj fields)
 
-let json_error ~status message =
-  response ~status (json_body [ ("error", Vadasa_base.Json.Str message) ])
+(* Default error codes when the producer did not pick a more precise
+   one — every error body carries a stable machine-readable code. *)
+let code_of_status = function
+  | 400 -> "http.bad_request"
+  | 404 -> "http.not_found"
+  | 405 -> "http.method_not_allowed"
+  | 408 -> "http.timeout"
+  | 413 -> "http.body_too_large"
+  | 422 -> "http.invalid"
+  | 501 -> "http.not_implemented"
+  | 503 -> "http.unavailable"
+  | _ -> "internal"
+
+let json_error ~status ?code message =
+  let code = match code with Some c -> c | None -> code_of_status status in
+  response ~status
+    (json_body
+       [
+         ( "error",
+           Vadasa_base.Json.Obj
+             [
+               ("code", Vadasa_base.Json.Str code);
+               ("message", Vadasa_base.Json.Str message);
+             ] );
+       ])
 
 let error_response = function
-  | Bad_request msg -> json_error ~status:400 msg
+  | Bad_request msg -> json_error ~status:400 ~code:"http.bad_request" msg
   | Payload_too_large limit ->
-    json_error ~status:413
+    json_error ~status:413 ~code:"http.body_too_large"
       (Printf.sprintf "request body exceeds the %d-byte limit" limit)
-  | Not_implemented msg -> json_error ~status:501 (msg ^ " not supported")
-  | Timeout -> json_error ~status:408 "timed out reading the request"
-  | Closed -> json_error ~status:400 "connection closed mid-request"
+  | Not_implemented msg ->
+    json_error ~status:501 ~code:"http.not_implemented" (msg ^ " not supported")
+  | Timeout ->
+    json_error ~status:408 ~code:"http.timeout" "timed out reading the request"
+  | Closed ->
+    json_error ~status:400 ~code:"http.closed" "connection closed mid-request"
 
 let response_to_string r =
   let buf = Buffer.create (String.length r.resp_body + 256) in
@@ -323,6 +353,9 @@ let response_to_string r =
   Buffer.contents buf
 
 let write_response fd r =
+  (* An armed [http.write:fail] simulates a client that vanished; the
+     caller treats the raised typed error like a broken pipe. *)
+  Vadasa_resilience.Faultpoint.hit "http.write";
   let s = response_to_string r in
   let bytes = Bytes.of_string s in
   let n = Bytes.length bytes in

@@ -22,6 +22,10 @@ type request = {
   version : string;  (** ["HTTP/1.1"] or ["HTTP/1.0"] *)
   headers : (string * string) list;  (** names lowercased *)
   body : string;
+  mutable deadline : float option;
+      (** absolute {!Vadasa_base.Clock} time by which the response
+          should be written; [None] until the server stamps it after
+          parsing — handlers derive their work budget from it *)
 }
 
 type error =
@@ -73,8 +77,11 @@ val response :
   response
 (** Defaults to [application/json]. *)
 
-val json_error : status:int -> string -> response
-(** [{"error": message}] with the given status. *)
+val json_error : status:int -> ?code:string -> string -> response
+(** [{"error": {"code": …, "message": …}}] with the given status.
+    Without [code] a stable default derived from the status is used
+    (e.g. 404 → ["http.not_found"]); see [docs/RESILIENCE.md] for the
+    code registry. *)
 
 val error_response : error -> response
 
@@ -86,4 +93,6 @@ val response_to_string : response -> string
 
 val write_response : Unix.file_descr -> response -> int
 (** Write the wire form, swallowing [EPIPE]/[ECONNRESET] (the client may
-    have gone away); returns the bytes written. *)
+    have gone away); returns the bytes written. Fault point
+    ["http.write"]: when armed to fail it raises the injected typed
+    error before writing anything. *)

@@ -2,16 +2,25 @@
 
    Backpressure is explicit: [submit] returns [false] when the queue is
    full (the accept loop answers 503 without blocking), and jobs carry a
-   deadline — if a job has waited in the queue past its deadline the
-   worker runs its [expired] callback (the connection gets a 503)
+   deadline — if a job has waited in the queue up to its deadline the
+   worker runs its [expired] callback (the connection gets a 408)
    instead of the job body, so a burst cannot make the tail of the queue
-   do work for clients that already gave up. [stop] drains outstanding
-   jobs and joins every domain. *)
+   do work for clients that already gave up. Deadlines are compared
+   against the non-decreasing [Vadasa_base.Clock], and the comparison is
+   inclusive: a job dequeued exactly at its deadline is expired rather
+   than run with a zero budget. [stop] drains outstanding jobs and joins
+   every domain. *)
+
+module Clock = Vadasa_base.Clock
+
+let log_src = Logs.Src.create "vadasa.pool" ~doc:"server worker pool"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type job = {
   run : unit -> unit;
   expired : unit -> unit;
-  deadline : float;  (* Unix.gettimeofday () absolute; infinity = none *)
+  deadline : float;  (* absolute Clock time; infinity = none *)
 }
 
 type state = Running | Stopping
@@ -29,6 +38,7 @@ type t = {
   mutable completed : int;
   mutable expired_jobs : int;
   mutable raised : int;
+  mutable last_error : string option;  (* most recent job exception *)
 }
 
 let worker t () =
@@ -43,22 +53,26 @@ let worker t () =
     else begin
       let job = Queue.pop t.queue in
       Mutex.unlock t.mutex;
-      let now = Unix.gettimeofday () in
-      if now > job.deadline then begin
+      if Clock.expired job.deadline then begin
         (try job.expired () with _ -> ());
         Mutex.lock t.mutex;
         t.expired_jobs <- t.expired_jobs + 1;
         Mutex.unlock t.mutex
       end
       else begin
+        (* Supervisor: a raising job must never take the domain down —
+           record the exception and keep draining the queue. *)
         (match job.run () with
         | () ->
           Mutex.lock t.mutex;
           t.completed <- t.completed + 1;
           Mutex.unlock t.mutex
-        | exception _ ->
+        | exception e ->
+          let msg = Printexc.to_string e in
+          Log.warn (fun m -> m "job raised: %s" msg);
           Mutex.lock t.mutex;
           t.raised <- t.raised + 1;
+          t.last_error <- Some msg;
           Mutex.unlock t.mutex)
       end;
       loop ()
@@ -82,15 +96,23 @@ let create ?(domains = 4) ?(queue_capacity = 128) () =
       completed = 0;
       expired_jobs = 0;
       raised = 0;
+      last_error = None;
     }
   in
   t.domains <- List.init domains (fun _ -> Domain.spawn (worker t));
   t
 
 let submit t ?(deadline = infinity) ~expired run =
+  (* An armed [pool.enqueue:fail] behaves exactly like a full queue:
+     the submission is rejected and counted, nothing leaks. *)
+  let injected =
+    match Vadasa_resilience.Faultpoint.hit "pool.enqueue" with
+    | () -> false
+    | exception Vadasa_base.Error.Error _ -> true
+  in
   Mutex.lock t.mutex;
   let accepted =
-    t.state = Running && Queue.length t.queue < t.capacity
+    (not injected) && t.state = Running && Queue.length t.queue < t.capacity
   in
   if accepted then begin
     Queue.push { run; expired; deadline } t.queue;
@@ -128,15 +150,25 @@ let counters t =
   Mutex.unlock t.mutex;
   c
 
+let last_error t =
+  Mutex.lock t.mutex;
+  let e = t.last_error in
+  Mutex.unlock t.mutex;
+  e
+
 let stats t =
   let submitted, rejected, completed, expired, raised = counters t in
   Vadasa_base.Json.Obj
-    [
-      ("queue_length", Vadasa_base.Json.Int (queue_length t));
-      ("queue_capacity", Vadasa_base.Json.Int t.capacity);
-      ("submitted", Vadasa_base.Json.Int submitted);
-      ("rejected", Vadasa_base.Json.Int rejected);
-      ("completed", Vadasa_base.Json.Int completed);
-      ("expired", Vadasa_base.Json.Int expired);
-      ("raised", Vadasa_base.Json.Int raised);
-    ]
+    ([
+       ("queue_length", Vadasa_base.Json.Int (queue_length t));
+       ("queue_capacity", Vadasa_base.Json.Int t.capacity);
+       ("submitted", Vadasa_base.Json.Int submitted);
+       ("rejected", Vadasa_base.Json.Int rejected);
+       ("completed", Vadasa_base.Json.Int completed);
+       ("expired", Vadasa_base.Json.Int expired);
+       ("raised", Vadasa_base.Json.Int raised);
+     ]
+    @
+    match last_error t with
+    | None -> []
+    | Some msg -> [ ("last_error", Vadasa_base.Json.Str msg) ])

@@ -3,9 +3,11 @@
     [submit] enqueues a job and returns [false] immediately when the
     queue is at capacity or the pool is stopping — the caller answers
     503 without blocking the accept loop. Jobs carry an absolute
-    deadline: a job still queued past its deadline has its [expired]
-    callback run instead of its body. [stop] drains the queue and joins
-    every domain. *)
+    deadline on the non-decreasing {!Vadasa_base.Clock}: a job still
+    queued at or past its deadline (inclusive comparison) has its
+    [expired] callback run instead of its body. A raising job is
+    supervised: the exception is recorded and logged, the worker domain
+    survives. [stop] drains the queue and joins every domain. *)
 
 type t
 
@@ -14,8 +16,10 @@ val create : ?domains:int -> ?queue_capacity:int -> unit -> t
 
 val submit : t -> ?deadline:float -> expired:(unit -> unit) -> (unit -> unit) -> bool
 (** [submit t ~deadline ~expired run] — [deadline] is an absolute
-    [Unix.gettimeofday] timestamp (default: no deadline). Returns
-    [false] (and counts a rejection) when the queue is full. *)
+    {!Vadasa_base.Clock} timestamp (default: no deadline). Returns
+    [false] (and counts a rejection) when the queue is full. Fault
+    point ["pool.enqueue"]: armed to fail, the submission is rejected
+    exactly like a full queue. *)
 
 val stop : t -> unit
 (** Drain outstanding jobs, then join all worker domains. Idempotent. *)
@@ -24,5 +28,8 @@ val queue_length : t -> int
 
 val counters : t -> int * int * int * int * int
 (** [(submitted, rejected, completed, expired, raised)]. *)
+
+val last_error : t -> string option
+(** Rendering of the most recent exception a job raised, if any. *)
 
 val stats : t -> Vadasa_base.Json.t

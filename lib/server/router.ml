@@ -23,14 +23,15 @@ let dispatch t (req : Http.request) =
   | None -> (
     match matching_path with
     | [] ->
-      Http.json_error ~status:404 (Printf.sprintf "no such endpoint: %s" req.path)
+      Http.json_error ~status:404 ~code:"http.not_found"
+        (Printf.sprintf "no such endpoint: %s" req.path)
     | methods ->
       let allow =
         String.concat ", "
           (List.map (fun (m, _, _) -> Http.meth_to_string m) methods)
       in
       {
-        (Http.json_error ~status:405
+        (Http.json_error ~status:405 ~code:"http.method_not_allowed"
            (Printf.sprintf "%s not allowed on %s (allow: %s)"
               (Http.meth_to_string req.meth) req.path allow))
         with

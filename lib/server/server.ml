@@ -11,6 +11,7 @@
    SO_RCVTIMEO), dispatch, write, close. *)
 
 module Json = Vadasa_base.Json
+module Clock = Vadasa_base.Clock
 
 type config = {
   host : string;
@@ -131,25 +132,41 @@ let log_request t ~(req : Http.request option) ~status ~bytes ~elapsed =
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-(* Runs on a worker domain: one whole request lifecycle. *)
-let serve_connection t fd =
+(* A write can fail with an injected typed error (the [http.write]
+   fault point): answer with the error body if the socket still takes
+   it, otherwise give up on this connection. *)
+let write_guarded fd resp =
+  match Http.write_response fd resp with
+  | bytes -> (resp.Http.status, bytes)
+  | exception Vadasa_base.Error.Error e -> (
+    let fallback = Codec.response_of_error e in
+    match Http.write_response fd fallback with
+    | bytes -> (fallback.Http.status, bytes)
+    | exception Vadasa_base.Error.Error _ -> (fallback.Http.status, 0))
+
+(* Runs on a worker domain: one whole request lifecycle. [deadline] is
+   the absolute Clock time by which the response should be written —
+   stamped on the request so handlers can derive their work budget. *)
+let serve_connection t ~deadline fd =
   let started = Unix.gettimeofday () in
   let limits =
     { Http.default_limits with Http.max_body_bytes = t.config.max_body_bytes }
   in
   let req, resp =
     match Http.read_request ~limits (Http.reader_of_fd fd) with
-    | Ok req -> (Some req, Router.dispatch t.router req)
+    | Ok req ->
+      req.Http.deadline <- Some deadline;
+      (Some req, Router.dispatch t.router req)
     | Error err -> (None, Http.error_response err)
   in
-  let bytes = Http.write_response fd resp in
+  let status, bytes = write_guarded fd resp in
   close_quietly fd;
-  log_request t ~req ~status:resp.Http.status ~bytes
+  log_request t ~req ~status ~bytes
     ~elapsed:(Unix.gettimeofday () -. started)
 
-let reject t fd status message =
-  let resp = Http.json_error ~status message in
-  let bytes = Http.write_response fd resp in
+let reject t fd status ?code message =
+  let resp = Http.json_error ~status ?code message in
+  let status, bytes = write_guarded fd resp in
   close_quietly fd;
   log_request t ~req:None ~status ~bytes ~elapsed:0.0
 
@@ -176,16 +193,17 @@ let run t =
                Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.request_timeout;
                Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.request_timeout
              with Unix.Unix_error _ -> ());
-            let deadline = Unix.gettimeofday () +. t.config.request_timeout in
+            let deadline = Clock.deadline_in t.config.request_timeout in
             let accepted =
               Pool.submit t.pool ~deadline
                 ~expired:(fun () ->
-                  reject t fd 503 "request expired while queued")
-                (fun () -> serve_connection t fd)
+                  reject t fd 408 ~code:"queue.expired"
+                    "request expired while queued")
+                (fun () -> serve_connection t ~deadline fd)
             in
             if not accepted then
               (* Backpressure: answer 503 from the accept loop itself. *)
-              reject t fd 503 "server saturated (queue full)");
+              reject t fd 503 ~code:"queue.full" "server saturated (queue full)");
           loop ()
         end
   in

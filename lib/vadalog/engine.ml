@@ -1,6 +1,8 @@
 module Value = Vadasa_base.Value
 module Ids = Vadasa_base.Ids
+module Budget = Vadasa_base.Budget
 module Telemetry = Vadasa_telemetry.Telemetry
+module Faultpoint = Vadasa_resilience.Faultpoint
 
 let log_src = Logs.Src.create "vadasa.engine" ~doc:"chase evaluation"
 
@@ -16,6 +18,15 @@ let default_config =
   { track_provenance = true; max_iterations = 100_000; max_facts = 10_000_000 }
 
 exception Limit of string
+
+type interrupt = {
+  reason : Budget.reason;
+  stratum : int;  (* stratum being evaluated when the budget ran out *)
+  iteration : int;  (* fixpoint iteration within that stratum *)
+  facts_derived : int;  (* facts derived so far, = [stats.facts_derived] *)
+}
+
+exception Interrupted of interrupt
 
 (* A compiled body literal. Atom terms are pre-extracted. *)
 type step =
@@ -508,6 +519,30 @@ let check_fact_limit t =
          (limit_message t
             (Printf.sprintf "fact limit exceeded (%d facts)" t.config.max_facts)))
 
+(* Cooperative cancellation: polled at stratum entry and at every
+   fixpoint iteration boundary. The partial-progress snapshot is taken
+   at raise time, so [facts_derived] always equals [stats.facts_derived]
+   observed right after the interrupt. *)
+let check_budget t budget =
+  match budget with
+  | None -> ()
+  | Some b -> (
+    match Budget.check b ~facts:t.s_derived with
+    | None -> ()
+    | Some reason ->
+      Log.debug (fun m ->
+          m "chase interrupted (%s) at stratum %d, iteration %d, %d facts"
+            (Budget.reason_to_string reason)
+            t.s_stratum t.s_iteration t.s_derived);
+      raise
+        (Interrupted
+           {
+             reason;
+             stratum = t.s_stratum;
+             iteration = t.s_iteration;
+             facts_derived = t.s_derived;
+           }))
+
 (* Emit the heads of a plain (non-aggregate) rule under a complete body
    binding. Returns true when at least one fact was new. *)
 let emit_plain t cr ctx =
@@ -700,10 +735,12 @@ let is_test_rule cr =
   | Some { agg_result = Rule.Test _; _ } -> true
   | Some { agg_result = Rule.Bind _; _ } | None -> false
 
-let run_stratum t index rules =
+let run_stratum ?budget t index rules =
   t.s_stratum <- index;
   t.s_iteration <- 0;
   t.s_strata_run <- t.s_strata_run + 1;
+  Faultpoint.hit "engine.stratum";
+  check_budget t budget;
   let facts_at_entry = Database.total t.db in
   let duplicates_at_entry = t.s_duplicates in
   let compiled = List.map (fun r -> Hashtbl.find t.compiled r.Rule.id) rules in
@@ -737,6 +774,8 @@ let run_stratum t index rules =
     incr iteration;
     t.s_iteration <- !iteration;
     t.s_iterations <- t.s_iterations + 1;
+    Faultpoint.hit "engine.iterate";
+    check_budget t budget;
     if !iteration > t.config.max_iterations then
       raise
         (Limit
@@ -880,18 +919,21 @@ let publish_telemetry t =
       t.pred_derived
   end
 
-let run t =
+let run ?budget t =
   let t0 = Profile.now () in
   Fun.protect
-    ~finally:(fun () -> Profile.add_run_time t.prof (Profile.now () -. t0))
+    ~finally:(fun () ->
+      Profile.add_run_time t.prof (Profile.now () -. t0);
+      (* publish whatever was derived even when the run is interrupted:
+         degraded reports are built from these partial counters *)
+      publish_telemetry t)
     (fun () ->
       Telemetry.span "engine.run" (fun () ->
           Array.iteri
             (fun i rules ->
               Telemetry.span ("engine.stratum." ^ string_of_int i) (fun () ->
-                  run_stratum t i rules))
-            t.strat.Stratify.strata));
-  publish_telemetry t
+                  run_stratum ?budget t i rules))
+            t.strat.Stratify.strata))
 
 let profile t = t.prof
 

@@ -44,6 +44,22 @@ exception Limit of string
     fact-producing predicates, so a diverging program can be located
     without re-running under a debugger. *)
 
+type interrupt = {
+  reason : Vadasa_base.Budget.reason;
+  stratum : int;  (** stratum being evaluated when the budget ran out *)
+  iteration : int;  (** fixpoint iteration within that stratum *)
+  facts_derived : int;
+      (** facts derived so far — consistent with {!stats}: equals
+          [(stats t).facts_derived] observed after the raise *)
+}
+
+exception Interrupted of interrupt
+(** Raised by {!run} when the supplied {!Vadasa_base.Budget} is
+    exhausted. Unlike {!Limit} (a program pathology), an interrupt is
+    an orderly stop at an iteration boundary: the database holds every
+    fact derived so far and the engine can be inspected — or even
+    resumed with a fresh budget, since {!run} is idempotent. *)
+
 type t
 
 val create :
@@ -64,9 +80,14 @@ val add_fact : t -> string -> Vadasa_base.Value.t list -> unit
 
 val add_fact_array : t -> string -> Vadasa_base.Value.t array -> unit
 
-val run : t -> unit
+val run : ?budget:Vadasa_base.Budget.t -> t -> unit
 (** Saturate. Idempotent: calling [run] again after adding facts resumes
-    from the current state (all strata re-run). *)
+    from the current state (all strata re-run). [budget] enables
+    cooperative cancellation: it is polled at every stratum entry and
+    fixpoint-iteration boundary, raising {!Interrupted} when exhausted
+    (partial results stay in the database, telemetry is still
+    published). Without [budget] the only guards are the {!config}
+    limits. *)
 
 val facts : t -> string -> Vadasa_base.Value.t array list
 (** Facts of a predicate, insertion order. *)

@@ -190,11 +190,14 @@ let test_csv_quoting () =
   Alcotest.(check string) "render" {|a,"b,c"|} (R.Csv.render_line [ "a"; "b,c" ])
 
 let test_csv_ragged_rejected () =
-  Alcotest.(check bool) "raises" true
-    (try
-       ignore (R.Csv.read_string ~name:"t" "a,b\n1\n");
-       false
-     with Failure _ -> true)
+  match R.Csv.read_string ~name:"t" "a,b\n1\n" with
+  | _ -> Alcotest.fail "ragged row must be rejected"
+  | exception Vadasa_base.Error.Error e ->
+    Alcotest.(check string) "typed code" "csv.ragged_row" e.Vadasa_base.Error.code;
+    (* the position of the failure is part of the contract *)
+    Alcotest.(check (option string))
+      "line" (Some "2")
+      (Vadasa_base.Error.context_value e "line")
 
 (* --- properties ---------------------------------------------------------- *)
 

@@ -390,7 +390,8 @@ let test_e2e_concurrent_risk () =
     let md =
       match Srv.Codec.microdata_of_payload payload with
       | Ok md -> md
-      | Error m -> Alcotest.failf "categorization failed: %s" m
+      | Error e ->
+        Alcotest.failf "categorization failed: %s" (Vadasa_base.Error.to_string e)
     in
     let report = S.Risk.estimate (S.Risk.K_anonymity { k = 2 }) md in
     Srv.Codec.risk_report_string ~threshold:0.5 md report
@@ -467,12 +468,16 @@ let test_e2e_error_statuses () =
           ~body:"{\"nope\"" ()
       in
       Alcotest.(check int) "bad JSON 400" 400 status;
-      let status, _ =
+      let status, body =
         http_call ~port ~meth:"POST" ~target:"/v1/risk"
           ~headers:[ ("content-type", "text/csv") ]
           ~body:"a,b\n1\n" ()
       in
-      Alcotest.(check int) "ragged CSV 422" 422 status)
+      (* ragged CSV is a malformed input envelope: Parse category, 400 *)
+      Alcotest.(check int) "ragged CSV 400" 400 status;
+      Alcotest.(check bool)
+        "carries the error code" true
+        (Astring_contains.contains body "csv.ragged_row"))
 
 let test_e2e_oversized_413 () =
   let config =
