@@ -22,6 +22,10 @@
                                must exceed before --compare flags it, so
                                sub-millisecond figures do not flake on
                                scheduler noise (default 0.5)
+     main.exe --domains N      top of the domain sweep for the [scaling]
+                               experiment: the parallel chase runs at
+                               1, 2, 4, ... N domains and records
+                               chase.<workload>.d<N> spans (default 1)
 
    Every figure is timed through telemetry spans on a dedicated registry
    and dumps a machine-readable BENCH_<figure>.json report (span
@@ -39,8 +43,13 @@ module S = Vadasa_sdc
 module D = Vadasa_datagen
 module L = Vadasa_linkage
 module T = Vadasa_telemetry.Telemetry
+module V = Vadasa_vadalog
 
 let scale = ref 0.1
+
+(* Top of the domain sweep for the [scaling] experiment (--domains N):
+   each workload runs at 1, 2, 4, ... up to N. *)
+let max_domains = ref 1
 
 let section title = Printf.printf "\n=== %s ===\n%!" title
 
@@ -515,6 +524,98 @@ let micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Scaling: parallel chase wall time by domain count.  [--domains N]
+   sweeps 1, 2, 4, ... up to N (default 1: single sequential run, so
+   the figure still produces a baseline span on every bench run).
+
+   Two engine workloads with opposite shapes:
+
+   - band: a band self-join over [item(I, A)].  The inner atom shares no
+     variable with the delta atom, so every delta fact forces a full
+     scan of [item] — O(n^2) read-only join work against a small
+     emission count.  This is the parallel-friendly shape: phase 1
+     (workers) dominates, phase 2 (single-threaded merge) is tiny.
+   - closure: transitive closure of a chain.  Every binding emits a new
+     fact, so the sequential merge phase dominates and the curve stays
+     near 1.0x however many domains run.  Kept as the honest
+     counterpoint — docs/PERFORMANCE.md points here.
+
+   The derived databases are byte-identical across domain counts (the
+   engine's determinism guarantee; asserted below via fact counts and
+   checked exhaustively in test/test_parallel.ml).  Spans are named
+   [chase.<workload>.d<N>] so BENCH_scaling.json records the whole
+   curve.  On a single-core host the sweep records a flat curve —
+   speedup needs real cores. *)
+
+let scaling () =
+  section "Scaling - parallel chase wall time by domain count";
+  let sweep =
+    let rec up acc d =
+      if d >= !max_domains then List.rev (!max_domains :: acc)
+      else up (d :: acc) (d * 2)
+    in
+    if !max_domains <= 1 then [ 1 ] else up [] 1
+  in
+  let band_n = max 400 (int_of_float (6000.0 *. sqrt !scale)) in
+  let band =
+    let facts =
+      List.init band_n (fun i ->
+          ("item", [| Value.Int i; Value.Int (i mod 997) |]))
+    in
+    let rules =
+      V.Parser.parse
+        "near(X, Y) :- item(X, A), item(Y, B), X < Y, A <= B + 1, B <= A + 1.\n\
+         @output(\"near\")."
+    in
+    V.Program.union rules (V.Program.make ~facts [])
+  in
+  let chain_n = max 100 (int_of_float (400.0 *. sqrt !scale)) in
+  let closure =
+    let facts =
+      List.init (chain_n - 1) (fun i ->
+          ("edge", [| Value.Int i; Value.Int (i + 1) |]))
+    in
+    let rules =
+      V.Parser.parse
+        "path(X, Y) :- edge(X, Y).\n\
+         path(X, Z) :- path(X, Y), edge(Y, Z).\n\
+         @output(\"path\")."
+    in
+    V.Program.union rules (V.Program.make ~facts [])
+  in
+  Printf.printf "  band: %d items (O(n^2) join); closure: %d-node chain\n"
+    band_n chain_n;
+  Printf.printf "  %-10s %-8s %-10s %-10s %s\n" "workload" "domains"
+    "time (s)" "speedup" "facts";
+  List.iter
+    (fun (wl, program) ->
+      let base = ref nan in
+      let reference = ref (-1) in
+      List.iter
+        (fun d ->
+          let facts, t =
+            timed
+              (Printf.sprintf "chase.%s.d%d" wl d)
+              (fun () ->
+                let engine = V.Engine.create ~domains:d program in
+                Fun.protect
+                  ~finally:(fun () -> V.Engine.shutdown engine)
+                  (fun () ->
+                    V.Engine.run engine;
+                    V.Database.total (V.Engine.database engine)))
+          in
+          if Float.is_nan !base then base := t;
+          if !reference < 0 then reference := facts
+          else assert (facts = !reference);
+          Printf.printf "  %-10s %-8d %-10.3f %-10s %d\n" wl d t
+            (Printf.sprintf "%.2fx" (!base /. t))
+            facts)
+        sweep)
+    [ ("band", band); ("closure", closure) ];
+  note "identical fact counts across domain counts (byte-identity is";
+  note "asserted exhaustively in test/test_parallel.ml)"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -531,6 +632,7 @@ let experiments =
     ("attack", attack);
     ("baseline", baseline);
     ("ablation", ablation);
+    ("scaling", scaling);
     ("micro", micro);
   ]
 
@@ -665,6 +767,16 @@ let () =
       parse acc rest
     | "--min-delta" :: [] ->
       Printf.eprintf "--min-delta expects a millisecond argument\n";
+      exit 2
+    | "--domains" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some d when d >= 1 -> max_domains := d
+      | _ ->
+        Printf.eprintf "--domains expects a positive integer\n";
+        exit 2);
+      parse acc rest
+    | "--domains" :: [] ->
+      Printf.eprintf "--domains expects a domain-count argument\n";
       exit 2
     | name :: rest -> parse (name :: acc) rest
   in

@@ -316,6 +316,24 @@ let msu_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let engine_domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Evaluate the chase across N OCaml domains (default 1 = \
+           sequential). The result is byte-identical for any N — parallel \
+           evaluation merges worker derivations in sequential order. Only \
+           reasoning-engine work parallelizes; native paths (e.g. the \
+           anonymization cycle) ignore it. See docs/PERFORMANCE.md.")
+
+let check_domains domains =
+  if domains < 1 then begin
+    Printf.eprintf "error: --domains must be >= 1\n";
+    exit 2
+  end
+
 let write_csv rel = function
   | None -> print_string (R.Csv.write_string rel)
   | Some path ->
@@ -423,7 +441,8 @@ let risk_cmd =
              returns for the same input.")
   in
   let run (finish, _, limits) input categories measure k threshold msu_threshold
-      explain reasoned json =
+      explain reasoned json domains =
+    check_domains domains;
     let md = load_microdata ~path:input ~overrides:categories in
     let measure = parse_measure measure k msu_threshold in
     let report = S.Risk.estimate measure md in
@@ -435,7 +454,7 @@ let risk_cmd =
       match
         S.Vadalog_bridge.risk_via_engine
           ?budget:(budget_of_limits limits)
-          ~threshold measure md
+          ~domains ~threshold measure md
       with
       | engine_risks ->
         let max_diff = ref 0.0 in
@@ -468,7 +487,8 @@ let risk_cmd =
     (Cmd.info "risk" ~doc:"Estimate statistical disclosure risk for a CSV")
     Term.(
       const run $ common_term $ input_arg $ category_arg $ measure_arg $ k_arg
-      $ threshold_arg $ msu_arg $ explain $ reasoned_flag $ json_flag)
+      $ threshold_arg $ msu_arg $ explain $ reasoned_flag $ json_flag
+      $ engine_domains_arg)
 
 (* ---- anonymize --------------------------------------------------------------- *)
 
@@ -494,7 +514,10 @@ let anonymize_cmd =
           ~doc:"Print the full anonymization narrative (per-action story).")
   in
   let run (finish, _, limits) input categories measure k threshold msu_threshold
-      method_ semantics output narrative =
+      method_ semantics output narrative domains =
+    (* Accepted for CLI uniformity: the native anonymization cycle is
+       engine-free, so the flag only matters for reasoned paths. *)
+    check_domains domains;
     let md = load_microdata ~path:input ~overrides:categories in
     let semantics =
       match R.Null_semantics.of_string semantics with
@@ -533,7 +556,7 @@ let anonymize_cmd =
     Term.(
       const run $ common_term $ input_arg $ category_arg $ measure_arg $ k_arg
       $ threshold_arg $ msu_arg $ method_arg $ semantics_arg $ output_arg
-      $ narrative_flag)
+      $ narrative_flag $ engine_domains_arg)
 
 (* ---- attack --------------------------------------------------------------------- *)
 
@@ -615,16 +638,18 @@ let reason_cmd =
   let check_warded =
     Arg.(value & flag & info [ "check-warded" ] ~doc:"Print the wardedness analysis.")
   in
-  let run (finish, _, limits) path queries explain warded csv_facts =
+  let run (finish, _, limits) path queries explain warded csv_facts domains =
+    check_domains domains;
     let program = load_program path csv_facts in
     if warded then
       Format.printf "%a@." V.Wardedness.pp_report (V.Wardedness.analyze program);
-    let engine = V.Engine.create program in
+    let engine = V.Engine.create ~domains program in
     (* A budgeted run may stop early: print whatever the partial chase
        derived, flagged on stderr. *)
     (match V.Engine.run ?budget:(budget_of_limits limits) engine with
     | () -> ()
     | exception V.Engine.Interrupted i -> warn_degraded i);
+    V.Engine.shutdown engine;
     let preds =
       match queries with [] -> program.V.Program.outputs | qs -> qs
     in
@@ -647,7 +672,7 @@ let reason_cmd =
     (Cmd.info "reason" ~doc:"Run a Vadalog program on the reasoning engine")
     Term.(
       const run $ common_term $ program_arg $ query_arg $ explain_arg
-      $ check_warded $ csv_facts_arg)
+      $ check_warded $ csv_facts_arg $ engine_domains_arg)
 
 (* ---- profile -------------------------------------------------------------------- *)
 
@@ -671,16 +696,18 @@ let profile_cmd =
       & info [ "json" ]
           ~doc:"Emit the profile as JSON on stdout instead of the table.")
   in
-  let run (finish, _, limits) path top json_out csv_facts =
+  let run (finish, _, limits) path top json_out csv_facts domains =
+    check_domains domains;
     let program = load_program path csv_facts in
     (* The profiler itself is always on; arm the global registry too so
        the run records the engine.run/engine.stratum.* spans the table
        is cross-checked against. *)
     T.set_enabled true;
-    let engine = V.Engine.create program in
+    let engine = V.Engine.create ~domains program in
     (match V.Engine.run ?budget:(budget_of_limits limits) engine with
     | () -> ()
     | exception V.Engine.Interrupted i -> warn_degraded i);
+    V.Engine.shutdown engine;
     let report = V.Engine.profile_report engine in
     if json_out then
       print_endline (T.Json.to_string ~indent:true (V.Profile.to_json report))
@@ -695,7 +722,7 @@ let profile_cmd =
           derived vs. duplicates, nulls invented and aggregate-group churn")
     Term.(
       const run $ common_term $ program_arg $ top_arg $ json_flag
-      $ csv_facts_arg)
+      $ csv_facts_arg $ engine_domains_arg)
 
 (* ---- serve ---------------------------------------------------------------------- *)
 
@@ -718,6 +745,18 @@ let serve_cmd =
       value
       & opt int 4
       & info [ "domains" ] ~docv:"N" ~doc:"Worker pool size (OCaml domains).")
+  in
+  let engine_domains_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "engine-domains" ] ~docv:"N"
+          ~doc:
+            "Size of the shared parallel-chase pool (default 1 = \
+             sequential engines). All request handlers borrow this one \
+             pool, so the process runs $(b,--domains) + N - 1 worker \
+             domains in total — no per-request spawning, no \
+             oversubscription. Responses are byte-identical for any N.")
   in
   let queue_arg =
     Arg.(
@@ -744,9 +783,14 @@ let serve_cmd =
       & info [ "max-body" ] ~docv:"BYTES"
           ~doc:"Largest accepted request body (413 beyond it).")
   in
-  let run (finish, sink, (_, max_facts)) host port domains queue timeout max_body =
+  let run (finish, sink, (_, max_facts)) host port domains engine_domains queue
+      timeout max_body =
     if domains < 1 then begin
       Printf.eprintf "error: --domains must be >= 1\n";
+      exit 1
+    end;
+    if engine_domains < 1 then begin
+      Printf.eprintf "error: --engine-domains must be >= 1\n";
       exit 1
     end;
     if queue < 1 then begin
@@ -769,7 +813,16 @@ let serve_cmd =
        domains run. /metrics and the access log carry the server's
        observability instead. *)
     T.set_enabled false;
-    let handlers = Srv.Handlers.create ?default_max_facts:max_facts () in
+    let engine_pool =
+      if engine_domains > 1 then
+        Some
+          (Vadasa_base.Task_pool.create ~name:"engine" ~domains:engine_domains
+             ())
+      else None
+    in
+    let handlers =
+      Srv.Handlers.create ?default_max_facts:max_facts ?engine_pool ()
+    in
     let server =
       match Srv.Server.create ~config handlers with
       | server -> server
@@ -780,9 +833,11 @@ let serve_cmd =
     in
     Srv.Server.install_signal_handlers server;
     Printf.printf
-      "vadasa serve: listening on http://%s:%d (%d domains, queue %d)\n%!" host
-      (Srv.Server.port server) domains queue;
+      "vadasa serve: listening on http://%s:%d (%d domains, %d engine \
+       domains, queue %d)\n%!"
+      host (Srv.Server.port server) domains engine_domains queue;
     Srv.Server.run server;
+    Option.iter Vadasa_base.Task_pool.stop engine_pool;
     Printf.eprintf "vadasa serve: shutdown complete\n%!";
     finish ()
   in
@@ -793,8 +848,8 @@ let serve_cmd =
           /v1/anonymize, /v1/categorize, /v1/reason; GET /healthz, /metrics. \
           See docs/SERVER.md.")
     Term.(
-      const run $ common_term $ host_arg $ port_arg $ domains_arg $ queue_arg
-      $ timeout_arg $ max_body_arg)
+      const run $ common_term $ host_arg $ port_arg $ domains_arg
+      $ engine_domains_arg $ queue_arg $ timeout_arg $ max_body_arg)
 
 (* ---- main ------------------------------------------------------------------------- *)
 

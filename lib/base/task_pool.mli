@@ -1,0 +1,49 @@
+(** A reusable fork-join scheduler over a fixed set of OCaml 5 domains.
+
+    This is the compute-side sibling of the server's job pool
+    ([lib/server/pool.ml]): where that pool is a fire-and-forget queue
+    with backpressure and deadlines for independent requests, this one
+    is a {e fork-join} primitive — {!run_all} submits a batch of
+    closures, the calling domain {e participates} in draining it, and
+    the call returns only when every closure has finished, with the
+    results in submission order.
+
+    Several domains may call {!run_all} on the same pool concurrently:
+    batches are queued and workers claim tasks from the oldest live
+    batch first, so a shared pool composes with the server's worker
+    pool without spawning domains per request (no oversubscription —
+    the process-wide domain count is fixed at creation time).
+
+    Because the caller always participates, a pool created with
+    [~domains:1] spawns {e no} worker domains and [run_all] degenerates
+    to a plain sequential [Array.map] — callers can treat "no
+    parallelism" and "parallelism" uniformly. *)
+
+type t
+
+val create : ?name:string -> domains:int -> unit -> t
+(** Spawn [domains - 1] worker domains ([domains] must be >= 1; the
+    calling domain is the remaining unit of parallelism). [name] only
+    labels log lines. Raises [Invalid_argument] when [domains < 1]. *)
+
+val domains : t -> int
+(** The parallelism the pool was created with (workers + the
+    participating caller), i.e. the [~domains] given to {!create}. *)
+
+val run_all : t -> (unit -> 'a) array -> ('a, exn) result array
+(** Execute every closure, returning per-task results in input order.
+    Tasks may run on any worker domain or on the calling domain; the
+    call blocks until all of them completed. A raising task yields
+    [Error exn] in its slot and never takes a domain down; deciding
+    which error wins is the caller's job (task order is stable, so
+    "first [Error] in the array" is deterministic given deterministic
+    tasks). Safe to call from several domains concurrently; do {e not}
+    call it from inside one of the pool's own tasks (the nested batch
+    would wait on the domain executing it). *)
+
+val stop : t -> unit
+(** Drain queued batches, join every worker domain, and mark the pool
+    stopped. Idempotent. After [stop], {!run_all} still works but runs
+    everything on the calling domain. *)
+
+val stopped : t -> bool

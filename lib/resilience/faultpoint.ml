@@ -8,6 +8,7 @@ let registry =
     ("csv.write", "serializing a CSV document (Csv.write_string / Csv.save)");
     ("engine.stratum", "entering a stratum of the chase");
     ("engine.iterate", "each semi-naive fixpoint iteration of the chase");
+    ("engine.chunk", "each parallel delta-chunk task of the chase");
     ("cycle.round", "each round of the anonymization cycle");
     ("pool.enqueue", "submitting a job to the server worker pool");
     ("http.write", "writing an HTTP response to the client socket");

@@ -238,14 +238,16 @@ let program_of_measure measure =
         ^ " is an OCaml function; express it as Vadalog rules to run it on \
            the engine"))
 
-let engine_for ?budget measure md ~first_null_label =
+let engine_for ?budget ?(domains = 1) ?pool measure md ~first_null_label =
   let source = program_of_measure measure in
   let parsed = V.Parser.parse source in
   let program =
     V.Program.union parsed (V.Program.make ~facts:(microdata_facts md) [])
   in
-  let engine = V.Engine.create ~first_null_label program in
-  V.Engine.run ?budget engine;
+  let engine = V.Engine.create ~first_null_label ~domains ?pool program in
+  Fun.protect
+    ~finally:(fun () -> V.Engine.shutdown engine)
+    (fun () -> V.Engine.run ?budget engine);
   engine
 
 let decode_risks engine n =
@@ -261,8 +263,8 @@ let decode_risks engine n =
     (V.Engine.facts engine "riskoutput");
   risks
 
-let risk_via_engine ?budget ?threshold:_ measure md =
-  let engine = engine_for ?budget measure md ~first_null_label:1 in
+let risk_via_engine ?budget ?domains ?pool ?threshold:_ measure md =
+  let engine = engine_for ?budget ?domains ?pool measure md ~first_null_label:1 in
   decode_risks engine (Microdata.cardinal md)
 
 let explain_risk measure md ~tuple =

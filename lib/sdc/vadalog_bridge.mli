@@ -73,6 +73,8 @@ val decode_risks : Vadasa_vadalog.Engine.t -> int -> float array
 
 val risk_via_engine :
   ?budget:Vadasa_base.Budget.t ->
+  ?domains:int ->
+  ?pool:Vadasa_base.Task_pool.t ->
   ?threshold:float ->
   Risk.measure ->
   Microdata.t ->
@@ -82,7 +84,9 @@ val risk_via_engine :
     [Individual (Monte_carlo _)] (sampling lives outside the logic).
     [budget] is passed to {!Vadasa_vadalog.Engine.run}; on exhaustion
     [Vadasa_vadalog.Engine.Interrupted] escapes — callers turn it into
-    a degraded report. *)
+    a degraded report. [domains]/[pool] select parallel chase evaluation
+    (see {!Vadasa_vadalog.Engine.create}); the decoded risks are
+    identical for any domain count. *)
 
 val explain_risk :
   Risk.measure -> Microdata.t -> tuple:int -> string option

@@ -39,19 +39,24 @@ type t = {
   datasets : (string, S.Microdata.t) Cache.t;
   breaker : Breaker.t;
   default_max_facts : int option;  (* server-wide derived-fact ceiling *)
+  engine_pool : Vadasa_base.Task_pool.t option;
+      (* shared chase worker pool: every request's engine borrows it, so
+         M request domains compose with K engine workers without
+         spawning per request (no oversubscription) *)
   started_at : float;
   counters : (string, int) Hashtbl.t;  (* "METHOD path status" -> count *)
   counters_mutex : Mutex.t;
 }
 
 let create ?(program_capacity = 64) ?(dataset_capacity = 16)
-    ?breaker_threshold ?breaker_cooldown ?default_max_facts () =
+    ?breaker_threshold ?breaker_cooldown ?default_max_facts ?engine_pool () =
   {
     programs = Cache.create ~capacity:program_capacity "programs";
     datasets = Cache.create ~capacity:dataset_capacity "datasets";
     breaker =
       Breaker.create ?threshold:breaker_threshold ?cooldown:breaker_cooldown ();
     default_max_facts;
+    engine_pool;
     started_at = Unix.gettimeofday ();
     counters = Hashtbl.create 16;
     counters_mutex = Mutex.create ();
@@ -166,7 +171,7 @@ let risk t req =
        still a 200, never a timeout error. *)
     match
       S.Vadalog_bridge.risk_via_engine ?budget:(budget_for t req options)
-        ~threshold measure md
+        ?pool:t.engine_pool ~threshold measure md
     with
     | _engine_risks ->
       Http.response ~status:200 (Codec.risk_report_string ~threshold md report)
@@ -236,7 +241,9 @@ let reason t req =
     V.Program.union compiled.program
       (V.Program.make ~facts:(S.Vadalog_bridge.microdata_facts md) [])
   in
-  let engine = V.Engine.create ~strat:compiled.strat program in
+  let engine =
+    V.Engine.create ~strat:compiled.strat ?pool:t.engine_pool program
+  in
   (* An interrupted chase still answers: [decode_risks] reads whatever
      riskoutput facts the partial saturation derived. *)
   let interrupt =

@@ -44,12 +44,18 @@ val create :
   ?breaker_threshold:int ->
   ?breaker_cooldown:float ->
   ?default_max_facts:int ->
+  ?engine_pool:Vadasa_base.Task_pool.t ->
   unit ->
   t
 (** Breaker defaults as {!Breaker.create}: 5 consecutive failures to
     open, 10 s cooldown. [default_max_facts] is a server-wide
     derived-fact ceiling ([serve --max-facts]) applied to requests that
-    don't carry their own. *)
+    don't carry their own. [engine_pool] is a shared chase worker pool
+    ([serve --engine-domains]): request engines borrow it for parallel
+    evaluation instead of spawning domains per request, so the
+    process-wide domain count stays [--domains + --engine-domains - 1].
+    The caller owns the pool's lifecycle (stop it after the server
+    drains). *)
 
 val programs : t -> (string, compiled) Cache.t
 

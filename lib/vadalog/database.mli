@@ -27,11 +27,17 @@ type provenance =
 type t
 
 val create : ?track_provenance:bool -> unit -> t
+(** An empty store. [track_provenance] (default [false]) keeps the
+    {!provenance} of every fact; the engine turns it on so
+    explanations ({!provenance_of}) work. *)
 
 val add : t -> ?prov:provenance -> string -> Vadasa_base.Value.t array -> bool
-(** [true] when the fact was new. Default provenance is [Edb]. *)
+(** [true] when the fact was new. Default provenance is [Edb].
+    Write-side: subject to the single-writer contract above. *)
 
 val mem : t -> string -> Vadasa_base.Value.t array -> bool
+(** Membership under standard equality (labelled nulls compare by
+    label). Read-side: safe from any domain on a quiescent store. *)
 
 val pred_size : t -> string -> int
 (** Number of facts of a predicate (0 for unknown predicates). *)
@@ -43,6 +49,10 @@ val facts : t -> string -> Vadasa_base.Value.t array list
 (** All facts of a predicate, in insertion order. *)
 
 val iter_pred : t -> string -> (Vadasa_base.Value.t array -> unit) -> unit
+(** Iterate a predicate's facts in insertion order without building the
+    intermediate list of {!facts}. This is the scan the semi-naive
+    evaluator's delta ranges are defined over — and what the parallel
+    evaluator's workers run concurrently on a quiescent store. *)
 
 val lookup : t -> string -> pos:int -> Vadasa_base.Value.t -> int list
 (** Insertion indexes of facts whose argument at [pos] equals the value
@@ -57,8 +67,11 @@ val build_all_indexes : t -> string -> unit
     readers can use this to pre-pay index construction. *)
 
 val total : t -> int
+(** Facts across all predicates — the number the engine's fact-ceiling
+    budget counts against. *)
 
 val predicates : t -> string list
+(** Every predicate with at least one fact, sorted. *)
 
 val provenance_of : t -> string -> Vadasa_base.Value.t array -> provenance option
 (** [None] when the fact is absent or provenance tracking is off. *)
@@ -67,3 +80,5 @@ val value_key : Vadasa_base.Value.t -> string
 (** Canonical, type-tagged key — distinguishes [Int 1] from [Str "1"]. *)
 
 val args_key : Vadasa_base.Value.t array -> string
+(** {!value_key} over a fact's arguments, comma-joined — the store's
+    internal dedup key, exposed for canonical renderings of facts. *)

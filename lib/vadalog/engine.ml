@@ -1,6 +1,7 @@
 module Value = Vadasa_base.Value
 module Ids = Vadasa_base.Ids
 module Budget = Vadasa_base.Budget
+module Task_pool = Vadasa_base.Task_pool
 module Telemetry = Vadasa_telemetry.Telemetry
 module Faultpoint = Vadasa_resilience.Faultpoint
 
@@ -53,6 +54,16 @@ type compiled_rule = {
   c_prof : Profile.rule;  (* hot-path cost accumulator (see Profile) *)
   c_span : string;  (* "engine.rule.<label>" *)
   c_preds : string list;  (* distinct positive body predicates *)
+  c_heads : string list;  (* distinct head predicates *)
+  c_plan_reads : string list array;
+      (* c_plan_reads.(k) = predicates plan k reads outside its delta atom
+         (inner positive atoms + negated atoms). A (rule, plan) pair whose
+         heads intersect these reads is not snapshot-safe: its inner scans
+         must see its own emissions live, so it evaluates sequentially. *)
+  c_capture : string array;
+      (* variables a parallel worker must capture per body binding to
+         replay head emission later: frontier ∪ head-argument variables,
+         minus existentials (those are invented at merge time) *)
 }
 
 type group = {
@@ -82,6 +93,8 @@ type t = {
      they make Limit errors diagnosable and feed the telemetry report. *)
   pred_derived : (string, int ref) Hashtbl.t;
   prof : Profile.t;
+  pool : Task_pool.t option;  (* None = fully sequential evaluation *)
+  pool_owned : bool;  (* created by us (shutdown stops it) vs borrowed *)
   mutable s_stratum : int;  (* stratum currently evaluating *)
   mutable s_iteration : int;  (* fixpoint iteration within it *)
   mutable s_strata_run : int;
@@ -295,12 +308,39 @@ let compile_rule prof rule =
       List.filter (Hashtbl.mem placeable_pre) (Rule.head_vars rule)
     | None -> []
   in
+  let frontier = Rule.frontier_vars rule in
+  let existentials = Rule.existential_vars rule in
+  let plan_reads =
+    Array.map
+      (fun plan ->
+        let acc = ref [] in
+        Array.iteri
+          (fun i step ->
+            match step with
+            | S_atom { pred; _ } when i > 0 -> acc := pred :: !acc
+            | S_neg { pred; _ } -> acc := pred :: !acc
+            | S_atom _ | S_guard _ | S_assign _ -> ())
+          plan;
+        List.sort_uniq compare !acc)
+      plans
+  in
+  let head_arg_vars =
+    List.concat_map
+      (fun atom ->
+        Array.to_list atom.Atom.args |> List.concat_map Expr.vars)
+      rule.Rule.head
+  in
+  let capture =
+    List.sort_uniq compare (frontier @ head_arg_vars)
+    |> List.filter (fun v -> not (List.mem v existentials))
+    |> Array.of_list
+  in
   {
     rule;
     pos_atoms;
     agg;
-    frontier = Rule.frontier_vars rule;
-    existentials = Rule.existential_vars rule;
+    frontier;
+    existentials;
     group_vars;
     post = post_steps;
     plans;
@@ -308,15 +348,29 @@ let compile_rule prof rule =
     c_span = "engine.rule." ^ rule.Rule.label;
     c_preds =
       Array.to_list (Array.map fst pos_atoms) |> List.sort_uniq compare;
+    c_heads =
+      List.map (fun atom -> atom.Atom.pred) rule.Rule.head
+      |> List.sort_uniq compare;
+    c_plan_reads = plan_reads;
+    c_capture = capture;
   }
 
 (* ---- construction ----------------------------------------------------- *)
 
-let create ?(config = default_config) ?(first_null_label = 1) ?strat program =
+let create ?(config = default_config) ?(first_null_label = 1) ?strat
+    ?(domains = 1) ?pool program =
   (match Program.validate program with
   | Ok () -> ()
   | Error errors ->
     invalid_arg ("Engine.create: " ^ String.concat "; " errors));
+  if domains < 1 then invalid_arg "Engine.create: domains must be >= 1";
+  let pool, pool_owned =
+    match pool with
+    | Some p -> (Some p, false)
+    | None when domains > 1 ->
+      (Some (Task_pool.create ~name:"engine" ~domains ()), true)
+    | None -> (None, false)
+  in
   let strat =
     match strat with Some s -> s | None -> Stratify.compute program
   in
@@ -340,6 +394,8 @@ let create ?(config = default_config) ?(first_null_label = 1) ?strat program =
     compiled;
     pred_derived = Hashtbl.create 32;
     prof;
+    pool;
+    pool_owned;
     s_stratum = 0;
     s_iteration = 0;
     s_strata_run = 0;
@@ -352,6 +408,11 @@ let create ?(config = default_config) ?(first_null_label = 1) ?strat program =
 let add_fact_array t pred args = ignore (Database.add t.db pred args)
 
 let add_fact t pred args = add_fact_array t pred (Array.of_list args)
+
+let parallelism t =
+  match t.pool with None -> 1 | Some pool -> Task_pool.domains pool
+
+let shutdown t = if t.pool_owned then Option.iter Task_pool.stop t.pool
 
 (* ---- evaluation ------------------------------------------------------- *)
 
@@ -423,7 +484,7 @@ let candidates t ctx pred terms ~delta =
     | Some (pos, value) -> `List (Database.lookup t.db pred ~pos value)
     | None -> `Range (0, Database.pred_size t.db pred))
 
-let run_plan t plan ~delta_range ~prof ctx ~on_binding =
+let run_plan ?(poll = ignore) t plan ~delta_range ~prof ctx ~on_binding =
   let steps = plan in
   let n = Array.length steps in
   let rec exec i =
@@ -437,6 +498,7 @@ let run_plan t plan ~delta_range ~prof ctx ~on_binding =
         let delta = if i = 0 then delta_range else None in
         let visit idx =
           prof.Profile.r_scanned <- prof.Profile.r_scanned + 1;
+          if prof.Profile.r_scanned land 4095 = 0 then poll ();
           let fact = Database.nth t.db pred idx in
           match_terms ctx terms fact (fun () ->
               prof.Profile.r_matched <- prof.Profile.r_matched + 1;
@@ -725,6 +787,218 @@ let eval_timed cr f =
     ~finally:(fun () -> p.Profile.r_time <- p.Profile.r_time +. (Profile.now () -. t0))
     (fun () -> Telemetry.span cr.c_span f)
 
+(* ---- parallel evaluation ---------------------------------------------- *)
+
+(* Parallel evaluation of a plain rule is split into two phases so the
+   result stays byte-identical to sequential evaluation:
+
+   - phase 1 (parallel, read-only): the delta range is cut into
+     contiguous chunks; each worker runs the join plan over its chunk
+     against the frozen database and records, per complete body binding,
+     the values of [c_capture] plus the provenance parents, into a
+     thread-local buffer. Nothing is written to the database, the skolem
+     memo, or the shared profiler.
+   - phase 2 (single-threaded merge): the coordinator replays the
+     buffered bindings in job order, then chunk order, then binding
+     order — exactly the order sequential evaluation would have emitted
+     them — performing skolemization, head evaluation, [Database.add],
+     provenance and derivation book-keeping. Insertion order, labelled
+     null names, dedup outcomes and provenance are therefore identical.
+
+   A (rule, plan) job is eligible only when it is {e snapshot-safe}:
+   its head predicates do not intersect the predicates the plan reads
+   outside its delta atom ([c_plan_reads]), because sequential
+   evaluation lets a rule's inner scans see its own emissions live.
+   Consecutive eligible jobs are batched greedily while no job reads a
+   predicate an earlier job of the batch writes; aggregate rules and
+   zero-atom rules always evaluate sequentially. *)
+
+(* Minimum delta-chunk size worth shipping to a worker: below this the
+   capture/replay overhead dominates the join itself. *)
+let min_chunk = 256
+
+type emission = {
+  e_vals : Value.t array;  (* values of [c_capture], same order *)
+  e_parents : (string * Value.t array) list;  (* as ctx.parents: reverse match order *)
+}
+
+type par_job = { j_cr : compiled_rule; j_plan : int; j_lo : int; j_hi : int }
+
+(* Worker-local profiler counters: summed into the rule's shared
+   accumulator at merge time, keeping the shared record single-writer. *)
+let scratch_prof () =
+  {
+    Profile.r_label = "";
+    r_stratum = 0;
+    r_evals = 0;
+    r_time = 0.0;
+    r_scanned = 0;
+    r_matched = 0;
+    r_bindings = 0;
+    r_derived = 0;
+    r_duplicates = 0;
+    r_nulls = 0;
+    r_groups = 0;
+  }
+
+(* Per-worker budget poll (every 4096 scanned facts, via [run_plan]'s
+   [poll] hook). The partial-progress snapshot reads only coordinator
+   counters, which are frozen during phase 1, so concurrent workers
+   raise identical interrupts. *)
+let worker_poll t budget () =
+  match budget with
+  | None -> ()
+  | Some b -> (
+    match Budget.check b ~facts:t.s_derived with
+    | None -> ()
+    | Some reason ->
+      raise
+        (Interrupted
+           {
+             reason;
+             stratum = t.s_stratum;
+             iteration = t.s_iteration;
+             facts_derived = t.s_derived;
+           }))
+
+(* Cut [lo, hi) into at most [domains * 2] contiguous chunks of at least
+   [min_chunk] facts (except possibly the last remainder distribution). *)
+let chunk_ranges ~domains lo hi =
+  let size = hi - lo in
+  let n = max 1 (min ((size + min_chunk - 1) / min_chunk) (domains * 2)) in
+  let base = size / n and rem = size mod n in
+  List.init n (fun i ->
+      let start = lo + (i * base) + min i rem in
+      (start, start + base + if i < rem then 1 else 0))
+
+let parallel_safe cr k =
+  not (List.exists (fun p -> List.mem p cr.c_heads) cr.c_plan_reads.(k))
+
+let run_parallel_batch t pool ~budget jobs =
+  (* One evaluation per job, accounted up front so [r_evals] matches the
+     sequential count deterministically. *)
+  List.iter
+    (fun j ->
+      let p = j.j_cr.c_prof in
+      p.Profile.r_evals <- p.Profile.r_evals + 1)
+    jobs;
+  let domains = Task_pool.domains pool in
+  let chunks =
+    List.concat_map
+      (fun j ->
+        List.map
+          (fun (lo, hi) -> (j, lo, hi))
+          (chunk_ranges ~domains j.j_lo j.j_hi))
+      jobs
+  in
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun (j, lo, hi) () ->
+           Faultpoint.hit "engine.chunk";
+           worker_poll t budget ();
+           let t0 = Profile.now () in
+           let cr = j.j_cr in
+           let prof = scratch_prof () in
+           let ctx = { env = Hashtbl.create 16; parents = [] } in
+           let buf = ref [] in
+           run_plan t cr.plans.(j.j_plan) ~delta_range:(Some (lo, hi)) ~prof
+             ~poll:(worker_poll t budget) ctx ~on_binding:(fun () ->
+               buf :=
+                 {
+                   e_vals =
+                     Array.map (fun v -> Hashtbl.find ctx.env v) cr.c_capture;
+                   e_parents = ctx.parents;
+                 }
+                 :: !buf);
+           (prof, List.rev !buf, Profile.now () -. t0))
+         chunks)
+  in
+  let results = Task_pool.run_all pool tasks in
+  (* Fail before any merge: a worker error (typed fault, budget
+     interrupt) leaves the database untouched by this batch, and the
+     first task in submission order wins deterministically. *)
+  Array.iter (function Error e -> raise e | Ok _ -> ()) results;
+  let chunks = Array.of_list chunks in
+  let merge_ctx = { env = Hashtbl.create 16; parents = [] } in
+  Array.iteri
+    (fun i (j, _, _) ->
+      match results.(i) with
+      | Error _ -> assert false
+      | Ok (prof, emissions, elapsed) ->
+        let cr = j.j_cr in
+        let p = cr.c_prof in
+        p.Profile.r_time <- p.Profile.r_time +. elapsed;
+        p.Profile.r_scanned <- p.Profile.r_scanned + prof.Profile.r_scanned;
+        p.Profile.r_matched <- p.Profile.r_matched + prof.Profile.r_matched;
+        p.Profile.r_bindings <- p.Profile.r_bindings + prof.Profile.r_bindings;
+        List.iter
+          (fun e ->
+            Hashtbl.reset merge_ctx.env;
+            Array.iteri
+              (fun vi v -> Hashtbl.replace merge_ctx.env cr.c_capture.(vi) v)
+              e.e_vals;
+            merge_ctx.parents <- e.e_parents;
+            ignore (emit_plain t cr merge_ctx))
+          emissions)
+    chunks
+
+(* The parallel counterpart of the sequential plain-rule pass of
+   [run_stratum]: walk the same (rule, delta plan) jobs in the same
+   order, batching consecutive snapshot-safe jobs and flushing a batch
+   whenever the next job must observe its predecessors' emissions. *)
+let run_plain_rules_parallel t pool ~budget ~iteration ~watermark ~snap
+    plain_rules =
+  let seq_eval cr ~delta_range ~plan_idx =
+    eval_timed cr (fun () ->
+        ignore (eval_plain_rule t cr ~delta_range ~plan_idx))
+  in
+  let batch = ref [] (* reversed *) in
+  let batch_heads = ref [] in
+  let flush () =
+    let jobs = List.rev !batch in
+    batch := [];
+    batch_heads := [];
+    match jobs with
+    | [] -> ()
+    | [ j ] when j.j_hi - j.j_lo <= min_chunk ->
+      (* a lone small job gains nothing from the pool *)
+      seq_eval j.j_cr ~delta_range:(Some (j.j_lo, j.j_hi)) ~plan_idx:j.j_plan
+    | jobs -> run_parallel_batch t pool ~budget jobs
+  in
+  List.iter
+    (fun cr ->
+      let n = Array.length cr.pos_atoms in
+      if n = 0 then begin
+        if iteration = 1 then begin
+          flush ();
+          seq_eval cr ~delta_range:None ~plan_idx:n
+        end
+      end
+      else
+        for k = 0 to n - 1 do
+          let pred = fst cr.pos_atoms.(k) in
+          let lo = watermark pred and hi = snap pred in
+          if lo < hi then begin
+            Telemetry.observe "engine.iteration.delta" (float_of_int (hi - lo));
+            if parallel_safe cr k then begin
+              if
+                List.exists
+                  (fun p -> List.mem p !batch_heads)
+                  cr.c_plan_reads.(k)
+              then flush ();
+              batch := { j_cr = cr; j_plan = k; j_lo = lo; j_hi = hi } :: !batch;
+              batch_heads := cr.c_heads @ !batch_heads
+            end
+            else begin
+              flush ();
+              seq_eval cr ~delta_range:(Some (lo, hi)) ~plan_idx:k
+            end
+          end
+        done)
+    plain_rules;
+  flush ()
+
 let is_bind_rule cr =
   match cr.agg with
   | Some { agg_result = Rule.Bind _; _ } -> true
@@ -799,26 +1073,33 @@ let run_stratum ?budget t index rules =
     let snap pred =
       match Hashtbl.find_opt snapshot pred with Some s -> s | None -> 0
     in
-    List.iter
-      (fun cr ->
-        let n = Array.length cr.pos_atoms in
-        if n = 0 then begin
-          if !iteration = 1 then
-            eval_timed cr (fun () ->
-                ignore (eval_plain_rule t cr ~delta_range:None ~plan_idx:n))
-        end
-        else
-          for k = 0 to n - 1 do
-            let pred = fst cr.pos_atoms.(k) in
-            let lo = watermark pred and hi = snap pred in
-            if lo < hi then begin
-              Telemetry.observe "engine.iteration.delta" (float_of_int (hi - lo));
+    (match t.pool with
+    | Some pool ->
+      run_plain_rules_parallel t pool ~budget ~iteration:!iteration ~watermark
+        ~snap plain_rules
+    | None ->
+      List.iter
+        (fun cr ->
+          let n = Array.length cr.pos_atoms in
+          if n = 0 then begin
+            if !iteration = 1 then
               eval_timed cr (fun () ->
-                  ignore
-                    (eval_plain_rule t cr ~delta_range:(Some (lo, hi)) ~plan_idx:k))
-            end
-          done)
-      plain_rules;
+                  ignore (eval_plain_rule t cr ~delta_range:None ~plan_idx:n))
+          end
+          else
+            for k = 0 to n - 1 do
+              let pred = fst cr.pos_atoms.(k) in
+              let lo = watermark pred and hi = snap pred in
+              if lo < hi then begin
+                Telemetry.observe "engine.iteration.delta"
+                  (float_of_int (hi - lo));
+                eval_timed cr (fun () ->
+                    ignore
+                      (eval_plain_rule t cr ~delta_range:(Some (lo, hi))
+                         ~plan_idx:k))
+              end
+            done)
+        plain_rules);
     List.iter
       (fun cr ->
         let dirty =

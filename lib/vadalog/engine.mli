@@ -15,19 +15,35 @@
     - every derived fact can record its rule and parent facts for
       {!Provenance} explanations.
 
+    {b Parallel evaluation.} With [~domains:N] (or a shared [~pool]),
+    {!run} evaluates each stratum's plain rules across OCaml 5 domains:
+    batches of snapshot-safe (rule, delta-plan) jobs run a read-only
+    join phase in parallel over contiguous delta chunks, then a
+    single-threaded merge replays the buffered bindings in sequential
+    emission order. Results — fact insertion order, labelled-null
+    names, provenance, dedup and aggregate-contributor semantics — are
+    byte-identical to [~domains:1]. Rules whose plans read their own
+    head predicates, aggregate rules and zero-atom rules fall back to
+    sequential evaluation; see [docs/PERFORMANCE.md].
+
     {b Thread-safety contract.} An engine is {e single-writer}: at most
     one domain at a time may call {!create}, {!add_fact},
     {!add_fact_array} or {!run}, with no concurrent readers while it
-    does. Once {!run} has returned and no further mutation happens, the
-    engine is {e quiescent} and any number of domains may concurrently
-    call the read side — {!facts}, {!explain}, {!stats}, {!profile_report},
+    does. (Parallel evaluation does not relax this: the engine's own
+    workers only ever read the database concurrently — every write
+    happens on the domain that called {!run}.) Once {!run} has returned
+    and no further mutation happens, the engine is {e quiescent} and
+    any number of domains may concurrently call the read side —
+    {!facts}, {!explain}, {!stats}, {!profile_report},
     {!Database.lookup} on {!database}, … — including the lazily-built
     positional indexes, whose publication is made read-after-publish safe
     in {!Database} (fully-built tables swapped in atomically). Global
     telemetry ({!Vadasa_telemetry}) is {e not} domain-safe: concurrent
     engine runs must keep the gated global registry disabled and rely on
     the always-on per-engine {!profile} instead, which touches only
-    engine-local state. *)
+    engine-local state (under parallel evaluation, per-rule telemetry
+    spans are skipped inside batches for the same reason — only the
+    coordinator emits spans). *)
 
 type config = {
   track_provenance : bool;  (** default [true] *)
@@ -64,6 +80,7 @@ type t
 
 val create :
   ?config:config -> ?first_null_label:int -> ?strat:Stratify.t ->
+  ?domains:int -> ?pool:Vadasa_base.Task_pool.t ->
   Program.t -> t
 (** Loads the program's inline facts; raises [Invalid_argument] on programs
     that fail {!Program.validate} and {!Stratify.Not_stratifiable} on
@@ -74,7 +91,16 @@ val create :
     rules (unchecked); callers that cache program analysis across runs
     (the server's compiled-program cache) use it to skip re-stratifying,
     since {!Program.union} with a facts-only program keeps rule ids
-    stable. *)
+    stable.
+
+    [domains] (default [1], must be ≥ 1) enables parallel evaluation:
+    the engine creates — and owns — a {!Vadasa_base.Task_pool} of that
+    many domains, released by {!shutdown}. [pool] instead {e borrows} an
+    existing pool (it wins over [domains] when both are given and is
+    never stopped by {!shutdown}); a server with its own request
+    workers shares one engine pool across requests this way, keeping
+    the process-wide domain count fixed. With [domains = 1] and no
+    [pool], evaluation is exactly the sequential engine. *)
 
 val add_fact : t -> string -> Vadasa_base.Value.t list -> unit
 
@@ -84,10 +110,23 @@ val run : ?budget:Vadasa_base.Budget.t -> t -> unit
 (** Saturate. Idempotent: calling [run] again after adding facts resumes
     from the current state (all strata re-run). [budget] enables
     cooperative cancellation: it is polled at every stratum entry and
-    fixpoint-iteration boundary, raising {!Interrupted} when exhausted
-    (partial results stay in the database, telemetry is still
-    published). Without [budget] the only guards are the {!config}
-    limits. *)
+    fixpoint-iteration boundary — and, under parallel evaluation,
+    {e per worker} every 4096 scanned facts — raising {!Interrupted}
+    when exhausted (partial results stay in the database, telemetry is
+    still published; an interrupt raised inside a parallel batch
+    discards that batch's not-yet-merged bindings, so the database
+    holds only whole-batch prefixes). Without [budget] the only guards
+    are the {!config} limits. *)
+
+val parallelism : t -> int
+(** Domains evaluation may use: the pool's size, or [1] when the engine
+    is sequential. *)
+
+val shutdown : t -> unit
+(** Stop the worker pool created by [create ~domains:N]. No-op for
+    sequential engines and for engines borrowing a caller-supplied
+    [~pool] (the caller owns that pool's lifecycle). The engine remains
+    usable afterwards — evaluation just runs on the calling domain. *)
 
 val facts : t -> string -> Vadasa_base.Value.t array list
 (** Facts of a predicate, insertion order. *)

@@ -1,0 +1,167 @@
+(* Markdown link checker for the repository's documentation.
+
+   Usage: linkcheck FILE-OR-DIR ...
+   Directories are scanned (non-recursively) for *.md files.
+
+   Checks every inline link [text](target) outside fenced code blocks:
+
+   - http(s)/mailto targets are skipped (no network);
+   - relative file targets must exist (relative to the linking file);
+   - anchor targets (#section, FILE.md#section) must match a heading of
+     the target document under GitHub's slug rules: lowercase, spaces
+     to hyphens, punctuation stripped, duplicate slugs suffixed -1, -2…
+
+   Exits 1 listing every broken link, 0 when all links resolve. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Lines of a document with fenced code blocks blanked out, so neither
+   links nor #-comments inside fences are interpreted. *)
+let visible_lines text =
+  let lines = String.split_on_char '\n' text in
+  let in_fence = ref false in
+  List.map
+    (fun line ->
+      let trimmed = String.trim line in
+      let fence =
+        String.length trimmed >= 3
+        && (String.sub trimmed 0 3 = "```" || String.sub trimmed 0 3 = "~~~")
+      in
+      if fence then begin
+        in_fence := not !in_fence;
+        ""
+      end
+      else if !in_fence then ""
+      else line)
+    lines
+
+(* GitHub's heading → anchor slug: lowercase, keep word characters and
+   hyphens, spaces become hyphens, everything else is dropped. *)
+let slug heading =
+  let buf = Buffer.create (String.length heading) in
+  String.iter
+    (fun c ->
+      match Char.lowercase_ascii c with
+      | ('a' .. 'z' | '0' .. '9' | '_' | '-') as c -> Buffer.add_char buf c
+      | ' ' -> Buffer.add_char buf '-'
+      | _ -> ())
+    (String.trim heading);
+  Buffer.contents buf
+
+let anchors_of text =
+  let counts = Hashtbl.create 16 in
+  List.filter_map
+    (fun line ->
+      let n = String.length line in
+      let rec hashes i = if i < n && line.[i] = '#' then hashes (i + 1) else i in
+      let h = hashes 0 in
+      if h = 0 || h > 6 || h = n || line.[h] <> ' ' then None
+      else begin
+        let s = slug (String.sub line (h + 1) (n - h - 1)) in
+        let seen = Option.value ~default:0 (Hashtbl.find_opt counts s) in
+        Hashtbl.replace counts s (seen + 1);
+        Some (if seen = 0 then s else Printf.sprintf "%s-%d" s seen)
+      end)
+    (visible_lines text)
+
+(* Inline [text](target) links per line, fences removed. Skips image
+   links' leading '!' implicitly (the '](' pattern is the same) and
+   ignores code-span contents conservatively only via fencing — the
+   docs do not put bracketed links inside inline code. *)
+let links_of text =
+  let links = ref [] in
+  List.iteri
+    (fun lineno line ->
+      let n = String.length line in
+      let rec scan i =
+        if i + 1 < n then
+          if line.[i] = ']' && line.[i + 1] = '(' then begin
+            (match String.index_from_opt line (i + 2) ')' with
+            | Some close when close > i + 2 ->
+              let target = String.sub line (i + 2) (close - i - 2) in
+              links := (lineno + 1, target) :: !links
+            | _ -> ());
+            scan (i + 2)
+          end
+          else scan (i + 1)
+      in
+      scan 0)
+    (visible_lines text);
+  List.rev !links
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let errors = ref 0
+
+let fail file lineno fmt =
+  incr errors;
+  Printf.ksprintf (fun msg -> Printf.printf "%s:%d: %s\n" file lineno msg) fmt
+
+let check_anchor ~file ~lineno ~target path anchor =
+  match anchors_of (read_file path) with
+  | anchors when List.mem anchor anchors -> ()
+  | anchors ->
+    fail file lineno "broken anchor %s (%s has: %s)" target
+      (Filename.basename path)
+      (String.concat ", " (List.map (fun a -> "#" ^ a) anchors))
+
+let check_link file lineno target =
+  if
+    starts_with "http://" target || starts_with "https://" target
+    || starts_with "mailto:" target
+  then ()
+  else
+    let path, anchor =
+      match String.index_opt target '#' with
+      | Some i ->
+        ( String.sub target 0 i,
+          Some (String.sub target (i + 1) (String.length target - i - 1)) )
+      | None -> (target, None)
+    in
+    let resolved =
+      if path = "" then file else Filename.concat (Filename.dirname file) path
+    in
+    if not (Sys.file_exists resolved) then
+      fail file lineno "broken link %s (no such file %s)" target resolved
+    else
+      match anchor with
+      | None -> ()
+      | Some _ when Sys.is_directory resolved ->
+        fail file lineno "anchor into a directory: %s" target
+      | Some a -> check_anchor ~file ~lineno ~target resolved a
+
+let check_file file =
+  List.iter (fun (lineno, target) -> check_link file lineno target)
+    (links_of (read_file file))
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then begin
+    prerr_endline "usage: linkcheck FILE-OR-DIR ...";
+    exit 2
+  end;
+  let files =
+    List.concat_map
+      (fun arg ->
+        if Sys.is_directory arg then
+          Sys.readdir arg |> Array.to_list |> List.sort compare
+          |> List.filter (fun f -> Filename.check_suffix f ".md")
+          |> List.map (Filename.concat arg)
+        else [ arg ])
+      args
+  in
+  List.iter check_file files;
+  if !errors > 0 then begin
+    Printf.printf "linkcheck: %d broken link(s) in %d file(s)\n" !errors
+      (List.length files);
+    exit 1
+  end
+  else
+    Printf.printf "linkcheck: %d file(s), all links resolve\n"
+      (List.length files)
