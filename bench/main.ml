@@ -62,6 +62,11 @@ let bench_registry = ref (T.create ())
 
 let timed name f = T.Span.timed ~registry:!bench_registry name f
 
+(* Histograms grafted onto the figure's JSON report at write time —
+   the scaling figure records the engine's pool/chunk/merge metrics per
+   (workload, domain count) under [chase.<wl>.d<N>.<metric>]. *)
+let extra_histograms : (string * T.Histogram.summary) list ref = ref []
+
 (* ------------------------------------------------------------------ *)
 (* Figure 1: the I&G microdata fragment and its re-identification
    risks (paper quotes tuples 15, 7 and 4). *)
@@ -587,12 +592,20 @@ let scaling () =
     band_n chain_n;
   Printf.printf "  %-10s %-8s %-10s %-10s %s\n" "workload" "domains"
     "time (s)" "speedup" "facts";
+  (* The sweep runs with the global registry armed so the engine's
+     pool.wait / engine.chunk.* / engine.merge.* histograms record on
+     the worker domains; each (workload, domains) cell is captured,
+     printed, and grafted onto BENCH_scaling.json as
+     [chase.<wl>.d<N>.<metric>]. *)
+  let was_enabled = T.enabled () in
   List.iter
     (fun (wl, program) ->
       let base = ref nan in
       let reference = ref (-1) in
       List.iter
         (fun d ->
+          T.reset T.global;
+          T.set_enabled true;
           let facts, t =
             timed
               (Printf.sprintf "chase.%s.d%d" wl d)
@@ -604,12 +617,49 @@ let scaling () =
                     V.Engine.run engine;
                     V.Database.total (V.Engine.database engine)))
           in
+          T.set_enabled was_enabled;
+          let captured = T.Report.capture T.global in
+          T.reset T.global;
           if Float.is_nan !base then base := t;
           if !reference < 0 then reference := facts
           else assert (facts = !reference);
           Printf.printf "  %-10s %-8d %-10.3f %-10s %d\n" wl d t
             (Printf.sprintf "%.2fx" (!base /. t))
-            facts)
+            facts;
+          let pool_metrics =
+            List.filter
+              (fun (name, _) ->
+                List.exists
+                  (fun prefix -> String.starts_with ~prefix name)
+                  [ "pool."; "engine.chunk."; "engine.merge." ])
+              captured.T.Report.histograms
+          in
+          List.iter
+            (fun (name, s) ->
+              extra_histograms :=
+                (Printf.sprintf "chase.%s.d%d.%s" wl d name, s)
+                :: !extra_histograms)
+            pool_metrics;
+          if d > 1 && pool_metrics <> [] then begin
+            let find name =
+              List.assoc_opt name pool_metrics
+            in
+            let mean name =
+              match find name with
+              | Some s when s.T.Histogram.count > 0 -> s.T.Histogram.mean
+              | _ -> 0.0
+            in
+            let total name =
+              match find name with Some s -> s.T.Histogram.sum | None -> 0.0
+            in
+            Printf.printf
+              "  %-10s %-8s wait mean %.2gs · join mean %.2gs · merge total \
+               %.3fs\n"
+              "" ""
+              (mean "pool.wait")
+              (mean "engine.chunk.join")
+              (total "engine.merge.replay")
+          end)
         sweep)
     [ ("band", band); ("closure", closure) ];
   note "identical fact counts across domain counts (byte-identity is";
@@ -648,6 +698,17 @@ let resolve path =
 
 let write_bench_report ~json_dir name =
   let report = T.Report.capture !bench_registry in
+  let report =
+    match !extra_histograms with
+    | [] -> report
+    | extras ->
+      {
+        report with
+        T.Report.histograms =
+          report.T.Report.histograms
+          @ List.sort (fun (a, _) (b, _) -> String.compare a b) extras;
+      }
+  in
   let file = Filename.concat json_dir ("BENCH_" ^ name ^ ".json") in
   let oc = open_out file in
   output_string oc (T.Json.to_string ~indent:true (T.Report.to_json report));
@@ -806,6 +867,7 @@ let () =
       (* A fresh registry per figure so each BENCH_<figure>.json report
          holds exactly that figure's spans. *)
       bench_registry := T.create ();
+      extra_histograms := [];
       ignore (timed ("bench." ^ name) f);
       if !json then write_bench_report ~json_dir:!json_dir name;
       Option.iter

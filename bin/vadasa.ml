@@ -711,7 +711,34 @@ let profile_cmd =
     let report = V.Engine.profile_report engine in
     if json_out then
       print_endline (T.Json.to_string ~indent:true (V.Profile.to_json report))
-    else print_string (V.Profile.to_text ?top report);
+    else begin
+      print_string (V.Profile.to_text ?top report);
+      (* The parallel-chase cost table: where the domains actually
+         spend their time (queue wait, chunk joins) and how long the
+         single-threaded merge replay holds them all up. *)
+      if domains > 1 then begin
+        let captured = T.Report.capture T.global in
+        let pool_metrics =
+          List.filter
+            (fun (name, _) ->
+              List.exists
+                (fun prefix -> String.starts_with ~prefix name)
+                [ "pool."; "engine.chunk."; "engine.merge." ])
+            captured.T.Report.histograms
+        in
+        if pool_metrics <> [] then begin
+          Printf.printf "\nparallel chase (%d domains):\n" domains;
+          Printf.printf "  %-24s %8s %12s %12s %12s %12s\n" "metric" "count"
+            "mean" "p50" "p95" "max";
+          List.iter
+            (fun (name, s) ->
+              Printf.printf "  %-24s %8d %12.4g %12.4g %12.4g %12.4g\n" name
+                s.T.Histogram.count s.T.Histogram.mean s.T.Histogram.p50
+                s.T.Histogram.p95 s.T.Histogram.max)
+            pool_metrics
+        end
+      end
+    end;
     finish ()
   in
   Cmd.v
@@ -783,8 +810,18 @@ let serve_cmd =
       & info [ "max-body" ] ~docv:"BYTES"
           ~doc:"Largest accepted request body (413 beyond it).")
   in
+  let trace_sample_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            "Dump every Nth request's full span tree as a JSON line on the \
+             $(b,--metrics-out) sink (requires $(b,--metrics-out)); lines \
+             carry the request id, so traces join against access-log lines.")
+  in
   let run (finish, sink, (_, max_facts)) host port domains engine_domains queue
-      timeout max_body =
+      timeout max_body trace_sample =
     if domains < 1 then begin
       Printf.eprintf "error: --domains must be >= 1\n";
       exit 1
@@ -797,6 +834,11 @@ let serve_cmd =
       Printf.eprintf "error: --queue must be >= 1\n";
       exit 1
     end;
+    (match trace_sample with
+    | Some n when n < 1 ->
+      Printf.eprintf "error: --trace-sample must be >= 1\n";
+      exit 1
+    | _ -> ());
     let config =
       {
         Srv.Server.host;
@@ -806,18 +848,20 @@ let serve_cmd =
         request_timeout = timeout;
         max_body_bytes = max_body;
         access_log = sink;
+        trace_sample;
       }
     in
-    (* The global gated telemetry registry is not domain-safe (see the
-       engine's thread-safety contract): keep it off while worker
-       domains run. /metrics and the access log carry the server's
-       observability instead. *)
-    T.set_enabled false;
+    (* The registry shards per domain, so the gated global telemetry is
+       safe (and useful) under the worker pool: request spans, latency
+       histograms and engine metrics all record concurrently and merge
+       at capture — /metrics exposes them, Prometheus format included. *)
+    T.set_enabled true;
     let engine_pool =
       if engine_domains > 1 then
         Some
-          (Vadasa_base.Task_pool.create ~name:"engine" ~domains:engine_domains
-             ())
+          (Vadasa_base.Task_pool.create ~name:"engine"
+             ~on_wait:(fun dt -> T.observe "pool.wait" dt)
+             ~domains:engine_domains ())
       else None
     in
     let handlers =
@@ -849,7 +893,8 @@ let serve_cmd =
           See docs/SERVER.md.")
     Term.(
       const run $ common_term $ host_arg $ port_arg $ domains_arg
-      $ engine_domains_arg $ queue_arg $ timeout_arg $ max_body_arg)
+      $ engine_domains_arg $ queue_arg $ timeout_arg $ max_body_arg
+      $ trace_sample_arg)
 
 (* ---- main ------------------------------------------------------------------------- *)
 

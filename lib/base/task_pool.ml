@@ -29,6 +29,10 @@ type t = {
   pending : batch Queue.t;
   stop_flag : bool Atomic.t;
   mutable workers : unit Domain.t list;
+  on_wait : (float -> unit) option;
+      (* Queue-wait observer: seconds between a batch's submission and
+         each task's start, invoked on the domain that runs the task.
+         Injected as a callback so [lib/base] stays telemetry-free. *)
 }
 
 let domains t = t.n_domains
@@ -68,7 +72,7 @@ let rec worker_loop t =
       task ();
       worker_loop t
 
-let create ?(name = "task-pool") ~domains () =
+let create ?(name = "task-pool") ?on_wait ~domains () =
   if domains < 1 then
     invalid_arg (Printf.sprintf "Task_pool.create (%s): domains must be >= 1" name);
   let t =
@@ -80,6 +84,7 @@ let create ?(name = "task-pool") ~domains () =
       pending = Queue.create ();
       stop_flag = Atomic.make false;
       workers = [];
+      on_wait;
     }
   in
   t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
@@ -100,7 +105,11 @@ let run_all t tasks =
     let bm = Mutex.create () in
     let bc = Condition.create () in
     let remaining = ref n in
+    let submitted = Unix.gettimeofday () in
     let run_one i =
+      (match t.on_wait with
+      | Some f -> f (Unix.gettimeofday () -. submitted)
+      | None -> ());
       let r = (match tasks.(i) () with v -> Ok v | exception e -> Error e) in
       results.(i) <- Some r;
       Mutex.lock bm;

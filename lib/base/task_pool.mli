@@ -21,10 +21,16 @@
 
 type t
 
-val create : ?name:string -> domains:int -> unit -> t
+val create : ?name:string -> ?on_wait:(float -> unit) -> domains:int -> unit -> t
 (** Spawn [domains - 1] worker domains ([domains] must be >= 1; the
     calling domain is the remaining unit of parallelism). [name] only
-    labels log lines. Raises [Invalid_argument] when [domains < 1]. *)
+    labels log lines. [on_wait] observes per-task queue wait: it is
+    called once per task that runs through a parallel {!run_all}, with
+    the seconds elapsed between the batch's submission and that task's
+    start, on the domain that runs the task — inject a telemetry probe
+    here ([lib/base] itself stays dependency-free). It is not called on
+    the sequential path (one domain, one task, or a stopped pool).
+    Raises [Invalid_argument] when [domains < 1]. *)
 
 val domains : t -> int
 (** The parallelism the pool was created with (workers + the

@@ -24,6 +24,7 @@ module Json = Vadasa_base.Json
 module E = Vadasa_base.Error
 module Budget = Vadasa_base.Budget
 module Faultpoint = Vadasa_resilience.Faultpoint
+module Telemetry = Vadasa_telemetry.Telemetry
 module S = Vadasa_sdc
 module D = Vadasa_datagen
 module V = Vadasa_vadalog
@@ -258,31 +259,108 @@ let reason t req =
           md risks)
     ^ "\n")
 
-let metrics ?(extra = fun () -> []) t _req =
-  let requests =
-    Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (request_counts t))
+(* The labeled series living outside the telemetry registry: request
+   counters, cache statistics, breaker states, uptime. The registry
+   itself (engine/pool/latency instruments, merged across worker-domain
+   shards) renders first via [Telemetry.Prometheus.render]. *)
+let prometheus_body ?(extra_prom = fun () -> "") t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Telemetry.Prometheus.render
+       (Telemetry.Report.capture Telemetry.global));
+  Prom.family buf ~name:"vadasa_uptime_seconds"
+    ~help:"Seconds since the handlers were created" ~typ:"gauge";
+  Prom.sample_float buf ~name:"vadasa_uptime_seconds"
+    (Unix.gettimeofday () -. t.started_at);
+  Prom.family buf ~name:"vadasa_http_requests_total"
+    ~help:"Guarded requests by method, path and status" ~typ:"counter";
+  List.iter
+    (fun (key, n) ->
+      match String.split_on_char ' ' key with
+      | [ meth; path; status ] ->
+        Prom.sample_int buf ~name:"vadasa_http_requests_total"
+          ~labels:[ ("method", meth); ("path", path); ("status", status) ]
+          n
+      | _ -> ())
+    (request_counts t);
+  let cache_series name help value_programs value_datasets =
+    Prom.family buf ~name ~help ~typ:"counter";
+    Prom.sample_int buf ~name
+      ~labels:[ ("cache", Cache.name t.programs) ]
+      value_programs;
+    Prom.sample_int buf ~name
+      ~labels:[ ("cache", Cache.name t.datasets) ]
+      value_datasets
   in
-  let body =
-    Json.Obj
-      ([
-         ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
-         ( "caches",
-           Json.Obj
-             [
-               ("programs", Cache.stats t.programs);
-               ("datasets", Cache.stats t.datasets);
-             ] );
-         ("requests", requests);
-         ("breaker", Breaker.stats t.breaker);
-         ( "faults_armed",
-           Json.List
-             (List.map
-                (fun (name, action) -> Json.Str (name ^ ":" ^ action))
-                (Faultpoint.armed ())) );
-       ]
-      @ extra ())
-  in
-  Http.response ~status:200 (Json.to_string ~indent:true body ^ "\n")
+  cache_series "vadasa_cache_hits_total" "Cache lookup hits"
+    (Cache.hits t.programs) (Cache.hits t.datasets);
+  cache_series "vadasa_cache_misses_total" "Cache lookup misses"
+    (Cache.misses t.programs) (Cache.misses t.datasets);
+  cache_series "vadasa_cache_evictions_total" "Cache LRU evictions"
+    (Cache.evictions t.programs) (Cache.evictions t.datasets);
+  Prom.family buf ~name:"vadasa_cache_size"
+    ~help:"Entries currently cached" ~typ:"gauge";
+  Prom.sample_int buf ~name:"vadasa_cache_size"
+    ~labels:[ ("cache", Cache.name t.programs) ]
+    (Cache.size t.programs);
+  Prom.sample_int buf ~name:"vadasa_cache_size"
+    ~labels:[ ("cache", Cache.name t.datasets) ]
+    (Cache.size t.datasets);
+  Prom.family buf ~name:"vadasa_breaker_state"
+    ~help:"Circuit state per endpoint: 0 closed, 1 half-open, 2 open"
+    ~typ:"gauge";
+  (match Breaker.stats t.breaker with
+  | Json.Obj circuits ->
+    List.iter
+      (fun (endpoint, circuit) ->
+        let state =
+          match circuit with
+          | Json.Obj fields -> (
+            match List.assoc_opt "state" fields with
+            | Some (Json.Str s) -> s
+            | _ -> "closed")
+          | _ -> "closed"
+        in
+        let v =
+          match state with "open" -> 2 | "half_open" -> 1 | _ -> 0
+        in
+        Prom.sample_int buf ~name:"vadasa_breaker_state"
+          ~labels:[ ("endpoint", endpoint) ]
+          v)
+      circuits
+  | _ -> ());
+  Buffer.add_string buf (extra_prom ());
+  Buffer.contents buf
+
+let metrics ?(extra = fun () -> []) ?extra_prom t req =
+  if Prom.wants_prometheus req then
+    Http.response ~content_type:Prom.content_type ~status:200
+      (prometheus_body ?extra_prom t)
+  else
+    let requests =
+      Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (request_counts t))
+    in
+    let body =
+      Json.Obj
+        ([
+           ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+           ( "caches",
+             Json.Obj
+               [
+                 ("programs", Cache.stats t.programs);
+                 ("datasets", Cache.stats t.datasets);
+               ] );
+           ("requests", requests);
+           ("breaker", Breaker.stats t.breaker);
+           ( "faults_armed",
+             Json.List
+               (List.map
+                  (fun (name, action) -> Json.Str (name ^ ":" ^ action))
+                  (Faultpoint.armed ())) );
+         ]
+        @ extra ())
+    in
+    Http.response ~status:200 (Json.to_string ~indent:true body ^ "\n")
 
 (* ---- router ------------------------------------------------------------- *)
 
@@ -328,11 +406,11 @@ let guard t handler req =
   count t req resp;
   resp
 
-let router ?extra_metrics t =
+let router ?extra_metrics ?extra_prom t =
   Router.create
     [
       (Http.GET, "/healthz", guard t (healthz t));
-      (Http.GET, "/metrics", guard t (metrics ?extra:extra_metrics t));
+      (Http.GET, "/metrics", guard t (metrics ?extra:extra_metrics ?extra_prom t));
       (Http.POST, "/v1/risk", guard t (risk t));
       (Http.POST, "/v1/anonymize", guard t (anonymize t));
       (Http.POST, "/v1/categorize", guard t (categorize t));

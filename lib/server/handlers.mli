@@ -73,7 +73,15 @@ val budget_of : Http.request -> Codec.options -> Vadasa_base.Budget.t option
 
 val router :
   ?extra_metrics:(unit -> (string * Vadasa_base.Json.t) list) ->
+  ?extra_prom:(unit -> string) ->
   t ->
   Router.t
 (** The standard endpoint surface; [extra_metrics] lets the server add
-    pool statistics to [GET /metrics]. *)
+    pool statistics to the JSON [GET /metrics] body, [extra_prom]
+    appends extra exposition text (pool series) to the Prometheus body.
+
+    [GET /metrics] content-negotiates: an [Accept] header naming
+    [text/plain] (e.g. [text/plain; version=0.0.4]) or an OpenMetrics
+    type selects Prometheus text exposition — the telemetry registry
+    merged across worker-domain shards, plus request counters, cache
+    and breaker series; anything else keeps the JSON body. *)

@@ -1,0 +1,31 @@
+(** Prometheus text-exposition helpers for [/metrics] content
+    negotiation.
+
+    [Telemetry.Prometheus.render] covers the telemetry registry; these
+    helpers render everything that lives outside it (request counters,
+    cache/breaker/pool statistics) as labeled series appended to the
+    same body. See [docs/SERVER.md] for the resulting series. *)
+
+val content_type : string
+(** ["text/plain; version=0.0.4; charset=utf-8"]. *)
+
+val wants_prometheus : Http.request -> bool
+(** [true] when the request's [Accept] header names a plain-text or
+    OpenMetrics media type (e.g. [text/plain; version=0.0.4]); a
+    missing header or a bare [*/*] keeps the JSON body. *)
+
+val label_escape : string -> string
+(** Escape a label value: backslash, double quote and newline. *)
+
+val family : Buffer.t -> name:string -> help:string -> typ:string -> unit
+(** Append the [# HELP]/[# TYPE] preamble of one metric family. The
+    caller is responsible for [name] already being a valid Prometheus
+    metric name (see [Telemetry.prometheus_name]). *)
+
+val sample_int :
+  Buffer.t -> name:string -> ?labels:(string * string) list -> int -> unit
+(** Append one sample line, e.g.
+    [vadasa_http_requests_total{path="/v1/risk"} 7]. *)
+
+val sample_float :
+  Buffer.t -> name:string -> ?labels:(string * string) list -> float -> unit

@@ -12,6 +12,7 @@
 
 module Json = Vadasa_base.Json
 module Clock = Vadasa_base.Clock
+module Telemetry = Vadasa_telemetry.Telemetry
 
 type config = {
   host : string;
@@ -21,6 +22,8 @@ type config = {
   request_timeout : float;  (* seconds, read deadline + max queue wait *)
   max_body_bytes : int;
   access_log : (string -> unit) option;  (* one JSON line per request *)
+  trace_sample : int option;
+      (* every Nth request dumps its span tree to [access_log] *)
 }
 
 let default_config =
@@ -32,6 +35,7 @@ let default_config =
     request_timeout = 30.0;
     max_body_bytes = Http.default_limits.Http.max_body_bytes;
     access_log = None;
+    trace_sample = None;
   }
 
 type t = {
@@ -44,6 +48,7 @@ type t = {
   stop_r : Unix.file_descr;  (* self-pipe: handlers write, accept loop reads *)
   stop_w : Unix.file_descr;
   stopping : bool Atomic.t;
+  request_seq : int Atomic.t;  (* drives id generation + trace sampling *)
   mutable accept_domain : unit Domain.t option;
 }
 
@@ -73,13 +78,38 @@ let create ?(config = default_config) ?router handlers =
           ~queue_capacity:config.queue_capacity ()
       in
       let stop_r, stop_w = Unix.pipe () in
+      let pool_prom () =
+        let buf = Buffer.create 512 in
+        Prom.family buf ~name:"vadasa_pool_queue_depth"
+          ~help:"Jobs waiting in the HTTP worker pool queue" ~typ:"gauge";
+        Prom.sample_int buf ~name:"vadasa_pool_queue_depth"
+          (Pool.queue_length pool);
+        let submitted, rejected, completed, expired, raised =
+          Pool.counters pool
+        in
+        Prom.family buf ~name:"vadasa_pool_jobs_total"
+          ~help:"HTTP worker pool jobs by outcome" ~typ:"counter";
+        List.iter
+          (fun (outcome, v) ->
+            Prom.sample_int buf ~name:"vadasa_pool_jobs_total"
+              ~labels:[ ("outcome", outcome) ]
+              v)
+          [
+            ("submitted", submitted);
+            ("rejected", rejected);
+            ("completed", completed);
+            ("expired", expired);
+            ("raised", raised);
+          ];
+        Buffer.contents buf
+      in
       let router =
         match router with
         | Some r -> r
         | None ->
           Handlers.router
             ~extra_metrics:(fun () -> [ ("pool", Pool.stats pool) ])
-            handlers
+            ~extra_prom:pool_prom handlers
       in
       {
         config;
@@ -91,6 +121,7 @@ let create ?(config = default_config) ?router handlers =
         stop_r;
         stop_w;
         stopping = Atomic.make false;
+        request_seq = Atomic.make 0;
         accept_domain = None;
       }
     with e ->
@@ -109,7 +140,10 @@ let install_signal_handlers t =
   Sys.set_signal Sys.sigint handle;
   Sys.set_signal Sys.sigterm handle
 
-let log_request t ~(req : Http.request option) ~status ~bytes ~elapsed =
+(* One JSONL access-log line per request; the field schema is
+   documented in docs/SERVER.md (keep the two in sync). *)
+let log_request t ~(req : Http.request option) ~request_id ~status ~bytes
+    ~elapsed =
   match t.config.access_log with
   | None -> ()
   | Some sink ->
@@ -118,16 +152,20 @@ let log_request t ~(req : Http.request option) ~status ~bytes ~elapsed =
       | Some r -> (Http.meth_to_string r.Http.meth, r.Http.path)
       | None -> ("-", "-")
     in
+    let endpoint = if meth = "-" then "-" else meth ^ " " ^ path in
     sink
       (Json.to_string
          (Json.Obj
             [
               ("ts", Json.Float (Unix.gettimeofday ()));
+              ("request_id", Json.Str (Option.value ~default:"-" request_id));
               ("method", Json.Str meth);
               ("path", Json.Str path);
+              ("endpoint", Json.Str endpoint);
               ("status", Json.Int status);
               ("bytes", Json.Int bytes);
               ("elapsed_s", Json.Float elapsed);
+              ("latency_ms", Json.Float (elapsed *. 1000.0));
             ]))
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
@@ -144,31 +182,118 @@ let write_guarded fd resp =
     | bytes -> (fallback.Http.status, bytes)
     | exception Vadasa_base.Error.Error _ -> (fallback.Http.status, 0))
 
+(* Correlation ids: the client's [X-Vadasa-Request-Id] wins (so a
+   gateway's id threads through); otherwise µs timestamp + process-wide
+   sequence — unique within a process and sortable across one. *)
+let gen_request_id t =
+  Printf.sprintf "%012x-%04x"
+    (Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e6))
+    land 0xffff_ffff_ffff)
+    (Atomic.fetch_and_add t.request_seq 1 land 0xffff)
+
+let request_id_header = "x-vadasa-request-id"
+
+(* The span name for an endpoint: "POST v1.risk" — slashes become dots
+   so the slash-joined span *path* hierarchy stays intact. *)
+let endpoint_span_name meth path =
+  let dotted =
+    String.split_on_char '/' path
+    |> List.filter (fun s -> s <> "")
+    |> String.concat "."
+  in
+  if dotted = "" then meth else meth ^ " " ^ dotted
+
+let trace_line ~request_id events =
+  Json.to_string
+    (Json.Obj
+       [
+         ("trace", Json.Str "request");
+         ("request_id", Json.Str request_id);
+         ( "spans",
+           Json.List
+             (List.map
+                (fun (ev : Telemetry.Span.info) ->
+                  Json.Obj
+                    [
+                      ("name", Json.Str ev.Telemetry.Span.sp_name);
+                      ("path", Json.Str ev.Telemetry.Span.sp_path);
+                      ("start_s", Json.Float ev.Telemetry.Span.sp_start);
+                      ("duration_s", Json.Float ev.Telemetry.Span.sp_duration);
+                      ("depth", Json.Int ev.Telemetry.Span.sp_depth);
+                    ])
+                events) );
+       ])
+
 (* Runs on a worker domain: one whole request lifecycle. [deadline] is
    the absolute Clock time by which the response should be written —
-   stamped on the request so handlers can derive their work budget. *)
+   stamped on the request so handlers can derive their work budget.
+
+   Telemetry rides on the worker's registry shard: the dispatch runs
+   under [http.request/<endpoint>] so handler and engine spans nest
+   below it, the endpoint latency lands in an [http.latency.*]
+   histogram, and every [--trace-sample]th request also dumps the span
+   tree this domain recorded during dispatch as a JSON line on the
+   access-log sink, keyed by the request id. *)
 let serve_connection t ~deadline fd =
   let started = Unix.gettimeofday () in
   let limits =
     { Http.default_limits with Http.max_body_bytes = t.config.max_body_bytes }
   in
-  let req, resp =
-    match Http.read_request ~limits (Http.reader_of_fd fd) with
-    | Ok req ->
-      req.Http.deadline <- Some deadline;
-      (Some req, Router.dispatch t.router req)
-    | Error err -> (None, Http.error_response err)
-  in
-  let status, bytes = write_guarded fd resp in
-  close_quietly fd;
-  log_request t ~req ~status ~bytes
-    ~elapsed:(Unix.gettimeofday () -. started)
+  match Http.read_request ~limits (Http.reader_of_fd fd) with
+  | Error err ->
+    let status, bytes = write_guarded fd (Http.error_response err) in
+    close_quietly fd;
+    log_request t ~req:None ~request_id:None ~status ~bytes
+      ~elapsed:(Unix.gettimeofday () -. started)
+  | Ok req ->
+    req.Http.deadline <- Some deadline;
+    let request_id =
+      match Http.header req request_id_header with
+      | Some id when id <> "" -> id
+      | _ -> gen_request_id t
+    in
+    let seq = 1 + Atomic.fetch_and_add t.request_seq 1 in
+    let sampled =
+      match t.config.trace_sample with
+      | Some n when n > 0 -> seq mod n = 0
+      | _ -> false
+    in
+    let endpoint =
+      endpoint_span_name (Http.meth_to_string req.Http.meth) req.Http.path
+    in
+    let dispatch () =
+      Telemetry.span "http.request" (fun () ->
+          Telemetry.span endpoint (fun () -> Router.dispatch t.router req))
+    in
+    let resp, trace =
+      if sampled && Telemetry.enabled () then
+        let resp, events = Telemetry.with_local_trace dispatch in
+        (resp, Some events)
+      else (dispatch (), None)
+    in
+    let resp =
+      {
+        resp with
+        Http.resp_headers =
+          resp.Http.resp_headers @ [ ("X-Vadasa-Request-Id", request_id) ];
+      }
+    in
+    let status, bytes = write_guarded fd resp in
+    close_quietly fd;
+    let elapsed = Unix.gettimeofday () -. started in
+    Telemetry.observe ("http.latency." ^ endpoint) elapsed;
+    (match (trace, t.config.access_log) with
+    | Some events, Some sink when events <> [] ->
+      sink (trace_line ~request_id events)
+    | _ -> ());
+    log_request t ~req:(Some req) ~request_id:(Some request_id) ~status ~bytes
+      ~elapsed
 
 let reject t fd status ?code message =
   let resp = Http.json_error ~status ?code message in
   let status, bytes = write_guarded fd resp in
   close_quietly fd;
-  log_request t ~req:None ~status ~bytes ~elapsed:0.0
+  log_request t ~req:None ~request_id:None ~status ~bytes ~elapsed:0.0
 
 let run t =
   (* A worker writing to a peer that hung up must get EPIPE, not die. *)

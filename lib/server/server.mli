@@ -7,7 +7,16 @@
     flag and writes one byte to a self-pipe — so it is exactly what
     {!install_signal_handlers} wires to SIGINT/SIGTERM. Shutdown is
     graceful: the listener closes, queued requests drain, worker domains
-    are joined. *)
+    are joined.
+
+    Every request carries a correlation id: the client's
+    [X-Vadasa-Request-Id] header if present, a generated one otherwise.
+    The id is echoed in the response headers and in the access-log line,
+    and — when [trace_sample] is set and telemetry is enabled — keys the
+    sampled span-tree lines dumped on the same sink (schema in
+    [docs/SERVER.md]). Dispatch runs under an
+    [http.request/<endpoint>] telemetry span and feeds per-endpoint
+    [http.latency.*] histograms on the worker domain's registry shard. *)
 
 type config = {
   host : string;
@@ -19,11 +28,15 @@ type config = {
   max_body_bytes : int;
   access_log : (string -> unit) option;
       (** called with one JSON line per finished request *)
+  trace_sample : int option;
+      (** [Some n]: every [n]th request also dumps its full span tree
+          as a JSON line on [access_log] (requires telemetry enabled);
+          [None] disables sampling *)
 }
 
 val default_config : config
 (** 127.0.0.1:8080, 4 domains, 128-deep queue, 30 s timeout, 16 MiB
-    bodies, no access log. *)
+    bodies, no access log, no trace sampling. *)
 
 type t
 

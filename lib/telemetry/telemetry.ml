@@ -2,12 +2,26 @@
 
    Dependency-free beyond the stdlib (and [Unix.gettimeofday] for the
    clock): counters, gauges, histograms with reservoir-sampled
-   percentiles, and nestable timed spans, all grouped in a registry.
-   Instrumented library code goes through the [count]/[observe]/[span]
-   helpers on the implicit global registry; they are gated behind a
-   single boolean so a disabled build pays one load-and-branch per
-   probe site. Harnesses that always want measurements (the bench
-   driver) create their own registry and talk to it explicitly. *)
+   percentiles plus fixed log-ladder buckets, and nestable timed spans,
+   all grouped in a registry. Instrumented library code goes through the
+   [count]/[observe]/[span] helpers on the implicit global registry;
+   they are gated behind a single boolean so a disabled build pays one
+   load-and-branch per probe site.
+
+   Domain safety: a registry is a collection of per-domain *shards*.
+   The first probe a domain fires against a registry creates that
+   domain's shard (registered under the registry lock, cached in
+   domain-local storage); every later probe is a domain-local hashtable
+   lookup plus a plain field mutation — no locks, no atomics on the
+   increment path. [Report.capture] merges the shards under short
+   per-shard mutexes: counters sum, gauges keep the last write (a global
+   write sequence decides "last"), histograms combine exactly on
+   count/sum/min/max/buckets and pool their reservoir samples for the
+   percentiles. Span stacks are inherently per-domain, so nesting never
+   crosses shards; the retained-span bound is enforced with one
+   compare-and-set on a registry-wide count, and overflow is counted
+   per shard and summed at capture, so the dropped figure is exact even
+   under concurrent multi-domain recording. *)
 
 let now = Unix.gettimeofday
 
@@ -21,10 +35,42 @@ module Json = Vadasa_base.Json
 
 type counter = { mutable c_value : int }
 
-type gauge = { mutable g_value : float }
+(* [g_seq] orders writes across shards: the merge keeps the value with
+   the highest sequence number ("last write wins" process-wide). *)
+type gauge = { mutable g_value : float; mutable g_seq : int }
+
+let gauge_seq = Atomic.make 0
+
+(* Cumulative-style buckets on a fixed log ladder (1/2.5/5 per decade,
+   10µs .. 10ks when observations are seconds). One ladder serves every
+   histogram so shards merge by summing per-index counts; observations
+   above the top bound land only in the implicit +Inf bucket (the exact
+   [h_count]). *)
+let bucket_bounds =
+  [|
+    1e-5; 2.5e-5; 5e-5; 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 0.01; 0.025;
+    0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 500.;
+    1000.; 2500.; 5000.; 10000.;
+  |]
+
+let n_buckets = Array.length bucket_bounds
+
+(* First ladder index with [x <= bound], or [n_buckets] when [x]
+   overflows the ladder. *)
+let bucket_index x =
+  if x > bucket_bounds.(n_buckets - 1) then n_buckets
+  else begin
+    let lo = ref 0 and hi = ref (n_buckets - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if x <= bucket_bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
 
 (* Exact count/sum/min/max plus an Algorithm-R reservoir for percentile
-   summaries; the LCG keeps the sample deterministic across runs. *)
+   summaries; the LCG keeps the sample deterministic across runs.
+   [h_buckets] holds per-bound (non-cumulative) counts. *)
 type histogram = {
   mutable h_count : int;
   mutable h_sum : float;
@@ -32,6 +78,7 @@ type histogram = {
   mutable h_max : float;
   reservoir : float array;
   mutable h_rng : int64;
+  h_buckets : int array;
 }
 
 let reservoir_capacity = 512
@@ -46,62 +93,124 @@ type span_event = {
 
 type open_span = { os_path : string; os_start : float }
 
+(* One domain's slice of a registry. The owning domain mutates
+   instrument fields without the lock (it is the only writer);
+   [sh_lock] serializes instrument-table *structure* changes (interning
+   a new name) against concurrent capture/reset from other domains. *)
+type shard = {
+  sh_id : int;  (* creation order; doubles as the trace tid *)
+  sh_lock : Mutex.t;
+  sh_counters : (string, counter) Hashtbl.t;
+  sh_gauges : (string, gauge) Hashtbl.t;
+  sh_histograms : (string, histogram) Hashtbl.t;
+  mutable sh_span_stack : open_span list;
+  mutable sh_span_events : span_event list;  (* newest first *)
+  mutable sh_dropped : int;
+}
+
 type t = {
-  counters : (string, counter) Hashtbl.t;
-  gauges : (string, gauge) Hashtbl.t;
-  histograms : (string, histogram) Hashtbl.t;
-  mutable span_stack : open_span list;
-  mutable span_events : span_event list;  (* newest first *)
-  mutable span_count : int;
-  mutable dropped_spans : int;
-  mutable span_limit : int;
+  reg_id : int;
+  reg_lock : Mutex.t;  (* guards [reg_shards]/[reg_next_shard] *)
+  mutable reg_shards : shard list;  (* newest first *)
+  mutable reg_next_shard : int;
+  reg_span_count : int Atomic.t;  (* retained spans across all shards *)
+  reg_span_limit : int Atomic.t;
 }
 
 type registry = t
 
+let next_reg_id = Atomic.make 0
+
 let create ?(span_limit = 100_000) () =
   {
-    counters = Hashtbl.create 32;
-    gauges = Hashtbl.create 16;
-    histograms = Hashtbl.create 32;
-    span_stack = [];
-    span_events = [];
-    span_count = 0;
-    dropped_spans = 0;
-    span_limit;
+    reg_id = Atomic.fetch_and_add next_reg_id 1;
+    reg_lock = Mutex.create ();
+    reg_shards = [];
+    reg_next_shard = 0;
+    reg_span_count = Atomic.make 0;
+    reg_span_limit = Atomic.make span_limit;
   }
 
 let global = create ()
 
-let set_span_limit t limit = t.span_limit <- limit
+let set_span_limit t limit = Atomic.set t.reg_span_limit limit
 
-let span_limit t = t.span_limit
+let span_limit t = Atomic.get t.reg_span_limit
 
-let enabled_flag = ref false
+let enabled_flag = Atomic.make false
 
-let enabled () = !enabled_flag
+let enabled () = Atomic.get enabled_flag
 
-let set_enabled b = enabled_flag := b
+let set_enabled b = Atomic.set enabled_flag b
+
+(* Domain-local: registry id -> this domain's shard of that registry. *)
+let shard_table_key : (int, shard) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let shard_of t =
+  let table = Domain.DLS.get shard_table_key in
+  match Hashtbl.find_opt table t.reg_id with
+  | Some s -> s
+  | None ->
+    Mutex.lock t.reg_lock;
+    let s =
+      {
+        sh_id = t.reg_next_shard;
+        sh_lock = Mutex.create ();
+        sh_counters = Hashtbl.create 32;
+        sh_gauges = Hashtbl.create 16;
+        sh_histograms = Hashtbl.create 32;
+        sh_span_stack = [];
+        sh_span_events = [];
+        sh_dropped = 0;
+      }
+    in
+    t.reg_next_shard <- t.reg_next_shard + 1;
+    t.reg_shards <- s :: t.reg_shards;
+    Mutex.unlock t.reg_lock;
+    Hashtbl.add table t.reg_id s;
+    s
+
+(* Shards in creation order, snapshotted under the registry lock. *)
+let shards t =
+  Mutex.lock t.reg_lock;
+  let l = List.rev t.reg_shards in
+  Mutex.unlock t.reg_lock;
+  l
 
 let reset t =
-  Hashtbl.reset t.counters;
-  Hashtbl.reset t.gauges;
-  Hashtbl.reset t.histograms;
-  t.span_stack <- [];
-  t.span_events <- [];
-  t.span_count <- 0;
-  t.dropped_spans <- 0
+  List.iter
+    (fun s ->
+      Mutex.lock s.sh_lock;
+      Hashtbl.reset s.sh_counters;
+      Hashtbl.reset s.sh_gauges;
+      Hashtbl.reset s.sh_histograms;
+      s.sh_span_stack <- [];
+      s.sh_span_events <- [];
+      s.sh_dropped <- 0;
+      Mutex.unlock s.sh_lock)
+    (shards t);
+  Atomic.set t.reg_span_count 0
+
+(* Intern an instrument in the calling domain's shard. Only the owner
+   adds to its shard's tables, so the lock is solely about making the
+   table safe to fold from a concurrent capture. *)
+let intern table lock name make =
+  match Hashtbl.find_opt table name with
+  | Some v -> v
+  | None ->
+    let v = make () in
+    Mutex.lock lock;
+    Hashtbl.add table name v;
+    Mutex.unlock lock;
+    v
 
 module Counter = struct
   type nonrec t = counter
 
   let v ?(registry = global) name =
-    match Hashtbl.find_opt registry.counters name with
-    | Some c -> c
-    | None ->
-      let c = { c_value = 0 } in
-      Hashtbl.add registry.counters name c;
-      c
+    let s = shard_of registry in
+    intern s.sh_counters s.sh_lock name (fun () -> { c_value = 0 })
 
   let add c n = c.c_value <- c.c_value + n
 
@@ -116,14 +225,12 @@ module Gauge = struct
   type nonrec t = gauge
 
   let v ?(registry = global) name =
-    match Hashtbl.find_opt registry.gauges name with
-    | Some g -> g
-    | None ->
-      let g = { g_value = 0.0 } in
-      Hashtbl.add registry.gauges name g;
-      g
+    let s = shard_of registry in
+    intern s.sh_gauges s.sh_lock name (fun () -> { g_value = 0.0; g_seq = -1 })
 
-  let set g x = g.g_value <- x
+  let set g x =
+    g.g_value <- x;
+    g.g_seq <- Atomic.fetch_and_add gauge_seq 1
 
   let value g = g.g_value
 end
@@ -140,13 +247,12 @@ module Histogram = struct
     p50 : float;
     p95 : float;
     p99 : float;
+    buckets : (float * int) list;
   }
 
   let v ?(registry = global) name =
-    match Hashtbl.find_opt registry.histograms name with
-    | Some h -> h
-    | None ->
-      let h =
+    let s = shard_of registry in
+    intern s.sh_histograms s.sh_lock name (fun () ->
         {
           h_count = 0;
           h_sum = 0.0;
@@ -154,10 +260,8 @@ module Histogram = struct
           h_max = neg_infinity;
           reservoir = Array.make reservoir_capacity 0.0;
           h_rng = 0x9E3779B97F4A7C15L;
-        }
-      in
-      Hashtbl.add registry.histograms name h;
-      h
+          h_buckets = Array.make n_buckets 0;
+        })
 
   (* SplitMix64-ish step; we only need a cheap unbiased-enough index. *)
   let next_index h bound =
@@ -170,6 +274,8 @@ module Histogram = struct
     h.h_sum <- h.h_sum +. x;
     if x < h.h_min then h.h_min <- x;
     if x > h.h_max then h.h_max <- x;
+    let b = bucket_index x in
+    if b < n_buckets then h.h_buckets.(b) <- h.h_buckets.(b) + 1;
     if h.h_count <= reservoir_capacity then h.reservoir.(h.h_count - 1) <- x
     else begin
       let j = next_index h h.h_count in
@@ -183,23 +289,46 @@ module Histogram = struct
       let rank = int_of_float (ceil (q *. float_of_int n)) in
       sorted.(min (n - 1) (max 0 (rank - 1)))
 
-  let summary h =
-    if h.h_count = 0 then
-      { count = 0; sum = 0.0; min = 0.0; max = 0.0; mean = 0.0; p50 = 0.0; p95 = 0.0; p99 = 0.0 }
-    else begin
-      let sample = Array.sub h.reservoir 0 (min h.h_count reservoir_capacity) in
-      Array.sort Float.compare sample;
+  (* Cumulate the per-bound counts into exposition-style (le, n<=le)
+     pairs; the implicit +Inf bucket is the exact count. *)
+  let cumulate per_bound =
+    let acc = ref 0 in
+    List.init n_buckets (fun i ->
+        acc := !acc + per_bound.(i);
+        (bucket_bounds.(i), !acc))
+
+  let summary_of ~count ~sum ~min:mn ~max:mx ~samples ~per_bound =
+    if count = 0 then
       {
-        count = h.h_count;
-        sum = h.h_sum;
-        min = h.h_min;
-        max = h.h_max;
-        mean = h.h_sum /. float_of_int h.h_count;
-        p50 = percentile sample 0.50;
-        p95 = percentile sample 0.95;
-        p99 = percentile sample 0.99;
+        count = 0;
+        sum = 0.0;
+        min = 0.0;
+        max = 0.0;
+        mean = 0.0;
+        p50 = 0.0;
+        p95 = 0.0;
+        p99 = 0.0;
+        buckets = cumulate per_bound;
+      }
+    else begin
+      Array.sort Float.compare samples;
+      {
+        count;
+        sum;
+        min = mn;
+        max = mx;
+        mean = sum /. float_of_int count;
+        p50 = percentile samples 0.50;
+        p95 = percentile samples 0.95;
+        p99 = percentile samples 0.99;
+        buckets = cumulate per_bound;
       }
     end
+
+  let summary h =
+    summary_of ~count:h.h_count ~sum:h.h_sum ~min:h.h_min ~max:h.h_max
+      ~samples:(Array.sub h.reservoir 0 (min h.h_count reservoir_capacity))
+      ~per_bound:h.h_buckets
 
   let count h = h.h_count
 end
@@ -213,27 +342,36 @@ module Span = struct
     sp_depth : int;
   }
 
-  let push registry name =
+  let push shard name =
     let path =
-      match registry.span_stack with
+      match shard.sh_span_stack with
       | [] -> name
       | { os_path; _ } :: _ -> os_path ^ "/" ^ name
     in
     let os = { os_path = path; os_start = now () } in
-    registry.span_stack <- os :: registry.span_stack;
+    shard.sh_span_stack <- os :: shard.sh_span_stack;
     os
 
-  let pop registry name os =
+  (* Reserve a retention slot: succeeds iff the registry-wide retained
+     count is still under the limit. CAS keeps the bound exact when
+     several domains complete spans concurrently. *)
+  let rec reserve registry =
+    let n = Atomic.get registry.reg_span_count in
+    if n >= Atomic.get registry.reg_span_limit then false
+    else if Atomic.compare_and_set registry.reg_span_count n (n + 1) then true
+    else reserve registry
+
+  let pop registry shard name os =
     let duration = now () -. os.os_start in
     let depth =
-      match registry.span_stack with
+      match shard.sh_span_stack with
       | _ :: rest ->
-        registry.span_stack <- rest;
+        shard.sh_span_stack <- rest;
         List.length rest
       | [] -> 0
     in
-    if registry.span_count < registry.span_limit then begin
-      registry.span_events <-
+    if reserve registry then
+      shard.sh_span_events <-
         {
           sp_name = name;
           sp_path = os.os_path;
@@ -241,44 +379,68 @@ module Span = struct
           sp_duration = duration;
           sp_depth = depth;
         }
-        :: registry.span_events;
-      registry.span_count <- registry.span_count + 1
-    end
-    else registry.dropped_spans <- registry.dropped_spans + 1;
+        :: shard.sh_span_events
+    else shard.sh_dropped <- shard.sh_dropped + 1;
     duration
 
   let timed ?(registry = global) name f =
-    let os = push registry name in
+    let shard = shard_of registry in
+    let os = push shard name in
     match f () with
-    | result -> (result, pop registry name os)
+    | result -> (result, pop registry shard name os)
     | exception e ->
-      ignore (pop registry name os);
+      ignore (pop registry shard name os);
       raise e
 
   let with_ ?registry name f = fst (timed ?registry name f)
 
-  let finished registry = List.rev registry.span_events
+  let finished_by_shard registry =
+    List.filter_map
+      (fun s ->
+        match List.rev s.sh_span_events with
+        | [] -> None
+        | events -> Some (s.sh_id, events))
+      (shards registry)
 
-  let dropped registry = registry.dropped_spans
+  let finished registry =
+    List.concat_map snd (finished_by_shard registry)
+
+  let dropped registry =
+    List.fold_left (fun acc s -> acc + s.sh_dropped) 0 (shards registry)
 end
 
 (* ---- gated helpers on the global registry ----------------------------- *)
 
-let count name n = if !enabled_flag then Counter.add (Counter.v name) n
+let count name n = if Atomic.get enabled_flag then Counter.add (Counter.v name) n
 
-let gauge name x = if !enabled_flag then Gauge.set (Gauge.v name) x
+let gauge name x = if Atomic.get enabled_flag then Gauge.set (Gauge.v name) x
 
-let observe name x = if !enabled_flag then Histogram.observe (Histogram.v name) x
+let observe name x =
+  if Atomic.get enabled_flag then Histogram.observe (Histogram.v name) x
 
-let span name f = if !enabled_flag then Span.with_ name f else f ()
+let span name f = if Atomic.get enabled_flag then Span.with_ name f else f ()
 
 let span_timed name f =
-  if !enabled_flag then Span.timed name f
+  if Atomic.get enabled_flag then Span.timed name f
   else begin
     let t0 = now () in
     let result = f () in
     (result, now () -. t0)
   end
+
+(* Spans completed on the *calling domain* while [f] ran, oldest first —
+   the per-request trace of a server worker. The shard's event list is
+   a cons chain, so "new since" is a pointer walk down to the old head;
+   events other domains record concurrently are invisible by design. *)
+let with_local_trace ?(registry = global) f =
+  let shard = shard_of registry in
+  let before = shard.sh_span_events in
+  let result = f () in
+  let rec take acc l =
+    if l == before then acc
+    else match l with [] -> acc | ev :: tl -> take (ev :: acc) tl
+  in
+  (result, take [] shard.sh_span_events)
 
 (* ---- reports ---------------------------------------------------------- *)
 
@@ -298,11 +460,77 @@ module Report = struct
     dropped_spans : int;
   }
 
-  let sorted_bindings table f =
-    Hashtbl.fold (fun k v acc -> (k, f v) :: acc) table []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  (* Merged histogram accumulator across shards: exact moments plus the
+     pooled reservoir samples for the percentile estimate. *)
+  type hist_acc = {
+    mutable a_count : int;
+    mutable a_sum : float;
+    mutable a_min : float;
+    mutable a_max : float;
+    mutable a_samples : float array list;
+    a_buckets : int array;
+  }
 
   let capture registry =
+    let counters = Hashtbl.create 32 in
+    let gauges = Hashtbl.create 16 in
+    let hists = Hashtbl.create 32 in
+    let events = ref [] (* per-shard event lists, shard order *) in
+    let dropped = ref 0 in
+    List.iter
+      (fun s ->
+        Mutex.lock s.sh_lock;
+        Hashtbl.iter
+          (fun name c ->
+            let prev = Option.value ~default:0 (Hashtbl.find_opt counters name) in
+            Hashtbl.replace counters name (prev + c.c_value))
+          s.sh_counters;
+        Hashtbl.iter
+          (fun name g ->
+            match Hashtbl.find_opt gauges name with
+            | Some (_, seq) when seq >= g.g_seq -> ()
+            | _ -> Hashtbl.replace gauges name (g.g_value, g.g_seq))
+          s.sh_gauges;
+        Hashtbl.iter
+          (fun name h ->
+            let acc =
+              match Hashtbl.find_opt hists name with
+              | Some acc -> acc
+              | None ->
+                let acc =
+                  {
+                    a_count = 0;
+                    a_sum = 0.0;
+                    a_min = infinity;
+                    a_max = neg_infinity;
+                    a_samples = [];
+                    a_buckets = Array.make n_buckets 0;
+                  }
+                in
+                Hashtbl.add hists name acc;
+                acc
+            in
+            acc.a_count <- acc.a_count + h.h_count;
+            acc.a_sum <- acc.a_sum +. h.h_sum;
+            if h.h_min < acc.a_min then acc.a_min <- h.h_min;
+            if h.h_max > acc.a_max then acc.a_max <- h.h_max;
+            acc.a_samples <-
+              Array.sub h.reservoir 0 (min h.h_count reservoir_capacity)
+              :: acc.a_samples;
+            Array.iteri
+              (fun i n -> acc.a_buckets.(i) <- acc.a_buckets.(i) + n)
+              h.h_buckets)
+          s.sh_histograms;
+        (match List.rev s.sh_span_events with
+        | [] -> ()
+        | evs -> events := evs :: !events);
+        dropped := !dropped + s.sh_dropped;
+        Mutex.unlock s.sh_lock)
+      (shards registry);
+    let sorted table f =
+      Hashtbl.fold (fun k v acc -> (k, f v) :: acc) table []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
     let by_path = Hashtbl.create 32 in
     let order = ref [] in
     List.iter
@@ -325,13 +553,18 @@ module Report = struct
               agg_total = ev.sp_duration;
               agg_max = ev.sp_duration;
             })
-      (Span.finished registry);
+      (List.concat (List.rev !events));
     {
-      counters = sorted_bindings registry.counters (fun c -> c.c_value);
-      gauges = sorted_bindings registry.gauges (fun g -> g.g_value);
-      histograms = sorted_bindings registry.histograms Histogram.summary;
+      counters = sorted counters (fun v -> v);
+      gauges = sorted gauges fst;
+      histograms =
+        sorted hists (fun acc ->
+            Histogram.summary_of ~count:acc.a_count ~sum:acc.a_sum
+              ~min:acc.a_min ~max:acc.a_max
+              ~samples:(Array.concat acc.a_samples)
+              ~per_bound:acc.a_buckets);
       spans = List.rev_map (Hashtbl.find by_path) !order;
-      dropped_spans = registry.dropped_spans;
+      dropped_spans = !dropped;
     }
 
   let summary_to_json (s : Histogram.summary) =
@@ -345,6 +578,11 @@ module Report = struct
         ("p50", Json.Float s.p50);
         ("p95", Json.Float s.p95);
         ("p99", Json.Float s.p99);
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (le, n) -> Json.Obj [ ("le", Json.Float le); ("n", Json.Int n) ])
+               s.buckets) );
       ]
 
   let to_json t =
@@ -429,8 +667,29 @@ module Report = struct
             let* p50 = float_field fields "p50" in
             let* p95 = float_field fields "p95" in
             let* p99 = float_field fields "p99" in
+            (* Reports written before the bucketed-histogram schema have
+               no "buckets"; parse them with an empty ladder. *)
+            let* buckets =
+              match List.assoc_opt "buckets" fields with
+              | None -> Ok []
+              | Some (List items) ->
+                List.fold_left
+                  (fun acc item ->
+                    let* acc = acc in
+                    match item with
+                    | Obj bf ->
+                      let* le = float_field bf "le" in
+                      let* n = int_field bf "n" in
+                      Ok ((le, n) :: acc)
+                    | _ -> json_error ("bucket of " ^ k ^ " is not an object"))
+                  (Ok []) items
+                |> Result.map List.rev
+              | Some _ -> json_error ("buckets of " ^ k ^ " is not a list")
+            in
             Ok
-              ((k, { Histogram.count; sum; min; max; mean; p50; p95; p99 })
+              (( k,
+                 { Histogram.count; sum; min; max; mean; p50; p95; p99; buckets }
+               )
               :: acc)
           | _ -> json_error ("histogram " ^ k ^ " is not an object"))
         (Ok []) histograms
@@ -581,6 +840,91 @@ module Report = struct
   let equal a b = a = b
 end
 
+(* ---- Prometheus text exposition (format 0.0.4) ------------------------- *)
+
+(* Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; everything else
+   (the dots of "engine.facts.derived", the spaces and slashes of
+   endpoint names) becomes '_'. *)
+let prometheus_name name =
+  let ok_first c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  in
+  let ok c = ok_first c || (c >= '0' && c <= '9') in
+  if name = "" then "_"
+  else
+    String.mapi
+      (fun i c -> if (if i = 0 then ok_first c else ok c) then c else '_')
+      name
+
+let prom_escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Sample values and bucket bounds: integers render bare, the rest in
+   shortest-form scientific — Prometheus parses both. *)
+let prom_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+module Prometheus = struct
+  (* Each family renders HELP + TYPE + its samples; families whose
+     sanitized names collide are dropped after the first so the
+     exposition never contains duplicate series. *)
+  let render ?(namespace = "vadasa") (report : Report.t) =
+    let buf = Buffer.create 2048 in
+    let seen = Hashtbl.create 32 in
+    let family name help typ emit =
+      let full = namespace ^ "_" ^ prometheus_name name in
+      if not (Hashtbl.mem seen full) then begin
+        Hashtbl.add seen full ();
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" full (prom_escape_help help));
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" full typ);
+        emit full
+      end
+    in
+    List.iter
+      (fun (name, v) ->
+        family (name ^ "_total") ("Vada-SA counter " ^ name) "counter"
+          (fun full -> Buffer.add_string buf (Printf.sprintf "%s %d\n" full v)))
+      report.Report.counters;
+    List.iter
+      (fun (name, v) ->
+        family name ("Vada-SA gauge " ^ name) "gauge" (fun full ->
+            Buffer.add_string buf (Printf.sprintf "%s %s\n" full (prom_float v))))
+      report.Report.gauges;
+    List.iter
+      (fun (name, (s : Histogram.summary)) ->
+        family name ("Vada-SA histogram " ^ name) "histogram" (fun full ->
+            List.iter
+              (fun (le, n) ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" full
+                     (prom_float le) n))
+              s.Histogram.buckets;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" full
+                 s.Histogram.count);
+            Buffer.add_string buf
+              (Printf.sprintf "%s_sum %s\n" full (prom_float s.Histogram.sum));
+            Buffer.add_string buf
+              (Printf.sprintf "%s_count %d\n" full s.Histogram.count)))
+      report.Report.histograms;
+    if report.Report.dropped_spans > 0 then
+      family "telemetry_dropped_spans_total"
+        "Telemetry spans dropped by the retention limit" "counter" (fun full ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d\n" full report.Report.dropped_spans));
+    Buffer.contents buf
+end
+
 let trace_json registry =
   Json.List
     (List.map
@@ -614,34 +958,38 @@ let trace_format_to_string = function
   | Folded -> "folded"
 
 (* Chrome/Perfetto trace-event JSON: one complete ("ph":"X") event per
-   finished span, timestamps and durations in microseconds. All spans
-   come from one thread of control, so a single pid/tid pair lets the
-   viewers reconstruct nesting from interval containment. *)
+   finished span, timestamps and durations in microseconds. Each
+   registry shard is one thread of control, so the shard id becomes the
+   tid and the viewers reconstruct per-domain nesting from interval
+   containment within each track. *)
 let trace_chrome registry =
   Json.Obj
     [
       ("displayTimeUnit", Json.Str "ms");
       ( "traceEvents",
         Json.List
-          (List.map
-             (fun ev ->
-               Json.Obj
-                 [
-                   ("name", Json.Str ev.sp_name);
-                   ("cat", Json.Str "span");
-                   ("ph", Json.Str "X");
-                   ("ts", Json.Float (ev.sp_start *. 1e6));
-                   ("dur", Json.Float (ev.sp_duration *. 1e6));
-                   ("pid", Json.Int 1);
-                   ("tid", Json.Int 1);
-                   ( "args",
-                     Json.Obj
-                       [
-                         ("path", Json.Str ev.sp_path);
-                         ("depth", Json.Int ev.sp_depth);
-                       ] );
-                 ])
-             (Span.finished registry)) );
+          (List.concat_map
+             (fun (shard_id, events) ->
+               List.map
+                 (fun ev ->
+                   Json.Obj
+                     [
+                       ("name", Json.Str ev.sp_name);
+                       ("cat", Json.Str "span");
+                       ("ph", Json.Str "X");
+                       ("ts", Json.Float (ev.sp_start *. 1e6));
+                       ("dur", Json.Float (ev.sp_duration *. 1e6));
+                       ("pid", Json.Int 1);
+                       ("tid", Json.Int (shard_id + 1));
+                       ( "args",
+                         Json.Obj
+                           [
+                             ("path", Json.Str ev.sp_path);
+                             ("depth", Json.Int ev.sp_depth);
+                           ] );
+                     ])
+                 events)
+             (Span.finished_by_shard registry)) );
     ]
 
 (* Folded-stacks lines for flamegraph.pl: "root;child;leaf <self µs>",

@@ -1,13 +1,24 @@
 (** Metrics and tracing for the Vada-SA stack.
 
     A {e registry} groups counters, gauges, histograms (with
-    reservoir-sampled p50/p95/p99 summaries) and nestable timed spans.
-    Library instrumentation goes through the {!count}/{!observe}/{!span}
-    helpers on the implicit {!global} registry; these are gated behind
-    one boolean ({!set_enabled}) so that a run with telemetry off pays a
-    single load-and-branch per probe site. Harnesses that always want
+    reservoir-sampled p50/p95/p99 summaries and fixed log-ladder
+    buckets) and nestable timed spans. Library instrumentation goes
+    through the {!count}/{!observe}/{!span} helpers on the implicit
+    {!global} registry; these are gated behind one boolean
+    ({!set_enabled}) so that a run with telemetry off pays a single
+    load-and-branch per probe site. Harnesses that always want
     measurements (the bench driver) create their own registry and pass
     it explicitly — explicit registries are never gated.
+
+    Registries are safe across OCaml 5 domains: each domain records
+    into its own {e shard} (created on first use, cached in
+    domain-local storage), so the hot path stays a plain unsynchronised
+    field mutation. {!Report.capture} merges the shards — counters sum
+    exactly, gauges keep the process-wide last write, histograms
+    combine exactly on count/sum/min/max/buckets and pool their
+    reservoir samples for the percentiles, and per-shard dropped-span
+    counts sum to an exact total. Span nesting is per-domain (a span
+    opened on one domain never parents a span on another).
 
     See [docs/OBSERVABILITY.md] for the metric-name and span-hierarchy
     conventions used across the stack. *)
@@ -82,6 +93,11 @@ module Histogram : sig
     p50 : float;
     p95 : float;
     p99 : float;
+    buckets : (float * int) list;
+        (** Cumulative [(le, n)] pairs on a fixed log ladder shared by
+            every histogram (1/2.5/5 per decade, 1e-5 .. 1e4):
+            [n] observations were [<= le]. Observations above the top
+            bound appear only in [count] (the implicit [+Inf] bucket). *)
   }
 
   val v : ?registry:registry -> string -> t
@@ -90,7 +106,7 @@ module Histogram : sig
 
   val summary : t -> summary
   (** Percentiles come from a 512-element reservoir sample; count, sum,
-      min, max and mean are exact. *)
+      min, max, mean and the buckets are exact. *)
 
   val count : t -> int
 end
@@ -112,9 +128,17 @@ module Span : sig
   (** Like {!with_}, also returning the duration in seconds. *)
 
   val finished : registry -> info list
-  (** Completed spans, completion order. *)
+  (** Completed spans: per-shard completion order, shards concatenated
+      in shard-creation order. *)
+
+  val finished_by_shard : registry -> (int * info list) list
+  (** Completed spans grouped by the recording shard (one shard per
+      domain, ids in creation order starting at 0); shards that
+      recorded nothing are omitted. *)
 
   val dropped : registry -> int
+  (** Spans dropped by the retention limit, summed across shards —
+      exact even under concurrent multi-domain recording. *)
 end
 
 val count : string -> int -> unit
@@ -131,6 +155,12 @@ val span : string -> (unit -> 'a) -> 'a
 val span_timed : string -> (unit -> 'a) -> 'a * float
 (** Always returns a wall-clock duration; only records a span event when
     telemetry is enabled. *)
+
+val with_local_trace : ?registry:t -> (unit -> 'a) -> 'a * Span.info list
+(** [with_local_trace f] runs [f] and also returns the spans that
+    completed on the {e calling domain} while it ran, oldest first —
+    the per-request trace of a server worker. Spans recorded
+    concurrently by other domains are excluded by design. *)
 
 module Report : sig
   type span_agg = {
@@ -193,6 +223,27 @@ module Report : sig
       {!default_threshold}). Baselines of 0 never regress. *)
 end
 
+(** {2 Prometheus text exposition} *)
+
+val prometheus_name : string -> string
+(** Sanitize a Vada-SA metric name into the Prometheus charset
+    [[a-zA-Z_:][a-zA-Z0-9_:]*]: every other character (the dots of
+    ["engine.facts.derived"], spaces, slashes) becomes ['_']. *)
+
+module Prometheus : sig
+  val render : ?namespace:string -> Report.t -> string
+  (** Text exposition format 0.0.4 of a captured report: every metric
+      family gets [# HELP]/[# TYPE] lines; counters are suffixed
+      [_total]; histograms render cumulative [_bucket{le="..."}] series
+      plus [+Inf], [_sum] and [_count]. Names are sanitized with
+      {!prometheus_name} and prefixed with [namespace ^ "_"] (default
+      ["vadasa"]); families whose sanitized names collide are dropped
+      after the first so the exposition never repeats a series. Span
+      aggregates are not exported (scrape the JSON report or a trace
+      for those); a positive dropped-span count appears as
+      [<ns>_telemetry_dropped_spans_total]. *)
+end
+
 val trace_json : t -> Json.t
 (** Every finished span as a JSON list of
     [{name; path; start_s; duration_s; depth}] events. *)
@@ -216,7 +267,8 @@ val trace_format_to_string : trace_format -> string
 val trace_chrome : t -> Json.t
 (** [{displayTimeUnit; traceEvents}] with one complete ([ph = "X"])
     event per finished span; [ts]/[dur] in microseconds, span path and
-    depth under [args]. *)
+    depth under [args]. Each shard (domain) renders as its own thread
+    track ([tid] = shard id + 1) so per-domain nesting survives. *)
 
 val trace_folded : t -> string
 (** One [stack self_µs] line per distinct span path, where the stack is

@@ -368,7 +368,11 @@ let create ?(config = default_config) ?(first_null_label = 1) ?strat
     match pool with
     | Some p -> (Some p, false)
     | None when domains > 1 ->
-      (Some (Task_pool.create ~name:"engine" ~domains ()), true)
+      ( Some
+          (Task_pool.create ~name:"engine"
+             ~on_wait:(fun dt -> Telemetry.observe "pool.wait" dt)
+             ~domains ()),
+        true )
     | None -> (None, false)
   in
   let strat =
@@ -911,7 +915,13 @@ let run_parallel_batch t pool ~budget jobs =
                    e_parents = ctx.parents;
                  }
                  :: !buf);
-           (prof, List.rev !buf, Profile.now () -. t0))
+           let elapsed = Profile.now () -. t0 in
+           (* Recorded on the worker domain into its registry shard. *)
+           Telemetry.observe "engine.chunk.size" (float_of_int (hi - lo));
+           Telemetry.observe "engine.chunk.scanned"
+             (float_of_int prof.Profile.r_scanned);
+           Telemetry.observe "engine.chunk.join" elapsed;
+           (prof, List.rev !buf, elapsed))
          chunks)
   in
   let results = Task_pool.run_all pool tasks in
@@ -920,28 +930,33 @@ let run_parallel_batch t pool ~budget jobs =
      first task in submission order wins deterministically. *)
   Array.iter (function Error e -> raise e | Ok _ -> ()) results;
   let chunks = Array.of_list chunks in
-  let merge_ctx = { env = Hashtbl.create 16; parents = [] } in
-  Array.iteri
-    (fun i (j, _, _) ->
-      match results.(i) with
-      | Error _ -> assert false
-      | Ok (prof, emissions, elapsed) ->
-        let cr = j.j_cr in
-        let p = cr.c_prof in
-        p.Profile.r_time <- p.Profile.r_time +. elapsed;
-        p.Profile.r_scanned <- p.Profile.r_scanned + prof.Profile.r_scanned;
-        p.Profile.r_matched <- p.Profile.r_matched + prof.Profile.r_matched;
-        p.Profile.r_bindings <- p.Profile.r_bindings + prof.Profile.r_bindings;
-        List.iter
-          (fun e ->
-            Hashtbl.reset merge_ctx.env;
-            Array.iteri
-              (fun vi v -> Hashtbl.replace merge_ctx.env cr.c_capture.(vi) v)
-              e.e_vals;
-            merge_ctx.parents <- e.e_parents;
-            ignore (emit_plain t cr merge_ctx))
-          emissions)
-    chunks
+  (* Phase 2: single-threaded merge replay — the serial tail that caps
+     parallel speedup, so it gets its own span and histogram. *)
+  Telemetry.span "engine.merge" (fun () ->
+      let t0 = Profile.now () in
+      let merge_ctx = { env = Hashtbl.create 16; parents = [] } in
+      Array.iteri
+        (fun i (j, _, _) ->
+          match results.(i) with
+          | Error _ -> assert false
+          | Ok (prof, emissions, elapsed) ->
+            let cr = j.j_cr in
+            let p = cr.c_prof in
+            p.Profile.r_time <- p.Profile.r_time +. elapsed;
+            p.Profile.r_scanned <- p.Profile.r_scanned + prof.Profile.r_scanned;
+            p.Profile.r_matched <- p.Profile.r_matched + prof.Profile.r_matched;
+            p.Profile.r_bindings <- p.Profile.r_bindings + prof.Profile.r_bindings;
+            List.iter
+              (fun e ->
+                Hashtbl.reset merge_ctx.env;
+                Array.iteri
+                  (fun vi v -> Hashtbl.replace merge_ctx.env cr.c_capture.(vi) v)
+                  e.e_vals;
+                merge_ctx.parents <- e.e_parents;
+                ignore (emit_plain t cr merge_ctx))
+              emissions)
+        chunks;
+      Telemetry.observe "engine.merge.replay" (Profile.now () -. t0))
 
 (* The parallel counterpart of the sequential plain-rule pass of
    [run_stratum]: walk the same (rule, delta plan) jobs in the same
@@ -1062,14 +1077,15 @@ let run_stratum ?budget t index rules =
     (* Snapshot the frontier: facts in [watermark, snapshot) are the delta. *)
     let snapshot = Hashtbl.create 16 in
     let preds_of cr = cr.c_preds in
-    List.iter
-      (fun cr ->
+    Telemetry.span "engine.snapshot" (fun () ->
         List.iter
-          (fun p ->
-            if not (Hashtbl.mem snapshot p) then
-              Hashtbl.add snapshot p (Database.pred_size t.db p))
-          (preds_of cr))
-      (plain_rules @ test_rules);
+          (fun cr ->
+            List.iter
+              (fun p ->
+                if not (Hashtbl.mem snapshot p) then
+                  Hashtbl.add snapshot p (Database.pred_size t.db p))
+              (preds_of cr))
+          (plain_rules @ test_rules));
     let snap pred =
       match Hashtbl.find_opt snapshot pred with Some s -> s | None -> 0
     in

@@ -307,7 +307,9 @@ let test_database_concurrent_lookup () =
 
 (* --- tiny HTTP client for the e2e tests ---------------------------------- *)
 
-let http_call ~port ~meth ~target ?(headers = []) ?(body = "") () =
+(* Full variant: also returns the raw header block, for tests that
+   assert on response headers. *)
+let http_call_full ~port ~meth ~target ?(headers = []) ?(body = "") () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
@@ -344,12 +346,20 @@ let http_call ~port ~meth ~target ?(headers = []) ?(body = "") () =
         | _ :: code :: _ -> int_of_string_opt code |> Option.value ~default:0
         | _ -> 0
       in
-      let body =
+      let head, body =
         match Astring_contains.find_sub raw "\r\n\r\n" with
-        | Some i -> String.sub raw (i + 4) (String.length raw - i - 4)
-        | None -> ""
+        | Some i ->
+          ( String.sub raw 0 i,
+            String.sub raw (i + 4) (String.length raw - i - 4) )
+        | None -> (raw, "")
       in
-      (status, body))
+      (status, head, body))
+
+let http_call ~port ~meth ~target ?(headers = []) ?(body = "") () =
+  let status, _head, body =
+    http_call_full ~port ~meth ~target ~headers ~body ()
+  in
+  (status, body)
 
 (* --- end-to-end ----------------------------------------------------------- *)
 
@@ -561,6 +571,94 @@ let test_e2e_pool_saturation_503 () =
       Alcotest.(check int) "first unblocked" 200 status1;
       Alcotest.(check int) "queued one served" 200 status2)
 
+let test_e2e_request_id_round_trip () =
+  let module T = Vadasa_telemetry.Telemetry in
+  let lock = Mutex.create () in
+  let lines = ref [] in
+  let sink line =
+    Mutex.lock lock;
+    lines := line :: !lines;
+    Mutex.unlock lock
+  in
+  let snapshot () =
+    Mutex.lock lock;
+    let l = !lines in
+    Mutex.unlock lock;
+    l
+  in
+  let config =
+    {
+      Srv.Server.default_config with
+      Srv.Server.port = 0;
+      domains = 2;
+      request_timeout = 60.0;
+      access_log = Some sink;
+      trace_sample = Some 1;
+    }
+  in
+  let was_enabled = T.enabled () in
+  T.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> T.set_enabled was_enabled)
+    (fun () ->
+      with_server ~config (fun _server port ->
+          let status, head, _body =
+            http_call_full ~port ~meth:"GET" ~target:"/healthz"
+              ~headers:[ ("x-vadasa-request-id", "test-id-123") ]
+              ()
+          in
+          Alcotest.(check int) "200" 200 status;
+          Alcotest.(check bool)
+            "request id echoed in the response" true
+            (Astring_contains.contains (String.lowercase_ascii head)
+               "x-vadasa-request-id: test-id-123");
+          (* the log and trace lines land after the response is written *)
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          while
+            List.length (snapshot ()) < 2 && Unix.gettimeofday () < deadline
+          do
+            Unix.sleepf 0.01
+          done;
+          let captured = snapshot () in
+          let has pred = List.exists pred captured in
+          let contains needle line = Astring_contains.contains line needle in
+          Alcotest.(check bool)
+            "access log carries request_id/endpoint/latency_ms" true
+            (has (fun l ->
+                 contains "test-id-123" l
+                 && contains "latency_ms" l
+                 && contains "endpoint" l));
+          Alcotest.(check bool)
+            "sampled trace carries the id and the root span" true
+            (has (fun l ->
+                 contains "test-id-123" l
+                 && contains "http.request" l
+                 && contains "\"trace\"" l))))
+
+let test_e2e_metrics_content_negotiation () =
+  with_server (fun _server port ->
+      let status, head, body =
+        http_call_full ~port ~meth:"GET" ~target:"/metrics"
+          ~headers:[ ("accept", "text/plain; version=0.0.4") ]
+          ()
+      in
+      Alcotest.(check int) "prometheus 200" 200 status;
+      Alcotest.(check bool)
+        "prometheus content type" true
+        (Astring_contains.contains head "text/plain; version=0.0.4");
+      Alcotest.(check bool)
+        "exposition body" true
+        (String.length body > 0 && body.[0] = '#');
+      Alcotest.(check bool)
+        "pool series present" true
+        (Astring_contains.contains body "vadasa_pool_jobs_total");
+      (* no Accept header: JSON stays the default *)
+      let status, body = http_call ~port ~meth:"GET" ~target:"/metrics" () in
+      Alcotest.(check int) "json 200" 200 status;
+      Alcotest.(check bool)
+        "json body" true
+        (String.length body > 0 && body.[0] = '{'))
+
 (* --- suite ---------------------------------------------------------------- *)
 
 let () =
@@ -613,5 +711,9 @@ let () =
             test_e2e_oversized_413;
           Alcotest.test_case "pool saturation answers 503" `Slow
             test_e2e_pool_saturation_503;
+          Alcotest.test_case "request id round trip" `Quick
+            test_e2e_request_id_round_trip;
+          Alcotest.test_case "metrics content negotiation" `Quick
+            test_e2e_metrics_content_negotiation;
         ] );
     ]

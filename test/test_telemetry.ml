@@ -379,6 +379,188 @@ let test_span_limit_and_dropped () =
     (List.length (T.Span.finished r));
   Alcotest.(check int) "previous drops not forgotten" 4 (T.Span.dropped r)
 
+(* --- domain safety ------------------------------------------------------ *)
+
+(* N domains hammer one registry: counters must lose no increments,
+   merged histograms must stay exact on count/sum and well-formed on
+   buckets, and span aggregation must see every completion. *)
+let test_domain_hammer () =
+  let r = T.create () in
+  let domains = 4 and per = 10_000 in
+  let work () =
+    let c = T.Counter.v ~registry:r "hammer.count" in
+    let h = T.Histogram.v ~registry:r "hammer.obs" in
+    for i = 1 to per do
+      T.Counter.incr c;
+      T.Histogram.observe h (float_of_int (i mod 100));
+      if i mod 1000 = 0 then
+        T.Span.with_ ~registry:r "hammer.span" (fun () -> ())
+    done
+  in
+  let workers = List.init (domains - 1) (fun _ -> Domain.spawn work) in
+  work ();
+  List.iter Domain.join workers;
+  let report = T.Report.capture r in
+  Alcotest.(check (option int))
+    "zero lost counter increments"
+    (Some (domains * per))
+    (List.assoc_opt "hammer.count" report.T.Report.counters);
+  let s =
+    match List.assoc_opt "hammer.obs" report.T.Report.histograms with
+    | Some s -> s
+    | None -> Alcotest.fail "merged histogram missing"
+  in
+  Alcotest.(check int) "zero lost observations" (domains * per)
+    s.T.Histogram.count;
+  (* sum of (i mod 100) over 1..10_000 per domain: 100 full cycles of
+     0+..+99 = 100 * 4950 *)
+  Alcotest.(check (float 1e-6))
+    "merged sum exact"
+    (float_of_int (domains * 100 * 4950))
+    s.T.Histogram.sum;
+  Alcotest.(check (float 1e-9)) "merged min" 0.0 s.T.Histogram.min;
+  Alcotest.(check (float 1e-9)) "merged max" 99.0 s.T.Histogram.max;
+  (* buckets: cumulative, monotone, bounded by the exact count *)
+  let last = ref 0 in
+  List.iter
+    (fun (le, n) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket le=%g monotone" le)
+        true (n >= !last);
+      last := n;
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket le=%g bounded" le)
+        true
+        (n <= s.T.Histogram.count))
+    s.T.Histogram.buckets;
+  (* every observation is <= 99 < 100, so the le=100 bucket holds all *)
+  Alcotest.(check (option int))
+    "top bucket holds everything"
+    (Some (domains * per))
+    (List.assoc_opt 100.0 s.T.Histogram.buckets);
+  (match
+     List.find_opt
+       (fun a -> String.equal a.T.Report.agg_path "hammer.span")
+       report.T.Report.spans
+   with
+  | Some agg ->
+    Alcotest.(check int) "all spans aggregated" (domains * (per / 1000))
+      agg.T.Report.agg_count
+  | None -> Alcotest.fail "hammer.span missing from report");
+  Alcotest.(check int) "nothing dropped" 0 report.T.Report.dropped_spans
+
+(* Concurrent recording against a small span limit: the retained count
+   must hit the limit exactly and the dropped count must account for
+   every other completion — per-shard counts summed at capture. *)
+let test_span_limit_concurrent () =
+  let r = T.create ~span_limit:50 () in
+  let domains = 4 and per = 1_000 in
+  let work () =
+    for _ = 1 to per do
+      T.Span.with_ ~registry:r "s" (fun () -> ())
+    done
+  in
+  let workers = List.init (domains - 1) (fun _ -> Domain.spawn work) in
+  work ();
+  List.iter Domain.join workers;
+  Alcotest.(check int) "retained exactly at limit" 50
+    (List.length (T.Span.finished r));
+  Alcotest.(check int) "dropped accounts for the rest"
+    ((domains * per) - 50)
+    (T.Span.dropped r);
+  let report = T.Report.capture r in
+  Alcotest.(check int) "report agrees"
+    ((domains * per) - 50)
+    report.T.Report.dropped_spans
+
+(* [with_local_trace] returns only the calling domain's spans, oldest
+   first, even while another domain records into the same registry. *)
+let test_with_local_trace () =
+  let r = T.create () in
+  let stop = Atomic.make false in
+  let noisy =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          T.Span.with_ ~registry:r "other" (fun () -> Domain.cpu_relax ())
+        done)
+  in
+  let result, events =
+    T.with_local_trace ~registry:r (fun () ->
+        T.Span.with_ ~registry:r "mine" (fun () ->
+            T.Span.with_ ~registry:r "nested" (fun () -> ()));
+        42)
+  in
+  Atomic.set stop true;
+  Domain.join noisy;
+  Alcotest.(check int) "result threads through" 42 result;
+  Alcotest.(check (list string))
+    "local spans only, oldest first"
+    [ "mine/nested"; "mine" ]
+    (List.map (fun e -> e.T.Span.sp_path) events)
+
+(* --- Prometheus exposition ---------------------------------------------- *)
+
+let test_prometheus_name () =
+  Alcotest.(check string)
+    "dots and spaces" "engine_facts_derived"
+    (T.prometheus_name "engine.facts.derived");
+  Alcotest.(check string)
+    "slash and leading digit" "_fast_path"
+    (T.prometheus_name "2fast/path");
+  Alcotest.(check string) "empty" "_" (T.prometheus_name "")
+
+(* A deterministic registry rendered against the checked-in golden
+   exposition: counters get _total, histograms render the full bucket
+   ladder + +Inf/_sum/_count, names sanitize into the Prometheus
+   charset. Regenerate with:
+     PROMETHEUS_GOLDEN_WRITE=test/golden_prometheus.txt \
+       dune exec test/test_telemetry.exe -- test prometheus *)
+let golden_registry () =
+  let r = T.create () in
+  T.Counter.add (T.Counter.v ~registry:r "engine.facts.derived") 42;
+  T.Gauge.set (T.Gauge.v ~registry:r "sdc.risk.global") 0.25;
+  let h = T.Histogram.v ~registry:r "http.latency.GET healthz" in
+  List.iter (fun x -> T.Histogram.observe h x) [ 0.002; 0.004; 0.3; 77_000.0 ];
+  r
+
+let test_prometheus_golden () =
+  let rendered =
+    T.Prometheus.render (T.Report.capture (golden_registry ()))
+  in
+  (match Sys.getenv_opt "PROMETHEUS_GOLDEN_WRITE" with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc rendered;
+    close_out oc
+  | None -> ());
+  let golden =
+    (* dune runtest runs in _build/default/test; dune exec from the root *)
+    let path =
+      if Sys.file_exists "golden_prometheus.txt" then "golden_prometheus.txt"
+      else Filename.concat "test" "golden_prometheus.txt"
+    in
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  if not (String.equal rendered golden) then
+    Alcotest.failf "exposition drifted from golden file:\n%s" rendered
+
+let test_prometheus_no_duplicate_series () =
+  (* Two names that sanitize to the same family must not render twice. *)
+  let r = T.create () in
+  T.Counter.add (T.Counter.v ~registry:r "a.b") 1;
+  T.Counter.add (T.Counter.v ~registry:r "a b") 2;
+  let rendered = T.Prometheus.render (T.Report.capture r) in
+  let occurrences =
+    String.split_on_char '\n' rendered
+    |> List.filter (fun l -> l = "vadasa_a_b_total 1" || l = "vadasa_a_b_total 2")
+  in
+  Alcotest.(check int) "one sample for the colliding family" 1
+    (List.length occurrences)
+
 (* --- engine integration ------------------------------------------------ *)
 
 let ancestry_src =
@@ -467,6 +649,20 @@ let () =
             test_trace_folded_roundtrip;
           Alcotest.test_case "span limit and dropped" `Quick
             test_span_limit_and_dropped;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "N-domain hammer" `Quick test_domain_hammer;
+          Alcotest.test_case "span limit exact under concurrency" `Quick
+            test_span_limit_concurrent;
+          Alcotest.test_case "with_local_trace" `Quick test_with_local_trace;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "name sanitation" `Quick test_prometheus_name;
+          Alcotest.test_case "golden exposition" `Quick test_prometheus_golden;
+          Alcotest.test_case "sanitize collisions dedup" `Quick
+            test_prometheus_no_duplicate_series;
         ] );
       ( "engine",
         [

@@ -1,0 +1,325 @@
+(* Validate Prometheus text exposition (format 0.0.4) read from stdin
+   or from the files given as arguments. The CI metrics-scrape step
+   pipes the daemon's /metrics body through this.
+
+   Checks:
+   - every sample's metric family has # HELP and # TYPE lines, and
+     they appear before the family's first sample;
+   - no duplicate series (metric name + label set appears once);
+   - sample lines parse: valid metric name, balanced labels, a numeric
+     value;
+   - histogram families are well formed: cumulative _bucket counts are
+     monotone in le, an +Inf bucket exists and matches _count, and
+     _sum/_count are present.
+
+   Exit 0 when clean; 1 with one line per violation otherwise. *)
+
+let errors = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr errors;
+      Printf.eprintf "promcheck: %s\n" msg)
+    fmt
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let valid_name s =
+  s <> ""
+  && is_name_start s.[0]
+  && String.for_all is_name_char (String.sub s 1 (String.length s - 1))
+
+(* The family a sample belongs to: strip histogram/summary child
+   suffixes so x_bucket/x_sum/x_count all check against family x when
+   x is typed histogram. *)
+let strip_suffix ~suffix s =
+  if String.length s > String.length suffix
+     && String.sub s (String.length s - String.length suffix)
+          (String.length suffix)
+        = suffix
+  then Some (String.sub s 0 (String.length s - String.length suffix))
+  else None
+
+type series = { s_labels : (string * string) list; s_value : float }
+
+type family = {
+  mutable f_help : bool;
+  mutable f_type : string option;
+  mutable f_samples : (string * series) list;  (* full name, sample *)
+}
+
+let families : (string, family) Hashtbl.t = Hashtbl.create 64
+
+let family_of name =
+  match Hashtbl.find_opt families name with
+  | Some f -> f
+  | None ->
+    let f = { f_help = false; f_type = None; f_samples = [] } in
+    Hashtbl.add families name f;
+    f
+
+(* Which family does a sample name belong to, honouring declared
+   histogram types: x_bucket belongs to x iff x is a declared
+   histogram family. *)
+let owning_family name =
+  let candidate suffix =
+    match strip_suffix ~suffix name with
+    | Some base -> (
+      match Hashtbl.find_opt families base with
+      | Some { f_type = Some "histogram"; _ } | Some { f_type = Some "summary"; _ }
+        ->
+        Some base
+      | _ -> None)
+    | None -> None
+  in
+  match candidate "_bucket" with
+  | Some base -> base
+  | None -> (
+    match candidate "_sum" with
+    | Some base -> base
+    | None -> (
+      match candidate "_count" with Some base -> base | None -> name))
+
+let seen_series : (string, int) Hashtbl.t = Hashtbl.create 256
+
+(* ---- parsing ---------------------------------------------------------- *)
+
+let parse_labels lineno s =
+  (* s is the text between '{' and '}'. *)
+  let n = String.length s in
+  let labels = ref [] in
+  let i = ref 0 in
+  let bad fmt = Printf.ksprintf (fun m -> fail "line %d: %s" lineno m) fmt in
+  (try
+     while !i < n do
+       let start = !i in
+       while !i < n && s.[!i] <> '=' do
+         incr i
+       done;
+       if !i >= n then begin
+         bad "label without '='";
+         raise Exit
+       end;
+       let key = String.sub s start (!i - start) in
+       if not (valid_name key) then bad "invalid label name %S" key;
+       incr i;
+       if !i >= n || s.[!i] <> '"' then begin
+         bad "label value must be quoted";
+         raise Exit
+       end;
+       incr i;
+       let buf = Buffer.create 16 in
+       let closed = ref false in
+       while (not !closed) && !i < n do
+         (match s.[!i] with
+         | '\\' when !i + 1 < n ->
+           Buffer.add_char buf s.[!i + 1];
+           incr i
+         | '"' -> closed := true
+         | c -> Buffer.add_char buf c);
+         incr i
+       done;
+       if not !closed then begin
+         bad "unterminated label value";
+         raise Exit
+       end;
+       labels := (key, Buffer.contents buf) :: !labels;
+       if !i < n then
+         if s.[!i] = ',' then incr i
+         else begin
+           bad "expected ',' between labels";
+           raise Exit
+         end
+     done
+   with Exit -> ());
+  List.rev !labels
+
+let parse_sample lineno line =
+  let name_end =
+    let rec go i =
+      if i < String.length line && is_name_char line.[i] then go (i + 1) else i
+    in
+    go 0
+  in
+  let name = String.sub line 0 name_end in
+  if not (valid_name name) then fail "line %d: invalid metric name in %S" lineno line
+  else begin
+    let rest = String.sub line name_end (String.length line - name_end) in
+    let labels, rest =
+      if rest <> "" && rest.[0] = '{' then
+        match String.index_opt rest '}' with
+        | Some close ->
+          ( parse_labels lineno (String.sub rest 1 (close - 1)),
+            String.sub rest (close + 1) (String.length rest - close - 1) )
+        | None ->
+          fail "line %d: unclosed label block" lineno;
+          ([], "")
+      else ([], rest)
+    in
+    let value = String.trim rest in
+    (* timestamps (a second field) are legal; take the first token *)
+    let value =
+      match String.index_opt value ' ' with
+      | Some i -> String.sub value 0 i
+      | None -> value
+    in
+    let v =
+      match value with
+      | "+Inf" -> Some infinity
+      | "-Inf" -> Some neg_infinity
+      | "NaN" -> Some nan
+      | v -> float_of_string_opt v
+    in
+    match v with
+    | None -> fail "line %d: non-numeric value %S" lineno value
+    | Some v ->
+      let key =
+        name ^ "{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, value) -> k ^ "=" ^ value)
+               (List.sort compare labels))
+        ^ "}"
+      in
+      (match Hashtbl.find_opt seen_series key with
+      | Some first ->
+        fail "line %d: duplicate series %s (first at line %d)" lineno key first
+      | None -> Hashtbl.add seen_series key lineno);
+      let fam = family_of (owning_family name) in
+      fam.f_samples <- (name, { s_labels = labels; s_value = v }) :: fam.f_samples
+  end
+
+let parse_meta lineno line =
+  (* "# HELP name text" | "# TYPE name kind" | other comments ignored *)
+  match String.split_on_char ' ' line with
+  | "#" :: "HELP" :: name :: _ ->
+    if not (valid_name name) then
+      fail "line %d: HELP for invalid metric name %S" lineno name
+    else begin
+      let f = family_of name in
+      if f.f_help then fail "line %d: duplicate HELP for %s" lineno name;
+      if f.f_samples <> [] then
+        fail "line %d: HELP for %s after its samples" lineno name;
+      f.f_help <- true
+    end
+  | "#" :: "TYPE" :: name :: kind :: _ ->
+    if not (valid_name name) then
+      fail "line %d: TYPE for invalid metric name %S" lineno name
+    else begin
+      let f = family_of name in
+      (match f.f_type with
+      | Some _ -> fail "line %d: duplicate TYPE for %s" lineno name
+      | None -> ());
+      if f.f_samples <> [] then
+        fail "line %d: TYPE for %s after its samples" lineno name;
+      (match kind with
+      | "counter" | "gauge" | "histogram" | "summary" | "untyped" -> ()
+      | k -> fail "line %d: unknown TYPE %S for %s" lineno k name);
+      f.f_type <- Some kind
+    end
+  | _ -> ()
+
+let check_input ic =
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if line = "" then ()
+       else if line.[0] = '#' then parse_meta !lineno line
+       else parse_sample !lineno line
+     done
+   with End_of_file -> ())
+
+(* ---- family-level checks ---------------------------------------------- *)
+
+let check_histogram name f =
+  let buckets =
+    List.filter_map
+      (fun (n, s) ->
+        if n = name ^ "_bucket" then
+          match List.assoc_opt "le" s.s_labels with
+          | Some le ->
+            let bound =
+              match le with "+Inf" -> infinity | le -> (
+                match float_of_string_opt le with
+                | Some b -> b
+                | None ->
+                  fail "%s_bucket: invalid le %S" name le;
+                  nan)
+            in
+            Some (bound, s.s_value, List.remove_assoc "le" s.s_labels)
+          | None ->
+            fail "%s_bucket without le label" name;
+            None
+        else None)
+      f.f_samples
+  in
+  let count = List.assoc_opt (name ^ "_count") f.f_samples in
+  let sum = List.assoc_opt (name ^ "_sum") f.f_samples in
+  if count = None then fail "histogram %s missing _count" name;
+  if sum = None then fail "histogram %s missing _sum" name;
+  (* group buckets by the non-le label set (one ladder per series) *)
+  let groups = Hashtbl.create 4 in
+  List.iter
+    (fun (bound, v, rest) ->
+      let key = String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) (List.sort compare rest)) in
+      Hashtbl.replace groups key
+        ((bound, v) :: (try Hashtbl.find groups key with Not_found -> [])))
+    buckets;
+  if Hashtbl.length groups = 0 then fail "histogram %s has no _bucket series" name;
+  Hashtbl.iter
+    (fun _key ladder ->
+      let ladder = List.sort (fun (a, _) (b, _) -> Float.compare a b) ladder in
+      if not (List.exists (fun (b, _) -> b = infinity) ladder) then
+        fail "histogram %s has no +Inf bucket" name;
+      let last = ref neg_infinity in
+      List.iter
+        (fun (bound, v) ->
+          if v < !last then
+            fail "histogram %s: bucket le=%g count %g below previous %g" name
+              bound v !last;
+          last := v)
+        ladder;
+      match (count, List.rev ladder) with
+      | Some c, (inf_bound, inf_v) :: _ when inf_bound = infinity ->
+        if c.s_value <> inf_v then
+          fail "histogram %s: +Inf bucket %g <> _count %g" name inf_v c.s_value
+      | _ -> ())
+    groups
+
+let () =
+  (match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as files) ->
+    List.iter
+      (fun path ->
+        let ic = open_in path in
+        check_input ic;
+        close_in ic)
+      files
+  | _ -> check_input stdin);
+  let total_samples = ref 0 in
+  Hashtbl.iter
+    (fun name f ->
+      total_samples := !total_samples + List.length f.f_samples;
+      if f.f_samples <> [] then begin
+        if not f.f_help then fail "family %s has samples but no HELP" name;
+        match f.f_type with
+        | None -> fail "family %s has samples but no TYPE" name
+        | Some ("histogram" | "summary") -> check_histogram name f
+        | Some _ -> ()
+      end)
+    families;
+  if !total_samples = 0 then fail "no samples found (empty exposition?)";
+  if !errors > 0 then begin
+    Printf.eprintf "promcheck: %d error(s)\n" !errors;
+    exit 1
+  end
+  else
+    Printf.printf "promcheck: OK (%d families, %d series)\n"
+      (Hashtbl.length families)
+      (Hashtbl.length seen_series)
