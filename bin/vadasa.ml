@@ -852,9 +852,11 @@ let serve_cmd =
       }
     in
     (* The registry shards per domain, so the gated global telemetry is
-       safe (and useful) under the worker pool: request spans, latency
-       histograms and engine metrics all record concurrently and merge
-       at capture — /metrics exposes them, Prometheus format included. *)
+       safe (and useful) under the worker pool: per-endpoint latency
+       histograms (keyed by the route table, never by raw client paths)
+       and engine metrics record concurrently and merge at capture —
+       /metrics exposes them, Prometheus format included. Request span
+       trees are only recorded for --trace-sample'd requests. *)
     T.set_enabled true;
     let engine_pool =
       if engine_domains > 1 then

@@ -10,9 +10,12 @@ val content_type : string
 (** ["text/plain; version=0.0.4; charset=utf-8"]. *)
 
 val wants_prometheus : Http.request -> bool
-(** [true] when the request's [Accept] header names a plain-text or
-    OpenMetrics media type (e.g. [text/plain; version=0.0.4]); a
-    missing header or a bare [*/*] keeps the JSON body. *)
+(** [true] when the request's [Accept] header lists [text/plain] or
+    [application/openmetrics-text] as an acceptable media type (e.g.
+    [text/plain; version=0.0.4]). Entries are parsed per RFC 9110: the
+    media type is matched as a token (not a substring) and an entry
+    with [q=0] is explicitly not acceptable; a missing header or a bare
+    [*/*] keeps the JSON body. *)
 
 val label_escape : string -> string
 (** Escape a label value: backslash, double quote and newline. *)

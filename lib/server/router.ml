@@ -12,6 +12,9 @@ let add t ~meth ~path handler = { routes = t.routes @ [ (meth, path, handler) ] 
 
 let routes t = List.map (fun (m, p, _) -> (m, p)) t.routes
 
+let known_path t path =
+  List.exists (fun (_, p, _) -> String.equal p path) t.routes
+
 let dispatch t (req : Http.request) =
   let matching_path =
     List.filter (fun (_, path, _) -> String.equal path req.path) t.routes

@@ -12,6 +12,11 @@ val add : t -> meth:Http.meth -> path:string -> handler -> t
 
 val routes : t -> (Http.meth * string) list
 
+val known_path : t -> string -> bool
+(** [true] when some route serves [path] (any method). The server keys
+    telemetry on this so metric/span names only ever come from the
+    route table, never from client-controlled request paths. *)
+
 val dispatch : t -> Http.request -> Http.response
 (** Runs the handler of the first route matching method and path; 404 on
     unknown paths, 405 (with an [allow] header) on known paths with the

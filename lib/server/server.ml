@@ -48,7 +48,11 @@ type t = {
   stop_r : Unix.file_descr;  (* self-pipe: handlers write, accept loop reads *)
   stop_w : Unix.file_descr;
   stopping : bool Atomic.t;
-  request_seq : int Atomic.t;  (* drives id generation + trace sampling *)
+  request_seq : int Atomic.t;  (* drives generated request ids *)
+  trace_seq : int Atomic.t;
+      (* drives [--trace-sample]: bumps exactly once per parsed request,
+         so "every Nth request" means exactly that — [request_seq] can't
+         serve double duty because id generation also advances it *)
   mutable accept_domain : unit Domain.t option;
 }
 
@@ -122,6 +126,7 @@ let create ?(config = default_config) ?router handlers =
         stop_w;
         stopping = Atomic.make false;
         request_seq = Atomic.make 0;
+        trace_seq = Atomic.make 0;
         accept_domain = None;
       }
     with e ->
@@ -228,12 +233,19 @@ let trace_line ~request_id events =
    the absolute Clock time by which the response should be written —
    stamped on the request so handlers can derive their work budget.
 
-   Telemetry rides on the worker's registry shard: the dispatch runs
-   under [http.request/<endpoint>] so handler and engine spans nest
-   below it, the endpoint latency lands in an [http.latency.*]
-   histogram, and every [--trace-sample]th request also dumps the span
-   tree this domain recorded during dispatch as a JSON line on the
-   access-log sink, keyed by the request id. *)
+   Telemetry rides on the worker's registry shard, with two bounds that
+   keep an unauthenticated client from growing server memory:
+
+   - Metric and span names only ever come from the route table: a path
+     [Router.dispatch] would 404 collapses into the single "unmatched"
+     endpoint instead of interning a per-path histogram (request paths
+     are client-controlled, instrument interning is forever).
+   - The [http.request/<endpoint>] span tree is recorded only for
+     [--trace-sample]d requests, via the retention-independent local
+     trace collector — so sampled trace lines keep flowing after the
+     registry's span limit fills, and unsampled requests add no span
+     events at all. Every request still lands in the per-endpoint
+     [http.latency.*] histogram. *)
 let serve_connection t ~deadline fd =
   let started = Unix.gettimeofday () in
   let limits =
@@ -252,24 +264,27 @@ let serve_connection t ~deadline fd =
       | Some id when id <> "" -> id
       | _ -> gen_request_id t
     in
-    let seq = 1 + Atomic.fetch_and_add t.request_seq 1 in
+    let seq = 1 + Atomic.fetch_and_add t.trace_seq 1 in
     let sampled =
       match t.config.trace_sample with
       | Some n when n > 0 -> seq mod n = 0
       | _ -> false
     in
     let endpoint =
-      endpoint_span_name (Http.meth_to_string req.Http.meth) req.Http.path
-    in
-    let dispatch () =
-      Telemetry.span "http.request" (fun () ->
-          Telemetry.span endpoint (fun () -> Router.dispatch t.router req))
+      if Router.known_path t.router req.Http.path then
+        endpoint_span_name (Http.meth_to_string req.Http.meth) req.Http.path
+      else "unmatched"
     in
     let resp, trace =
       if sampled && Telemetry.enabled () then
-        let resp, events = Telemetry.with_local_trace dispatch in
+        let resp, events =
+          Telemetry.with_local_trace (fun () ->
+              Telemetry.span "http.request" (fun () ->
+                  Telemetry.span endpoint (fun () ->
+                      Router.dispatch t.router req)))
+        in
         (resp, Some events)
-      else (dispatch (), None)
+      else (Router.dispatch t.router req, None)
     in
     let resp =
       {

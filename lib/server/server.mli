@@ -14,9 +14,14 @@
     The id is echoed in the response headers and in the access-log line,
     and — when [trace_sample] is set and telemetry is enabled — keys the
     sampled span-tree lines dumped on the same sink (schema in
-    [docs/SERVER.md]). Dispatch runs under an
-    [http.request/<endpoint>] telemetry span and feeds per-endpoint
-    [http.latency.*] histograms on the worker domain's registry shard. *)
+    [docs/SERVER.md]). Every request feeds a per-endpoint
+    [http.latency.*] histogram on the worker domain's registry shard;
+    endpoint names come from the route table only (a path no route
+    serves collapses into the single "unmatched" endpoint, so
+    client-controlled paths can never grow the instrument set). The
+    [http.request/<endpoint>] span tree is recorded only for sampled
+    requests, through the retention-independent local trace collector —
+    sampling keeps working however long the daemon runs. *)
 
 type config = {
   host : string;

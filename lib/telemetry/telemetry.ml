@@ -14,14 +14,19 @@
    domain-local storage); every later probe is a domain-local hashtable
    lookup plus a plain field mutation — no locks, no atomics on the
    increment path. [Report.capture] merges the shards under short
-   per-shard mutexes: counters sum, gauges keep the last write (a global
-   write sequence decides "last"), histograms combine exactly on
-   count/sum/min/max/buckets and pool their reservoir samples for the
-   percentiles. Span stacks are inherently per-domain, so nesting never
-   crosses shards; the retained-span bound is enforced with one
-   compare-and-set on a registry-wide count, and overflow is counted
-   per shard and summed at capture, so the dropped figure is exact even
-   under concurrent multi-domain recording. *)
+   per-shard mutexes: counters sum, gauges keep the last write (each
+   gauge publishes its value and a global write sequence as one atomic
+   pair, so the merge never pairs a stale value with a fresh sequence),
+   histograms combine on count/sum/min/max/buckets and pool their
+   reservoir samples for the percentiles. Counter and histogram fields
+   are plain (unsynchronised) mutations, so a capture that races an
+   actively-recording shard may catch an instrument mid-update (a count
+   already bumped, its sum not yet); no increment is ever lost, and a
+   capture of quiesced shards is exact. Span stacks are inherently
+   per-domain, so nesting never crosses shards; the retained-span bound
+   is enforced with one compare-and-set on a registry-wide count, and
+   overflow is counted per shard and summed at capture, so the dropped
+   figure is exact even under concurrent multi-domain recording. *)
 
 let now = Unix.gettimeofday
 
@@ -35,9 +40,11 @@ module Json = Vadasa_base.Json
 
 type counter = { mutable c_value : int }
 
-(* [g_seq] orders writes across shards: the merge keeps the value with
-   the highest sequence number ("last write wins" process-wide). *)
-type gauge = { mutable g_value : float; mutable g_seq : int }
+(* A gauge is its (value, write-sequence) pair published as one atomic
+   immutable record, so a concurrent capture can never tear the two
+   apart. The sequence orders writes across shards: the merge keeps the
+   value with the highest sequence ("last write wins" process-wide). *)
+type gauge = (float * int) Atomic.t
 
 let gauge_seq = Atomic.make 0
 
@@ -106,6 +113,12 @@ type shard = {
   mutable sh_span_stack : open_span list;
   mutable sh_span_events : span_event list;  (* newest first *)
   mutable sh_dropped : int;
+  mutable sh_trace : span_event list option;
+      (* local trace collector (newest first): when [Some], every span
+         completed on this domain is also appended here, *independent*
+         of the registry retention limit — a long-running server's
+         sampled request traces keep working after the registry fills.
+         Owner-domain only; never touched by capture/reset. *)
 }
 
 type t = {
@@ -163,6 +176,7 @@ let shard_of t =
         sh_span_stack = [];
         sh_span_events = [];
         sh_dropped = 0;
+        sh_trace = None;
       }
     in
     t.reg_next_shard <- t.reg_next_shard + 1;
@@ -226,13 +240,11 @@ module Gauge = struct
 
   let v ?(registry = global) name =
     let s = shard_of registry in
-    intern s.sh_gauges s.sh_lock name (fun () -> { g_value = 0.0; g_seq = -1 })
+    intern s.sh_gauges s.sh_lock name (fun () -> Atomic.make (0.0, -1))
 
-  let set g x =
-    g.g_value <- x;
-    g.g_seq <- Atomic.fetch_and_add gauge_seq 1
+  let set g x = Atomic.set g (x, Atomic.fetch_and_add gauge_seq 1)
 
-  let value g = g.g_value
+  let value g = fst (Atomic.get g)
 end
 
 module Histogram = struct
@@ -370,16 +382,22 @@ module Span = struct
         List.length rest
       | [] -> 0
     in
-    if reserve registry then
-      shard.sh_span_events <-
-        {
-          sp_name = name;
-          sp_path = os.os_path;
-          sp_start = os.os_start;
-          sp_duration = duration;
-          sp_depth = depth;
-        }
-        :: shard.sh_span_events
+    let ev =
+      {
+        sp_name = name;
+        sp_path = os.os_path;
+        sp_start = os.os_start;
+        sp_duration = duration;
+        sp_depth = depth;
+      }
+    in
+    (* The local trace collector is not subject to the retention limit:
+       a span dropped from the registry still reaches an active
+       [with_local_trace]. *)
+    (match shard.sh_trace with
+    | Some l -> shard.sh_trace <- Some (ev :: l)
+    | None -> ());
+    if reserve registry then shard.sh_span_events <- ev :: shard.sh_span_events
     else shard.sh_dropped <- shard.sh_dropped + 1;
     duration
 
@@ -429,18 +447,27 @@ let span_timed name f =
   end
 
 (* Spans completed on the *calling domain* while [f] ran, oldest first —
-   the per-request trace of a server worker. The shard's event list is
-   a cons chain, so "new since" is a pointer walk down to the old head;
-   events other domains record concurrently are invisible by design. *)
+   the per-request trace of a server worker. The collector rides on the
+   shard instead of reading [sh_span_events], so the trace stays
+   complete even after the registry's retention limit fills up (a
+   long-running server must never lose its sampled traces). Events
+   other domains record concurrently are invisible by design; nested
+   collections see only their own window (the outer collection keeps
+   the inner one's events too). *)
 let with_local_trace ?(registry = global) f =
   let shard = shard_of registry in
-  let before = shard.sh_span_events in
-  let result = f () in
-  let rec take acc l =
-    if l == before then acc
-    else match l with [] -> acc | ev :: tl -> take (ev :: acc) tl
-  in
-  (result, take [] shard.sh_span_events)
+  let saved = shard.sh_trace in
+  shard.sh_trace <- Some [];
+  match f () with
+  | result ->
+    (* [inner] is newest-first, like every event list on the shard. *)
+    let inner = match shard.sh_trace with Some l -> l | None -> [] in
+    shard.sh_trace <-
+      (match saved with Some outer -> Some (inner @ outer) | None -> None);
+    (result, List.rev inner)
+  | exception e ->
+    shard.sh_trace <- saved;
+    raise e
 
 (* ---- reports ---------------------------------------------------------- *)
 
@@ -487,9 +514,10 @@ module Report = struct
           s.sh_counters;
         Hashtbl.iter
           (fun name g ->
+            let value, seq = Atomic.get g in
             match Hashtbl.find_opt gauges name with
-            | Some (_, seq) when seq >= g.g_seq -> ()
-            | _ -> Hashtbl.replace gauges name (g.g_value, g.g_seq))
+            | Some (_, prev) when prev >= seq -> ()
+            | _ -> Hashtbl.replace gauges name (value, seq))
           s.sh_gauges;
         Hashtbl.iter
           (fun name h ->

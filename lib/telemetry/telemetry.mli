@@ -13,12 +13,18 @@
     Registries are safe across OCaml 5 domains: each domain records
     into its own {e shard} (created on first use, cached in
     domain-local storage), so the hot path stays a plain unsynchronised
-    field mutation. {!Report.capture} merges the shards — counters sum
-    exactly, gauges keep the process-wide last write, histograms
-    combine exactly on count/sum/min/max/buckets and pool their
-    reservoir samples for the percentiles, and per-shard dropped-span
-    counts sum to an exact total. Span nesting is per-domain (a span
-    opened on one domain never parents a span on another).
+    field mutation. {!Report.capture} merges the shards — counters sum,
+    gauges keep the process-wide last write (value and write sequence
+    publish as one atomic pair, so the merge never pairs a stale value
+    with a fresh sequence), histograms combine on
+    count/sum/min/max/buckets and pool their reservoir samples for the
+    percentiles, and per-shard dropped-span counts sum to an exact
+    total. Because counter and histogram updates are plain mutations, a
+    capture racing an actively-recording shard may observe an
+    instrument mid-update (count bumped, sum not yet); no increment is
+    ever lost, and a capture of quiesced shards is exact. Span nesting
+    is per-domain (a span opened on one domain never parents a span on
+    another).
 
     See [docs/OBSERVABILITY.md] for the metric-name and span-hierarchy
     conventions used across the stack. *)
@@ -160,7 +166,11 @@ val with_local_trace : ?registry:t -> (unit -> 'a) -> 'a * Span.info list
 (** [with_local_trace f] runs [f] and also returns the spans that
     completed on the {e calling domain} while it ran, oldest first —
     the per-request trace of a server worker. Spans recorded
-    concurrently by other domains are excluded by design. *)
+    concurrently by other domains are excluded by design. The trace is
+    collected independently of the registry's [span_limit]: spans the
+    retention bound drops (and counts as dropped) still appear here, so
+    sampled request traces keep working in a long-running server whose
+    registry has filled up. *)
 
 module Report : sig
   type span_agg = {

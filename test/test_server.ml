@@ -659,6 +659,134 @@ let test_e2e_metrics_content_negotiation () =
         "json body" true
         (String.length body > 0 && body.[0] = '{'))
 
+(* Accept-header negotiation is parsed, not substring-matched: q=0
+   means "explicitly not acceptable", and media types are compared as
+   whole tokens. *)
+let test_accept_negotiation () =
+  let wants accept =
+    match
+      parse (Printf.sprintf "GET /metrics HTTP/1.1\r\naccept: %s\r\n\r\n" accept)
+    with
+    | Ok req -> Srv.Prom.wants_prometheus req
+    | Error _ -> Alcotest.fail "request should parse"
+  in
+  Alcotest.(check bool) "text/plain" true (wants "text/plain");
+  Alcotest.(check bool)
+    "versioned exposition" true
+    (wants "text/plain; version=0.0.4");
+  Alcotest.(check bool)
+    "openmetrics" true
+    (wants "application/openmetrics-text; version=1.0.0");
+  Alcotest.(check bool)
+    "second entry counts" true
+    (wants "text/html, text/plain;q=0.5");
+  Alcotest.(check bool)
+    "q=0 is explicitly not acceptable" false
+    (wants "text/html, text/plain;q=0");
+  Alcotest.(check bool)
+    "token match, not substring" false
+    (wants "text/plain-extended");
+  Alcotest.(check bool) "bare wildcard keeps JSON" false (wants "*/*")
+
+(* Client-controlled paths must not grow the instrument set: requests
+   to paths no route serves collapse into the single "unmatched"
+   latency bucket instead of interning one histogram per path. *)
+let test_e2e_unmatched_path_cardinality () =
+  let module T = Vadasa_telemetry.Telemetry in
+  let was_enabled = T.enabled () in
+  T.set_enabled true;
+  T.reset T.global;
+  Fun.protect
+    ~finally:(fun () -> T.set_enabled was_enabled)
+    (fun () ->
+      with_server (fun _server port ->
+          List.iter
+            (fun target ->
+              let status, _ = http_call ~port ~meth:"GET" ~target () in
+              Alcotest.(check int) "404" 404 status)
+            [ "/no-such-path-1"; "/no-such-path-2"; "/probe/random" ];
+          let status, _ = http_call ~port ~meth:"GET" ~target:"/healthz" () in
+          Alcotest.(check int) "200" 200 status;
+          (* the latency observation lands just after the response is
+             written; poll until both series show up *)
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          let capture () =
+            List.map fst (T.Report.capture T.global).T.Report.histograms
+          in
+          let complete names =
+            List.mem "http.latency.unmatched" names
+            && List.mem "http.latency.GET healthz" names
+          in
+          while not (complete (capture ())) && Unix.gettimeofday () < deadline do
+            Unix.sleepf 0.01
+          done;
+          let names = capture () in
+          Alcotest.(check bool)
+            "unmatched paths collapse into one bucket" true
+            (List.mem "http.latency.unmatched" names);
+          Alcotest.(check bool)
+            "known endpoint keyed by its route" true
+            (List.mem "http.latency.GET healthz" names);
+          Alcotest.(check bool)
+            "no client-controlled name interned" false
+            (List.exists
+               (fun n ->
+                 Astring_contains.contains n "no-such-path"
+                 || Astring_contains.contains n "probe")
+               names)))
+
+(* Generated request ids must not skew --trace-sample: the sampling
+   counter advances exactly once per request, so 4 requests at N=2
+   yield exactly 2 trace lines. *)
+let test_e2e_trace_sample_rate () =
+  let module T = Vadasa_telemetry.Telemetry in
+  let lock = Mutex.create () in
+  let lines = ref [] in
+  let sink line =
+    Mutex.lock lock;
+    lines := line :: !lines;
+    Mutex.unlock lock
+  in
+  let count pred =
+    Mutex.lock lock;
+    let l = !lines in
+    Mutex.unlock lock;
+    List.length (List.filter pred l)
+  in
+  let config =
+    {
+      Srv.Server.default_config with
+      Srv.Server.port = 0;
+      domains = 1;
+      request_timeout = 60.0;
+      access_log = Some sink;
+      trace_sample = Some 2;
+    }
+  in
+  let was_enabled = T.enabled () in
+  T.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> T.set_enabled was_enabled)
+    (fun () ->
+      with_server ~config (fun _server port ->
+          for _ = 1 to 4 do
+            let status, _ = http_call ~port ~meth:"GET" ~target:"/healthz" () in
+            Alcotest.(check int) "200" 200 status
+          done;
+          (* trace lines are emitted before each access-log line, so
+             once all 4 log lines are in, so are the traces *)
+          let logs () =
+            count (fun l -> Astring_contains.contains l "\"status\"")
+          in
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          while logs () < 4 && Unix.gettimeofday () < deadline do
+            Unix.sleepf 0.01
+          done;
+          Alcotest.(check int) "4 access-log lines" 4 (logs ());
+          Alcotest.(check int)
+            "exactly every 2nd request sampled" 2
+            (count (fun l -> Astring_contains.contains l "\"trace\""))))
+
 (* --- suite ---------------------------------------------------------------- *)
 
 let () =
@@ -715,5 +843,11 @@ let () =
             test_e2e_request_id_round_trip;
           Alcotest.test_case "metrics content negotiation" `Quick
             test_e2e_metrics_content_negotiation;
+          Alcotest.test_case "accept header parsing" `Quick
+            test_accept_negotiation;
+          Alcotest.test_case "unmatched paths share one bucket" `Quick
+            test_e2e_unmatched_path_cardinality;
+          Alcotest.test_case "trace sample rate exact" `Quick
+            test_e2e_trace_sample_rate;
         ] );
     ]

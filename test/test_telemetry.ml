@@ -498,6 +498,27 @@ let test_with_local_trace () =
     [ "mine/nested"; "mine" ]
     (List.map (fun e -> e.T.Span.sp_path) events)
 
+(* The local trace collector is independent of the retention limit: a
+   registry whose span budget is exhausted still yields complete traces
+   (the server's [--trace-sample] must not die in a long run), while
+   the registry itself retains nothing and counts every drop. *)
+let test_local_trace_survives_span_limit () =
+  let r = T.create ~span_limit:0 () in
+  let result, events =
+    T.with_local_trace ~registry:r (fun () ->
+        T.Span.with_ ~registry:r "root" (fun () ->
+            T.Span.with_ ~registry:r "child" (fun () -> ()));
+        7)
+  in
+  Alcotest.(check int) "result threads through" 7 result;
+  Alcotest.(check (list string))
+    "trace complete despite exhausted retention"
+    [ "root/child"; "root" ]
+    (List.map (fun e -> e.T.Span.sp_path) events);
+  Alcotest.(check int) "registry retained nothing" 0
+    (List.length (T.Span.finished r));
+  Alcotest.(check int) "drops still accounted" 2 (T.Span.dropped r)
+
 (* --- Prometheus exposition ---------------------------------------------- *)
 
 let test_prometheus_name () =
@@ -656,6 +677,8 @@ let () =
           Alcotest.test_case "span limit exact under concurrency" `Quick
             test_span_limit_concurrent;
           Alcotest.test_case "with_local_trace" `Quick test_with_local_trace;
+          Alcotest.test_case "local trace survives span limit" `Quick
+            test_local_trace_survives_span_limit;
         ] );
       ( "prometheus",
         [
