@@ -869,6 +869,22 @@ let () =
       bench_registry := T.create ();
       extra_histograms := [];
       ignore (timed ("bench." ^ name) f);
+      (* Peak-heap footprint per figure: [top_heap_words] is the
+         high-water mark of the major heap since program start, so each
+         figure's report records the largest heap any figure so far
+         needed — still a faithful upper bound for this figure.
+         [Gc.stat] rather than [Gc.quick_stat]: on this runtime the
+         quick variant's aggregates only refresh at collection
+         boundaries, so a figure that finishes between collections would
+         report a stale (possibly zero) heap. The full [stat] walk runs
+         after [timed], so it cannot skew the figure's spans. *)
+      let gc = Gc.stat () in
+      T.Gauge.set
+        (T.Gauge.v ~registry:!bench_registry "gc.top_heap_words")
+        (float_of_int gc.Gc.top_heap_words);
+      T.Gauge.set
+        (T.Gauge.v ~registry:!bench_registry "gc.heap_words")
+        (float_of_int gc.Gc.heap_words);
       if !json then write_bench_report ~json_dir:!json_dir name;
       Option.iter
         (fun dir -> compare_figure ~dir ~threshold:!threshold name)

@@ -8,6 +8,7 @@
      anonymize   run the anonymization cycle and write the result
      attack      simulate the record-linkage attack against a microdata DB
      reason      execute a Vadalog program file on the reasoning engine
+     explain     unfold one fact's provenance derivation tree
      serve       expose the pipeline as a concurrent HTTP service *)
 
 module Value = Vadasa_base.Value
@@ -513,8 +514,19 @@ let anonymize_cmd =
       & info [ "narrative" ]
           ~doc:"Print the full anonymization narrative (per-action story).")
   in
+  let audit_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit" ] ~docv:"FILE"
+          ~doc:
+            "Write the decision-level audit trail to FILE as JSON lines: \
+             exactly one event per cycle round — risk before/after, method \
+             applied, cells affected, violations remaining, info-loss delta. \
+             Schema in docs/OBSERVABILITY.md; validated by tools/auditcheck.")
+  in
   let run (finish, _, limits) input categories measure k threshold msu_threshold
-      method_ semantics output narrative domains =
+      method_ semantics output narrative audit domains =
     (* Accepted for CLI uniformity: the native anonymization cycle is
        engine-free, so the flag only matters for reasoned paths. *)
     check_domains domains;
@@ -544,9 +556,26 @@ let anonymize_cmd =
         method_;
       }
     in
-    let outcome = S.Cycle.run ~config ?budget:(budget_of_limits limits) md in
+    let recorder = Option.map (fun _ -> S.Audit.recorder ()) audit in
+    let outcome =
+      S.Cycle.run ~config ?audit:recorder ?budget:(budget_of_limits limits) md
+    in
     Format.eprintf "%a" S.Cycle.pp_outcome outcome;
     if narrative then prerr_string (S.Explain.trace md outcome);
+    (match (audit, recorder) with
+    | Some path, Some recorder ->
+      let events = S.Audit.events recorder in
+      (try
+         let oc = open_out path in
+         output_string oc (S.Audit.to_jsonl events);
+         close_out oc
+       with Sys_error message ->
+         E.fail ~code:"io.audit" E.Io
+           ("cannot write --audit file: " ^ message)
+           ~context:[ ("file", path) ]);
+      Printf.eprintf "audit trail: %d event(s) -> %s\n" (List.length events)
+        path
+    | _ -> ());
     write_csv (S.Microdata.relation outcome.S.Cycle.anonymized) output;
     finish ()
   in
@@ -556,7 +585,7 @@ let anonymize_cmd =
     Term.(
       const run $ common_term $ input_arg $ category_arg $ measure_arg $ k_arg
       $ threshold_arg $ msu_arg $ method_arg $ semantics_arg $ output_arg
-      $ narrative_flag $ engine_domains_arg)
+      $ narrative_flag $ audit_arg $ engine_domains_arg)
 
 (* ---- attack --------------------------------------------------------------------- *)
 
@@ -673,6 +702,85 @@ let reason_cmd =
     Term.(
       const run $ common_term $ program_arg $ query_arg $ explain_arg
       $ check_warded $ csv_facts_arg $ engine_domains_arg)
+
+(* ---- explain -------------------------------------------------------------------- *)
+
+let explain_cmd =
+  let program_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "p"; "program" ] ~docv:"FILE" ~doc:"Vadalog program file.")
+  in
+  let fact_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FACT"
+          ~doc:
+            "The fact to explain, in Vadalog syntax: 'pred(arg1, arg2)' \
+             (trailing dot optional).")
+  in
+  let max_depth_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-depth" ] ~docv:"N"
+          ~doc:
+            "Cut the derivation tree below N levels (default 12); cut \
+             subtrees render as [unknown].")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the derivation tree as canonical JSON on stdout — the \
+             exact bytes the server's POST /v1/explain returns for the same \
+             program and fact.")
+  in
+  let run (finish, _, limits) path fact json max_depth csv_facts domains =
+    check_domains domains;
+    (match max_depth with
+    | Some n when n < 1 ->
+      Printf.eprintf "error: --max-depth must be >= 1\n";
+      exit 2
+    | _ -> ());
+    let pred, args =
+      match Srv.Codec.parse_fact fact with
+      | Ok f -> f
+      | Error e -> raise (E.Error e)
+    in
+    let program = load_program path csv_facts in
+    let engine = V.Engine.create ~domains program in
+    (match V.Engine.run ?budget:(budget_of_limits limits) engine with
+    | () -> ()
+    | exception V.Engine.Interrupted i -> warn_degraded i);
+    V.Engine.shutdown engine;
+    (match V.Engine.explain ?max_depth engine pred args with
+    | Some tree ->
+      if json then print_string (Srv.Codec.explain_string tree)
+      else print_string (V.Provenance.to_string tree)
+    | None ->
+      E.fail ~code:"fact.not_found" E.Wardedness
+        (Printf.sprintf "fact %s is not in the database" (String.trim fact))
+        ~context:
+          [
+            ("fact", String.trim fact);
+            ("hint", "run `vadasa reason` to list the derived facts");
+          ]);
+    finish ()
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Unfold one fact's provenance: the derivation tree of rules and \
+          parent facts the chase recorded for it (the paper's full-\
+          explainability desideratum). Exits 2 with error[fact.not_found] \
+          when the fact is not in the saturated database.")
+    Term.(
+      const run $ common_term $ program_arg $ fact_arg $ json_flag
+      $ max_depth_arg $ csv_facts_arg $ engine_domains_arg)
 
 (* ---- profile -------------------------------------------------------------------- *)
 
@@ -820,8 +928,21 @@ let serve_cmd =
              $(b,--metrics-out) sink (requires $(b,--metrics-out)); lines \
              carry the request id, so traces join against access-log lines.")
   in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-request log: any request slower than MS milliseconds dumps \
+             its full span tree as a JSON line on the $(b,--metrics-out) \
+             sink, independently of $(b,--trace-sample) — the tail-latency \
+             lens is always on. Slow lines carry $(b,slow: true) and the \
+             request's latency; each slow request also bumps the \
+             $(b,http.slow_requests) counter.")
+  in
   let run (finish, sink, (_, max_facts)) host port domains engine_domains queue
-      timeout max_body trace_sample =
+      timeout max_body trace_sample slow_ms =
     if domains < 1 then begin
       Printf.eprintf "error: --domains must be >= 1\n";
       exit 1
@@ -839,6 +960,11 @@ let serve_cmd =
       Printf.eprintf "error: --trace-sample must be >= 1\n";
       exit 1
     | _ -> ());
+    (match slow_ms with
+    | Some n when n < 1 ->
+      Printf.eprintf "error: --slow-ms must be >= 1\n";
+      exit 1
+    | _ -> ());
     let config =
       {
         Srv.Server.host;
@@ -849,6 +975,7 @@ let serve_cmd =
         max_body_bytes = max_body;
         access_log = sink;
         trace_sample;
+        slow_ms;
       }
     in
     (* The registry shards per domain, so the gated global telemetry is
@@ -891,12 +1018,12 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the SDC pipeline as a long-lived HTTP service: POST /v1/risk, \
-          /v1/anonymize, /v1/categorize, /v1/reason; GET /healthz, /metrics. \
-          See docs/SERVER.md.")
+          /v1/anonymize, /v1/categorize, /v1/reason, /v1/explain; GET \
+          /healthz, /metrics. See docs/SERVER.md.")
     Term.(
       const run $ common_term $ host_arg $ port_arg $ domains_arg
       $ engine_domains_arg $ queue_arg $ timeout_arg $ max_body_arg
-      $ trace_sample_arg)
+      $ trace_sample_arg $ slow_ms_arg)
 
 (* ---- main ------------------------------------------------------------------------- *)
 
@@ -912,6 +1039,7 @@ let () =
         anonymize_cmd;
         attack_cmd;
         reason_cmd;
+        explain_cmd;
         profile_cmd;
         serve_cmd;
       ]

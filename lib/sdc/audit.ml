@@ -1,0 +1,111 @@
+module Json = Vadasa_base.Json
+
+type event = {
+  round : int;
+  risky_before : int;
+  max_risk_before : float;
+  mean_risk_before : float;
+  suppressed : int;
+  recoded : int;
+  blocked : int;
+  skipped : int;
+  info_loss_before : float;
+  info_loss_after : float;
+  violations_after : int option;
+  max_risk_after : float option;
+}
+
+let method_of_event e =
+  match (e.suppressed > 0, e.recoded > 0) with
+  | true, true -> "mixed"
+  | true, false -> "suppress"
+  | false, true -> "recode"
+  | false, false -> "none"
+
+(* Events accumulate newest-first; [begin_round] patches the previous
+   head with the post-state its own estimate just revealed. *)
+type recorder = { mutable events : event list }
+
+let recorder () = { events = [] }
+
+let patch_after r ~violations ~max_risk =
+  match r.events with
+  | [] -> ()
+  | e :: rest ->
+    r.events <-
+      { e with violations_after = Some violations; max_risk_after = Some max_risk }
+      :: rest
+
+let begin_round r ~round ~risky ~max_risk ~mean_risk ~info_loss =
+  patch_after r ~violations:risky ~max_risk;
+  r.events <-
+    {
+      round;
+      risky_before = risky;
+      max_risk_before = max_risk;
+      mean_risk_before = mean_risk;
+      suppressed = 0;
+      recoded = 0;
+      blocked = 0;
+      skipped = 0;
+      info_loss_before = info_loss;
+      info_loss_after = info_loss;
+      violations_after = None;
+      max_risk_after = None;
+    }
+    :: r.events
+
+let end_round r ~suppressed ~recoded ~blocked ~skipped ~info_loss =
+  match r.events with
+  | [] -> ()
+  | e :: rest ->
+    r.events <-
+      { e with suppressed; recoded; blocked; skipped; info_loss_after = info_loss }
+      :: rest
+
+let finish r =
+  (* A final round with no action (convergence, stall) left the data in
+     the exact state its own estimate measured. *)
+  match r.events with
+  | e :: rest
+    when e.violations_after = None && e.suppressed = 0 && e.recoded = 0 ->
+    r.events <-
+      {
+        e with
+        violations_after = Some e.risky_before;
+        max_risk_after = Some e.max_risk_before;
+      }
+      :: rest
+  | _ -> ()
+
+let events r = List.rev r.events
+
+let opt_int = function None -> Json.Null | Some n -> Json.Int n
+
+let opt_float = function None -> Json.Null | Some f -> Json.Float f
+
+let event_to_json e =
+  Json.Obj
+    [
+      ("event", Json.Str "cycle.round");
+      ("round", Json.Int e.round);
+      ("risky_before", Json.Int e.risky_before);
+      ("max_risk_before", Json.Float e.max_risk_before);
+      ("mean_risk_before", Json.Float e.mean_risk_before);
+      ("method", Json.Str (method_of_event e));
+      ("suppressed", Json.Int e.suppressed);
+      ("recoded", Json.Int e.recoded);
+      ("cells_affected", Json.Int (e.suppressed + e.recoded));
+      ("blocked", Json.Int e.blocked);
+      ("skipped", Json.Int e.skipped);
+      ("violations_after", opt_int e.violations_after);
+      ("max_risk_after", opt_float e.max_risk_after);
+      ("info_loss_before", Json.Float e.info_loss_before);
+      ("info_loss_after", Json.Float e.info_loss_after);
+      ( "info_loss_delta",
+        Json.Float (e.info_loss_after -. e.info_loss_before) );
+    ]
+
+let to_jsonl events =
+  String.concat ""
+    (List.map (fun e -> Json.to_string (event_to_json e) ^ "\n") events)

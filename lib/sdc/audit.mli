@@ -1,0 +1,80 @@
+(** Decision-level audit trail of the anonymization cycle.
+
+    The paper's desideratum (vi) is full explainability: every
+    anonymization decision must be traceable. {!Cycle.run} accepts an
+    optional {!recorder} and emits exactly one {!event} per iteration of
+    the Algorithm 2 loop — the risk picture when the round's estimate
+    ran, the method the round actually applied, how many cells it
+    touched, and the information-loss delta the actions cost. The
+    post-round risk picture ([violations_after]/[max_risk_after]) is
+    patched in when the next round's estimate reveals it; a round whose
+    post-state was never re-estimated (budget interruption, max-rounds
+    stop after actions) leaves them unknown and they render as JSON
+    [null].
+
+    Events render as one JSON object per line ({!to_jsonl}); the schema
+    is documented in [docs/OBSERVABILITY.md] and validated by
+    [tools/auditcheck]. *)
+
+type event = {
+  round : int;  (** 1-based cycle iteration *)
+  risky_before : int;  (** tuples over threshold at this round's estimate *)
+  max_risk_before : float;
+  mean_risk_before : float;
+  suppressed : int;  (** cells suppressed by this round's actions *)
+  recoded : int;  (** cells recoded by this round's actions *)
+  blocked : int;  (** risky tuples with no anonymization move left *)
+  skipped : int;
+      (** risky tuples skipped because earlier suppressions of the same
+          round already rescued them (the wider risk reduction effect) *)
+  info_loss_before : float;
+  info_loss_after : float;
+  violations_after : int option;  (** [None] until the post-state is known *)
+  max_risk_after : float option;
+}
+
+val method_of_event : event -> string
+(** ["suppress"], ["recode"], ["mixed"] (both kinds fired) or ["none"]
+    (the round applied no action — convergence or stall). *)
+
+type recorder
+
+val recorder : unit -> recorder
+
+val begin_round :
+  recorder ->
+  round:int ->
+  risky:int ->
+  max_risk:float ->
+  mean_risk:float ->
+  info_loss:float ->
+  unit
+(** Opens round [round]'s event. Also patches the previous round's
+    [violations_after]/[max_risk_after] from this estimate — the cycle
+    re-evaluates risk at the top of every round, so round [N]'s
+    post-state {e is} round [N+1]'s pre-state. *)
+
+val end_round :
+  recorder ->
+  suppressed:int ->
+  recoded:int ->
+  blocked:int ->
+  skipped:int ->
+  info_loss:float ->
+  unit
+(** Completes the open round's action counts and post-action loss. *)
+
+val finish : recorder -> unit
+(** Closes the trail: a final round that applied no action left the data
+    exactly as its own estimate saw it, so its post-state fields are
+    patched from its pre-state. A final round that did act (budget or
+    max-rounds stop) keeps them unknown. *)
+
+val events : recorder -> event list
+(** Chronological. *)
+
+val event_to_json : event -> Vadasa_base.Json.t
+(** Deterministic field order; unknown post-state fields are [null]. *)
+
+val to_jsonl : event list -> string
+(** One compact JSON object per line, trailing newline per line. *)

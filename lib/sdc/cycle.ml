@@ -167,7 +167,7 @@ module Round_gains = struct
       t.tables 0
 end
 
-let run_body ?(config = default_config) ?budget input =
+let run_body ?(config = default_config) ?audit ?budget input =
   let md = Microdata.copy input in
   let ids = Ids.create () in
   let trace = ref [] in
@@ -178,6 +178,23 @@ let run_body ?(config = default_config) ?budget input =
   let interrupted = ref None in
   let round = ref 0 in
   let continue = ref true in
+  let qi_count = Array.length (Microdata.qi_positions md) in
+  (* Figure 7b's loss metric as of now — pure arithmetic on the running
+     counters, cheap enough to evaluate per audit event. *)
+  let info_loss_now () =
+    Info_loss.suppression_loss ~nulls_injected:(Ids.count ids)
+      ~risky_tuples:(max 0 !risky_initial) ~qi_count
+  in
+  let risk_stats risk =
+    let max_r = ref 0.0 and sum = ref 0.0 in
+    Array.iter
+      (fun r ->
+        if r > !max_r then max_r := r;
+        sum := !sum +. r)
+      risk;
+    let n = Array.length risk in
+    (!max_r, if n = 0 then 0.0 else !sum /. float_of_int n)
+  in
   (* The budget is polled at round boundaries: every completed round
      leaves the working copy strictly safer than the round before, so
      stopping between rounds yields a usable (if unfinished) DB. *)
@@ -214,6 +231,12 @@ let run_body ?(config = default_config) ?budget input =
       List.rev !acc
     in
     if !risky_initial < 0 then risky_initial := List.length risky;
+    (match audit with
+    | Some recorder ->
+      let max_risk, mean_risk = risk_stats risk in
+      Audit.begin_round recorder ~round:!round ~risky:(List.length risky)
+        ~max_risk ~mean_risk ~info_loss:(info_loss_now ())
+    | None -> ());
     Telemetry.observe "sdc.cycle.risky_per_round"
       (float_of_int (List.length risky));
     Log.debug (fun m ->
@@ -223,7 +246,12 @@ let run_body ?(config = default_config) ?budget input =
           config.threshold);
     if risky = [] then begin
       converged := true;
-      continue := false
+      continue := false;
+      match audit with
+      | Some recorder ->
+        Audit.end_round recorder ~suppressed:0 ~recoded:0 ~blocked:0 ~skipped:0
+          ~info_loss:(info_loss_now ())
+      | None -> ()
     end
     else begin
       let ordered = Heuristics.order_tuples config.tuple_order md ~risk risky in
@@ -235,6 +263,9 @@ let run_body ?(config = default_config) ?budget input =
       let cache = Heuristics.build_cache md in
       let progressed = ref false in
       let blocked = ref [] in
+      let round_suppressed = ref 0 in
+      let round_recoded = ref 0 in
+      let round_skipped = ref 0 in
       (* Under maybe-match semantics with k-anonymity, a suppression made
          earlier in this round may already have rescued a pending tuple:
          skip it when its frequency plus the maybe-matches gained so far
@@ -273,7 +304,7 @@ let run_body ?(config = default_config) ?budget input =
       Telemetry.span "sdc.cycle.actions" (fun () ->
           List.iter
             (fun tuple ->
-              if satisfied_by_gains tuple then ()
+              if satisfied_by_gains tuple then incr round_skipped
               else
                 let cands = candidates config md ~tuple in
                 match Heuristics.choose_qi config.qi_choice cache md ~tuple ~candidates:cands with
@@ -285,11 +316,14 @@ let run_body ?(config = default_config) ?budget input =
                     (match kind, gains with
                     | Recoded _, _ ->
                       incr recoded_cells;
+                      incr round_recoded;
                       Telemetry.count "sdc.cycle.recodings" 1
                     | Suppressed _, Some g ->
+                      incr round_suppressed;
                       Telemetry.count "sdc.cycle.suppressions" 1;
                       Round_gains.record g md ~tuple
                     | Suppressed _, None ->
+                      incr round_suppressed;
                       Telemetry.count "sdc.cycle.suppressions" 1);
                     progressed := true;
                     trace :=
@@ -304,6 +338,14 @@ let run_body ?(config = default_config) ?budget input =
                       :: !trace))
             ordered);
       Telemetry.count "sdc.cycle.blocked" (List.length !blocked);
+      (match audit with
+      | Some recorder ->
+        Audit.end_round recorder ~suppressed:!round_suppressed
+          ~recoded:!round_recoded
+          ~blocked:(List.length !blocked)
+          ~skipped:!round_skipped
+          ~info_loss:(info_loss_now ())
+      | None -> ());
       Log.debug (fun m ->
           m "round %d: %d actions, %d blocked" !round
             (List.length !trace) (List.length !blocked));
@@ -314,7 +356,9 @@ let run_body ?(config = default_config) ?budget input =
       end
     end
   done;
-  let qi_count = Array.length (Microdata.qi_positions md) in
+  (match audit with
+  | Some recorder -> Audit.finish recorder
+  | None -> ());
   let outcome =
     {
       anonymized = md;
@@ -335,12 +379,19 @@ let run_body ?(config = default_config) ?budget input =
     Telemetry.gauge "sdc.cycle.nulls_injected" (float_of_int outcome.nulls_injected);
     Telemetry.gauge "sdc.cycle.info_loss" outcome.info_loss;
     Telemetry.gauge "sdc.cycle.unresolved"
-      (float_of_int (List.length outcome.unresolved))
+      (float_of_int (List.length outcome.unresolved));
+    (* The audit trail's telemetry mirror: run-level totals as their own
+       sdc.* families (counters sum across runs, histograms distribute
+       per-run), whether or not a recorder was attached. *)
+    Telemetry.count "sdc.cells_suppressed" outcome.nulls_injected;
+    Telemetry.count "sdc.cells_recoded" outcome.recoded_cells;
+    Telemetry.observe "sdc.info_loss" outcome.info_loss;
+    Telemetry.observe "sdc.iterations" (float_of_int outcome.rounds)
   end;
   outcome
 
-let run ?config ?budget input =
-  Telemetry.span "sdc.cycle.run" (fun () -> run_body ?config ?budget input)
+let run ?config ?audit ?budget input =
+  Telemetry.span "sdc.cycle.run" (fun () -> run_body ?config ?audit ?budget input)
 
 let pp_outcome ppf o =
   Format.fprintf ppf

@@ -71,9 +71,21 @@ type outcome = {
           applied so far but tuples may remain over threshold *)
 }
 
-val run : ?config:config -> ?budget:Vadasa_base.Budget.t -> Microdata.t -> outcome
+val run :
+  ?config:config ->
+  ?audit:Audit.recorder ->
+  ?budget:Vadasa_base.Budget.t ->
+  Microdata.t ->
+  outcome
 (** [budget] is polled between rounds (the derived-fact ceiling counts
     injected nulls); on exhaustion the cycle stops cleanly and reports
-    [interrupted = Some reason] instead of raising. *)
+    [interrupted = Some reason] instead of raising.
+
+    [audit] receives exactly one {!Audit.event} per executed round
+    (including a final converging round that applied no action), so the
+    trail's length always equals the outcome's [rounds]. Run-level
+    totals additionally mirror into telemetry whether or not a recorder
+    is attached: counters [sdc.cells_suppressed]/[sdc.cells_recoded]
+    and histograms [sdc.info_loss]/[sdc.iterations]. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

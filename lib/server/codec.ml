@@ -24,6 +24,7 @@ type options = {
   semantics : string;  (* anonymize: "maybe-match" | "standard" *)
   budget_ms : int option;  (* per-request chase/cycle wall-clock budget *)
   max_facts : int option;  (* per-request derived-fact ceiling *)
+  audit : bool;  (* anonymize: embed the per-round audit trail *)
 }
 
 let default_options =
@@ -39,6 +40,7 @@ let default_options =
     semantics = "maybe-match";
     budget_ms = None;
     max_facts = None;
+    audit = false;
   }
 
 type payload = { csv : string; options : options }
@@ -114,6 +116,7 @@ let options_of_query (req : Http.request) =
       semantics = Option.value ~default:default_options.semantics (get "semantics");
       budget_ms;
       max_facts;
+      audit = get "audit" = Some "true";
     }
 
 let bad_field name detail =
@@ -186,6 +189,7 @@ let options_of_json json =
   let* semantics = str "semantics" default_options.semantics in
   let* budget_ms = int_opt_field "budget_ms" in
   let* max_facts = int_opt_field "max_facts" in
+  let* audit = bool_field "audit" default_options.audit in
   Ok
     {
       name;
@@ -199,6 +203,7 @@ let options_of_json json =
       semantics;
       budget_ms;
       max_facts;
+      audit;
     }
 
 let content_type (req : Http.request) =
@@ -238,6 +243,91 @@ let parse_payload (req : Http.request) =
       (E.make ~code:"request.unsupported_media" E.Parse
          (Printf.sprintf "unsupported content-type %s" other)
          ~context:[ ("content_type", other) ])
+
+(* ---- explain requests ---------------------------------------------------- *)
+
+(* A ground fact written in Vadalog syntax — "p(a, 1)". Reusing the
+   program parser keeps the accepted value syntax (strings, numbers,
+   quoting) exactly the one programs use, so the fact a client asks
+   about is spelled like the fact the engine printed. *)
+let parse_fact s =
+  let text = String.trim s in
+  let text =
+    if String.length text > 0 && text.[String.length text - 1] = '.' then text
+    else text ^ "."
+  in
+  let invalid detail =
+    Error
+      (E.make ~code:"fact.invalid" E.Parse
+         (Printf.sprintf "cannot parse fact %S: %s" s detail)
+         ~context:[ ("fact", s) ])
+  in
+  match V.Parser.parse text with
+  | exception V.Parser.Error { message; _ } -> invalid message
+  | exception V.Lexer.Error { message; _ } -> invalid message
+  | program -> (
+    match (program.V.Program.rules, program.V.Program.facts) with
+    | [], [ (pred, args) ] -> Ok (pred, args)
+    | _ -> invalid "expected exactly one ground fact, e.g. p(a, 1)")
+
+type explain_request = {
+  explain_program : string;
+  explain_pred : string;
+  explain_args : Vadasa_base.Value.t array;
+  explain_max_depth : int option;
+  explain_budget_ms : int option;
+  explain_max_facts : int option;
+}
+
+let parse_explain_payload (req : Http.request) =
+  match content_type req with
+  | "application/json" | "" -> (
+    match Json.of_string req.body with
+    | Error msg ->
+      Error (E.make ~code:"json.invalid" E.Parse ("invalid JSON body: " ^ msg))
+    | Ok json ->
+      let str_field name =
+        match Json.member name json with
+        | Some (Json.Str s) -> Ok s
+        | Some _ -> Error (bad_field name "expected a string")
+        | None ->
+          Error
+            (E.make
+               ~code:("request.missing_" ^ name)
+               E.Parse ("missing field " ^ name))
+      in
+      let int_opt_field name =
+        match Json.member name json with
+        | Some j -> (
+          match Json.to_int_opt j with
+          | Some n when n >= 1 -> Ok (Some n)
+          | _ -> Error (bad_field name "expected a positive integer"))
+        | None -> Ok None
+      in
+      let* program = str_field "program" in
+      let* fact = str_field "fact" in
+      let* pred, args = parse_fact fact in
+      let* max_depth = int_opt_field "max_depth" in
+      let* budget_ms = int_opt_field "budget_ms" in
+      let* max_facts = int_opt_field "max_facts" in
+      Ok
+        {
+          explain_program = program;
+          explain_pred = pred;
+          explain_args = args;
+          explain_max_depth = max_depth;
+          explain_budget_ms = budget_ms;
+          explain_max_facts = max_facts;
+        })
+  | other ->
+    Error
+      (E.make ~code:"request.unsupported_media" E.Parse
+         (Printf.sprintf "unsupported content-type %s (expected application/json)"
+            other)
+         ~context:[ ("content_type", other) ])
+
+let explain_string tree =
+  Json.to_string ~indent:true (V.Provenance.to_json tree) ^ "\n"
 
 (* ---- semantic decoding --------------------------------------------------- *)
 
@@ -365,7 +455,7 @@ let risk_report_degraded_string ~threshold md report interrupt =
     ^ "\n"
   | json -> Json.to_string ~indent:true json ^ "\n"
 
-let anonymize_outcome_json md (outcome : S.Cycle.outcome) =
+let anonymize_outcome_json ?audit md (outcome : S.Cycle.outcome) =
   ignore md;
   Json.Obj
     ([
@@ -385,6 +475,12 @@ let anonymize_outcome_json md (outcome : S.Cycle.outcome) =
            (R.Csv.write_string (S.Microdata.relation outcome.S.Cycle.anonymized))
        );
      ]
+    (* The opt-in audit trail rides along as the same event objects the
+       CLI's --audit JSONL writes, one per round. *)
+    @ (match audit with
+      | None -> []
+      | Some events ->
+        [ ("audit", Json.List (List.map S.Audit.event_to_json events)) ])
     @
     (* Degraded markers only when the budget interrupted the cycle: an
        unbudgeted outcome renders exactly as before. *)

@@ -24,6 +24,9 @@ type options = {
   max_facts : int option;
       (** per-request derived-fact ceiling (query [max-facts], JSON
           [max_facts]) *)
+  audit : bool;
+      (** anonymize: embed the per-round audit trail in the response
+          (query [audit=true], JSON [audit]) *)
 }
 
 val default_options : options
@@ -43,6 +46,38 @@ val parse_payload : Http.request -> (payload, Vadasa_base.Error.t) result
 val measure_of_options :
   options -> (Vadasa_sdc.Risk.measure, Vadasa_base.Error.t) result
 (** [measure.unknown] (Wardedness, 422) for unrecognized measures. *)
+
+val parse_fact :
+  string ->
+  (string * Vadasa_base.Value.t array, Vadasa_base.Error.t) result
+(** A ground fact in Vadalog syntax — ["p(a, 1)"], trailing dot
+    optional — parsed with the program parser so the accepted value
+    syntax matches programs exactly. [fact.invalid] (Parse, 400) on
+    anything that is not exactly one ground fact. *)
+
+type explain_request = {
+  explain_program : string;
+  explain_pred : string;
+  explain_args : Vadasa_base.Value.t array;
+  explain_max_depth : int option;
+  explain_budget_ms : int option;
+  explain_max_facts : int option;
+}
+(** [POST /v1/explain]'s decoded body: the Vadalog program text, the
+    fact to explain, and optional depth/budget bounds. *)
+
+val parse_explain_payload :
+  Http.request -> (explain_request, Vadasa_base.Error.t) result
+(** JSON bodies only: [{"program": "...", "fact": "p(a, 1)",
+    "max_depth"?, "budget_ms"?, "max_facts"?}]. Failures are Parse
+    errors: [json.invalid], [request.missing_program],
+    [request.missing_fact], [request.bad_field], [fact.invalid],
+    [request.unsupported_media]. *)
+
+val explain_string : Vadasa_vadalog.Provenance.t -> string
+(** Indented {!Vadasa_vadalog.Provenance.to_json} plus trailing newline
+    — the canonical rendering used verbatim by both [vadasa explain
+    --json] and [POST /v1/explain]. *)
 
 val microdata_of_payload :
   payload -> (Vadasa_sdc.Microdata.t, Vadasa_base.Error.t) result
@@ -92,10 +127,15 @@ val risk_report_degraded_string :
     unbudgeted rendering. *)
 
 val anonymize_outcome_json :
-  Vadasa_sdc.Microdata.t -> Vadasa_sdc.Cycle.outcome -> Vadasa_base.Json.t
+  ?audit:Vadasa_sdc.Audit.event list ->
+  Vadasa_sdc.Microdata.t ->
+  Vadasa_sdc.Cycle.outcome ->
+  Vadasa_base.Json.t
 (** Outcome counters plus the anonymized relation as a [csv] field.
-    When the cycle was interrupted by its budget, appends
-    ["degraded": true] and ["interrupt_reason"]. *)
+    [audit] appends the per-round trail as an ["audit"] list (the same
+    event objects the CLI's [--audit] JSONL holds). When the cycle was
+    interrupted by its budget, appends ["degraded": true] and
+    ["interrupt_reason"]. *)
 
 val categorize_result_json : Vadasa_sdc.Categorize.result -> Vadasa_base.Json.t
 

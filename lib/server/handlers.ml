@@ -213,9 +213,59 @@ let anonymize t req =
       method_;
     }
   in
-  let outcome = S.Cycle.run ~config ?budget:(budget_for t req options) md in
+  let recorder = if options.Codec.audit then Some (S.Audit.recorder ()) else None in
+  let outcome =
+    S.Cycle.run ~config ?audit:recorder ?budget:(budget_for t req options) md
+  in
+  let audit = Option.map S.Audit.events recorder in
   Http.response ~status:200
-    (Json.to_string ~indent:true (Codec.anonymize_outcome_json md outcome) ^ "\n")
+    (Json.to_string ~indent:true (Codec.anonymize_outcome_json ?audit md outcome)
+    ^ "\n")
+
+(* Program + fact -> derivation tree. The program compiles through the
+   same cache as /v1/reason; the chase runs under the request budget. A
+   budget-cut chase may simply not have derived the fact yet — the 422
+   then names the interruption so the client can tell "never derivable"
+   from "ran out of budget". *)
+let explain t req =
+  let er = ok_or_raise (Codec.parse_explain_payload req) in
+  let compiled, _cached = compile t er.Codec.explain_program in
+  let engine =
+    V.Engine.create ~strat:compiled.strat ?pool:t.engine_pool
+      compiled.program
+  in
+  let budget =
+    budget_for t req
+      {
+        Codec.default_options with
+        Codec.budget_ms = er.Codec.explain_budget_ms;
+        max_facts = er.Codec.explain_max_facts;
+      }
+  in
+  let interrupted =
+    match V.Engine.run ?budget engine with
+    | () -> false
+    | exception V.Engine.Interrupted _ -> true
+  in
+  match
+    V.Engine.explain ?max_depth:er.Codec.explain_max_depth engine
+      er.Codec.explain_pred er.Codec.explain_args
+  with
+  | Some tree -> Http.response ~status:200 (Codec.explain_string tree)
+  | None ->
+    let fact =
+      er.Codec.explain_pred ^ "("
+      ^ String.concat ", "
+          (Array.to_list
+             (Array.map Vadasa_base.Value.to_string er.Codec.explain_args))
+      ^ ")"
+    in
+    E.fail ~code:"fact.not_found" E.Wardedness
+      (Printf.sprintf "fact %s is not in the database" fact)
+      ~context:
+        (("fact", fact)
+        :: (if interrupted then [ ("note", "chase interrupted by budget") ]
+            else []))
 
 let categorize _t req =
   let payload = payload_of_request req in
@@ -265,6 +315,9 @@ let reason t req =
    shards) renders first via [Telemetry.Prometheus.render]. *)
 let prometheus_body ?(extra_prom = fun () -> "") t =
   let buf = Buffer.create 4096 in
+  (* Runtime-health gauges are sampled at capture time, so every scrape
+     sees the capturing domain's current GC picture. *)
+  Health.sample_gc ();
   Buffer.add_string buf
     (Telemetry.Prometheus.render
        (Telemetry.Report.capture Telemetry.global));
@@ -415,4 +468,5 @@ let router ?extra_metrics ?extra_prom t =
       (Http.POST, "/v1/anonymize", guard t (anonymize t));
       (Http.POST, "/v1/categorize", guard t (categorize t));
       (Http.POST, "/v1/reason", guard t (reason t));
+      (Http.POST, "/v1/explain", guard t (explain t));
     ]

@@ -10,11 +10,16 @@
       the request budget; an interrupted chase degrades to the native
       report plus ["degraded": true].
     - [POST /v1/anonymize] — anonymization cycle; counters + output CSV.
+      With ["audit": true] the response embeds the per-round decision
+      trail (one {!Vadasa_sdc.Audit} event per cycle iteration).
     - [POST /v1/categorize] — Algorithm 1 over the CSV's header.
     - [POST /v1/reason] — the measure as a Vadalog program on the
       reasoning engine, through the compiled-program cache; an
       interrupted chase answers with the partial risk decode and
       ["degraded": true].
+    - [POST /v1/explain] — program + fact → provenance derivation tree,
+      byte-identical to [vadasa explain --json] for the same input; a
+      fact the chase never derived answers 422 [fact.not_found].
 
     Every failure renders through {!Codec.response_of_error}: the body
     carries a stable [error.code] and the status follows the error's

@@ -1,0 +1,34 @@
+module Telemetry = Vadasa_telemetry.Telemetry
+
+let sample_gc () =
+  if Telemetry.enabled () then begin
+    let s = Gc.quick_stat () in
+    let d = (Domain.self () :> int) in
+    let dg suffix v =
+      Telemetry.gauge (Printf.sprintf "gc.domain%d.%s" d suffix) v
+    in
+    dg "minor_words" s.Gc.minor_words;
+    dg "major_words" s.Gc.major_words;
+    dg "promoted_words" s.Gc.promoted_words;
+    (* The major heap is shared across domains: last writer wins is the
+       right merge for these. *)
+    Telemetry.gauge "gc.heap_words" (float_of_int s.Gc.heap_words);
+    Telemetry.gauge "gc.top_heap_words" (float_of_int s.Gc.top_heap_words);
+    Telemetry.gauge "gc.minor_collections" (float_of_int s.Gc.minor_collections);
+    Telemetry.gauge "gc.major_collections" (float_of_int s.Gc.major_collections);
+    Telemetry.gauge "gc.compactions" (float_of_int s.Gc.compactions)
+  end
+
+let pool_prom pool buf =
+  let domains = Pool.size pool in
+  let busy = Pool.busy pool in
+  Prom.family buf ~name:"vadasa_pool_domains"
+    ~help:"Worker domains in the HTTP pool" ~typ:"gauge";
+  Prom.sample_int buf ~name:"vadasa_pool_domains" domains;
+  Prom.family buf ~name:"vadasa_pool_busy_domains"
+    ~help:"Worker domains currently executing a job" ~typ:"gauge";
+  Prom.sample_int buf ~name:"vadasa_pool_busy_domains" busy;
+  Prom.family buf ~name:"vadasa_pool_utilization"
+    ~help:"Busy fraction of the HTTP worker pool (0..1)" ~typ:"gauge";
+  Prom.sample_float buf ~name:"vadasa_pool_utilization"
+    (if domains = 0 then 0.0 else float_of_int busy /. float_of_int domains)

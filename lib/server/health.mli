@@ -1,0 +1,27 @@
+(** Runtime-health gauges: per-domain GC statistics and worker-pool
+    utilization.
+
+    GC statistics in OCaml 5 are largely per-domain ([Gc.quick_stat]
+    reports the calling domain's minor-heap counters), so sampling
+    happens where the work happens: every finished request samples its
+    worker domain ({!sample_gc} from the connection loop), and a
+    [/metrics] capture samples the scraping domain — the exposition
+    always carries at least the capturing domain's current picture.
+    Gauge names embed the domain id ([gc.domain<i>.minor_words]);
+    cardinality is bounded by the pool size fixed at startup.
+
+    Pool gauges ([vadasa_pool_domains] / [_busy_domains] /
+    [_utilization]) render at scrape time via {!pool_prom} — see
+    [docs/OBSERVABILITY.md] for the full metric tables. *)
+
+val sample_gc : unit -> unit
+(** Publish the calling domain's [Gc.quick_stat] into the global
+    telemetry registry: per-domain [gc.domain<i>.minor_words] /
+    [.major_words] / [.promoted_words] plus process-wide
+    [gc.heap_words], [gc.top_heap_words], [gc.minor_collections],
+    [gc.major_collections] and [gc.compactions]. No-op while telemetry
+    is disabled. *)
+
+val pool_prom : Pool.t -> Buffer.t -> unit
+(** Append the pool-utilization exposition: total domains, busy
+    domains, queue depth and the busy fraction, sampled at call time. *)

@@ -28,6 +28,7 @@ type state = Running | Stopping
 type t = {
   queue : job Queue.t;
   capacity : int;
+  size : int;  (* worker domains, fixed at creation *)
   mutex : Mutex.t;
   not_empty : Condition.t;
   mutable state : state;
@@ -38,6 +39,7 @@ type t = {
   mutable completed : int;
   mutable expired_jobs : int;
   mutable raised : int;
+  mutable busy : int;  (* workers currently running a job *)
   mutable last_error : string option;  (* most recent job exception *)
 }
 
@@ -52,11 +54,13 @@ let worker t () =
       Mutex.unlock t.mutex)
     else begin
       let job = Queue.pop t.queue in
+      t.busy <- t.busy + 1;
       Mutex.unlock t.mutex;
       if Clock.expired job.deadline then begin
         (try job.expired () with _ -> ());
         Mutex.lock t.mutex;
         t.expired_jobs <- t.expired_jobs + 1;
+        t.busy <- t.busy - 1;
         Mutex.unlock t.mutex
       end
       else begin
@@ -66,12 +70,14 @@ let worker t () =
         | () ->
           Mutex.lock t.mutex;
           t.completed <- t.completed + 1;
+          t.busy <- t.busy - 1;
           Mutex.unlock t.mutex
         | exception e ->
           let msg = Printexc.to_string e in
           Log.warn (fun m -> m "job raised: %s" msg);
           Mutex.lock t.mutex;
           t.raised <- t.raised + 1;
+          t.busy <- t.busy - 1;
           t.last_error <- Some msg;
           Mutex.unlock t.mutex)
       end;
@@ -87,6 +93,7 @@ let create ?(domains = 4) ?(queue_capacity = 128) () =
     {
       queue = Queue.create ();
       capacity = queue_capacity;
+      size = domains;
       mutex = Mutex.create ();
       not_empty = Condition.create ();
       state = Running;
@@ -96,6 +103,7 @@ let create ?(domains = 4) ?(queue_capacity = 128) () =
       completed = 0;
       expired_jobs = 0;
       raised = 0;
+      busy = 0;
       last_error = None;
     }
   in
@@ -138,6 +146,14 @@ let queue_length t =
   Mutex.unlock t.mutex;
   n
 
+let size t = t.size
+
+let busy t =
+  Mutex.lock t.mutex;
+  let n = t.busy in
+  Mutex.unlock t.mutex;
+  n
+
 let counters t =
   Mutex.lock t.mutex;
   let c =
@@ -162,6 +178,8 @@ let stats t =
     ([
        ("queue_length", Vadasa_base.Json.Int (queue_length t));
        ("queue_capacity", Vadasa_base.Json.Int t.capacity);
+       ("domains", Vadasa_base.Json.Int t.size);
+       ("busy", Vadasa_base.Json.Int (busy t));
        ("submitted", Vadasa_base.Json.Int submitted);
        ("rejected", Vadasa_base.Json.Int rejected);
        ("completed", Vadasa_base.Json.Int completed);

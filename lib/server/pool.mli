@@ -26,6 +26,13 @@ val stop : t -> unit
 
 val queue_length : t -> int
 
+val size : t -> int
+(** Worker domains, fixed at creation. *)
+
+val busy : t -> int
+(** Workers currently executing a job (or an expiry callback) — with
+    {!size}, the utilization gauge pair sampled on metrics capture. *)
+
 val counters : t -> int * int * int * int * int
 (** [(submitted, rejected, completed, expired, raised)]. *)
 

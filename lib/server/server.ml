@@ -24,6 +24,9 @@ type config = {
   access_log : (string -> unit) option;  (* one JSON line per request *)
   trace_sample : int option;
       (* every Nth request dumps its span tree to [access_log] *)
+  slow_ms : int option;
+      (* any request slower than this dumps its span tree to
+         [access_log], independently of [trace_sample] *)
 }
 
 let default_config =
@@ -36,6 +39,7 @@ let default_config =
     max_body_bytes = Http.default_limits.Http.max_body_bytes;
     access_log = None;
     trace_sample = None;
+    slow_ms = None;
   }
 
 type t = {
@@ -105,6 +109,7 @@ let create ?(config = default_config) ?router handlers =
             ("expired", expired);
             ("raised", raised);
           ];
+        Health.pool_prom pool buf;
         Buffer.contents buf
       in
       let router =
@@ -208,12 +213,17 @@ let endpoint_span_name meth path =
   in
   if dotted = "" then meth else meth ^ " " ^ dotted
 
-let trace_line ~request_id events =
+let trace_line ?slow_latency_ms ~request_id events =
   Json.to_string
     (Json.Obj
-       [
-         ("trace", Json.Str "request");
-         ("request_id", Json.Str request_id);
+       ([
+          ("trace", Json.Str "request");
+          ("request_id", Json.Str request_id);
+        ]
+       @ (match slow_latency_ms with
+         | None -> []
+         | Some ms -> [ ("slow", Json.Bool true); ("latency_ms", Json.Float ms) ])
+       @ [
          ( "spans",
            Json.List
              (List.map
@@ -227,7 +237,7 @@ let trace_line ~request_id events =
                       ("depth", Json.Int ev.Telemetry.Span.sp_depth);
                     ])
                 events) );
-       ])
+       ]))
 
 (* Runs on a worker domain: one whole request lifecycle. [deadline] is
    the absolute Clock time by which the response should be written —
@@ -275,8 +285,13 @@ let serve_connection t ~deadline fd =
         endpoint_span_name (Http.meth_to_string req.Http.meth) req.Http.path
       else "unmatched"
     in
+    (* [--slow-ms] needs the span tree of every request — whether a
+       request was slow is only known after it finished — so an armed
+       slow log collects the local trace unconditionally and discards
+       it for requests that came in under the bar unsampled. *)
+    let slow_armed = t.config.slow_ms <> None in
     let resp, trace =
-      if sampled && Telemetry.enabled () then
+      if (sampled || slow_armed) && Telemetry.enabled () then
         let resp, events =
           Telemetry.with_local_trace (fun () ->
               Telemetry.span "http.request" (fun () ->
@@ -297,10 +312,22 @@ let serve_connection t ~deadline fd =
     close_quietly fd;
     let elapsed = Unix.gettimeofday () -. started in
     Telemetry.observe ("http.latency." ^ endpoint) elapsed;
+    let slow =
+      match t.config.slow_ms with
+      | Some ms -> elapsed *. 1000.0 > float_of_int ms
+      | None -> false
+    in
+    if slow then Telemetry.count "http.slow_requests" 1;
     (match (trace, t.config.access_log) with
-    | Some events, Some sink when events <> [] ->
-      sink (trace_line ~request_id events)
+    | Some events, Some sink when events <> [] && (sampled || slow) ->
+      sink
+        (trace_line
+           ?slow_latency_ms:(if slow then Some (elapsed *. 1000.0) else None)
+           ~request_id events)
     | _ -> ());
+    (* Keep the worker domain's GC gauges fresh: quick_stat is cheap and
+       the sample lands on this domain's registry shard. *)
+    Health.sample_gc ();
     log_request t ~req:(Some req) ~request_id:(Some request_id) ~status ~bytes
       ~elapsed
 

@@ -37,11 +37,19 @@ type config = {
       (** [Some n]: every [n]th request also dumps its full span tree
           as a JSON line on [access_log] (requires telemetry enabled);
           [None] disables sampling *)
+  slow_ms : int option;
+      (** [Some ms]: any request slower than [ms] milliseconds dumps
+          its full span tree on [access_log] — independently of
+          [trace_sample], so the tail-latency lens is always on. Slow
+          trace lines carry ["slow": true] and ["latency_ms"]; each
+          slow request also bumps the [http.slow_requests] counter.
+          Arming it makes every request collect its local trace
+          (whether a request was slow is only known once it finished). *)
 }
 
 val default_config : config
 (** 127.0.0.1:8080, 4 domains, 128-deep queue, 30 s timeout, 16 MiB
-    bodies, no access log, no trace sampling. *)
+    bodies, no access log, no trace sampling, no slow-request log. *)
 
 type t
 

@@ -48,3 +48,31 @@ let rec pp_indented ppf indent node =
 let pp ppf node = pp_indented ppf 0 node
 
 let to_string node = Format.asprintf "%a" pp node
+
+(* The canonical JSON rendering shared by [vadasa explain --json] and
+   the server's [POST /v1/explain] — both must stay byte-identical, so
+   field order here is the contract. *)
+let rec to_json node =
+  let module Json = Vadasa_base.Json in
+  let base =
+    [
+      ("fact", Json.Str (fact_to_string node.pred node.args));
+      ("pred", Json.Str node.pred);
+      ( "args",
+        Json.List
+          (Array.to_list
+             (Array.map (fun v -> Json.Str (Value.to_string v)) node.args)) );
+    ]
+  in
+  Json.Obj
+    (base
+    @
+    match node.how with
+    | Input -> [ ("how", Json.Str "input") ]
+    | Unknown -> [ ("how", Json.Str "unknown") ]
+    | By_rule { label; parents } ->
+      [
+        ("how", Json.Str "rule");
+        ("rule", Json.Str label);
+        ("parents", Json.List (List.map to_json parents));
+      ])

@@ -26,3 +26,11 @@ val pp : Format.formatter -> t -> unit
 (** Indented derivation tree. *)
 
 val to_string : t -> string
+
+val to_json : t -> Vadasa_base.Json.t
+(** Deterministic rendering of the tree:
+    [{"fact"; "pred"; "args"; "how"}] with ["how"] one of ["input"],
+    ["unknown"] or ["rule"] (adding ["rule"] and recursive ["parents"]).
+    This is the canonical encoding behind both [vadasa explain --json]
+    and the server's [POST /v1/explain] — the two are byte-identical
+    because they both render through it. *)

@@ -275,6 +275,52 @@ let test_risk_via_engine_identical () =
         seq par)
     [ 2; 4 ]
 
+(* --- derivation trees across domain counts --------------------------------- *)
+
+(* Every fact's derivation tree rendered as text, for every predicate
+   in the finished database. Parallel evaluation merges worker
+   derivations in sequential order, so the provenance store — and with
+   it every tree [vadasa explain] prints — must be byte-identical
+   however many domains evaluated the chase. The depth bound keeps the
+   dump linear in the database size on recursive programs and also
+   pins the [Unknown] cut to the same facts at every domain count. *)
+let provenance_dump ?domains source =
+  let program = V.Parser.parse source in
+  let engine = V.Engine.create ?domains program in
+  Fun.protect
+    ~finally:(fun () -> V.Engine.shutdown engine)
+    (fun () ->
+      V.Engine.run engine;
+      let db = V.Engine.database engine in
+      let buf = Buffer.create 8192 in
+      List.iter
+        (fun pred ->
+          V.Database.iter_pred db pred (fun args ->
+              match V.Engine.explain ~max_depth:6 engine pred args with
+              | Some tree ->
+                Buffer.add_string buf (V.Provenance.to_string tree);
+                Buffer.add_char buf '\n'
+              | None -> Alcotest.failf "no provenance for a %s fact" pred))
+        (V.Database.predicates db);
+      Buffer.contents buf)
+
+let test_provenance_byte_identical () =
+  let programs =
+    example_programs () @ [ ("tc", synthetic_tc); ("band", synthetic_band) ]
+  in
+  List.iter
+    (fun (name, source) ->
+      let seq = provenance_dump ~domains:1 source in
+      List.iter
+        (fun d ->
+          let par = provenance_dump ~domains:d source in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: derivation trees identical at %d domains"
+               name d)
+            seq par)
+        [ 2; 4 ])
+    programs
+
 (* --- fault injection into the parallel path ------------------------------- *)
 
 let test_chunk_fault_typed_error () =
@@ -356,6 +402,8 @@ let () =
             test_pool_reuse_across_engines;
           Alcotest.test_case "reasoned risks, domains 1/2/4" `Slow
             test_risk_via_engine_identical;
+          Alcotest.test_case "derivation trees, domains 1/2/4" `Slow
+            test_provenance_byte_identical;
         ] );
       ( "faults",
         [

@@ -468,6 +468,99 @@ let test_cycle_per_round_limit () =
   Alcotest.(check bool) "still converges" true outcome.S.Cycle.converged;
   Alcotest.(check bool) "more rounds" true (outcome.S.Cycle.rounds >= 3)
 
+(* --- audit trail -------------------------------------------------------------- *)
+
+let test_audit_one_event_per_round () =
+  let md = figure5 () in
+  let recorder = S.Audit.recorder () in
+  let outcome = S.Cycle.run ~audit:recorder md in
+  let events = S.Audit.events recorder in
+  Alcotest.(check int) "one event per cycle round" outcome.S.Cycle.rounds
+    (List.length events);
+  List.iteri
+    (fun i e ->
+      Alcotest.(check int) "rounds consecutive from 1" (i + 1) e.S.Audit.round)
+    events;
+  (* The converged final round applied nothing and its post-state is its
+     own estimate: zero violations left. *)
+  Alcotest.(check bool) "converged" true outcome.S.Cycle.converged;
+  let last = List.nth events (List.length events - 1) in
+  Alcotest.(check string) "final round applies nothing" "none"
+    (S.Audit.method_of_event last);
+  Alcotest.(check (option int)) "no violations remain" (Some 0)
+    last.S.Audit.violations_after;
+  (* Suppression counts in the trail reconcile with the outcome. *)
+  let total_suppressed =
+    List.fold_left (fun acc e -> acc + e.S.Audit.suppressed) 0 events
+  in
+  Alcotest.(check int) "trail accounts for every null"
+    outcome.S.Cycle.nulls_injected total_suppressed;
+  (* The trail's final loss is the outcome's. *)
+  Alcotest.(check (float 1e-9)) "final info loss" outcome.S.Cycle.info_loss
+    last.S.Audit.info_loss_after
+
+let test_audit_post_state_patched () =
+  let md = figure5 () in
+  let recorder = S.Audit.recorder () in
+  ignore (S.Cycle.run ~audit:recorder md);
+  let events = S.Audit.events recorder in
+  (* Every round's post-state is known: intermediate rounds are patched
+     by the next estimate, the final (converged) round by [finish]. *)
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "round %d post-state known" e.S.Audit.round)
+        true
+        (e.S.Audit.violations_after <> None && e.S.Audit.max_risk_after <> None);
+      Alcotest.(check bool)
+        (Printf.sprintf "round %d loss monotone" e.S.Audit.round)
+        true
+        (e.S.Audit.info_loss_after >= e.S.Audit.info_loss_before))
+    events;
+  (* Round N's post-state is round N+1's pre-state. *)
+  let rec pairwise = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "round %d chains to round %d" a.S.Audit.round
+           b.S.Audit.round)
+        (Some b.S.Audit.risky_before) a.S.Audit.violations_after;
+      pairwise rest
+    | _ -> ()
+  in
+  pairwise events
+
+let test_audit_jsonl_round_trips () =
+  let md = figure5 () in
+  let recorder = S.Audit.recorder () in
+  ignore (S.Cycle.run ~audit:recorder md);
+  let events = S.Audit.events recorder in
+  let lines =
+    String.split_on_char '\n' (S.Audit.to_jsonl events)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one line per event" (List.length events)
+    (List.length lines);
+  List.iter
+    (fun line ->
+      match Vadasa_base.Json.of_string line with
+      | Ok (Vadasa_base.Json.Obj fields) ->
+        List.iter
+          (fun key ->
+            Alcotest.(check bool)
+              (Printf.sprintf "field %s present" key)
+              true
+              (List.mem_assoc key fields))
+          [
+            "event"; "round"; "risky_before"; "max_risk_before";
+            "mean_risk_before"; "method"; "suppressed"; "recoded";
+            "cells_affected"; "blocked"; "skipped"; "violations_after";
+            "max_risk_after"; "info_loss_before"; "info_loss_after";
+            "info_loss_delta";
+          ]
+      | Ok _ -> Alcotest.fail "audit line is not a JSON object"
+      | Error e -> Alcotest.failf "audit line does not parse: %s" e)
+    lines
+
 (* --- info loss -------------------------------------------------------------- *)
 
 let test_info_loss_metrics () =
@@ -1166,6 +1259,15 @@ let () =
           Alcotest.test_case "re-identification measure" `Quick
             test_cycle_reidentification_measure;
           Alcotest.test_case "per-round limit" `Quick test_cycle_per_round_limit;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "one event per round" `Quick
+            test_audit_one_event_per_round;
+          Alcotest.test_case "post-state patched" `Quick
+            test_audit_post_state_patched;
+          Alcotest.test_case "jsonl round-trips" `Quick
+            test_audit_jsonl_round_trips;
         ] );
       ( "info loss",
         [

@@ -652,6 +652,11 @@ let test_e2e_metrics_content_negotiation () =
       Alcotest.(check bool)
         "pool series present" true
         (Astring_contains.contains body "vadasa_pool_jobs_total");
+      Alcotest.(check bool)
+        "pool utilization gauges present" true
+        (Astring_contains.contains body "vadasa_pool_utilization"
+        && Astring_contains.contains body "vadasa_pool_busy_domains"
+        && Astring_contains.contains body "vadasa_pool_domains");
       (* no Accept header: JSON stays the default *)
       let status, body = http_call ~port ~meth:"GET" ~target:"/metrics" () in
       Alcotest.(check int) "json 200" 200 status;
@@ -787,6 +792,188 @@ let test_e2e_trace_sample_rate () =
             "exactly every 2nd request sampled" 2
             (count (fun l -> Astring_contains.contains l "\"trace\""))))
 
+(* --slow-ms must dump a span tree for a slow request even with trace
+   sampling off, and the line must carry the slow marker. *)
+let test_e2e_slow_request_logged () =
+  let module T = Vadasa_telemetry.Telemetry in
+  let lock = Mutex.create () in
+  let lines = ref [] in
+  let sink line =
+    Mutex.lock lock;
+    lines := line :: !lines;
+    Mutex.unlock lock
+  in
+  let snapshot () =
+    Mutex.lock lock;
+    let l = !lines in
+    Mutex.unlock lock;
+    l
+  in
+  let config =
+    {
+      Srv.Server.default_config with
+      Srv.Server.port = 0;
+      domains = 1;
+      request_timeout = 60.0;
+      access_log = Some sink;
+      trace_sample = None;
+      slow_ms = Some 1;
+    }
+  in
+  let was_enabled = T.enabled () in
+  T.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> T.set_enabled was_enabled)
+    (fun () ->
+      with_server ~config (fun _server port ->
+          (* a full risk estimation comfortably exceeds 1 ms *)
+          let csv, name = figure6_csv () in
+          let status, _ =
+            http_call ~port ~meth:"POST" ~target:("/v1/risk?name=" ^ name)
+              ~headers:[ ("content-type", "text/csv") ]
+              ~body:csv ()
+          in
+          Alcotest.(check int) "risk 200" 200 status;
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          let slow_line () =
+            List.find_opt
+              (fun l -> Astring_contains.contains l "\"slow\":true")
+              (snapshot ())
+          in
+          while slow_line () = None && Unix.gettimeofday () < deadline do
+            Unix.sleepf 0.01
+          done;
+          match slow_line () with
+          | None -> Alcotest.fail "no slow trace line emitted"
+          | Some line ->
+            Alcotest.(check bool)
+              "slow line carries the span tree and latency" true
+              (Astring_contains.contains line "\"trace\""
+              && Astring_contains.contains line "latency_ms"
+              && Astring_contains.contains line "http.request")))
+
+(* The /v1/explain contract: the response body is the exact string the
+   CLI's [explain --json] prints — both go through
+   [Codec.explain_string] over the same provenance tree. *)
+let explain_program =
+  {|@label("base_case").
+path(X, Y) :- edge(X, Y).
+@label("step").
+path(X, Y) :- edge(X, Z), path(Z, Y).
+edge(a, b). edge(b, c).
+@output("path").
+|}
+
+let test_e2e_explain_byte_identical () =
+  let expected =
+    let program = V.Parser.parse explain_program in
+    let engine = V.Engine.create program in
+    Fun.protect
+      ~finally:(fun () -> V.Engine.shutdown engine)
+      (fun () ->
+        V.Engine.run engine;
+        match
+          V.Engine.explain engine "path"
+            [| Vadasa_base.Value.Str "a"; Vadasa_base.Value.Str "c" |]
+        with
+        | Some tree -> Srv.Codec.explain_string tree
+        | None -> Alcotest.fail "path(a, c) should be derivable")
+  in
+  with_server (fun _server port ->
+      let body =
+        Json.to_string
+          (Json.Obj
+             [
+               ("program", Json.Str explain_program);
+               ("fact", Json.Str "path(a, c)");
+             ])
+      in
+      let status, resp =
+        http_call ~port ~meth:"POST" ~target:"/v1/explain"
+          ~headers:[ ("content-type", "application/json") ]
+          ~body ()
+      in
+      Alcotest.(check int) "explain 200" 200 status;
+      Alcotest.(check string) "byte-identical to the CLI rendering" expected
+        resp)
+
+let test_e2e_explain_not_found_422 () =
+  with_server (fun _server port ->
+      let body =
+        Json.to_string
+          (Json.Obj
+             [
+               ("program", Json.Str explain_program);
+               ("fact", Json.Str "path(c, a)");
+             ])
+      in
+      let status, resp =
+        http_call ~port ~meth:"POST" ~target:"/v1/explain"
+          ~headers:[ ("content-type", "application/json") ]
+          ~body ()
+      in
+      Alcotest.(check int) "fact the chase never derived: 422" 422 status;
+      Alcotest.(check bool)
+        "carries the typed code" true
+        (Astring_contains.contains resp "fact.not_found");
+      (* a fact that does not even parse is a malformed request: 400 *)
+      let body =
+        Json.to_string
+          (Json.Obj
+             [
+               ("program", Json.Str explain_program);
+               ("fact", Json.Str "path(X, ");
+             ])
+      in
+      let status, resp =
+        http_call ~port ~meth:"POST" ~target:"/v1/explain"
+          ~headers:[ ("content-type", "application/json") ]
+          ~body ()
+      in
+      Alcotest.(check int) "unparsable fact: 400" 400 status;
+      Alcotest.(check bool)
+        "carries fact.invalid" true
+        (Astring_contains.contains resp "fact.invalid"))
+
+let test_e2e_anonymize_audit_embedded () =
+  let csv, name = figure6_csv () in
+  with_server (fun _server port ->
+      let call target =
+        http_call ~port ~meth:"POST" ~target
+          ~headers:[ ("content-type", "text/csv") ]
+          ~body:csv ()
+      in
+      (* without the opt-in, no trail in the response *)
+      let status, body = call ("/v1/anonymize?name=" ^ name) in
+      Alcotest.(check int) "anonymize 200" 200 status;
+      Alcotest.(check bool)
+        "no audit by default" false
+        (Astring_contains.contains body "\"audit\"");
+      let status, body = call ("/v1/anonymize?name=" ^ name ^ "&audit=true") in
+      Alcotest.(check int) "audited anonymize 200" 200 status;
+      match Json.of_string body with
+      | Error m -> Alcotest.failf "response is JSON: %s" m
+      | Ok json ->
+        let rounds =
+          Json.member "rounds" json
+          |> Fun.flip Option.bind Json.to_int_opt
+          |> Option.value ~default:0
+        in
+        Alcotest.(check bool) "cycle ran rounds" true (rounds > 0);
+        (match Json.member "audit" json with
+        | Some (Json.List events) ->
+          Alcotest.(check int) "one audit event per round" rounds
+            (List.length events);
+          List.iter
+            (fun e ->
+              Alcotest.(check bool)
+                "event is an object with a round" true
+                (match e with
+                | Json.Obj fields -> List.mem_assoc "round" fields
+                | _ -> false))
+            events
+        | _ -> Alcotest.fail "audit trail missing from the response"))
+
 (* --- suite ---------------------------------------------------------------- *)
 
 let () =
@@ -849,5 +1036,13 @@ let () =
             test_e2e_unmatched_path_cardinality;
           Alcotest.test_case "trace sample rate exact" `Quick
             test_e2e_trace_sample_rate;
+          Alcotest.test_case "slow request always traced" `Quick
+            test_e2e_slow_request_logged;
+          Alcotest.test_case "explain byte-identical to CLI" `Quick
+            test_e2e_explain_byte_identical;
+          Alcotest.test_case "explain missing fact 422" `Quick
+            test_e2e_explain_not_found_422;
+          Alcotest.test_case "anonymize embeds audit trail" `Quick
+            test_e2e_anonymize_audit_embedded;
         ] );
     ]

@@ -395,6 +395,51 @@ let test_provenance_input () =
   | Some { how = V.Provenance.Input; _ } -> ()
   | _ -> Alcotest.fail "expected an input fact"
 
+(* The text rendering [vadasa explain] prints, pinned against a golden
+   file: a full tree, then the same fact under a [max_depth] that cuts
+   the recursion — the cut node renders [unknown]. Regenerate with:
+     EXPLAIN_GOLDEN_WRITE=test/golden_explain.txt \
+       dune exec test/test_vadalog.exe -- test provenance *)
+let test_explain_text_golden () =
+  let engine =
+    run_program
+      {|
+        @label("base_case").
+        path(X, Y) :- edge(X, Y).
+        @label("step").
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+        edge(a, b). edge(b, c). edge(c, d).
+      |}
+  in
+  let tree max_depth =
+    match V.Engine.explain ?max_depth engine "path" [| str "a"; str "d" |] with
+    | Some node -> V.Provenance.to_string node
+    | None -> Alcotest.fail "path(a, d) should exist"
+  in
+  let rendered =
+    "# full depth\n" ^ tree None ^ "# max_depth 2\n" ^ tree (Some 2)
+  in
+  (match Sys.getenv_opt "EXPLAIN_GOLDEN_WRITE" with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc rendered;
+    close_out oc
+  | None -> ());
+  let golden =
+    (* dune runtest runs in _build/default/test; dune exec from the root *)
+    let path =
+      if Sys.file_exists "golden_explain.txt" then "golden_explain.txt"
+      else Filename.concat "test" "golden_explain.txt"
+    in
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  if not (String.equal rendered golden) then
+    Alcotest.failf "explain rendering drifted from golden file:\n%s" rendered
+
 (* --- property-based ----------------------------------------------------- *)
 
 (* Reference transitive closure via repeated squaring over a bool matrix. *)
@@ -966,6 +1011,8 @@ let () =
         [
           Alcotest.test_case "derived fact" `Quick test_provenance;
           Alcotest.test_case "input fact" `Quick test_provenance_input;
+          Alcotest.test_case "text rendering golden" `Quick
+            test_explain_text_golden;
         ] );
       ( "engine edge cases",
         [

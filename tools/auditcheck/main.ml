@@ -1,0 +1,151 @@
+(* Validate an SDC audit trail (JSON lines) read from stdin or from the
+   files given as arguments. The CI server-smoke step runs the CLI with
+   [--audit FILE] and pipes the trail through this.
+
+   Checks, per docs/OBSERVABILITY.md:
+   - the trail is non-empty and every line is a JSON object;
+   - every event carries the full field set with the right types
+     ([violations_after] / [max_risk_after] may be null);
+   - ["event"] is "cycle.round" and ["method"] is one of suppress,
+     recode, mixed, none;
+   - rounds are consecutive from 1;
+   - [cells_affected] = [suppressed] + [recoded], and a "none" round
+     touches no cells;
+   - [info_loss_delta] = [info_loss_after] - [info_loss_before] (to
+     float tolerance) and info loss never decreases.
+
+   Exit 0 when clean; 1 with one line per violation otherwise. *)
+
+module J = Vadasa_base.Json
+
+let errors = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr errors;
+      Printf.eprintf "auditcheck: %s\n" msg)
+    fmt
+
+let field obj name = List.assoc_opt name obj
+
+let int_field ~where obj name =
+  match field obj name with
+  | Some (J.Int n) -> Some n
+  | Some _ ->
+    fail "%s: field %S is not an integer" where name;
+    None
+  | None ->
+    fail "%s: missing field %S" where name;
+    None
+
+let num_field ~where obj name =
+  match field obj name with
+  | Some (J.Float f) -> Some f
+  | Some (J.Int n) -> Some (float_of_int n)
+  | Some _ ->
+    fail "%s: field %S is not a number" where name;
+    None
+  | None ->
+    fail "%s: missing field %S" where name;
+    None
+
+let str_field ~where obj name =
+  match field obj name with
+  | Some (J.Str s) -> Some s
+  | Some _ ->
+    fail "%s: field %S is not a string" where name;
+    None
+  | None ->
+    fail "%s: missing field %S" where name;
+    None
+
+(* [violations_after] / [max_risk_after] are null exactly when the
+   cycle stopped without re-estimating (budget, max-rounds). *)
+let nullable_num_field ~where obj name =
+  match field obj name with
+  | Some J.Null | Some (J.Float _) | Some (J.Int _) -> ()
+  | Some _ -> fail "%s: field %S is neither a number nor null" where name
+  | None -> fail "%s: missing field %S" where name
+
+let methods = [ "suppress"; "recode"; "mixed"; "none" ]
+
+let check_event ~where ~expected_round obj =
+  (match str_field ~where obj "event" with
+  | Some "cycle.round" | None -> ()
+  | Some other -> fail "%s: unexpected event type %S" where other);
+  (match int_field ~where obj "round" with
+  | Some r when r <> expected_round ->
+    fail "%s: round %d, expected %d (rounds must be consecutive from 1)"
+      where r expected_round
+  | _ -> ());
+  ignore (int_field ~where obj "risky_before");
+  ignore (num_field ~where obj "max_risk_before");
+  ignore (num_field ~where obj "mean_risk_before");
+  let method_ = str_field ~where obj "method" in
+  (match method_ with
+  | Some m when not (List.mem m methods) ->
+    fail "%s: unknown method %S (expected one of %s)" where m
+      (String.concat ", " methods)
+  | _ -> ());
+  let suppressed = int_field ~where obj "suppressed" in
+  let recoded = int_field ~where obj "recoded" in
+  let cells = int_field ~where obj "cells_affected" in
+  (match (suppressed, recoded, cells) with
+  | Some s, Some r, Some c when c <> s + r ->
+    fail "%s: cells_affected %d <> suppressed %d + recoded %d" where c s r
+  | _ -> ());
+  (match (method_, cells) with
+  | Some "none", Some c when c <> 0 ->
+    fail "%s: method \"none\" but %d cell(s) affected" where c
+  | _ -> ());
+  ignore (int_field ~where obj "blocked");
+  ignore (int_field ~where obj "skipped");
+  nullable_num_field ~where obj "violations_after";
+  nullable_num_field ~where obj "max_risk_after";
+  let before = num_field ~where obj "info_loss_before" in
+  let after = num_field ~where obj "info_loss_after" in
+  let delta = num_field ~where obj "info_loss_delta" in
+  match (before, after, delta) with
+  | Some b, Some a, Some d ->
+    if Float.abs (d -. (a -. b)) > 1e-9 then
+      fail "%s: info_loss_delta %g <> info_loss_after %g - info_loss_before %g"
+        where d a b;
+    if a < b -. 1e-9 then
+      fail "%s: info loss decreased (%g -> %g)" where b a
+  | _ -> ()
+
+let check_trail ~source lines =
+  let events = List.filter (fun l -> String.trim l <> "") lines in
+  if events = [] then fail "%s: empty audit trail" source;
+  List.iteri
+    (fun i line ->
+      let where = Printf.sprintf "%s:%d" source (i + 1) in
+      match J.of_string line with
+      | Error e -> fail "%s: %s" where e
+      | Ok (J.Obj obj) -> check_event ~where ~expected_round:(i + 1) obj
+      | Ok _ -> fail "%s: line is not a JSON object" where)
+    events
+
+let read_lines ic =
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let () =
+  (match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as files) ->
+    List.iter
+      (fun file ->
+        match open_in file with
+        | ic ->
+          let lines = read_lines ic in
+          close_in ic;
+          check_trail ~source:file lines
+        | exception Sys_error e -> fail "%s" e)
+      files
+  | _ -> check_trail ~source:"<stdin>" (read_lines stdin));
+  if !errors > 0 then exit 1
