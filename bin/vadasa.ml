@@ -9,7 +9,9 @@
      attack      simulate the record-linkage attack against a microdata DB
      reason      execute a Vadalog program file on the reasoning engine
      explain     unfold one fact's provenance derivation tree
-     serve       expose the pipeline as a concurrent HTTP service *)
+     serve       expose the pipeline as a concurrent HTTP service
+     datasets    manage the server's persistent dataset registry
+     append      stream a delta CSV into a registered dataset *)
 
 module Value = Vadasa_base.Value
 module E = Vadasa_base.Error
@@ -918,6 +920,26 @@ let serve_cmd =
       & info [ "max-body" ] ~docv:"BYTES"
           ~doc:"Largest accepted request body (413 beyond it).")
   in
+  let registry_capacity_arg =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "registry-capacity" ] ~docv:"N"
+          ~doc:
+            "Most datasets the registry keeps registered at once \
+             ($(b,/v1/datasets)); beyond it the least-recently-used entry \
+             is evicted.")
+  in
+  let dataset_audit_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dataset-audit" ] ~docv:"FILE"
+          ~doc:
+            "Append the dataset registry's decision trail to FILE as JSON \
+             lines: one line per register, append (rows re-scored, groups \
+             touched, chase mode) and delete. See docs/STREAMING.md.")
+  in
   let trace_sample_arg =
     Arg.(
       value
@@ -942,7 +964,7 @@ let serve_cmd =
              $(b,http.slow_requests) counter.")
   in
   let run (finish, sink, (_, max_facts)) host port domains engine_domains queue
-      timeout max_body trace_sample slow_ms =
+      timeout max_body registry_capacity dataset_audit trace_sample slow_ms =
     if domains < 1 then begin
       Printf.eprintf "error: --domains must be >= 1\n";
       exit 1
@@ -953,6 +975,10 @@ let serve_cmd =
     end;
     if queue < 1 then begin
       Printf.eprintf "error: --queue must be >= 1\n";
+      exit 1
+    end;
+    if registry_capacity < 1 then begin
+      Printf.eprintf "error: --registry-capacity must be >= 1\n";
       exit 1
     end;
     (match trace_sample with
@@ -993,8 +1019,32 @@ let serve_cmd =
              ~domains:engine_domains ())
       else None
     in
+    (* The audit sink is append-only and mutex-serialized: worker
+       domains emit registry lines concurrently. *)
+    let dataset_audit_sink, close_dataset_audit =
+      match dataset_audit with
+      | None -> (None, fun () -> ())
+      | Some path ->
+        let oc =
+          try open_out_gen [ Open_append; Open_creat ] 0o644 path
+          with Sys_error message ->
+            Printf.eprintf "error: cannot open --dataset-audit file: %s\n"
+              message;
+            exit 1
+        in
+        let mutex = Mutex.create () in
+        ( Some
+            (fun line ->
+              Mutex.lock mutex;
+              output_string oc line;
+              output_char oc '\n';
+              flush oc;
+              Mutex.unlock mutex),
+          fun () -> close_out oc )
+    in
     let handlers =
-      Srv.Handlers.create ?default_max_facts:max_facts ?engine_pool ()
+      Srv.Handlers.create ?default_max_facts:max_facts ?engine_pool
+        ~registry_capacity ?dataset_audit:dataset_audit_sink ()
     in
     let server =
       match Srv.Server.create ~config handlers with
@@ -1011,6 +1061,7 @@ let serve_cmd =
       host (Srv.Server.port server) domains engine_domains queue;
     Srv.Server.run server;
     Option.iter Vadasa_base.Task_pool.stop engine_pool;
+    close_dataset_audit ();
     Printf.eprintf "vadasa serve: shutdown complete\n%!";
     finish ()
   in
@@ -1018,12 +1069,308 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the SDC pipeline as a long-lived HTTP service: POST /v1/risk, \
-          /v1/anonymize, /v1/categorize, /v1/reason, /v1/explain; GET \
-          /healthz, /metrics. See docs/SERVER.md.")
+          /v1/anonymize, /v1/categorize, /v1/reason, /v1/explain; the \
+          dataset registry under /v1/datasets (PUT/GET/DELETE, append via \
+          POST /v1/datasets/ID/facts); GET /healthz, /metrics. See \
+          docs/SERVER.md and docs/STREAMING.md.")
     Term.(
       const run $ common_term $ host_arg $ port_arg $ domains_arg
       $ engine_domains_arg $ queue_arg $ timeout_arg $ max_body_arg
-      $ trace_sample_arg $ slow_ms_arg)
+      $ registry_capacity_arg $ dataset_audit_arg $ trace_sample_arg
+      $ slow_ms_arg)
+
+(* ---- datasets / append (registry HTTP client) ------------------------------------- *)
+
+(* A deliberately tiny HTTP/1.1 client, one request per connection —
+   which matches the server's connection-close discipline — so the
+   registry subcommands don't pull in a client library. *)
+
+let find_crlf2 s =
+  let n = String.length s in
+  let rec go i =
+    if i + 4 > n then None
+    else if
+      s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let client_error fmt =
+  Printf.ksprintf
+    (fun message -> raise (E.Error (E.make ~code:"client.io" E.Io message)))
+    fmt
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } ->
+      client_error "cannot resolve host %s" host
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+    | exception Not_found -> client_error "cannot resolve host %s" host)
+
+let http_request ~host ~port ~meth ~target ?(headers = []) ?(body = "") () =
+  let addr = Unix.ADDR_INET (resolve_host host, port) in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (match Unix.connect fd addr with
+      | () -> ()
+      | exception Unix.Unix_error (err, _, _) ->
+        client_error "cannot connect to %s:%d: %s" host port
+          (Unix.error_message err));
+      let buf = Buffer.create (String.length body + 256) in
+      Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" meth target);
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+        (("host", host) :: headers);
+      Buffer.add_string buf
+        (Printf.sprintf "content-length: %d\r\n\r\n" (String.length body));
+      Buffer.add_string buf body;
+      let raw = Buffer.to_bytes buf in
+      let off = ref 0 in
+      while !off < Bytes.length raw do
+        off := !off + Unix.write fd raw !off (Bytes.length raw - !off)
+      done;
+      (* the server always closes: read to EOF *)
+      let resp = Buffer.create 1024 in
+      let chunk = Bytes.create 8192 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes resp chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+      in
+      drain ();
+      let raw = Buffer.contents resp in
+      if raw = "" then client_error "empty response from %s:%d" host port;
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> int_of_string_opt code |> Option.value ~default:0
+        | _ -> 0
+      in
+      let body =
+        match find_crlf2 raw with
+        | Some i -> String.sub raw (i + 4) (String.length raw - i - 4)
+        | None -> ""
+      in
+      (status, body))
+
+let server_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1:8080"
+    & info [ "server" ] ~docv:"HOST:PORT"
+        ~doc:"Address of the running $(b,vadasa serve) instance.")
+
+let parse_server s =
+  let fail () =
+    Printf.eprintf "error: --server expects HOST:PORT (got %s)\n" s;
+    exit 1
+  in
+  match String.rindex_opt s ':' with
+  | None -> fail ()
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && host <> "" -> (host, p)
+    | _ -> fail ())
+
+(* Print the response body on stdout (it is already JSON); a non-2xx
+   answer goes to stderr instead and exits 1 — the body carries the
+   typed error.code, so scripts can branch on it. *)
+let client_call ~server ~meth ~target ?headers ?body () =
+  let host, port = parse_server server in
+  let status, resp = http_request ~host ~port ~meth ~target ?headers ?body () in
+  let newline_terminated s =
+    if s = "" || s.[String.length s - 1] <> '\n' then s ^ "\n" else s
+  in
+  if status >= 200 && status < 300 then print_string (newline_terminated resp)
+  else begin
+    Printf.eprintf "error: HTTP %d\n%s" status (newline_terminated resp);
+    exit 1
+  end
+
+let slurp path =
+  let ic =
+    try open_in_bin path
+    with Sys_error message ->
+      Printf.eprintf "error: %s\n" message;
+      exit 1
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let dataset_id_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"ID" ~doc:"Dataset id (registered under /v1/datasets/ID).")
+
+let datasets_cmd =
+  let list_cmd =
+    let run (finish, _, _) server =
+      client_call ~server ~meth:"GET" ~target:"/v1/datasets" ();
+      finish ()
+    in
+    Cmd.v
+      (Cmd.info "list" ~doc:"List registered datasets (GET /v1/datasets).")
+      Term.(const run $ common_term $ server_arg)
+  in
+  let show_cmd =
+    let csv_flag =
+      Arg.(
+        value & flag
+        & info [ "csv" ]
+            ~doc:
+              "Also return the dataset's current (base plus appended \
+               deltas) CSV document ($(b,?include=csv)) — the exact input \
+               a from-scratch run needs to reproduce its reports.")
+    in
+    let run (finish, _, _) server id csv =
+      let target =
+        "/v1/datasets/" ^ id ^ if csv then "?include=csv" else ""
+      in
+      client_call ~server ~meth:"GET" ~target ();
+      finish ()
+    in
+    Cmd.v
+      (Cmd.info "show"
+         ~doc:"Show one dataset's metadata (GET /v1/datasets/ID).")
+      Term.(const run $ common_term $ server_arg $ dataset_id_arg $ csv_flag)
+  in
+  let put_cmd =
+    let file_arg =
+      Arg.(
+        required
+        & pos 1 (some file) None
+        & info [] ~docv:"CSV" ~doc:"Base CSV document to register.")
+    in
+    let param_arg =
+      Arg.(
+        value & opt_all string []
+        & info [ "param" ] ~docv:"KEY=VALUE"
+            ~doc:
+              "Extra query parameter forwarded verbatim — the same options \
+               $(b,POST /v1/risk) takes: $(b,measure), $(b,threshold), \
+               $(b,k), $(b,msu-threshold), $(b,semantics), \
+               $(b,category)=attr=cat, ... Repeatable.")
+    in
+    let run (finish, _, _) server id file params =
+      let target =
+        "/v1/datasets/" ^ id
+        ^ if params = [] then "" else "?" ^ String.concat "&" params
+      in
+      client_call ~server ~meth:"PUT" ~target
+        ~headers:[ ("content-type", "text/csv") ]
+        ~body:(slurp file) ();
+      finish ()
+    in
+    Cmd.v
+      (Cmd.info "put"
+         ~doc:
+           "Register a CSV document as a persistent dataset (PUT \
+            /v1/datasets/ID). Re-PUTting the identical document is \
+            idempotent; different content under a live id is refused with \
+            409 dataset.conflict.")
+      Term.(
+        const run $ common_term $ server_arg $ dataset_id_arg $ file_arg
+        $ param_arg)
+  in
+  let risk_cmd =
+    let full_flag =
+      Arg.(
+        value & flag
+        & info [ "full" ]
+            ~doc:
+              "Re-estimate from scratch on a snapshot of the current data \
+               ($(b,?mode=full)) instead of answering from the \
+               incrementally maintained report — the two are \
+               byte-identical; this flag exists to prove it.")
+    in
+    let threshold_arg =
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "threshold" ] ~docv:"T"
+            ~doc:"Override the registered risk threshold for this report.")
+    in
+    let run (finish, _, _) server id full threshold =
+      let params =
+        (if full then [ "mode=full" ] else [])
+        @
+        match threshold with
+        | Some t -> [ Printf.sprintf "threshold=%g" t ]
+        | None -> []
+      in
+      let target =
+        "/v1/datasets/" ^ id ^ "/risk"
+        ^ if params = [] then "" else "?" ^ String.concat "&" params
+      in
+      client_call ~server ~meth:"GET" ~target ();
+      finish ()
+    in
+    Cmd.v
+      (Cmd.info "risk"
+         ~doc:
+           "Print the dataset's maintained risk report (GET \
+            /v1/datasets/ID/risk) — byte-identical to POST /v1/risk over \
+            the union CSV.")
+      Term.(
+        const run $ common_term $ server_arg $ dataset_id_arg $ full_flag
+        $ threshold_arg)
+  in
+  let delete_cmd =
+    let run (finish, _, _) server id =
+      client_call ~server ~meth:"DELETE" ~target:("/v1/datasets/" ^ id) ();
+      finish ()
+    in
+    Cmd.v
+      (Cmd.info "delete"
+         ~doc:"Unregister a dataset (DELETE /v1/datasets/ID).")
+      Term.(const run $ common_term $ server_arg $ dataset_id_arg)
+  in
+  Cmd.group
+    (Cmd.info "datasets"
+       ~doc:
+         "Manage the server's persistent dataset registry: list, show, \
+          put, risk, delete — thin clients over /v1/datasets on a running \
+          $(b,vadasa serve). See docs/STREAMING.md.")
+    [ list_cmd; show_cmd; put_cmd; risk_cmd; delete_cmd ]
+
+let append_cmd =
+  let input_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "i"; "input" ] ~docv:"CSV"
+          ~doc:"Delta CSV file (same header as the base document).")
+  in
+  let run (finish, _, _) server id input =
+    client_call ~server ~meth:"POST"
+      ~target:("/v1/datasets/" ^ id ^ "/facts")
+      ~headers:[ ("content-type", "text/csv") ]
+      ~body:(slurp input) ();
+    finish ()
+  in
+  Cmd.v
+    (Cmd.info "append"
+       ~doc:
+         "Append a delta CSV to a registered dataset (POST \
+          /v1/datasets/ID/facts): rows join the live relation, risk is \
+          re-scored incrementally (only the touched quasi-identifier \
+          groups), and the chase continues from the dataset's previous \
+          fixpoint — falling back to a from-scratch rebuild when a \
+          non-monotone stratum is invalidated. The response reports what \
+          happened (rows_rescored, chase mode).")
+    Term.(const run $ common_term $ server_arg $ dataset_id_arg $ input_arg)
 
 (* ---- main ------------------------------------------------------------------------- *)
 
@@ -1042,6 +1389,8 @@ let () =
         explain_cmd;
         profile_cmd;
         serve_cmd;
+        datasets_cmd;
+        append_cmd;
       ]
   in
   (* [~catch:false] lets typed errors reach this handler: every failure

@@ -13,6 +13,9 @@ let registry =
     ("pool.enqueue", "submitting a job to the server worker pool");
     ("http.write", "writing an HTTP response to the client socket");
     ("handler.dispatch", "dispatching a matched route to its handler");
+    ( "dataset.append",
+      "absorbing appended rows into a registered dataset (after \
+       validation, before any state is committed)" );
   ]
 
 let known name = List.mem_assoc name registry

@@ -101,6 +101,182 @@ let measure_to_string = function
       threshold_size
   | Custom { name; _ } -> Printf.sprintf "custom (%s)" name
 
+(* ---- incremental re-scoring ------------------------------------------- *)
+
+(* Delta-aware risk maintenance for the dataset registry's append path.
+
+   The per-tuple risk of every measure above is a pure function of the
+   tuple's combination statistics (freq, weight sum), and appending rows
+   only changes the statistics of the combinations those rows land in —
+   so after an append, only the members of touched combinations need
+   re-scoring. The maintained buckets mirror [Group_stats]'s exact
+   (standard-semantics) grouping, accumulating each group's weight sum
+   in row order, so the rebuilt arrays are float-bit-identical to a full
+   [estimate] over the grown relation.
+
+   Where that equivalence breaks, [append] falls back to a full
+   re-estimate (the outcome says so):
+   - maybe-match semantics with labelled nulls in some quasi-identifier
+     projection — groups then overlap and an appended null-bearing row
+     can touch every compatible combination (without nulls, maybe-match
+     grouping degenerates to the exact grouping, so maintenance stays
+     valid under the default semantics);
+   - SUDA (minimal sample uniques are a global property), Monte-Carlo
+     estimation (one RNG sequenced across tuples in index order) and
+     custom measures (caller-supplied closures may carry state). *)
+module Incremental = struct
+  module Relation = Relational.Relation
+  module Tuple = Relational.Tuple
+
+  type fallback =
+    | Measure_order  (* measure scores depend on whole-dataset order *)
+    | Null_semantics  (* maybe-match with labelled nulls present *)
+
+  let fallback_to_string = function
+    | Measure_order -> "measure-order"
+    | Null_semantics -> "null-semantics"
+
+  type outcome = {
+    rows_added : int;
+    rows_rescored : int;  (* the whole relation when falling back *)
+    groups_touched : int;  (* 0 when falling back *)
+    fallback : fallback option;
+  }
+
+  type t = {
+    measure : measure;
+    semantics : Relational.Null_semantics.t;
+    md : Microdata.t;  (* shared with the caller, rows appended in place *)
+    score : (freq:int -> weight_sum:float -> float) option;
+        (* per-tuple scorer; [None] = measure needs full re-estimation *)
+    groups : (string, int list * float) Hashtbl.t;
+        (* QI key -> (members, reversed; weight sum in row order) *)
+    mutable scored : int;  (* rows covered by [report] *)
+    mutable has_null : bool;  (* some scored row has a QI null *)
+    mutable report : report;
+    mutable appends : int;
+    mutable full_rescores : int;
+  }
+
+  let scorer = function
+    | Re_identification ->
+      Some
+        (fun ~freq:_ ~weight_sum:w ->
+          if w <= 1.0 then 1.0 else clamp01 (1.0 /. w))
+    | K_anonymity { k } ->
+      Some (fun ~freq:f ~weight_sum:_ -> if f < k then 1.0 else 0.0)
+    | Individual Naive ->
+      Some (fun ~freq ~weight_sum -> Stats.Estimator.naive ~freq ~weight_sum)
+    | Individual Benedetti_franconi ->
+      Some
+        (fun ~freq ~weight_sum ->
+          Stats.Estimator.benedetti_franconi ~freq ~weight_sum)
+    | Individual (Monte_carlo _) | Suda _ | Custom _ -> None
+
+  let qi_key md rel i =
+    Tuple.key (Tuple.project (Relation.get rel i) (Microdata.qi_positions md))
+
+  (* Fold rows [lo, hi) into the buckets, returning the touched keys. *)
+  let absorb t lo hi =
+    let rel = Microdata.relation t.md in
+    let qi = Microdata.qi_positions t.md in
+    let touched = Hashtbl.create 16 in
+    for i = lo to hi - 1 do
+      if Tuple.has_null (Tuple.project (Relation.get rel i) qi) then
+        t.has_null <- true;
+      let key = qi_key t.md rel i in
+      let members, ws =
+        try Hashtbl.find t.groups key with Not_found -> ([], 0.0)
+      in
+      Hashtbl.replace t.groups key
+        (i :: members, ws +. Microdata.weight_of t.md i);
+      if not (Hashtbl.mem touched key) then Hashtbl.add touched key ()
+    done;
+    touched
+
+  let create ?(semantics = Relational.Null_semantics.Maybe_match) measure md =
+    let t =
+      {
+        measure;
+        semantics;
+        md;
+        score = scorer measure;
+        groups = Hashtbl.create 64;
+        scored = 0;
+        has_null = false;
+        report = estimate ~semantics measure md;
+        appends = 0;
+        full_rescores = 0;
+      }
+    in
+    ignore (absorb t 0 (Microdata.cardinal md));
+    t.scored <- Microdata.cardinal md;
+    t
+
+  let append t =
+    Telemetry.span "sdc.risk.append" @@ fun () ->
+    let n = Microdata.cardinal t.md in
+    let rows_added = n - t.scored in
+    let lo = t.scored in
+    t.appends <- t.appends + 1;
+    let touched = absorb t lo n in
+    t.scored <- n;
+    let fallback =
+      if Option.is_none t.score then Some Measure_order
+      else if
+        t.semantics = Relational.Null_semantics.Maybe_match && t.has_null
+      then Some Null_semantics
+      else None
+    in
+    match fallback with
+    | Some reason ->
+      t.full_rescores <- t.full_rescores + 1;
+      t.report <- estimate ~semantics:t.semantics t.measure t.md;
+      {
+        rows_added;
+        rows_rescored = n;
+        groups_touched = 0;
+        fallback = Some reason;
+      }
+    | None ->
+      let old = t.report in
+      let freq = Array.make n 0 in
+      let weight_sum = Array.make n 0.0 in
+      let risk = Array.make n 0.0 in
+      Array.blit old.freq 0 freq 0 lo;
+      Array.blit old.weight_sum 0 weight_sum 0 lo;
+      Array.blit old.risk 0 risk 0 lo;
+      let score = Option.get t.score in
+      let rescored = ref 0 in
+      Hashtbl.iter
+        (fun key () ->
+          let members, ws = Hashtbl.find t.groups key in
+          let size = List.length members in
+          List.iter
+            (fun i ->
+              freq.(i) <- size;
+              weight_sum.(i) <- ws;
+              risk.(i) <- score ~freq:size ~weight_sum:ws;
+              incr rescored)
+            members)
+        touched;
+      t.report <- { old with freq; weight_sum; risk };
+      {
+        rows_added;
+        rows_rescored = !rescored;
+        groups_touched = Hashtbl.length touched;
+        fallback = None;
+      }
+
+  let report t = t.report
+
+  let microdata t = t.md
+
+  let appends t = t.appends
+
+  let full_rescores t = t.full_rescores
+end
+
 let pp_report ?(limit = 10) ppf (md, report) =
   Format.fprintf ppf "risk report: %s over %s (%d tuples)@."
     (measure_to_string report.measure)

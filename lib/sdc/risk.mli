@@ -64,6 +64,67 @@ val global_risk : report -> float
 
 val measure_to_string : measure -> string
 
+(** {2 Incremental re-scoring}
+
+    Delta-aware maintenance of a {!report} for datasets that grow by
+    appended rows (the server's dataset registry). Per-tuple risk is a
+    pure function of the tuple's combination statistics, so an append
+    only re-scores the members of the quasi-identifier combinations the
+    new rows land in; the maintained buckets replay [Group_stats]'s
+    accumulation order, keeping the arrays float-bit-identical to a full
+    {!estimate} over the grown relation — asserted by the test suite.
+
+    When that equivalence cannot hold, {!Incremental.append} silently
+    performs a full re-estimate instead and reports which fallback
+    fired: maybe-match semantics with labelled nulls present (groups
+    overlap), or an order-dependent measure (SUDA, Monte-Carlo,
+    custom closures). Either way the resulting report is exactly what
+    {!estimate} returns on the current data. *)
+module Incremental : sig
+  type t
+
+  type fallback =
+    | Measure_order
+        (** SUDA / Monte-Carlo / custom: scores depend on whole-dataset
+            evaluation order, not just per-group statistics *)
+    | Null_semantics
+        (** maybe-match with labelled nulls in a quasi-identifier
+            projection: groups overlap, delta maintenance is invalid *)
+
+  val fallback_to_string : fallback -> string
+  (** ["measure-order"] / ["null-semantics"] (metric label values). *)
+
+  type outcome = {
+    rows_added : int;
+    rows_rescored : int;
+        (** members of touched combinations — the whole relation when a
+            fallback fired *)
+    groups_touched : int;  (** [0] when a fallback fired *)
+    fallback : fallback option;
+  }
+
+  val create :
+    ?semantics:Vadasa_relational.Null_semantics.t -> measure -> Microdata.t -> t
+  (** Scores the whole dataset once ({!estimate}) and indexes its
+      combinations. The microdata is shared, not copied: the caller
+      appends rows to its relation in place, then calls {!append}. *)
+
+  val append : t -> outcome
+  (** Re-score after rows were appended to the microdata's relation.
+      After [append], {!report} equals [estimate measure md] on the
+      grown data byte-for-byte. *)
+
+  val report : t -> report
+
+  val microdata : t -> Microdata.t
+
+  val appends : t -> int
+  (** {!append} calls so far. *)
+
+  val full_rescores : t -> int
+  (** How many of them fell back to a full re-estimate. *)
+end
+
 val pp_report :
   ?limit:int -> Format.formatter -> Microdata.t * report -> unit
 (** Human-readable top-risk table (explainability surface). *)

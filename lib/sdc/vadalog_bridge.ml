@@ -51,6 +51,37 @@ let microdata_facts md =
     rel;
   cat_facts @ List.rev !val_facts
 
+(* The delta slice of the encoding: [val] facts for rows [lo, hi) only.
+   The [cat] facts are schema-level and already loaded by the base
+   upload, so an append ships just the new rows' values — in the same
+   row-major order [microdata_facts] uses, which keeps an incremental
+   engine's insertion order aligned with the from-scratch encoding. *)
+let microdata_facts_range md ~lo ~hi =
+  let name = Microdata.name md in
+  let rel = Microdata.relation md in
+  let schema = Microdata.schema md in
+  let interesting =
+    List.filter_map
+      (fun (attr, cat) ->
+        match cat with
+        | Microdata.Quasi_identifier | Microdata.Weight ->
+          Some (attr, Schema.index_of schema attr)
+        | Microdata.Identifier | Microdata.Non_identifying -> None)
+      (Microdata.categories md)
+  in
+  let facts = ref [] in
+  for i = lo to hi - 1 do
+    let t = Relation.get rel i in
+    List.iter
+      (fun (attr, pos) ->
+        facts :=
+          ( "val",
+            [| Value.Str name; Value.Int i; Value.Str attr; Tuple.get t pos |] )
+          :: !facts)
+      interesting
+  done;
+  List.rev !facts
+
 let base_program =
   {|
 % Algorithm 2, Rule 1: collect quasi-identifier name-value pairs per tuple

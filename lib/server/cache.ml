@@ -93,6 +93,11 @@ let find_or_build_hit t key build =
 
 let find_or_build t key build = fst (find_or_build_hit t key build)
 
+(* Invalidation for keys whose underlying data changed (a registry
+   dataset that absorbed a delta): the next lookup misses and rebuilds
+   from the current data instead of serving the stale value. *)
+let remove t key = with_lock t (fun () -> Hashtbl.remove t.table key)
+
 let hits t = with_lock t (fun () -> t.hits)
 
 let misses t = with_lock t (fun () -> t.misses)

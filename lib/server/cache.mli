@@ -23,6 +23,12 @@ val find_or_build_hit : ('k, 'v) t -> 'k -> ('k -> 'v) -> 'v * bool
 (** Like {!find_or_build}; the boolean reports whether this caller hit
     the cache (losing a build race still counts as a miss). *)
 
+val remove : ('k, 'v) t -> 'k -> unit
+(** Drop the entry (no-op when absent). Used to invalidate a cached
+    value whose source data changed — a registered dataset that
+    absorbed appended rows must not keep serving its pre-append
+    microdata. *)
+
 val hits : ('k, 'v) t -> int
 
 val misses : ('k, 'v) t -> int

@@ -401,9 +401,18 @@ let error_of_exn = function
   | Failure msg -> E.make ~code:"internal.failure" E.Internal msg
   | exn -> E.make ~code:"internal.exception" E.Internal (Printexc.to_string exn)
 
+(* Registry errors want resource-shaped statuses the category lattice
+   can't express: an unknown dataset is 404, a clashing registration is
+   409. Keyed on the stable error code so only these two escape the
+   category mapping. *)
+let status_of_error (e : E.t) =
+  match e.E.code with
+  | "dataset.not_found" -> 404
+  | "dataset.conflict" -> 409
+  | _ -> status_of_category e.E.category
+
 let response_of_error (e : E.t) =
-  Http.response
-    ~status:(status_of_category e.E.category)
+  Http.response ~status:(status_of_error e)
     (Json.to_string (Json.Obj [ ("error", E.to_json e) ]) ^ "\n")
 
 (* ---- canonical renderings ------------------------------------------------ *)

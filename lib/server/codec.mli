@@ -89,6 +89,11 @@ val status_of_category : Vadasa_base.Error.category -> int
 (** Parse → 400, Wardedness → 422, Resource → 503, Io → 500,
     Internal → 500. *)
 
+val status_of_error : Vadasa_base.Error.t -> int
+(** {!status_of_category} of the error's category, except the registry's
+    resource-shaped codes: [dataset.not_found] → 404,
+    [dataset.conflict] → 409. *)
+
 val error_of_exn : exn -> Vadasa_base.Error.t
 (** Total mapping of escaped exceptions to the taxonomy:
     [Vadasa_base.Error.Error] passes through; parser/lexer/stratifier

@@ -38,6 +38,7 @@ type compiled = {
 type t = {
   programs : (string, compiled) Cache.t;
   datasets : (string, S.Microdata.t) Cache.t;
+  registry : Registry.t;  (* persistent datasets behind /v1/datasets *)
   breaker : Breaker.t;
   default_max_facts : int option;  (* server-wide derived-fact ceiling *)
   engine_pool : Vadasa_base.Task_pool.t option;
@@ -45,15 +46,21 @@ type t = {
          M request domains compose with K engine workers without
          spawning per request (no oversubscription) *)
   started_at : float;
-  counters : (string, int) Hashtbl.t;  (* "METHOD path status" -> count *)
+  counters : (string, int) Hashtbl.t;
+      (* "METHOD route-pattern status" -> count; keyed on the route
+         pattern, never the raw path, so dataset ids don't mint keys *)
   counters_mutex : Mutex.t;
 }
 
 let create ?(program_capacity = 64) ?(dataset_capacity = 16)
-    ?breaker_threshold ?breaker_cooldown ?default_max_facts ?engine_pool () =
+    ?(registry_capacity = 16) ?dataset_audit ?breaker_threshold
+    ?breaker_cooldown ?default_max_facts ?engine_pool () =
   {
     programs = Cache.create ~capacity:program_capacity "programs";
     datasets = Cache.create ~capacity:dataset_capacity "datasets";
+    registry =
+      Registry.create ~capacity:registry_capacity ?audit:dataset_audit
+        ?pool:engine_pool ();
     breaker =
       Breaker.create ?threshold:breaker_threshold ?cooldown:breaker_cooldown ();
     default_max_facts;
@@ -63,11 +70,8 @@ let create ?(program_capacity = 64) ?(dataset_capacity = 16)
     counters_mutex = Mutex.create ();
   }
 
-let count t (req : Http.request) (resp : Http.response) =
-  let key =
-    Printf.sprintf "%s %s %d" (Http.meth_to_string req.Http.meth) req.Http.path
-      resp.Http.status
-  in
+let count t ~route (resp : Http.response) =
+  let key = Printf.sprintf "%s %d" route resp.Http.status in
   Mutex.lock t.counters_mutex;
   let n = Option.value ~default:0 (Hashtbl.find_opt t.counters key) in
   Hashtbl.replace t.counters key (n + 1);
@@ -82,6 +86,8 @@ let request_counts t =
 let programs t = t.programs
 
 let datasets t = t.datasets
+
+let registry t = t.registry
 
 let breaker t = t.breaker
 
@@ -309,6 +315,178 @@ let reason t req =
           md risks)
     ^ "\n")
 
+(* ---- dataset registry endpoints ----------------------------------------- *)
+
+(* The [{id}] segment of a matched dataset route. *)
+let dataset_id ~pattern (req : Http.request) =
+  match Router.path_param ~pattern req.Http.path "id" with
+  | Some id -> id
+  | None ->
+    E.fail ~code:"dataset.bad_id" E.Parse
+      ("cannot extract a dataset id from " ^ req.Http.path)
+
+(* The LRU key of a registered dataset's union snapshot (see
+   [dataset_risk ?mode=full]); appends remove it, so the cache never
+   serves a pre-append snapshot. *)
+let registry_cache_key id = "registry:" ^ id
+
+(* PUT /v1/datasets/{id} — register the payload (same body formats as
+   /v1/risk) as a persistent dataset. The microdata builds through the
+   CSV-digest cache as usual, but the registry gets a copy: its relation
+   grows in place on appends and must not alias the content-addressed
+   cache entry. *)
+let dataset_put t req =
+  let id = dataset_id ~pattern:"/v1/datasets/{id}" req in
+  let payload = payload_of_request req in
+  let options = payload.Codec.options in
+  let measure = measure_of_options options in
+  let md = S.Microdata.copy (microdata_for t payload) in
+  let compiled =
+    (* The measure's program rides the compiled-program cache; measures
+       outside the logic (Monte Carlo, SUDA is expressible but the
+       bridge's closed-form exclusions are not) skip chase
+       materialization and stay native-only. *)
+    match S.Vadalog_bridge.program_of_measure measure with
+    | source ->
+      let compiled, _cached = compile t source in
+      Some (compiled.program, compiled.strat)
+    | exception S.Vadalog_bridge.Unsupported _ -> None
+  in
+  let { Registry.entry; created } =
+    Registry.put t.registry ~id ~digest:(dataset_key payload)
+      ~bytes:(String.length payload.Codec.csv)
+      ~options ~measure ~compiled md
+  in
+  let body =
+    match Registry.entry_json entry with
+    | Json.Obj fields -> Json.Obj (fields @ [ ("created", Json.Bool created) ])
+    | json -> json
+  in
+  Http.response
+    ~status:(if created then 201 else 200)
+    (Json.to_string ~indent:true body ^ "\n")
+
+(* GET /v1/datasets — ids plus per-dataset metadata. *)
+let dataset_list t _req =
+  let entries =
+    List.filter_map (Registry.find t.registry) (Registry.ids t.registry)
+  in
+  Http.response ~status:200
+    (Json.to_string ~indent:true
+       (Json.Obj
+          [
+            ("count", Json.Int (List.length entries));
+            ("datasets", Json.List (List.map Registry.entry_json entries));
+          ])
+    ^ "\n")
+
+(* GET /v1/datasets/{id} — metadata; [?include=csv] adds the current
+   (base ∪ deltas) document, which is what a from-scratch evaluation
+   must be fed to reproduce the dataset's reports (the CI smoke job
+   diffs exactly that). *)
+let dataset_get t req =
+  let id = dataset_id ~pattern:"/v1/datasets/{id}" req in
+  let entry = Registry.get t.registry id in
+  let fields =
+    match Registry.entry_json entry with Json.Obj f -> f | _ -> []
+  in
+  let fields =
+    match Http.query_param req "include" with
+    | Some "csv" -> fields @ [ ("csv", Json.Str (Registry.entry_csv entry)) ]
+    | _ -> fields
+  in
+  Http.response ~status:200 (Json.to_string ~indent:true (Json.Obj fields) ^ "\n")
+
+(* DELETE /v1/datasets/{id} *)
+let dataset_delete t req =
+  let id = dataset_id ~pattern:"/v1/datasets/{id}" req in
+  if not (Registry.delete t.registry id) then
+    raise (E.Error (Registry.not_found id));
+  Cache.remove t.datasets (registry_cache_key id);
+  Http.response ~status:200
+    (Json.to_string (Json.Obj [ ("deleted", Json.Str id) ]) ^ "\n")
+
+(* POST /v1/datasets/{id}/facts — delta ingestion: the body is a CSV
+   document with the dataset's header. The registry re-scores risk
+   incrementally and continues the chase from its fixpoint snapshot;
+   the stale union snapshot (if cached) is dropped. *)
+let dataset_append t req =
+  let id = dataset_id ~pattern:"/v1/datasets/{id}/facts" req in
+  let entry = Registry.get t.registry id in
+  if String.trim req.Http.body = "" then
+    E.fail ~code:"request.empty_body" E.Parse
+      "empty request body (expected delta CSV)";
+  let outcome = Registry.append t.registry entry ~csv:req.Http.body in
+  Cache.remove t.datasets (registry_cache_key id);
+  let report = Registry.entry_report entry in
+  Http.response ~status:200
+    (Json.to_string ~indent:true
+       (Json.Obj
+          [
+            ("dataset", Json.Str id);
+            ("rows_added", Json.Int outcome.Registry.rows_added);
+            ("rows_total", Json.Int outcome.Registry.rows_total);
+            ( "rows_rescored",
+              Json.Int
+                outcome.Registry.risk.S.Risk.Incremental.rows_rescored );
+            ( "groups_touched",
+              Json.Int
+                outcome.Registry.risk.S.Risk.Incremental.groups_touched );
+            ( "risk_fallback",
+              match outcome.Registry.risk.S.Risk.Incremental.fallback with
+              | None -> Json.Null
+              | Some f -> Json.Str (S.Risk.Incremental.fallback_to_string f) );
+            ("chase", Json.Str outcome.Registry.chase_mode);
+            ("chase_facts", Json.Int outcome.Registry.chase_facts);
+            ("global_risk", Json.Float (S.Risk.global_risk report));
+          ])
+    ^ "\n")
+
+(* GET /v1/datasets/{id}/risk — the maintained incremental report,
+   rendered byte-identically to [POST /v1/risk] over the union CSV.
+   [?mode=full] instead re-estimates from scratch on the cached union
+   snapshot (the snapshot is invalidated on every append): diffing the
+   two bodies is the live incremental-vs-from-scratch check the CI
+   smoke job runs. [?threshold=] overrides the registered threshold in
+   both modes. *)
+let dataset_risk t req =
+  let id = dataset_id ~pattern:"/v1/datasets/{id}/risk" req in
+  let entry = Registry.get t.registry id in
+  let options = Registry.entry_options entry in
+  let threshold =
+    match Http.query_param req "threshold" with
+    | None -> options.Codec.threshold
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> f
+      | None ->
+        E.fail ~code:"request.bad_param" E.Parse
+          "parameter threshold: expected a number"
+          ~context:[ ("parameter", "threshold") ])
+  in
+  match Http.query_param req "mode" with
+  | None | Some "incremental" ->
+    let md = Registry.entry_md entry in
+    let report = Registry.entry_report entry in
+    Http.response ~status:200 (Codec.risk_report_string ~threshold md report)
+  | Some "full" ->
+    let md =
+      Cache.find_or_build t.datasets (registry_cache_key id) (fun _ ->
+          Registry.entry_md_snapshot entry)
+    in
+    let report =
+      S.Risk.estimate
+        ~semantics:(Registry.entry_semantics entry)
+        (Registry.entry_measure entry) md
+    in
+    Http.response ~status:200 (Codec.risk_report_string ~threshold md report)
+  | Some other ->
+    E.fail ~code:"request.bad_param" E.Parse
+      (Printf.sprintf
+         "parameter mode: unknown value %s (expected incremental or full)"
+         other)
+      ~context:[ ("parameter", "mode") ]
+
 (* The labeled series living outside the telemetry registry: request
    counters, cache statistics, breaker states, uptime. The registry
    itself (engine/pool/latency instruments, merged across worker-domain
@@ -382,6 +560,32 @@ let prometheus_body ?(extra_prom = fun () -> "") t =
           v)
       circuits
   | _ -> ());
+  (* Registry series are aggregates only — never labeled per dataset id
+     (ids are client-chosen; series cardinality must stay bounded). *)
+  let totals = Registry.totals t.registry in
+  Prom.family buf ~name:"vadasa_datasets_registered"
+    ~help:"Datasets live in the registry" ~typ:"gauge";
+  Prom.sample_int buf ~name:"vadasa_datasets_registered"
+    totals.Registry.registered;
+  Prom.family buf ~name:"vadasa_datasets_rows"
+    ~help:"Rows across live registered datasets (base + deltas)" ~typ:"gauge";
+  Prom.sample_int buf ~name:"vadasa_datasets_rows" totals.Registry.rows;
+  Prom.family buf ~name:"vadasa_datasets_bytes"
+    ~help:"CSV bytes accepted by live registered datasets" ~typ:"gauge";
+  Prom.sample_int buf ~name:"vadasa_datasets_bytes" totals.Registry.bytes;
+  Prom.family buf ~name:"vadasa_datasets_appends_total"
+    ~help:"Delta appends absorbed by the registry" ~typ:"counter";
+  Prom.sample_int buf ~name:"vadasa_datasets_appends_total"
+    totals.Registry.appends;
+  Prom.family buf ~name:"vadasa_datasets_chase_rebuilds_total"
+    ~help:"Appends whose chase continuation was invalidated (from-scratch \
+           rebuild)" ~typ:"counter";
+  Prom.sample_int buf ~name:"vadasa_datasets_chase_rebuilds_total"
+    totals.Registry.rebuilds;
+  Prom.family buf ~name:"vadasa_datasets_evictions_total"
+    ~help:"Datasets evicted by the registry's LRU bound" ~typ:"counter";
+  Prom.sample_int buf ~name:"vadasa_datasets_evictions_total"
+    totals.Registry.evictions;
   Buffer.add_string buf (extra_prom ());
   Buffer.contents buf
 
@@ -403,6 +607,7 @@ let metrics ?(extra = fun () -> []) ?extra_prom t req =
                  ("programs", Cache.stats t.programs);
                  ("datasets", Cache.stats t.datasets);
                ] );
+           ("registry", Registry.stats t.registry);
            ("requests", requests);
            ("breaker", Breaker.stats t.breaker);
            ( "faults_armed",
@@ -421,11 +626,14 @@ let metrics ?(extra = fun () -> []) ?extra_prom t req =
    [handler.dispatch] fault point, the per-endpoint circuit breaker
    (open circuit → 503 + Retry-After without running the handler), and
    the total exception→typed-error mapping. A 5xx response counts as a
-   breaker failure; anything else closes the circuit. *)
-let guard t handler req =
-  let key =
-    Printf.sprintf "%s %s" (Http.meth_to_string req.Http.meth) req.Http.path
-  in
+   breaker failure; anything else closes the circuit.
+
+   [route] is the "METHOD pattern" string from the route table — the
+   breaker circuit and the request counters key on it, so the
+   parameterized dataset routes stay one circuit and one counter family
+   regardless of how many ids clients mint. *)
+let guard t ~route handler req =
+  let key = route in
   let resp =
     match Breaker.check t.breaker key with
     | Breaker.Rejected retry_after ->
@@ -456,17 +664,28 @@ let guard t handler req =
       else Breaker.success t.breaker key;
       resp
   in
-  count t req resp;
+  count t ~route resp;
   resp
 
 let router ?extra_metrics ?extra_prom t =
+  let route meth pattern handler =
+    ( meth,
+      pattern,
+      guard t ~route:(Http.meth_to_string meth ^ " " ^ pattern) handler )
+  in
   Router.create
     [
-      (Http.GET, "/healthz", guard t (healthz t));
-      (Http.GET, "/metrics", guard t (metrics ?extra:extra_metrics ?extra_prom t));
-      (Http.POST, "/v1/risk", guard t (risk t));
-      (Http.POST, "/v1/anonymize", guard t (anonymize t));
-      (Http.POST, "/v1/categorize", guard t (categorize t));
-      (Http.POST, "/v1/reason", guard t (reason t));
-      (Http.POST, "/v1/explain", guard t (explain t));
+      route Http.GET "/healthz" (healthz t);
+      route Http.GET "/metrics" (metrics ?extra:extra_metrics ?extra_prom t);
+      route Http.POST "/v1/risk" (risk t);
+      route Http.POST "/v1/anonymize" (anonymize t);
+      route Http.POST "/v1/categorize" (categorize t);
+      route Http.POST "/v1/reason" (reason t);
+      route Http.POST "/v1/explain" (explain t);
+      route Http.GET "/v1/datasets" (dataset_list t);
+      route Http.PUT "/v1/datasets/{id}" (dataset_put t);
+      route Http.GET "/v1/datasets/{id}" (dataset_get t);
+      route Http.DELETE "/v1/datasets/{id}" (dataset_delete t);
+      route Http.POST "/v1/datasets/{id}/facts" (dataset_append t);
+      route Http.GET "/v1/datasets/{id}/risk" (dataset_risk t);
     ]

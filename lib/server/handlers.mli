@@ -21,6 +21,26 @@
       byte-identical to [vadasa explain --json] for the same input; a
       fact the chase never derived answers 422 [fact.not_found].
 
+    The dataset registry ({!Registry}) adds the streaming surface
+    (docs/STREAMING.md):
+
+    - [PUT /v1/datasets/{id}] — register the payload as a persistent
+      dataset (201; idempotent re-PUT 200; clashing content 409
+      [dataset.conflict]).
+    - [GET /v1/datasets] — registered datasets with metadata.
+    - [GET /v1/datasets/{id}] — metadata; [?include=csv] adds the
+      current (base ∪ deltas) CSV document.
+    - [POST /v1/datasets/{id}/facts] — append a delta CSV: incremental
+      risk re-scoring plus a chase continuation from the dataset's
+      fixpoint snapshot (from-scratch rebuild when invalidated). Fault
+      point ["dataset.append"] fires after validation, before any state
+      is committed.
+    - [GET /v1/datasets/{id}/risk] — the maintained risk report,
+      byte-identical to [POST /v1/risk] over the union CSV;
+      [?mode=full] re-estimates from scratch on a cached union snapshot
+      (invalidated on every append), [?threshold=] overrides.
+    - [DELETE /v1/datasets/{id}] — unregister.
+
     Every failure renders through {!Codec.response_of_error}: the body
     carries a stable [error.code] and the status follows the error's
     category. Each endpoint sits behind a per-endpoint circuit breaker
@@ -46,6 +66,8 @@ type t
 val create :
   ?program_capacity:int ->
   ?dataset_capacity:int ->
+  ?registry_capacity:int ->
+  ?dataset_audit:(string -> unit) ->
   ?breaker_threshold:int ->
   ?breaker_cooldown:float ->
   ?default_max_facts:int ->
@@ -60,16 +82,23 @@ val create :
     evaluation instead of spawning domains per request, so the
     process-wide domain count stays [--domains + --engine-domains - 1].
     The caller owns the pool's lifecycle (stop it after the server
-    drains). *)
+    drains). [registry_capacity] bounds the dataset registry (default
+    16, LRU eviction); [dataset_audit] receives the registry's JSONL
+    decision trail ([serve --dataset-audit], one line per
+    register/append/delete). *)
 
 val programs : t -> (string, compiled) Cache.t
 
 val datasets : t -> (string, Vadasa_sdc.Microdata.t) Cache.t
 
+val registry : t -> Registry.t
+
 val breaker : t -> Breaker.t
 
 val request_counts : t -> (string * int) list
-(** Sorted ["METHOD path status" → count] pairs. *)
+(** Sorted ["METHOD route-pattern status" → count] pairs — keyed on the
+    route pattern (["PUT /v1/datasets/{id} 201"]), never the raw path,
+    so client-chosen dataset ids don't grow the table. *)
 
 val budget_of : Http.request -> Codec.options -> Vadasa_base.Budget.t option
 (** The per-request work budget: the earlier of the deadline the server

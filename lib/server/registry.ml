@@ -1,0 +1,500 @@
+(* The persistent dataset registry: named datasets that survive across
+   requests and grow by appended rows, each carrying its materialized
+   SDC state — the incremental risk scorer over the live microdata and,
+   when the measure is expressible as a Vadalog program, a saturated
+   engine plus the fixpoint snapshot that lets the next delta continue
+   the chase instead of recomputing it.
+
+   Consistency contract: an entry only ever moves between consistent
+   states. [append] validates the delta and fires the ["dataset.append"]
+   fault point *before* touching any entry state; once mutation starts,
+   the native path (relation + risk scorer) commits atomically under the
+   entry mutex, and a chase whose incremental continuation is
+   invalidated (or dies) is rebuilt from scratch over the full data —
+   the entry never exposes a half-continued fixpoint. Readers and the
+   single appender of an entry serialize on the per-entry mutex; the
+   registry table has its own lock (never held while an entry's work
+   runs).
+
+   Evicted and deleted entries just drop: their engines are sequential
+   or borrow the server's shared pool, so there is nothing to stop. *)
+
+module E = Vadasa_base.Error
+module Json = Vadasa_base.Json
+module Faultpoint = Vadasa_resilience.Faultpoint
+module Telemetry = Vadasa_telemetry.Telemetry
+module R = Vadasa_relational
+module S = Vadasa_sdc
+module V = Vadasa_vadalog
+
+type chase = {
+  program : V.Program.t;  (* rules only; facts union-ed per engine *)
+  strat : V.Stratify.t;
+  mutable engine : V.Engine.t;
+  mutable snap : V.Engine.Snapshot.t;
+}
+
+type entry = {
+  id : string;
+  digest : string;  (* of the base payload; makes PUT idempotent *)
+  options : Codec.options;
+  measure : S.Risk.measure;
+  semantics : R.Null_semantics.t;
+  md : S.Microdata.t;  (* the live relation; rows appended in place *)
+  scorer : S.Risk.Incremental.t;
+  mutable chase : chase option;
+  mutable bytes : int;  (* CSV bytes accepted (base + deltas) *)
+  mutable appends : int;
+  mutable chase_incremental : int;  (* deltas continued from the snapshot *)
+  mutable chase_rebuilds : int;  (* [Invalidated] fallbacks *)
+  created_at : float;
+  mutable updated_at : float;
+  mu : Mutex.t;
+  mutable last_used : int;  (* registry LRU tick *)
+}
+
+type t = {
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  mu : Mutex.t;  (* guards [table], [tick] and the lifetime counters *)
+  mutable tick : int;
+  mutable evictions : int;
+  mutable lifetime_appends : int;  (* survives delete/evict *)
+  mutable lifetime_rebuilds : int;
+  audit : (string -> unit) option;
+  pool : Vadasa_base.Task_pool.t option;
+}
+
+let create ?(capacity = 16) ?audit ?pool () =
+  if capacity < 1 then invalid_arg "Registry.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create 16;
+    mu = Mutex.create ();
+    tick = 0;
+    evictions = 0;
+    lifetime_appends = 0;
+    lifetime_rebuilds = 0;
+    audit;
+    pool;
+  }
+
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let not_found id =
+  E.make ~code:"dataset.not_found" E.Wardedness
+    (Printf.sprintf "no dataset registered under id %s" id)
+    ~context:[ ("dataset", id) ]
+
+let conflict id detail =
+  E.make ~code:"dataset.conflict" E.Wardedness
+    (Printf.sprintf "dataset %s: %s" id detail)
+    ~context:[ ("dataset", id) ]
+
+(* Ids appear in audit lines and URLs; keep them to a tame charset so
+   neither needs escaping (metric series never carry them at all). *)
+let validate_id id =
+  let ok_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+    | _ -> false
+  in
+  if
+    id = "" || String.length id > 128
+    || not (String.for_all ok_char id)
+    || id.[0] = '.'
+  then
+    E.fail ~code:"dataset.bad_id" E.Parse
+      (Printf.sprintf
+         "invalid dataset id %S (want 1-128 chars of [A-Za-z0-9._-], not \
+          starting with a dot)"
+         id)
+      ~context:[ ("dataset", id) ]
+
+(* ---- audit trail -------------------------------------------------------- *)
+
+(* One compact JSON object per line, deterministic field order — the
+   same JSONL conventions as the anonymization cycle's audit trail
+   (lib/sdc/audit); the schema is documented in docs/STREAMING.md. *)
+let audit_line t fields =
+  match t.audit with
+  | None -> ()
+  | Some sink ->
+    sink
+      (Json.to_string
+         (Json.Obj (("ts", Json.Float (Unix.gettimeofday ())) :: fields)))
+
+(* ---- chase maintenance -------------------------------------------------- *)
+
+let build_engine t ~program ~strat md =
+  let program =
+    V.Program.union program
+      (V.Program.make ~facts:(S.Vadalog_bridge.microdata_facts md) [])
+  in
+  let engine = V.Engine.create ~strat ?pool:t.pool program in
+  V.Engine.run engine;
+  engine
+
+let materialize_chase t ~program ~strat md =
+  let engine = build_engine t ~program ~strat md in
+  { program; strat; engine; snap = V.Engine.snapshot engine }
+
+(* A fresh fixpoint over the entry's full current data, replacing
+   whatever state the chase held (the [Invalidated] recovery path). *)
+let rebuild_chase t chase md =
+  let engine = build_engine t ~program:chase.program ~strat:chase.strat md in
+  chase.engine <- engine;
+  chase.snap <- V.Engine.snapshot engine
+
+(* ---- registration ------------------------------------------------------- *)
+
+type put_outcome = { entry : entry; created : bool }
+
+(* caller holds [t.mu] *)
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.last_used <- t.tick
+
+(* caller holds [t.mu] *)
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun id entry acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= entry.last_used -> acc
+        | _ -> Some (id, entry))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (id, _) ->
+    Hashtbl.remove t.table id;
+    t.evictions <- t.evictions + 1
+
+let put t ~id ~digest ~bytes ~(options : Codec.options) ~measure ~compiled
+    (md : S.Microdata.t) =
+  validate_id id;
+  Telemetry.span "registry.put" @@ fun () ->
+  (match
+     with_lock t.mu (fun () ->
+         match Hashtbl.find_opt t.table id with
+         | Some existing ->
+           touch t existing;
+           Some existing
+         | None -> None)
+   with
+  | Some existing ->
+    if String.equal existing.digest digest && existing.appends = 0 then
+      (* Idempotent re-PUT of the same base payload. *)
+      Some { entry = existing; created = false }
+    else
+      raise
+        (E.Error
+           (conflict id
+              "already registered with different content (DELETE it first)"))
+  | None -> None)
+  |> function
+  | Some outcome -> outcome
+  | None ->
+    let semantics =
+      Option.value
+        (R.Null_semantics.of_string options.Codec.semantics)
+        ~default:R.Null_semantics.Maybe_match
+    in
+    (* The expensive state is built before the entry is published:
+       losing a PUT race below just discards this candidate. *)
+    let risk = S.Risk.Incremental.create ~semantics measure md in
+    let chase =
+      match compiled with
+      | None -> None
+      | Some (program, strat) -> Some (materialize_chase t ~program ~strat md)
+    in
+    let now = Unix.gettimeofday () in
+    let entry =
+      {
+        id;
+        digest;
+        options;
+        measure;
+        semantics;
+        md;
+        scorer = risk;
+        chase;
+        bytes;
+        appends = 0;
+        chase_incremental = 0;
+        chase_rebuilds = 0;
+        created_at = now;
+        updated_at = now;
+        mu = Mutex.create ();
+        last_used = 0;
+      }
+    in
+    let outcome =
+      with_lock t.mu (fun () ->
+          match Hashtbl.find_opt t.table id with
+          | Some winner ->
+            (* another domain registered the id while we built *)
+            touch t winner;
+            if String.equal winner.digest digest && winner.appends = 0 then
+              { entry = winner; created = false }
+            else
+              raise
+                (E.Error
+                   (conflict id
+                      "already registered with different content (DELETE it \
+                       first)"))
+          | None ->
+            if Hashtbl.length t.table >= t.capacity then evict_lru t;
+            Hashtbl.replace t.table id entry;
+            touch t entry;
+            { entry; created = true })
+    in
+    if outcome.created then
+      audit_line t
+        [
+          ("dataset", Json.Str id);
+          ("event", Json.Str "register");
+          ("rows", Json.Int (S.Microdata.cardinal md));
+          ( "chase",
+            Json.Str (match chase with Some _ -> "materialized" | None -> "none")
+          );
+        ];
+    outcome
+
+let find t id =
+  with_lock t.mu (fun () ->
+      match Hashtbl.find_opt t.table id with
+      | Some entry ->
+        touch t entry;
+        Some entry
+      | None -> None)
+
+let get t id =
+  match find t id with
+  | Some entry -> entry
+  | None -> raise (E.Error (not_found id))
+
+let delete t id =
+  let deleted =
+    with_lock t.mu (fun () ->
+        if Hashtbl.mem t.table id then (
+          Hashtbl.remove t.table id;
+          true)
+        else false)
+  in
+  if deleted then
+    audit_line t [ ("dataset", Json.Str id); ("event", Json.Str "delete") ];
+  deleted
+
+let ids t =
+  with_lock t.mu (fun () ->
+      Hashtbl.fold (fun id _ acc -> id :: acc) t.table [])
+  |> List.sort String.compare
+
+(* ---- delta ingestion ---------------------------------------------------- *)
+
+type append_outcome = {
+  rows_added : int;
+  rows_total : int;
+  risk : S.Risk.Incremental.outcome;
+  chase_mode : string;  (* "incremental" | "rebuild" | "none" *)
+  chase_facts : int;  (* saturated database size after the append *)
+}
+
+(* Parse and validate a delta CSV against the entry's schema — pure, no
+   entry state touched; every failure here leaves the dataset exactly as
+   it was. The delta must carry the same header as the base document. *)
+let parse_delta (entry : entry) csv =
+  let rel =
+    try R.Csv.read_string ~name:(S.Microdata.name entry.md) csv
+    with E.Error e -> raise (E.Error { e with E.code = "dataset.bad_delta" })
+  in
+  let base = S.Microdata.schema entry.md in
+  let got = R.Schema.attribute_names (R.Relation.schema rel) in
+  let want = R.Schema.attribute_names base in
+  if got <> want then
+    raise
+      (E.Error
+         (conflict entry.id
+            (Printf.sprintf
+               "delta header [%s] does not match the dataset's schema [%s]"
+               (String.concat ", " got)
+               (String.concat ", " want))));
+  rel
+
+let append t (entry : entry) ~csv =
+  Telemetry.span "registry.append" @@ fun () ->
+  let delta = parse_delta entry csv in
+  with_lock entry.mu @@ fun () ->
+  (* Mid-append failure injection: after validation, before any entry
+     state changes — an injected fault leaves the registry at the last
+     consistent fixpoint (asserted by the resilience tests). *)
+  Faultpoint.hit "dataset.append";
+  let rel = S.Microdata.relation entry.md in
+  let lo = R.Relation.cardinal rel in
+  R.Relation.iter (fun tuple -> R.Relation.add rel tuple) delta;
+  let hi = R.Relation.cardinal rel in
+  let risk_outcome = S.Risk.Incremental.append entry.scorer in
+  let chase_mode, chase_facts =
+    match entry.chase with
+    | None -> ("none", 0)
+    | Some chase -> (
+      let continue () =
+        List.iter
+          (fun (pred, args) -> V.Engine.add_fact_array chase.engine pred args)
+          (S.Vadalog_bridge.microdata_facts_range entry.md ~lo ~hi);
+        chase.snap <- V.Engine.run_incremental ~snapshot:chase.snap chase.engine
+      in
+      match continue () with
+      | () ->
+        entry.chase_incremental <- entry.chase_incremental + 1;
+        ("incremental", V.Engine.Snapshot.total chase.snap)
+      | exception V.Engine.Invalidated _ ->
+        (* The continuation was abandoned mid-stratum; the polluted
+           engine is discarded for a fresh fixpoint over the full data. *)
+        rebuild_chase t chase entry.md;
+        entry.chase_rebuilds <- entry.chase_rebuilds + 1;
+        ("rebuild", V.Engine.Snapshot.total chase.snap)
+      | exception e ->
+        (* Any other failure (fact-limit, injected engine fault): same
+           recovery — the entry must never expose a half-continued
+           chase. If the rebuild itself fails, the exception escapes
+           with the chase dropped so no stale state survives. *)
+        entry.chase <- None;
+        rebuild_chase t chase entry.md;
+        entry.chase <- Some chase;
+        entry.chase_rebuilds <- entry.chase_rebuilds + 1;
+        ignore e;
+        ("rebuild", V.Engine.Snapshot.total chase.snap))
+  in
+  entry.appends <- entry.appends + 1;
+  entry.bytes <- entry.bytes + String.length csv;
+  entry.updated_at <- Unix.gettimeofday ();
+  with_lock t.mu (fun () ->
+      t.lifetime_appends <- t.lifetime_appends + 1;
+      if chase_mode = "rebuild" then
+        t.lifetime_rebuilds <- t.lifetime_rebuilds + 1);
+  let outcome =
+    {
+      rows_added = hi - lo;
+      rows_total = hi;
+      risk = risk_outcome;
+      chase_mode;
+      chase_facts;
+    }
+  in
+  audit_line t
+    [
+      ("dataset", Json.Str entry.id);
+      ("event", Json.Str "append");
+      ("rows_added", Json.Int outcome.rows_added);
+      ("rows_total", Json.Int outcome.rows_total);
+      ("rows_rescored", Json.Int risk_outcome.S.Risk.Incremental.rows_rescored);
+      ( "groups_touched",
+        Json.Int risk_outcome.S.Risk.Incremental.groups_touched );
+      ( "risk_fallback",
+        match risk_outcome.S.Risk.Incremental.fallback with
+        | None -> Json.Null
+        | Some f -> Json.Str (S.Risk.Incremental.fallback_to_string f) );
+      ("chase", Json.Str chase_mode);
+      ("chase_facts", Json.Int chase_facts);
+    ];
+  outcome
+
+(* ---- introspection ------------------------------------------------------ *)
+
+let entry_md entry = entry.md
+
+let entry_options entry = entry.options
+
+let entry_measure entry = entry.measure
+
+let entry_semantics (entry : entry) = entry.semantics
+
+let entry_report (entry : entry) =
+  with_lock entry.mu (fun () -> S.Risk.Incremental.report entry.scorer)
+
+let entry_csv (entry : entry) =
+  with_lock entry.mu (fun () ->
+      R.Csv.write_string (S.Microdata.relation entry.md))
+
+let entry_md_snapshot (entry : entry) =
+  with_lock entry.mu (fun () -> S.Microdata.copy entry.md)
+
+let entry_engine entry =
+  Option.map (fun chase -> chase.engine) entry.chase
+
+let entry_json (entry : entry) =
+  with_lock entry.mu (fun () ->
+      Json.Obj
+        [
+          ("id", Json.Str entry.id);
+          ("dataset", Json.Str (S.Microdata.name entry.md));
+          ("rows", Json.Int (S.Microdata.cardinal entry.md));
+          ("bytes", Json.Int entry.bytes);
+          ("measure", Json.Str (S.Risk.measure_to_string entry.measure));
+          ("threshold", Json.Float entry.options.Codec.threshold);
+          ( "semantics",
+            Json.Str (R.Null_semantics.to_string entry.semantics) );
+          ("appends", Json.Int entry.appends);
+          ( "risk_full_rescores",
+            Json.Int (S.Risk.Incremental.full_rescores entry.scorer) );
+          ( "chase",
+            Json.Str
+              (match entry.chase with
+              | Some _ -> "materialized"
+              | None -> "none") );
+          ( "chase_facts",
+            Json.Int
+              (match entry.chase with
+              | Some chase -> V.Engine.Snapshot.total chase.snap
+              | None -> 0) );
+          ("chase_incremental", Json.Int entry.chase_incremental);
+          ("chase_rebuilds", Json.Int entry.chase_rebuilds);
+          ("created_at", Json.Float entry.created_at);
+          ("updated_at", Json.Float entry.updated_at);
+        ])
+
+type totals = {
+  registered : int;
+  bytes : int;
+  rows : int;
+  appends : int;  (* lifetime, survives delete/evict *)
+  rebuilds : int;  (* lifetime *)
+  evictions : int;
+}
+
+let totals t =
+  let entries =
+    with_lock t.mu (fun () ->
+        Hashtbl.fold (fun _ e acc -> e :: acc) t.table [])
+  in
+  let bytes, rows =
+    List.fold_left
+      (fun (b, r) (e : entry) -> (b + e.bytes, r + S.Microdata.cardinal e.md))
+      (0, 0) entries
+  in
+  with_lock t.mu (fun () ->
+      {
+        registered = List.length entries;
+        bytes;
+        rows;
+        appends = t.lifetime_appends;
+        rebuilds = t.lifetime_rebuilds;
+        evictions = t.evictions;
+      })
+
+let stats t =
+  let totals = totals t in
+  Json.Obj
+    [
+      ("registered", Json.Int totals.registered);
+      ("capacity", Json.Int t.capacity);
+      ("rows", Json.Int totals.rows);
+      ("bytes", Json.Int totals.bytes);
+      ("appends", Json.Int totals.appends);
+      ("chase_rebuilds", Json.Int totals.rebuilds);
+      ("evictions", Json.Int totals.evictions);
+    ]

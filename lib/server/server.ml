@@ -280,10 +280,14 @@ let serve_connection t ~deadline fd =
       | Some n when n > 0 -> seq mod n = 0
       | _ -> false
     in
+    (* Telemetry names come from the route *pattern*, not the request
+       path: "/v1/datasets/band42" collapses into "/v1/datasets/{id}",
+       so client-chosen ids never intern new instruments. *)
     let endpoint =
-      if Router.known_path t.router req.Http.path then
-        endpoint_span_name (Http.meth_to_string req.Http.meth) req.Http.path
-      else "unmatched"
+      match Router.endpoint_path t.router req.Http.path with
+      | Some pattern ->
+        endpoint_span_name (Http.meth_to_string req.Http.meth) pattern
+      | None -> "unmatched"
     in
     (* [--slow-ms] needs the span tree of every request — whether a
        request was slow is only known after it finished — so an armed

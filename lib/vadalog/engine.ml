@@ -29,6 +29,31 @@ type interrupt = {
 
 exception Interrupted of interrupt
 
+(* The per-stratum fixpoint state an incremental re-run resumes from:
+   the semi-naive watermarks ([seen]) each stratum ended with, plus the
+   sizes of the predicates whose growth falsifies the stratum's previous
+   fixpoint (negated atoms, aggregate-binding inputs). All sizes are
+   captured once the run is saturated — every producer of a predicate
+   lives at that predicate's own stratum, so the saturated size equals
+   the size the stratum observed at its fixpoint. *)
+module Snapshot = struct
+  type stratum = {
+    sn_seen : (string * int) list;
+        (* predicates the stratum's semi-naive loop scans -> watermark *)
+    sn_guards : (string * int) list;
+        (* predicates whose growth invalidates the stratum -> size *)
+  }
+
+  type t = {
+    sn_strata : stratum array;  (* one entry per stratification stratum *)
+    sn_total : int;  (* Database.total at capture time *)
+  }
+
+  let total t = t.sn_total
+end
+
+exception Invalidated of string
+
 (* A compiled body literal. Atom terms are pre-extracted. *)
 type step =
   | S_atom of { pred : string; terms : Term.t array }
@@ -80,6 +105,19 @@ type stats = {
   nulls_created : int;
 }
 
+(* Where a labelled null came from: the Skolem term sk(rule, var,
+   frontier binding) it stands for. Recorded for every null the chase
+   invents, so two runs that invent "the same" null under different
+   labels (an incremental continuation vs. a from-scratch chase) can be
+   compared modulo label renaming — see [Canonical]. *)
+type null_origin = {
+  origin_rule : int;  (* rule id that introduced the null *)
+  origin_var : string;  (* the existential variable *)
+  origin_frontier : (string * Value.t) list;
+      (* frontier variable bindings, in frontier order; values may
+         themselves be labelled nulls (nested Skolem terms) *)
+}
+
 type t = {
   program : Program.t;
   config : config;
@@ -87,6 +125,7 @@ type t = {
   strat : Stratify.t;
   ids : Ids.t;
   skolem : (string, (string * Value.t) list) Hashtbl.t;
+  null_origins : (int, null_origin) Hashtbl.t;  (* null label -> Skolem term *)
   agg_groups : (int, (string, group) Hashtbl.t) Hashtbl.t;
   compiled : (int, compiled_rule) Hashtbl.t;
   (* Always-on chase statistics: cheap enough to keep unconditionally,
@@ -394,6 +433,7 @@ let create ?(config = default_config) ?(first_null_label = 1) ?strat
     strat;
     ids = Ids.create ~start:first_null_label ();
     skolem = Hashtbl.create 256;
+    null_origins = Hashtbl.create 256;
     agg_groups = Hashtbl.create 16;
     compiled;
     pred_derived = Hashtbl.create 32;
@@ -629,6 +669,24 @@ let emit_plain t cr ctx =
             List.map (fun v -> (v, Ids.fresh_null t.ids)) existentials
           in
           Hashtbl.add t.skolem key assignment;
+          (* The frontier binding is complete here (env_key above would
+             have raised otherwise); remembering it per invented null
+             gives every null a label-independent Skolem identity. *)
+          let frontier_binding =
+            List.map (fun fv -> (fv, Hashtbl.find ctx.env fv)) cr.frontier
+          in
+          List.iter
+            (fun (v, value) ->
+              match value with
+              | Value.Null n ->
+                Hashtbl.replace t.null_origins n
+                  {
+                    origin_rule = rule.Rule.id;
+                    origin_var = v;
+                    origin_frontier = frontier_binding;
+                  }
+              | _ -> ())
+            assignment;
           cr.c_prof.Profile.r_nulls <-
             cr.c_prof.Profile.r_nulls + List.length assignment;
           assignment
@@ -1024,20 +1082,53 @@ let is_test_rule cr =
   | Some { agg_result = Rule.Test _; _ } -> true
   | Some { agg_result = Rule.Bind _; _ } | None -> false
 
-let run_stratum ?budget t index rules =
+let run_stratum ?budget ?seed t index rules =
   t.s_stratum <- index;
   t.s_iteration <- 0;
   t.s_strata_run <- t.s_strata_run + 1;
   Faultpoint.hit "engine.stratum";
   check_budget t budget;
+  (* Incremental continuation: with a [seed], the stratum resumes the
+     previous run's fixpoint. That is only sound while every
+     non-monotone input is exactly as the previous run left it — a
+     grown guard predicate means facts derived through [not p(..)] or a
+     saturated aggregate binding may no longer hold, so the whole
+     continuation is abandoned (the caller falls back to a from-scratch
+     chase; this engine's database may hold partial results from
+     already-continued strata and must be discarded). *)
+  (match seed with
+  | None -> ()
+  | Some s ->
+    List.iter
+      (fun (p, size) ->
+        let cur = Database.pred_size t.db p in
+        if cur <> size then
+          raise
+            (Invalidated
+               (Printf.sprintf
+                  "stratum %d: predicate %s has %d facts, snapshot expects %d \
+                   (negated or aggregated input changed)"
+                  index p cur size)))
+      s.Snapshot.sn_guards);
+  let incremental = seed <> None in
   let facts_at_entry = Database.total t.db in
   let duplicates_at_entry = t.s_duplicates in
   let compiled = List.map (fun r -> Hashtbl.find t.compiled r.Rule.id) rules in
   List.iter (fun cr -> cr.c_prof.Profile.r_stratum <- index) compiled;
-  let bind_rules = List.filter is_bind_rule compiled in
+  (* A continued stratum skips aggregate-binding rules (their inputs are
+     unchanged by the guard check, so their output is already in the
+     database) and zero-atom rules (no positive atoms — their heads were
+     emitted by the previous run and would only come back as
+     duplicates). *)
+  let bind_rules = if incremental then [] else List.filter is_bind_rule compiled in
   let test_rules = List.filter is_test_rule compiled in
   let plain_rules =
     List.filter (fun cr -> not (is_bind_rule cr || is_test_rule cr)) compiled
+  in
+  let plain_rules =
+    if incremental then
+      List.filter (fun cr -> Array.length cr.pos_atoms > 0) plain_rules
+    else plain_rules
   in
   let iteration = ref 0 in
   let stratum_start = Profile.now () in
@@ -1053,8 +1144,14 @@ let run_stratum ?budget t index rules =
       eval_timed cr (fun () ->
           ignore (eval_agg_rule t cr ~delta_range:None ~plan_idx:n)))
     bind_rules;
-  (* Fixpoint for the rest. *)
+  (* Fixpoint for the rest. A seeded [seen] table makes the first
+     iteration's deltas exactly the facts that appeared since the
+     previous run's fixpoint. *)
   let seen = Hashtbl.create 16 in
+  (match seed with
+  | None -> ()
+  | Some s ->
+    List.iter (fun (p, w) -> Hashtbl.replace seen p w) s.Snapshot.sn_seen);
   let watermark pred =
     match Hashtbl.find_opt seen pred with Some w -> w | None -> 0
   in
@@ -1118,8 +1215,12 @@ let run_stratum ?budget t index rules =
         plain_rules);
     List.iter
       (fun cr ->
+        (* The unconditional first evaluation only matters for a cold
+           start (empty [seen]); a continued stratum re-tests only on a
+           real delta — its persistent contributor tables already hold
+           every previous contribution. *)
         let dirty =
-          !iteration = 1
+          ((not incremental) && !iteration = 1)
           || List.exists (fun p -> watermark p < snap p) (preds_of cr)
         in
         if dirty then
@@ -1231,6 +1332,72 @@ let run ?budget t =
               Telemetry.span ("engine.stratum." ^ string_of_int i) (fun () ->
                   run_stratum ?budget t i rules))
             t.strat.Stratify.strata))
+
+(* ---- incremental re-evaluation ---------------------------------------- *)
+
+let snapshot t =
+  let sizes preds = List.map (fun p -> (p, Database.pred_size t.db p)) preds in
+  let strata =
+    Array.map
+      (fun rules ->
+        let compiled =
+          List.map (fun r -> Hashtbl.find t.compiled r.Rule.id) rules
+        in
+        (* Watermarks for every predicate the fixpoint loop scans
+           semi-naively (positive atoms of plain and aggregate-test
+           rules); guard sizes for every predicate whose growth breaks
+           the stratum's fixpoint: negated atoms anywhere, and the
+           positive inputs of aggregate-binding rules (those evaluate
+           once, over saturated inputs). *)
+        let seen_preds =
+          List.concat_map
+            (fun cr -> if is_bind_rule cr then [] else cr.c_preds)
+            compiled
+          |> List.sort_uniq compare
+        in
+        let guard_preds =
+          List.concat_map
+            (fun cr ->
+              let negated =
+                List.filter_map
+                  (function p, `Neg -> Some p | _, `Pos -> None)
+                  (Rule.body_predicates cr.rule)
+              in
+              if is_bind_rule cr then cr.c_preds @ negated else negated)
+            compiled
+          |> List.sort_uniq compare
+        in
+        { Snapshot.sn_seen = sizes seen_preds; sn_guards = sizes guard_preds })
+      t.strat.Stratify.strata
+  in
+  { Snapshot.sn_strata = strata; sn_total = Database.total t.db }
+
+let run_incremental ?budget ~snapshot:(snap : Snapshot.t) t =
+  if
+    Array.length snap.Snapshot.sn_strata
+    <> Array.length t.strat.Stratify.strata
+  then
+    raise
+      (Invalidated
+         (Printf.sprintf "snapshot covers %d strata, the program has %d"
+            (Array.length snap.Snapshot.sn_strata)
+            (Array.length t.strat.Stratify.strata)));
+  let t0 = Profile.now () in
+  Fun.protect
+    ~finally:(fun () ->
+      Profile.add_run_time t.prof (Profile.now () -. t0);
+      publish_telemetry t)
+    (fun () ->
+      Telemetry.span "engine.run_incremental" (fun () ->
+          Array.iteri
+            (fun i rules ->
+              Telemetry.span ("engine.stratum." ^ string_of_int i) (fun () ->
+                  run_stratum ?budget ~seed:snap.Snapshot.sn_strata.(i) t i
+                    rules))
+            t.strat.Stratify.strata));
+  snapshot t
+
+let null_origin t label = Hashtbl.find_opt t.null_origins label
 
 let profile t = t.prof
 

@@ -140,6 +140,75 @@ val explain :
 val nulls_created : t -> int
 (** Labelled nulls invented by the chase so far. *)
 
+type null_origin = {
+  origin_rule : int;  (** id of the rule that introduced the null *)
+  origin_var : string;  (** the existential variable it satisfies *)
+  origin_frontier : (string * Vadasa_base.Value.t) list;
+      (** the frontier binding the Skolem chase keyed the null on;
+          values may themselves be labelled nulls (nested terms) *)
+}
+
+val null_origin : t -> int -> null_origin option
+(** The Skolem term a labelled null stands for — [sk(rule, var,
+    frontier)] — or [None] for labels the chase did not invent (nulls
+    already present in the input data). Two runs that derive the same
+    facts under different label assignments (an incremental continuation
+    vs. a from-scratch chase) map equal facts to equal Skolem terms;
+    {!Canonical} renders databases modulo this renaming. *)
+
+(** {2 Incremental re-evaluation}
+
+    A saturated engine can absorb appended facts without recomputing its
+    fixpoint: {!snapshot} captures each stratum's semi-naive watermarks,
+    {!add_fact} loads the delta, and {!run_incremental} re-runs the
+    strata with the watermarks pre-seeded, so only (old × new) and
+    (new × new) joins are evaluated. The resulting database is
+    {e set-identical modulo labelled-null renaming} to a from-scratch
+    chase over the unioned facts (asserted via {!Canonical.of_engine}
+    byte-equality in the test suite); insertion order and null labels
+    differ, which is why the canonical form exists.
+
+    Non-monotone state cannot be continued: when a predicate read under
+    negation, or feeding an aggregate-{e binding} rule, has grown since
+    the snapshot, {!run_incremental} raises {!Invalidated} — the
+    engine's database may then hold a partial continuation and must be
+    discarded in favour of a fresh from-scratch engine over the union.
+    Aggregate-{e test} rules continue fine: their contributor tables
+    persist inside the engine and deduplicate by contributor key. *)
+
+module Snapshot : sig
+  type t
+  (** Per-stratum fixpoint state: semi-naive watermarks plus the sizes
+      of invalidation-guarded predicates, captured from a saturated
+      engine. Snapshots are plain immutable data — safe to retain after
+      the engine is gone, but only meaningful for engines created from
+      a program with the same rules and stratification. *)
+
+  val total : t -> int
+  (** [Database.total] at capture time. *)
+end
+
+exception Invalidated of string
+(** A stratum's previous fixpoint no longer holds (negated or
+    aggregate-binding input grew): the incremental continuation is
+    abandoned mid-run. Recover by building a fresh engine over the
+    unioned facts and discarding this one. *)
+
+val snapshot : t -> Snapshot.t
+(** Capture the fixpoint state of a saturated engine ({!run} returned
+    normally). Cheap: a size lookup per (stratum, predicate). *)
+
+val run_incremental :
+  ?budget:Vadasa_base.Budget.t -> snapshot:Snapshot.t -> t -> Snapshot.t
+(** Resume the chase over facts appended (via {!add_fact} /
+    {!add_fact_array}) since [snapshot] was captured from this engine,
+    and return the refreshed snapshot for the next delta. Raises
+    {!Invalidated} when a non-monotone stratum cannot be continued (see
+    above) and {!Interrupted} on budget exhaustion — in both cases the
+    database may hold a partial continuation. [snapshot] must come from
+    this engine (or one with identical program, facts and evaluation
+    history); this is unchecked beyond the stratum count. *)
+
 (** {2 Chase statistics}
 
     Always-on lightweight counters (plain integer bumps on the

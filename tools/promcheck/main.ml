@@ -150,14 +150,27 @@ let parse_sample lineno line =
   else begin
     let rest = String.sub line name_end (String.length line - name_end) in
     let labels, rest =
-      if rest <> "" && rest.[0] = '{' then
-        match String.index_opt rest '}' with
+      if rest <> "" && rest.[0] = '{' then begin
+        (* the closing '}' must be found outside quoted label values:
+           '}' is legal inside one (e.g. path="/v1/datasets/{id}") *)
+        let n = String.length rest in
+        let rec close i in_quote =
+          if i >= n then None
+          else
+            match rest.[i] with
+            | '\\' when in_quote && i + 1 < n -> close (i + 2) in_quote
+            | '"' -> close (i + 1) (not in_quote)
+            | '}' when not in_quote -> Some i
+            | _ -> close (i + 1) in_quote
+        in
+        match close 1 false with
         | Some close ->
           ( parse_labels lineno (String.sub rest 1 (close - 1)),
             String.sub rest (close + 1) (String.length rest - close - 1) )
         | None ->
           fail "line %d: unclosed label block" lineno;
           ([], "")
+      end
       else ([], rest)
     in
     let value = String.trim rest in
