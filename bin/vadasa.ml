@@ -11,7 +11,8 @@
      explain     unfold one fact's provenance derivation tree
      serve       expose the pipeline as a concurrent HTTP service
      datasets    manage the server's persistent dataset registry
-     append      stream a delta CSV into a registered dataset *)
+     append      stream a delta CSV into a registered dataset
+     jobs        submit and track async anonymization/risk jobs *)
 
 module Value = Vadasa_base.Value
 module E = Vadasa_base.Error
@@ -940,6 +941,72 @@ let serve_cmd =
              lines: one line per register, append (rows re-scored, groups \
              touched, chase mode) and delete. See docs/STREAMING.md.")
   in
+  let data_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Crash-safe durability: journal every dataset and job mutation \
+             to DIR (append-only, CRC-framed, group-committed) and \
+             periodically compact into an atomic snapshot. On boot the \
+             server recovers every committed dataset and job from \
+             DIR — risk reports byte-identical to the pre-crash state. \
+             Without it, state is in-memory only. See docs/JOBS.md.")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Write a snapshot (and truncate the journal) every N committed \
+             records (requires $(b,--data-dir)).")
+  in
+  let job_domains_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "job-domains" ] ~docv:"N"
+          ~doc:
+            "Async job worker pool size ($(b,POST /v1/jobs)); spawned \
+             lazily on the first submission.")
+  in
+  let job_queue_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "job-queue" ] ~docv:"N"
+          ~doc:
+            "Bounded async-job queue; submissions beyond it answer 503 \
+             jobs.queue_full with Retry-After.")
+  in
+  let tenant_quota_arg =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "tenant-quota" ] ~docv:"N"
+          ~doc:
+            "Most queued+running jobs a single tenant may hold; beyond it \
+             submissions answer 429 tenant.quota_exceeded.")
+  in
+  let tenant_rate_arg =
+    Arg.(
+      value
+      & opt float 50.0
+      & info [ "tenant-rate" ] ~docv:"R"
+          ~doc:
+            "Per-tenant job submission rate (token bucket, R tokens per \
+             second); beyond it submissions answer 429 tenant.rate_limited \
+             with Retry-After.")
+  in
+  let tenant_burst_arg =
+    Arg.(
+      value
+      & opt float 100.0
+      & info [ "tenant-burst" ] ~docv:"B"
+          ~doc:"Token-bucket burst capacity for $(b,--tenant-rate).")
+  in
   let trace_sample_arg =
     Arg.(
       value
@@ -964,9 +1031,25 @@ let serve_cmd =
              $(b,http.slow_requests) counter.")
   in
   let run (finish, sink, (_, max_facts)) host port domains engine_domains queue
-      timeout max_body registry_capacity dataset_audit trace_sample slow_ms =
+      timeout max_body registry_capacity dataset_audit data_dir snapshot_every
+      job_domains job_queue tenant_quota tenant_rate tenant_burst trace_sample
+      slow_ms =
     if domains < 1 then begin
       Printf.eprintf "error: --domains must be >= 1\n";
+      exit 1
+    end;
+    if snapshot_every < 1 then begin
+      Printf.eprintf "error: --snapshot-every must be >= 1\n";
+      exit 1
+    end;
+    if job_domains < 1 || job_queue < 1 then begin
+      Printf.eprintf "error: --job-domains and --job-queue must be >= 1\n";
+      exit 1
+    end;
+    if tenant_quota < 1 || tenant_rate <= 0.0 || tenant_burst < 1.0 then begin
+      Printf.eprintf
+        "error: --tenant-quota must be >= 1, --tenant-rate > 0, \
+         --tenant-burst >= 1\n";
       exit 1
     end;
     if engine_domains < 1 then begin
@@ -1042,10 +1125,31 @@ let serve_cmd =
               Mutex.unlock mutex),
           fun () -> close_out oc )
     in
+    let persist =
+      match data_dir with
+      | None -> None
+      | Some dir -> (
+        match Srv.Persist.open_ ~snapshot_every ~dir () with
+        | p -> Some p
+        | exception E.Error e ->
+          Printf.eprintf "error: cannot open --data-dir %s: %s\n" dir
+            e.E.message;
+          exit 1)
+    in
     let handlers =
       Srv.Handlers.create ?default_max_facts:max_facts ?engine_pool
-        ~registry_capacity ?dataset_audit:dataset_audit_sink ()
+        ~registry_capacity ?dataset_audit:dataset_audit_sink ?persist
+        ~job_domains ~job_queue ~tenant_quota ~tenant_rate ~tenant_burst ()
     in
+    (match persist with
+    | None -> ()
+    | Some p ->
+      let r = Srv.Persist.recovery p in
+      Printf.printf
+        "vadasa serve: recovered from %s (%d records replayed, %d skipped, \
+         %d torn bytes discarded)\n%!"
+        (Srv.Persist.dir p) r.Srv.Persist.replayed r.Srv.Persist.skipped
+        r.Srv.Persist.truncated);
     let server =
       match Srv.Server.create ~config handlers with
       | server -> server
@@ -1060,6 +1164,9 @@ let serve_cmd =
        domains, queue %d)\n%!"
       host (Srv.Server.port server) domains engine_domains queue;
     Srv.Server.run server;
+    (* Accept loop drained; now stop the job workers and close the
+       journal (final snapshot) before dropping auxiliary sinks. *)
+    Srv.Handlers.shutdown handlers;
     Option.iter Vadasa_base.Task_pool.stop engine_pool;
     close_dataset_audit ();
     Printf.eprintf "vadasa serve: shutdown complete\n%!";
@@ -1071,13 +1178,17 @@ let serve_cmd =
          "Run the SDC pipeline as a long-lived HTTP service: POST /v1/risk, \
           /v1/anonymize, /v1/categorize, /v1/reason, /v1/explain; the \
           dataset registry under /v1/datasets (PUT/GET/DELETE, append via \
-          POST /v1/datasets/ID/facts); GET /healthz, /metrics. See \
-          docs/SERVER.md and docs/STREAMING.md.")
+          POST /v1/datasets/ID/facts); async jobs under /v1/jobs; GET \
+          /healthz, /metrics. With $(b,--data-dir) every dataset and job \
+          mutation is journaled and recovered on restart. See \
+          docs/SERVER.md, docs/STREAMING.md and docs/JOBS.md.")
     Term.(
       const run $ common_term $ host_arg $ port_arg $ domains_arg
       $ engine_domains_arg $ queue_arg $ timeout_arg $ max_body_arg
-      $ registry_capacity_arg $ dataset_audit_arg $ trace_sample_arg
-      $ slow_ms_arg)
+      $ registry_capacity_arg $ dataset_audit_arg $ data_dir_arg
+      $ snapshot_every_arg $ job_domains_arg $ job_queue_arg
+      $ tenant_quota_arg $ tenant_rate_arg $ tenant_burst_arg
+      $ trace_sample_arg $ slow_ms_arg)
 
 (* ---- datasets / append (registry HTTP client) ------------------------------------- *)
 
@@ -1154,12 +1265,71 @@ let http_request ~host ~port ~meth ~target ?(headers = []) ?(body = "") () =
         | _ :: code :: _ -> int_of_string_opt code |> Option.value ~default:0
         | _ -> 0
       in
-      let body =
+      let head, body =
         match find_crlf2 raw with
-        | Some i -> String.sub raw (i + 4) (String.length raw - i - 4)
-        | None -> ""
+        | Some i ->
+          ( String.sub raw 0 i,
+            String.sub raw (i + 4) (String.length raw - i - 4) )
+        | None -> (raw, "")
       in
-      (status, body))
+      (* Response headers, names lowercased — the retry loop reads
+         Retry-After out of these. *)
+      let resp_headers =
+        List.filter_map
+          (fun line ->
+            match String.index_opt line ':' with
+            | None -> None
+            | Some i ->
+              Some
+                ( String.lowercase_ascii (String.trim (String.sub line 0 i)),
+                  String.trim
+                    (String.sub line (i + 1) (String.length line - i - 1)) ))
+          (String.split_on_char '\n'
+             (String.concat "" (String.split_on_char '\r' head)))
+      in
+      (status, resp_headers, body))
+
+(* Honour backpressure: a 503 (open breaker, full queue) or 429
+   (tenant quota / rate limit) with its Retry-After header re-issues
+   the request under a jittered-backoff retry policy with a bounded
+   budget; exhaustion raises a clear typed [client.unavailable] (the
+   CLI renders it as [error[client.unavailable]] plus the retry
+   context and exits 2). Every other status returns to the caller. *)
+let client_retry_policy =
+  {
+    Vadasa_resilience.Retry.default_policy with
+    Vadasa_resilience.Retry.max_attempts = 4;
+    base_delay = 0.2;
+    budget = 15.0;
+  }
+
+let http_request_retrying ~host ~port ~meth ~target ?headers ?body () =
+  let module Retry = Vadasa_resilience.Retry in
+  Retry.run ~policy:client_retry_policy
+    ~should_retry:(fun ~attempt:_ -> function
+      | E.Error e when e.E.code = "client.unavailable" ->
+        Some
+          (Option.bind
+             (List.assoc_opt "retry_after_s" e.E.context)
+             float_of_string_opt)
+      | _ -> None)
+    (fun () ->
+      let status, resp_headers, resp_body =
+        http_request ~host ~port ~meth ~target ?headers ?body ()
+      in
+      if status = 503 || status = 429 then
+        raise
+          (E.Error
+             (E.make ~code:"client.unavailable" E.Resource
+                (Printf.sprintf "%s %s: HTTP %d from %s:%d" meth target
+                   status host port)
+                ~context:
+                  (("status", string_of_int status)
+                  ::
+                  (match List.assoc_opt "retry-after" resp_headers with
+                  | Some v -> [ ("retry_after_s", v) ]
+                  | None -> []))));
+      (status, resp_headers, resp_body))
 
 let server_arg =
   Arg.(
@@ -1185,11 +1355,13 @@ let parse_server s =
 (* Print the response body on stdout (it is already JSON); a non-2xx
    answer goes to stderr instead and exits 1 — the body carries the
    typed error.code, so scripts can branch on it. *)
+let newline_terminated s =
+  if s = "" || s.[String.length s - 1] <> '\n' then s ^ "\n" else s
+
 let client_call ~server ~meth ~target ?headers ?body () =
   let host, port = parse_server server in
-  let status, resp = http_request ~host ~port ~meth ~target ?headers ?body () in
-  let newline_terminated s =
-    if s = "" || s.[String.length s - 1] <> '\n' then s ^ "\n" else s
+  let status, _, resp =
+    http_request_retrying ~host ~port ~meth ~target ?headers ?body ()
   in
   if status >= 200 && status < 300 then print_string (newline_terminated resp)
   else begin
@@ -1372,6 +1544,245 @@ let append_cmd =
           happened (rows_rescored, chase mode).")
     Term.(const run $ common_term $ server_arg $ dataset_id_arg $ input_arg)
 
+(* ---- jobs (async jobs HTTP client) ------------------------------------------------ *)
+
+let jobs_cmd =
+  let module Json = Vadasa_base.Json in
+  let tenant_arg =
+    Arg.(
+      value
+      & opt string "default"
+      & info [ "tenant" ] ~docv:"TENANT"
+          ~doc:
+            "Tenant the submission is accounted to (sent as \
+             X-Vadasa-Tenant; quota and rate limits apply per tenant).")
+  in
+  let job_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"JOB" ~doc:"Job id (as returned by $(b,jobs submit)).")
+  in
+  let submit_cmd =
+    let op_arg =
+      Arg.(
+        value
+        & opt string "risk"
+        & info [ "op" ] ~docv:"OP"
+            ~doc:
+              "What to run: $(b,risk) (the dataset's maintained report — \
+               byte-identical to $(b,datasets risk)) or $(b,anonymize) (a \
+               suppression/recoding cycle over a snapshot).")
+    in
+    let measure_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "measure" ] ~docv:"MEASURE"
+            ~doc:"Risk measure for $(b,--op anonymize).")
+    in
+    let threshold_arg =
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "threshold" ] ~docv:"T" ~doc:"Risk threshold.")
+    in
+    let k_arg =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "k" ] ~docv:"K" ~doc:"k-anonymity parameter.")
+    in
+    let method_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "method" ] ~docv:"METHOD"
+            ~doc:"Anonymization method: $(b,suppress) or $(b,recode).")
+    in
+    let semantics_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "semantics" ] ~docv:"SEMANTICS"
+            ~doc:"Null-matching semantics for risk grouping.")
+    in
+    let run (finish, _, _) server tenant id op measure threshold k method_
+        semantics =
+      let opt_field name to_json value =
+        match value with Some v -> [ (name, to_json v) ] | None -> []
+      in
+      let body =
+        Json.to_string
+          (Json.Obj
+             ([ ("dataset", Json.Str id); ("op", Json.Str op) ]
+             @ opt_field "measure" (fun s -> Json.Str s) measure
+             @ opt_field "threshold" (fun f -> Json.Float f) threshold
+             @ opt_field "k" (fun n -> Json.Int n) k
+             @ opt_field "method" (fun s -> Json.Str s) method_
+             @ opt_field "semantics" (fun s -> Json.Str s) semantics))
+      in
+      client_call ~server ~meth:"POST" ~target:"/v1/jobs"
+        ~headers:
+          [
+            ("content-type", "application/json");
+            ("x-vadasa-tenant", tenant);
+          ]
+        ~body ();
+      finish ()
+    in
+    Cmd.v
+      (Cmd.info "submit"
+         ~doc:
+           "Submit an async job over a registered dataset (POST /v1/jobs, \
+            202). Prints the job object; poll it with $(b,jobs status) or \
+            $(b,jobs wait). Quota/rate rejections (429) are retried with \
+            backoff honouring Retry-After before giving up.")
+      Term.(
+        const run $ common_term $ server_arg $ tenant_arg $ dataset_id_arg
+        $ op_arg $ measure_arg $ threshold_arg $ k_arg $ method_arg
+        $ semantics_arg)
+  in
+  let status_cmd =
+    let run (finish, _, _) server id =
+      client_call ~server ~meth:"GET" ~target:("/v1/jobs/" ^ id) ();
+      finish ()
+    in
+    Cmd.v
+      (Cmd.info "status"
+         ~doc:"Show one job's state and result (GET /v1/jobs/JOB).")
+      Term.(const run $ common_term $ server_arg $ job_pos)
+  in
+  let list_cmd =
+    let run (finish, _, _) server =
+      client_call ~server ~meth:"GET" ~target:"/v1/jobs" ();
+      finish ()
+    in
+    Cmd.v
+      (Cmd.info "list" ~doc:"List every known job (GET /v1/jobs).")
+      Term.(const run $ common_term $ server_arg)
+  in
+  let wait_cmd =
+    let timeout_arg =
+      Arg.(
+        value
+        & opt float 60.0
+        & info [ "timeout" ] ~docv:"SECONDS"
+            ~doc:
+              "Give up (error[client.timeout], exit 2) if the job is still \
+               not terminal after this long.")
+    in
+    let poll_ms_arg =
+      Arg.(
+        value
+        & opt int 200
+        & info [ "poll-ms" ] ~docv:"MS" ~doc:"Polling interval.")
+    in
+    let run (finish, _, _) server id timeout poll_ms =
+      let host, port = parse_server server in
+      let deadline = Unix.gettimeofday () +. timeout in
+      let rec poll () =
+        let status, _, body =
+          http_request_retrying ~host ~port ~meth:"GET"
+            ~target:("/v1/jobs/" ^ id) ()
+        in
+        if status <> 200 then begin
+          Printf.eprintf "error: HTTP %d\n%s" status (newline_terminated body);
+          exit 1
+        end;
+        let json =
+          match Json.of_string body with
+          | Ok json -> json
+          | Error msg ->
+            raise
+              (E.Error
+                 (E.make ~code:"client.bad_response" E.Io
+                    ("cannot parse job status: " ^ msg)))
+        in
+        let state =
+          Option.value ~default:""
+            (Option.bind (Json.member "state" json) Json.to_string_opt)
+        in
+        match state with
+        | "done" -> (
+          (* The result body is the op's canonical rendering (for risk
+             jobs: byte-identical to [datasets risk]); print it alone so
+             scripts can diff it directly. *)
+          match
+            Option.bind (Json.member "result" json) Json.to_string_opt
+          with
+          | Some result -> print_string (newline_terminated result)
+          | None -> print_string (newline_terminated body))
+        | ("failed" | "cancelled" | "orphaned") as state ->
+          (* Exit through the typed-error path (exit 2) with the job's
+             own error code, so scripts branch on error[job.cancelled],
+             error[job.orphaned], ... *)
+          let code, message =
+            match Json.member "error" json with
+            | Some error_json ->
+              ( Option.value ~default:("job." ^ state)
+                  (Option.bind (Json.member "code" error_json)
+                     Json.to_string_opt),
+                Option.value
+                  ~default:("job " ^ id ^ " " ^ state)
+                  (Option.bind (Json.member "message" error_json)
+                     Json.to_string_opt) )
+            | None -> ("job." ^ state, "job " ^ id ^ " " ^ state)
+          in
+          raise
+            (E.Error
+               (E.make ~code E.Resource message
+                  ~context:[ ("job", id); ("state", state) ]))
+        | state ->
+          if Unix.gettimeofday () > deadline then
+            raise
+              (E.Error
+                 (E.make ~code:"client.timeout" E.Resource
+                    (Printf.sprintf "job %s still %s after %gs" id state
+                       timeout)
+                    ~context:[ ("job", id); ("state", state) ]))
+          else begin
+            Unix.sleepf (float_of_int poll_ms /. 1000.0);
+            poll ()
+          end
+      in
+      poll ();
+      finish ()
+    in
+    Cmd.v
+      (Cmd.info "wait"
+         ~doc:
+           "Poll a job until it reaches a terminal state. Prints the \
+            result body on success; a failed/cancelled/orphaned job exits \
+            2 with its typed error code.")
+      Term.(
+        const run $ common_term $ server_arg $ job_pos $ timeout_arg
+        $ poll_ms_arg)
+  in
+  let cancel_cmd =
+    let run (finish, _, _) server id =
+      client_call ~server ~meth:"DELETE" ~target:("/v1/jobs/" ^ id) ();
+      finish ()
+    in
+    Cmd.v
+      (Cmd.info "cancel"
+         ~doc:
+           "Cooperatively cancel a job (DELETE /v1/jobs/JOB): queued jobs \
+            settle immediately, running jobs stop at their next budget \
+            poll point; either way the worker slot is released and the \
+            job reports job.cancelled.")
+      Term.(const run $ common_term $ server_arg $ job_pos)
+  in
+  Cmd.group
+    (Cmd.info "jobs"
+       ~doc:
+         "Submit and track async anonymization/risk jobs on a running \
+          $(b,vadasa serve): submit, status, list, wait, cancel — thin \
+          clients over /v1/jobs. Per-tenant quotas and rate limits answer \
+          429 with Retry-After, honoured by the built-in retry. See \
+          docs/JOBS.md.")
+    [ submit_cmd; status_cmd; list_cmd; wait_cmd; cancel_cmd ]
+
 (* ---- main ------------------------------------------------------------------------- *)
 
 let () =
@@ -1391,6 +1802,7 @@ let () =
         serve_cmd;
         datasets_cmd;
         append_cmd;
+        jobs_cmd;
       ]
   in
   (* [~catch:false] lets typed errors reach this handler: every failure

@@ -16,6 +16,13 @@ let registry =
     ( "dataset.append",
       "absorbing appended rows into a registered dataset (after \
        validation, before any state is committed)" );
+    ( "journal.write",
+      "writing a framed record batch to the on-disk journal (before \
+       any bytes reach the file)" );
+    ( "journal.fsync",
+      "fsyncing a journal record batch (bytes written, not yet \
+       durable; a failure rolls the batch back)" );
+    ("job.step", "each execution attempt of an async job's work step");
   ]
 
 let known name = List.mem_assoc name registry

@@ -1,0 +1,78 @@
+(* Bounded retry with jittered exponential backoff.
+
+   One policy type serves both consumers: the CLI's built-in HTTP
+   client (retrying 429/503 answers, honoring the server's Retry-After)
+   and async job-step re-execution after injected faults. The delay
+   schedule is a pure function of (policy, attempt, jitter draw), so
+   tests pin [rand] and [sleep] and assert the exact schedule; the
+   retry budget caps cumulative sleep, not attempts — a server asking
+   for hour-long Retry-After waits exhausts the budget immediately
+   rather than stalling the caller. *)
+
+module E = Vadasa_base.Error
+
+type policy = {
+  max_attempts : int;  (* total attempts, including the first *)
+  base_delay : float;  (* seconds before the first retry *)
+  max_delay : float;  (* per-wait ceiling, Retry-After included *)
+  multiplier : float;
+  jitter : float;  (* +/- fraction of the computed delay, in [0,1] *)
+  budget : float;  (* max cumulative sleep across all retries *)
+}
+
+let default_policy =
+  {
+    max_attempts = 4;
+    base_delay = 0.2;
+    max_delay = 5.0;
+    multiplier = 2.0;
+    jitter = 0.25;
+    budget = 30.0;
+  }
+
+(* The wait before retry number [attempt] (1-based: [attempt = 1] is
+   the first retry). [retry_after] — the server-directed floor, when
+   present — overrides the exponential schedule but still respects
+   [max_delay]. [u] in [0, 1) supplies the jitter draw. *)
+let delay policy ~attempt ~retry_after ~u =
+  let backoff =
+    policy.base_delay *. (policy.multiplier ** float_of_int (attempt - 1))
+  in
+  let jittered =
+    backoff *. (1.0 +. (policy.jitter *. ((2.0 *. u) -. 1.0)))
+  in
+  let d = match retry_after with Some ra -> ra | None -> jittered in
+  Float.max 0.0 (Float.min policy.max_delay d)
+
+let exhausted ~attempts ~reason last =
+  match last with
+  | E.Error e ->
+    E.Error
+      (E.add_context e
+         [
+           ("retry_attempts", string_of_int attempts);
+           ("retry_exhausted", reason);
+         ])
+  | e -> e
+
+let run ?(policy = default_policy) ?(sleep = Unix.sleepf)
+    ?(rand = fun () -> Random.float 1.0) ~should_retry f =
+  let rec go attempt slept =
+    match f () with
+    | v -> v
+    | exception e -> (
+      if attempt >= policy.max_attempts then
+        raise (exhausted ~attempts:attempt ~reason:"max_attempts" e)
+      else
+        match should_retry ~attempt e with
+        | None -> raise e
+        | Some retry_after ->
+          let d = delay policy ~attempt ~retry_after ~u:(rand ()) in
+          if slept +. d > policy.budget then
+            raise (exhausted ~attempts:attempt ~reason:"budget" e)
+          else begin
+            if d > 0.0 then sleep d;
+            go (attempt + 1) (slept +. d)
+          end)
+  in
+  go 1 0.0

@@ -1,0 +1,43 @@
+(** Bounded retry with jittered exponential backoff and a retry
+    budget.
+
+    Used by the CLI's built-in HTTP client (429/503 answers carrying
+    [Retry-After]) and by async job-step re-execution after injected
+    faults. The schedule is deterministic given the [rand] draw, so
+    tests inject [rand]/[sleep] and assert exact delays. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first *)
+  base_delay : float;  (** seconds before the first retry *)
+  max_delay : float;  (** per-wait ceiling, [Retry-After] included *)
+  multiplier : float;  (** exponential growth per retry *)
+  jitter : float;  (** +/- fraction of the computed delay, in [0,1] *)
+  budget : float;  (** max cumulative sleep across all retries *)
+}
+
+val default_policy : policy
+(** 4 attempts, 0.2s base, x2, 25% jitter, 5s per-wait cap, 30s
+    budget. *)
+
+val delay :
+  policy -> attempt:int -> retry_after:float option -> u:float -> float
+(** The wait before retry [attempt] (1-based). [retry_after] (the
+    server-directed delay, when present) replaces the exponential
+    schedule but still respects [max_delay]; [u] in [0,1) is the
+    jitter draw. Pure. *)
+
+val run :
+  ?policy:policy ->
+  ?sleep:(float -> unit) ->
+  ?rand:(unit -> float) ->
+  should_retry:(attempt:int -> exn -> float option option) ->
+  (unit -> 'a) ->
+  'a
+(** [run ~should_retry f] calls [f] until it returns, retrying when it
+    raises. [should_retry ~attempt e] classifies the failure: [None]
+    re-raises immediately (not retryable); [Some retry_after] retries
+    after {!delay}, where [retry_after] is the server-directed wait if
+    one was advertised. When attempts or the sleep budget run out, the
+    last error is re-raised — typed errors gain [retry_attempts] and
+    [retry_exhausted] context so the CLI's [error[...]] line names
+    what was tried. *)

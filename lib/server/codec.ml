@@ -206,6 +206,32 @@ let options_of_json json =
       audit;
     }
 
+(* The exact inverse of [options_of_json] (same field names), so the
+   registry journal can record a request's options and replay rebuilds
+   identical state. Optional fields are omitted when unset. *)
+let options_to_json (o : options) =
+  Json.Obj
+    ([
+       ("name", Json.Str o.name);
+       ("measure", Json.Str o.measure);
+       ("k", Json.Int o.k);
+       ("threshold", Json.Float o.threshold);
+       ("msu_threshold", Json.Int o.msu_threshold);
+       ( "categories",
+         Json.Obj (List.map (fun (a, c) -> (a, Json.Str c)) o.categories) );
+       ("reasoned", Json.Bool o.reasoned);
+       ("method", Json.Str o.method_);
+       ("semantics", Json.Str o.semantics);
+       ("audit", Json.Bool o.audit);
+     ]
+    @ (match o.budget_ms with
+      | None -> []
+      | Some ms -> [ ("budget_ms", Json.Int ms) ])
+    @
+    match o.max_facts with
+    | None -> []
+    | Some n -> [ ("max_facts", Json.Int n) ])
+
 let content_type (req : Http.request) =
   match Http.header req "content-type" with
   | None -> ""
@@ -401,18 +427,32 @@ let error_of_exn = function
   | Failure msg -> E.make ~code:"internal.failure" E.Internal msg
   | exn -> E.make ~code:"internal.exception" E.Internal (Printexc.to_string exn)
 
-(* Registry errors want resource-shaped statuses the category lattice
-   can't express: an unknown dataset is 404, a clashing registration is
-   409. Keyed on the stable error code so only these two escape the
-   category mapping. *)
+(* Registry and jobs errors want statuses the category lattice can't
+   express: an unknown dataset or job is 404, a clashing registration
+   is 409, a tenant over its quota or rate limit is 429. Keyed on the
+   stable error code so only these escape the category mapping. *)
 let status_of_error (e : E.t) =
   match e.E.code with
-  | "dataset.not_found" -> 404
+  | "dataset.not_found" | "job.not_found" -> 404
   | "dataset.conflict" -> 409
+  | "tenant.quota_exceeded" | "tenant.rate_limited" -> 429
   | _ -> status_of_category e.E.category
 
+(* Errors that carry a [retry_after_s] context pair (quota, rate-limit
+   and queue-full rejections) surface it as a real Retry-After header,
+   the same convention the circuit breaker uses — retrying clients
+   need only one code path. *)
 let response_of_error (e : E.t) =
-  Http.response ~status:(status_of_error e)
+  let headers =
+    match List.assoc_opt "retry_after_s" e.E.context with
+    | Some s -> (
+      match float_of_string_opt s with
+      | Some f ->
+        [ ("Retry-After", string_of_int (max 1 (int_of_float (Float.ceil f)))) ]
+      | None -> [])
+    | None -> []
+  in
+  Http.response ~headers ~status:(status_of_error e)
     (Json.to_string (Json.Obj [ ("error", E.to_json e) ]) ^ "\n")
 
 (* ---- canonical renderings ------------------------------------------------ *)

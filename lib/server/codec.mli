@@ -31,6 +31,16 @@ type options = {
 
 val default_options : options
 
+val options_to_json : options -> Vadasa_base.Json.t
+(** The exact inverse of the JSON-body options decoding (same field
+    names): what the registry journal records so replay rebuilds
+    identical state, and what job submissions echo back. *)
+
+val options_of_json :
+  Vadasa_base.Json.t -> (options, Vadasa_base.Error.t) result
+(** Decode options from a JSON object (the [application/json] body
+    fields; unknown fields ignored, missing fields defaulted). *)
+
 type payload = { csv : string; options : options }
 
 val parse_payload : Http.request -> (payload, Vadasa_base.Error.t) result
@@ -90,9 +100,10 @@ val status_of_category : Vadasa_base.Error.category -> int
     Internal → 500. *)
 
 val status_of_error : Vadasa_base.Error.t -> int
-(** {!status_of_category} of the error's category, except the registry's
-    resource-shaped codes: [dataset.not_found] → 404,
-    [dataset.conflict] → 409. *)
+(** {!status_of_category} of the error's category, except the registry
+    and jobs codes the lattice can't express: [dataset.not_found] /
+    [job.not_found] → 404, [dataset.conflict] → 409,
+    [tenant.quota_exceeded] / [tenant.rate_limited] → 429. *)
 
 val error_of_exn : exn -> Vadasa_base.Error.t
 (** Total mapping of escaped exceptions to the taxonomy:
@@ -104,7 +115,10 @@ val error_of_exn : exn -> Vadasa_base.Error.t
 
 val response_of_error : Vadasa_base.Error.t -> Http.response
 (** [{"error": {"code", "category", "message", "context"}}] with the
-    status from {!status_of_category}. *)
+    status from {!status_of_error}. An error carrying a
+    [retry_after_s] context pair (quota / rate-limit / queue-full
+    rejections) additionally gets a real [Retry-After] header — the
+    same convention as the circuit breaker's 503. *)
 
 val risk_report_json :
   threshold:float ->

@@ -39,6 +39,8 @@ type t = {
   programs : (string, compiled) Cache.t;
   datasets : (string, S.Microdata.t) Cache.t;
   registry : Registry.t;  (* persistent datasets behind /v1/datasets *)
+  jobs : Jobs.t;  (* async anonymize/risk jobs behind /v1/jobs *)
+  persist : Persist.t option;  (* crash-safety store ([serve --data-dir]) *)
   breaker : Breaker.t;
   default_max_facts : int option;  (* server-wide derived-fact ceiling *)
   engine_pool : Vadasa_base.Task_pool.t option;
@@ -54,13 +56,31 @@ type t = {
 
 let create ?(program_capacity = 64) ?(dataset_capacity = 16)
     ?(registry_capacity = 16) ?dataset_audit ?breaker_threshold
-    ?breaker_cooldown ?default_max_facts ?engine_pool () =
+    ?breaker_cooldown ?default_max_facts ?engine_pool ?persist ?job_domains
+    ?job_queue ?tenant_quota ?tenant_rate ?tenant_burst () =
+  let registry =
+    Registry.create ~capacity:registry_capacity ?audit:dataset_audit
+      ?pool:engine_pool ?persist ()
+  in
+  let jobs =
+    Jobs.create ?domains:job_domains ?queue:job_queue ?quota:tenant_quota
+      ?rate:tenant_rate ?burst:tenant_burst ?persist registry
+  in
+  Jobs.register jobs;
+  (* Both durable subsystems are registered; rebuild their state from
+     the snapshot + journal tail, then settle what the crash left open
+     (queued jobs re-run, mid-flight jobs fault as orphaned). *)
+  (match persist with
+  | None -> ()
+  | Some p ->
+    Persist.recover p;
+    Jobs.resume jobs);
   {
     programs = Cache.create ~capacity:program_capacity "programs";
     datasets = Cache.create ~capacity:dataset_capacity "datasets";
-    registry =
-      Registry.create ~capacity:registry_capacity ?audit:dataset_audit
-        ?pool:engine_pool ();
+    registry;
+    jobs;
+    persist;
     breaker =
       Breaker.create ?threshold:breaker_threshold ?cooldown:breaker_cooldown ();
     default_max_facts;
@@ -69,6 +89,13 @@ let create ?(program_capacity = 64) ?(dataset_capacity = 16)
     counters = Hashtbl.create 16;
     counters_mutex = Mutex.create ();
   }
+
+(* Stop the job workers and close the persistence store (final snapshot
+   + journal shutdown). The server's own accept/worker machinery has
+   its own [Server.shutdown]; this covers what the handlers own. *)
+let shutdown t =
+  Jobs.stop t.jobs;
+  match t.persist with None -> () | Some p -> Persist.close p
 
 let count t ~route (resp : Http.response) =
   let key = Printf.sprintf "%s %d" route resp.Http.status in
@@ -88,6 +115,10 @@ let programs t = t.programs
 let datasets t = t.datasets
 
 let registry t = t.registry
+
+let jobs t = t.jobs
+
+let persist t = t.persist
 
 let breaker t = t.breaker
 
@@ -487,6 +518,82 @@ let dataset_risk t req =
          other)
       ~context:[ ("parameter", "mode") ]
 
+(* ---- async jobs endpoints ------------------------------------------------ *)
+
+(* The tenant of a jobs request: [X-Vadasa-Tenant] header, then
+   [?tenant=], then "default". Validated (charset/length) in
+   [Jobs.submit]; never a metric label. *)
+let tenant_of req =
+  match Http.header req "x-vadasa-tenant" with
+  | Some tenant -> tenant
+  | None -> (
+    match Http.query_param req "tenant" with
+    | Some tenant -> tenant
+    | None -> "default")
+
+(* POST /v1/jobs — submit an async job over a registered dataset:
+   [{"dataset": "...", "op": "risk"|"anonymize", ...options}]. Admitted
+   jobs answer 202 with the job object; quota/rate rejections are typed
+   429s carrying Retry-After. *)
+let job_submit t req =
+  if String.trim req.Http.body = "" then
+    E.fail ~code:"request.empty_body" E.Parse
+      "empty request body (expected a JSON job submission)";
+  let json =
+    match Json.of_string req.Http.body with
+    | Ok json -> json
+    | Error msg ->
+      E.fail ~code:"json.invalid" E.Parse ("request body: " ^ msg)
+  in
+  let field name =
+    match Option.bind (Json.member name json) Json.to_string_opt with
+    | Some v -> v
+    | None ->
+      E.fail ~code:"request.bad_field" E.Parse
+        (Printf.sprintf "missing required string field %s" name)
+        ~context:[ ("field", name) ]
+  in
+  let dataset = field "dataset" in
+  let op = field "op" in
+  let options = ok_or_raise (Codec.options_of_json json) in
+  let job =
+    Jobs.submit t.jobs ~tenant:(tenant_of req) ~dataset ~op ~options
+  in
+  Http.response ~status:202
+    (Json.to_string ~indent:true (Jobs.job_json job) ^ "\n")
+
+(* The [{id}] segment of a matched jobs route. *)
+let job_id_of ~pattern (req : Http.request) =
+  match Router.path_param ~pattern req.Http.path "id" with
+  | Some id -> id
+  | None ->
+    E.fail ~code:"job.not_found" E.Wardedness
+      ("cannot extract a job id from " ^ req.Http.path)
+
+(* GET /v1/jobs — every known job, submission order. *)
+let job_list t _req =
+  let jobs = Jobs.list t.jobs in
+  Http.response ~status:200
+    (Json.to_string ~indent:true
+       (Json.Obj
+          [
+            ("count", Json.Int (List.length jobs));
+            ("jobs", Json.List (List.map Jobs.job_json jobs));
+          ])
+    ^ "\n")
+
+(* GET /v1/jobs/{id} — status; terminal jobs carry their result/error. *)
+let job_get t req =
+  let id = job_id_of ~pattern:"/v1/jobs/{id}" req in
+  Http.response ~status:200
+    (Json.to_string ~indent:true (Jobs.job_json (Jobs.get t.jobs id)) ^ "\n")
+
+(* DELETE /v1/jobs/{id} — cooperative cancel (see Jobs.cancel). *)
+let job_cancel t req =
+  let id = job_id_of ~pattern:"/v1/jobs/{id}" req in
+  Http.response ~status:200
+    (Json.to_string ~indent:true (Jobs.job_json (Jobs.cancel t.jobs id)) ^ "\n")
+
 (* The labeled series living outside the telemetry registry: request
    counters, cache statistics, breaker states, uptime. The registry
    itself (engine/pool/latency instruments, merged across worker-domain
@@ -586,6 +693,77 @@ let prometheus_body ?(extra_prom = fun () -> "") t =
     ~help:"Datasets evicted by the registry's LRU bound" ~typ:"counter";
   Prom.sample_int buf ~name:"vadasa_datasets_evictions_total"
     totals.Registry.evictions;
+  (* Jobs series are aggregates only, like the dataset series — never
+     labeled per job id or tenant (both are client-chosen). *)
+  let jc = Jobs.counters t.jobs in
+  let jobs_counter name help value =
+    Prom.family buf ~name ~help ~typ:"counter";
+    Prom.sample_int buf ~name value
+  in
+  jobs_counter "vadasa_jobs_submitted_total" "Jobs admitted and journaled"
+    jc.Jobs.submitted;
+  jobs_counter "vadasa_jobs_completed_total" "Jobs finished successfully"
+    jc.Jobs.completed;
+  jobs_counter "vadasa_jobs_failed_total"
+    "Jobs that exhausted their retries or hit a non-retryable error"
+    jc.Jobs.failed;
+  jobs_counter "vadasa_jobs_cancelled_total" "Jobs cancelled by DELETE"
+    jc.Jobs.cancelled;
+  jobs_counter "vadasa_jobs_orphaned_total"
+    "Jobs found mid-flight during crash recovery (faulted, not re-run)"
+    jc.Jobs.orphaned;
+  jobs_counter "vadasa_jobs_replayed_total"
+    "Queued jobs re-run after crash recovery" jc.Jobs.replayed;
+  Prom.family buf ~name:"vadasa_jobs_rejected_total"
+    ~help:"Submissions rejected before admission, by gate" ~typ:"counter";
+  Prom.sample_int buf ~name:"vadasa_jobs_rejected_total"
+    ~labels:[ ("gate", "quota") ]
+    jc.Jobs.rejected_quota;
+  Prom.sample_int buf ~name:"vadasa_jobs_rejected_total"
+    ~labels:[ ("gate", "rate") ]
+    jc.Jobs.rejected_rate;
+  Prom.sample_int buf ~name:"vadasa_jobs_rejected_total"
+    ~labels:[ ("gate", "queue") ]
+    jc.Jobs.rejected_queue;
+  Prom.family buf ~name:"vadasa_jobs_queued" ~help:"Jobs awaiting a worker"
+    ~typ:"gauge";
+  Prom.sample_int buf ~name:"vadasa_jobs_queued" jc.Jobs.queued;
+  Prom.family buf ~name:"vadasa_jobs_running"
+    ~help:"Jobs currently executing" ~typ:"gauge";
+  Prom.sample_int buf ~name:"vadasa_jobs_running" jc.Jobs.running;
+  (match t.persist with
+  | None -> ()
+  | Some p ->
+    let c = Journal.counters (Persist.journal p) in
+    let recovery = Persist.recovery p in
+    let journal_counter name help value =
+      Prom.family buf ~name ~help ~typ:"counter";
+      Prom.sample_int buf ~name value
+    in
+    journal_counter "vadasa_journal_appends_total"
+      "Records durably appended to the journal" c.Journal.appends;
+    journal_counter "vadasa_journal_bytes_total"
+      "Framed bytes written to the journal" c.Journal.bytes;
+    journal_counter "vadasa_journal_fsyncs_total"
+      "Journal fsync calls (one per group-committed batch)"
+      c.Journal.fsyncs;
+    journal_counter "vadasa_journal_batches_total"
+      "Group-committed journal batches" c.Journal.batches;
+    journal_counter "vadasa_journal_errors_total"
+      "Journal batches that failed and were rolled back" c.Journal.errors;
+    journal_counter "vadasa_journal_snapshots_total"
+      "Snapshots written (journal truncations)" recovery.Persist.snapshots;
+    journal_counter "vadasa_journal_replayed_records_total"
+      "Journal records re-applied during boot recovery"
+      recovery.Persist.replayed;
+    journal_counter "vadasa_journal_skipped_records_total"
+      "Journal records skipped during boot recovery (stale or undecodable)"
+      recovery.Persist.skipped;
+    Prom.family buf ~name:"vadasa_journal_truncated_bytes"
+      ~help:"Torn-tail bytes discarded by the boot-time CRC scan"
+      ~typ:"gauge";
+    Prom.sample_int buf ~name:"vadasa_journal_truncated_bytes"
+      recovery.Persist.truncated);
   Buffer.add_string buf (extra_prom ());
   Buffer.contents buf
 
@@ -608,6 +786,7 @@ let metrics ?(extra = fun () -> []) ?extra_prom t req =
                  ("datasets", Cache.stats t.datasets);
                ] );
            ("registry", Registry.stats t.registry);
+           ("jobs", Jobs.stats t.jobs);
            ("requests", requests);
            ("breaker", Breaker.stats t.breaker);
            ( "faults_armed",
@@ -616,6 +795,9 @@ let metrics ?(extra = fun () -> []) ?extra_prom t req =
                   (fun (name, action) -> Json.Str (name ^ ":" ^ action))
                   (Faultpoint.armed ())) );
          ]
+        @ (match t.persist with
+          | None -> []
+          | Some p -> [ ("persist", Persist.stats p) ])
         @ extra ())
     in
     Http.response ~status:200 (Json.to_string ~indent:true body ^ "\n")
@@ -688,4 +870,8 @@ let router ?extra_metrics ?extra_prom t =
       route Http.DELETE "/v1/datasets/{id}" (dataset_delete t);
       route Http.POST "/v1/datasets/{id}/facts" (dataset_append t);
       route Http.GET "/v1/datasets/{id}/risk" (dataset_risk t);
+      route Http.POST "/v1/jobs" (job_submit t);
+      route Http.GET "/v1/jobs" (job_list t);
+      route Http.GET "/v1/jobs/{id}" (job_get t);
+      route Http.DELETE "/v1/jobs/{id}" (job_cancel t);
     ]

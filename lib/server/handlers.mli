@@ -41,6 +41,19 @@
       (invalidated on every append), [?threshold=] overrides.
     - [DELETE /v1/datasets/{id}] — unregister.
 
+    The jobs API ({!Jobs}, docs/JOBS.md) runs anonymize/risk work
+    asynchronously over registered datasets:
+
+    - [POST /v1/jobs] — submit [{"dataset", "op", ...options}] (202).
+      Per-tenant token-bucket rate limits and active-job quotas answer
+      typed 429s ([tenant.rate_limited] / [tenant.quota_exceeded]) with
+      a [Retry-After] header; a full worker queue answers 503
+      [jobs.queue_full]. The tenant comes from the [X-Vadasa-Tenant]
+      header (or [?tenant=], default ["default"]).
+    - [GET /v1/jobs] / [GET /v1/jobs/{id}] — status; terminal jobs
+      carry their result body or [{code; message}] error.
+    - [DELETE /v1/jobs/{id}] — cooperative cancel ([job.cancelled]).
+
     Every failure renders through {!Codec.response_of_error}: the body
     carries a stable [error.code] and the status follows the error's
     category. Each endpoint sits behind a per-endpoint circuit breaker
@@ -72,6 +85,12 @@ val create :
   ?breaker_cooldown:float ->
   ?default_max_facts:int ->
   ?engine_pool:Vadasa_base.Task_pool.t ->
+  ?persist:Persist.t ->
+  ?job_domains:int ->
+  ?job_queue:int ->
+  ?tenant_quota:int ->
+  ?tenant_rate:float ->
+  ?tenant_burst:float ->
   unit ->
   t
 (** Breaker defaults as {!Breaker.create}: 5 consecutive failures to
@@ -85,13 +104,34 @@ val create :
     drains). [registry_capacity] bounds the dataset registry (default
     16, LRU eviction); [dataset_audit] receives the registry's JSONL
     decision trail ([serve --dataset-audit], one line per
-    register/append/delete). *)
+    register/append/delete).
+
+    [persist] ([serve --data-dir]) makes the registry and the jobs
+    table crash-safe: both register their snapshot sections and replay
+    appliers, then [create] runs {!Persist.recover} and {!Jobs.resume}
+    — a freshly created handler set already holds every committed
+    dataset and job. Call {!shutdown} when done with it.
+
+    [job_domains]/[job_queue] size the async job worker pool (defaults
+    2/64; created lazily on first submission);
+    [tenant_quota]/[tenant_rate]/[tenant_burst] parameterize per-tenant
+    admission (defaults 16 active jobs, 50 submissions/s, burst 100). *)
+
+val shutdown : t -> unit
+(** Stop the job workers (draining queued jobs) and close the
+    persistence store (final snapshot + journal shutdown). Idempotent.
+    The HTTP accept loop has its own [Server.shutdown]; call that
+    first so no request races the closing journal. *)
 
 val programs : t -> (string, compiled) Cache.t
 
 val datasets : t -> (string, Vadasa_sdc.Microdata.t) Cache.t
 
 val registry : t -> Registry.t
+
+val jobs : t -> Jobs.t
+
+val persist : t -> Persist.t option
 
 val breaker : t -> Breaker.t
 

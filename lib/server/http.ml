@@ -280,13 +280,16 @@ type response = {
 
 let reason_phrase = function
   | 200 -> "OK"
+  | 202 -> "Accepted"
   | 204 -> "No Content"
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
   | 408 -> "Request Timeout"
+  | 409 -> "Conflict"
   | 413 -> "Payload Too Large"
   | 422 -> "Unprocessable Entity"
+  | 429 -> "Too Many Requests"
   | 500 -> "Internal Server Error"
   | 501 -> "Not Implemented"
   | 503 -> "Service Unavailable"

@@ -63,9 +63,13 @@ type t = {
   mutable lifetime_rebuilds : int;
   audit : (string -> unit) option;
   pool : Vadasa_base.Task_pool.t option;
+  persist : Persist.t option;  (* journal+snapshot store; None = in-memory *)
 }
 
-let create ?(capacity = 16) ?audit ?pool () =
+(* [create] (at the bottom of the file) also registers the registry
+   with the persistence layer; this raw constructor is everything
+   else. *)
+let make ?(capacity = 16) ?audit ?pool ?persist () =
   if capacity < 1 then invalid_arg "Registry.create: capacity must be >= 1";
   {
     capacity;
@@ -77,7 +81,19 @@ let create ?(capacity = 16) ?audit ?pool () =
     lifetime_rebuilds = 0;
     audit;
     pool;
+    persist;
   }
+
+(* Run [f commit_now] under the persistence layer's shared commit lock
+   (a no-op without [--data-dir] and during replay): [commit_now]
+   durably journals [record] — called by [f] after all validation, at
+   the moment the mutation becomes inevitable, so a journal failure
+   aborts with nothing applied and an acknowledged mutation is always
+   recoverable. *)
+let with_commit t ~record f =
+  match t.persist with
+  | None -> f (fun () -> ())
+  | Some p -> Persist.commit p ~record f
 
 let with_lock mu f =
   Mutex.lock mu;
@@ -231,11 +247,24 @@ let put t ~id ~digest ~bytes ~(options : Codec.options) ~measure ~compiled
         last_used = 0;
       }
     in
+    let record =
+      Json.Obj
+        [
+          ("kind", Json.Str "dataset.put");
+          ("id", Json.Str id);
+          ("digest", Json.Str digest);
+          ("bytes", Json.Int bytes);
+          ("csv", Json.Str (R.Csv.write_string (S.Microdata.relation md)));
+          ("options", Codec.options_to_json options);
+        ]
+    in
     let outcome =
+      with_commit t ~record @@ fun commit_now ->
       with_lock t.mu (fun () ->
           match Hashtbl.find_opt t.table id with
           | Some winner ->
-            (* another domain registered the id while we built *)
+            (* another domain registered the id while we built; their
+               commit already journaled the dataset *)
             touch t winner;
             if String.equal winner.digest digest && winner.appends = 0 then
               { entry = winner; created = false }
@@ -246,6 +275,10 @@ let put t ~id ~digest ~bytes ~(options : Codec.options) ~measure ~compiled
                       "already registered with different content (DELETE it \
                        first)"))
           | None ->
+            (* Durable before visible: the journal write happens at the
+               last instant before publication, so a journal failure
+               leaves no entry and a published entry is recoverable. *)
+            commit_now ();
             if Hashtbl.length t.table >= t.capacity then evict_lru t;
             Hashtbl.replace t.table id entry;
             touch t entry;
@@ -277,9 +310,14 @@ let get t id =
   | None -> raise (E.Error (not_found id))
 
 let delete t id =
+  let record =
+    Json.Obj [ ("kind", Json.Str "dataset.delete"); ("id", Json.Str id) ]
+  in
   let deleted =
+    with_commit t ~record @@ fun commit_now ->
     with_lock t.mu (fun () ->
         if Hashtbl.mem t.table id then (
+          commit_now ();
           Hashtbl.remove t.table id;
           true)
         else false)
@@ -326,12 +364,28 @@ let parse_delta (entry : entry) csv =
 
 let append t (entry : entry) ~csv =
   Telemetry.span "registry.append" @@ fun () ->
+  (* Validate outside any lock (pure), mutate inside the entry lock:
+     concurrent appends to different entries never serialize on each
+     other, and a validation failure leaves no state to unwind. *)
   let delta = parse_delta entry csv in
+  let record =
+    Json.Obj
+      [
+        ("kind", Json.Str "dataset.append");
+        ("id", Json.Str entry.id);
+        ("csv", Json.Str csv);
+      ]
+  in
+  with_commit t ~record @@ fun commit_now ->
   with_lock entry.mu @@ fun () ->
   (* Mid-append failure injection: after validation, before any entry
      state changes — an injected fault leaves the registry at the last
      consistent fixpoint (asserted by the resilience tests). *)
   Faultpoint.hit "dataset.append";
+  (* Durable before applied: journal failure aborts here, with the
+     entry untouched; journal success means this delta replays even if
+     the process dies before the next line executes. *)
+  commit_now ();
   let rel = S.Microdata.relation entry.md in
   let lo = R.Relation.cardinal rel in
   R.Relation.iter (fun tuple -> R.Relation.add rel tuple) delta;
@@ -498,3 +552,180 @@ let stats t =
       ("chase_rebuilds", Json.Int totals.rebuilds);
       ("evictions", Json.Int totals.evictions);
     ]
+
+(* ---- persistence: snapshot dump/restore + journal replay ----------------- *)
+
+let bad_record detail =
+  E.Error (E.make ~code:"persist.bad_record" E.Io ("journal record: " ^ detail))
+
+let record_string json key =
+  match Option.bind (Json.member key json) Json.to_string_opt with
+  | Some s -> s
+  | None -> raise (bad_record ("missing string field " ^ key))
+
+let record_int json key =
+  match Option.bind (Json.member key json) Json.to_int_opt with
+  | Some n -> n
+  | None -> raise (bad_record ("missing int field " ^ key))
+
+(* Recompile a measure's chase program the same way the server's PUT
+   handler does (minus its cache): measures the bridge can't express
+   stay native-only, exactly as they did before the crash. *)
+let compile_measure measure =
+  match S.Vadalog_bridge.program_of_measure measure with
+  | source -> (
+    match
+      let program = V.Parser.parse source in
+      (program, V.Stratify.compute program)
+    with
+    | program, strat -> Some (program, strat)
+    | exception _ -> None)
+  | exception S.Vadalog_bridge.Unsupported _ -> None
+
+(* Decode the pieces a [dataset.put] needs — shared by snapshot restore
+   and journal replay. The stored CSV is the canonical union document,
+   so the rebuilt scorer and chase are fixpoints over exactly the rows
+   the crashed process held (reports are byte-identical because
+   incremental state always equals from-scratch state over the union). *)
+let decode_dataset_state json =
+  let options =
+    match Json.member "options" json with
+    | Some options_json -> (
+      match Codec.options_of_json options_json with
+      | Ok options -> options
+      | Error e -> raise (E.Error e))
+    | None -> raise (bad_record "missing options")
+  in
+  let measure =
+    match Codec.measure_of_options options with
+    | Ok m -> m
+    | Error e -> raise (E.Error e)
+  in
+  let csv = record_string json "csv" in
+  let md =
+    match Codec.microdata_of_payload { Codec.csv; options } with
+    | Ok md -> md
+    | Error e -> raise (E.Error e)
+  in
+  (options, measure, md)
+
+let dump t =
+  let entries =
+    with_lock t.mu (fun () ->
+        Hashtbl.fold (fun _ e acc -> e :: acc) t.table [])
+    (* oldest-used first, so restore re-creates the same LRU order *)
+    |> List.sort (fun (a : entry) b -> compare a.last_used b.last_used)
+  in
+  let entry_dump (e : entry) =
+    with_lock e.mu (fun () ->
+        Json.Obj
+          [
+            ("id", Json.Str e.id);
+            ("digest", Json.Str e.digest);
+            ("bytes", Json.Int e.bytes);
+            ("appends", Json.Int e.appends);
+            ("chase_incremental", Json.Int e.chase_incremental);
+            ("chase_rebuilds", Json.Int e.chase_rebuilds);
+            ("created_at", Json.Float e.created_at);
+            ("updated_at", Json.Float e.updated_at);
+            ("csv", Json.Str (R.Csv.write_string (S.Microdata.relation e.md)));
+            ("options", Codec.options_to_json e.options);
+          ])
+  in
+  let entries_json = List.map entry_dump entries in
+  with_lock t.mu (fun () ->
+      Json.Obj
+        [
+          ("lifetime_appends", Json.Int t.lifetime_appends);
+          ("lifetime_rebuilds", Json.Int t.lifetime_rebuilds);
+          ("evictions", Json.Int t.evictions);
+          ("entries", Json.List entries_json);
+        ])
+
+let restore_entry t json =
+  let id = record_string json "id" in
+  let options, measure, md = decode_dataset_state json in
+  let semantics =
+    Option.value
+      (R.Null_semantics.of_string options.Codec.semantics)
+      ~default:R.Null_semantics.Maybe_match
+  in
+  let scorer = S.Risk.Incremental.create ~semantics measure md in
+  let chase =
+    match compile_measure measure with
+    | None -> None
+    | Some (program, strat) -> Some (materialize_chase t ~program ~strat md)
+  in
+  let entry =
+    {
+      id;
+      digest = record_string json "digest";
+      options;
+      measure;
+      semantics;
+      md;
+      scorer;
+      chase;
+      bytes = record_int json "bytes";
+      appends = record_int json "appends";
+      chase_incremental = record_int json "chase_incremental";
+      chase_rebuilds = record_int json "chase_rebuilds";
+      created_at =
+        (match Option.bind (Json.member "created_at" json) Json.to_float_opt with
+        | Some f -> f
+        | None -> Unix.gettimeofday ());
+      updated_at =
+        (match Option.bind (Json.member "updated_at" json) Json.to_float_opt with
+        | Some f -> f
+        | None -> Unix.gettimeofday ());
+      mu = Mutex.create ();
+      last_used = 0;
+    }
+  in
+  with_lock t.mu (fun () ->
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      Hashtbl.replace t.table id entry;
+      touch t entry)
+
+let restore t json =
+  (match Option.bind (Json.member "lifetime_appends" json) Json.to_int_opt with
+  | Some n -> t.lifetime_appends <- n
+  | None -> ());
+  (match Option.bind (Json.member "lifetime_rebuilds" json) Json.to_int_opt with
+  | Some n -> t.lifetime_rebuilds <- n
+  | None -> ());
+  (match Option.bind (Json.member "evictions" json) Json.to_int_opt with
+  | Some n -> t.evictions <- n
+  | None -> ());
+  match Option.bind (Json.member "entries" json) Json.to_list_opt with
+  | None -> ()
+  | Some entries -> List.iter (restore_entry t) entries
+
+(* Re-apply one journal record by re-running the public mutation it
+   recorded; [Persist.replaying] makes the nested commit a no-op, so
+   replay exercises exactly the code path the original request did. *)
+let apply t json =
+  match record_string json "kind" with
+  | "dataset.put" ->
+    let id = record_string json "id" in
+    let options, measure, md = decode_dataset_state json in
+    let compiled = compile_measure measure in
+    ignore
+      (put t ~id
+         ~digest:(record_string json "digest")
+         ~bytes:(record_int json "bytes") ~options ~measure ~compiled md)
+  | "dataset.append" ->
+    let entry = get t (record_string json "id") in
+    ignore (append t entry ~csv:(record_string json "csv"))
+  | "dataset.delete" -> ignore (delete t (record_string json "id"))
+  | kind -> raise (bad_record ("unknown kind " ^ kind))
+
+let create ?capacity ?audit ?pool ?persist () =
+  let t = make ?capacity ?audit ?pool ?persist () in
+  (match persist with
+  | None -> ()
+  | Some p ->
+    Persist.register p ~section:"datasets" ~prefix:"dataset." ~dump:(fun () ->
+        dump t)
+      ~restore:(restore t) ~apply:(apply t));
+  t

@@ -35,13 +35,22 @@ val create :
   ?capacity:int ->
   ?audit:(string -> unit) ->
   ?pool:Vadasa_base.Task_pool.t ->
+  ?persist:Persist.t ->
   unit ->
   t
 (** [capacity] (default 16) bounds registered datasets, LRU-evicted.
     [audit] receives one compact JSONL line per register / append /
     delete (the registry's decision trail — same conventions as the
     anonymization cycle's audit events). [pool] is shared with the
-    entries' chase engines. *)
+    entries' chase engines.
+
+    [persist] makes the registry crash-safe: every successful put /
+    append / delete is journaled {e before} it becomes visible (the
+    record is durable by the time the HTTP response acks it), and the
+    registry registers itself as the ["datasets"] snapshot section /
+    ["dataset.*"] replay applier, so {!Persist.recover} rebuilds every
+    committed dataset — reports byte-identical to the pre-crash state.
+    Without it (the default) the registry is memory-only, as before. *)
 
 type put_outcome = { entry : entry; created : bool }
 

@@ -1,0 +1,924 @@
+(* Tests for the durability layer behind [serve --data-dir] and the
+   async jobs API: the CRC-framed journal (group commit, torn-tail
+   tolerance, fault rollback), the write-ahead persist store (snapshot
+   + replay, commits aborted by journal faults leave no state), the
+   crash-safe dataset registry (recovered risk reports byte-identical,
+   4-domain concurrent appends lose nothing), the /v1/jobs surface
+   (admission gates, retry, cancel, restart resume) and the retry
+   policy's exact schedule. *)
+
+module Srv = Vadasa_server
+module Journal = Srv.Journal
+module Persist = Srv.Persist
+module Registry = Srv.Registry
+module Jobs = Srv.Jobs
+module Codec = Srv.Codec
+module E = Vadasa_base.Error
+module Json = Vadasa_base.Json
+module F = Vadasa_resilience.Faultpoint
+module Retry = Vadasa_resilience.Retry
+module R = Vadasa_relational
+module S = Vadasa_sdc
+module D = Vadasa_datagen
+
+(* --- fixtures and small helpers ------------------------------------------- *)
+
+let tmp_dir () =
+  let base = Filename.temp_file "vadasa-durability" "" in
+  Sys.remove base;
+  Unix.mkdir base 0o700;
+  base
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let figure6_csv =
+  lazy
+    (R.Csv.write_string (S.Microdata.relation (D.Suite.load ~scale:0.05 "R6A4U")))
+
+(* header + rows[lo, hi) as a standalone CSV document *)
+let csv_slice csv lo hi =
+  match String.split_on_char '\n' csv with
+  | header :: rows ->
+    let rows = List.filter (fun r -> r <> "") rows in
+    let keep = List.filteri (fun i _ -> i >= lo && i < hi) rows in
+    header ^ "\n" ^ String.concat "\n" keep ^ "\n"
+  | [] -> assert false
+
+let csv_rows csv =
+  match String.split_on_char '\n' csv with
+  | _ :: rows -> List.length (List.filter (fun r -> r <> "") rows)
+  | [] -> 0
+
+let md_of_csv csv =
+  match
+    Srv.Codec.microdata_of_payload
+      { Srv.Codec.csv; options = Srv.Codec.default_options }
+  with
+  | Ok md -> md
+  | Error e -> Alcotest.failf "microdata: %s" (E.to_string e)
+
+let json_of body =
+  match Json.of_string body with
+  | Ok json -> json
+  | Error m -> Alcotest.failf "body is JSON: %s (%s)" m body
+
+let jstr json name =
+  match Option.bind (Json.member name json) Json.to_string_opt with
+  | Some v -> v
+  | None -> Alcotest.failf "missing string field %s" name
+
+let jint json name =
+  match Option.bind (Json.member name json) Json.to_int_opt with
+  | Some v -> v
+  | None -> Alcotest.failf "missing int field %s" name
+
+let jbool json name =
+  match Option.bind (Json.member name json) Json.to_bool_opt with
+  | Some v -> v
+  | None -> Alcotest.failf "missing bool field %s" name
+
+let error_code body =
+  Option.bind (Json.member "error" (json_of body)) (fun e ->
+      Option.bind (Json.member "code" e) Json.to_string_opt)
+
+(* --- the journal ----------------------------------------------------------- *)
+
+let test_journal_roundtrip () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "j" in
+  let j = Journal.open_ ~path in
+  let big = String.make 5000 'x' in
+  Alcotest.(check int) "seq 1" 1 (Journal.append j "alpha");
+  Alcotest.(check int) "seq 2" 2 (Journal.append j "beta");
+  Alcotest.(check int) "seq 3" 3 (Journal.append j big);
+  Alcotest.(check int) "last_seq" 3 (Journal.last_seq j);
+  Journal.close j;
+  Journal.close j (* idempotent *);
+  let scan = Journal.scan ~path in
+  Alcotest.(check (list (pair int string)))
+    "records"
+    [ (1, "alpha"); (2, "beta"); (3, big) ]
+    scan.Journal.records;
+  Alcotest.(check int) "no torn tail" 0 scan.Journal.truncated_bytes;
+  Alcotest.(check int) "next_seq" 4 scan.Journal.next_seq;
+  (* reopening continues the sequence *)
+  let j2 = Journal.open_ ~path in
+  Alcotest.(check int) "continues" 4 (Journal.append j2 "gamma");
+  Journal.close j2;
+  let scan = Journal.scan ~path in
+  Alcotest.(check int) "4 records" 4 (List.length scan.Journal.records);
+  (* a missing file is an empty journal, not an error *)
+  let scan = Journal.scan ~path:(Filename.concat dir "absent") in
+  Alcotest.(check int) "absent file" 0 (List.length scan.Journal.records);
+  (* the frame checksum is the IEEE CRC-32 *)
+  Alcotest.(check int) "crc of empty" 0 (Journal.crc32 "");
+  Alcotest.(check bool)
+    "crc discriminates" true
+    (Journal.crc32 "alpha" <> Journal.crc32 "beta")
+
+(* The torn-tail property: cut the journal file at EVERY byte boundary
+   and the scan must yield exactly the records whose frames fit before
+   the cut — a consistent prefix, never a crash, with the leftover
+   counted as discarded. *)
+let test_journal_torn_tail_every_byte () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "j" in
+  let payloads = [ "one"; "two"; String.make 40 'z' ] in
+  let j = Journal.open_ ~path in
+  List.iter (fun p -> ignore (Journal.append j p)) payloads;
+  Journal.close j;
+  let raw = read_file path in
+  let full = (Journal.scan ~path).Journal.records in
+  Alcotest.(check int) "all three committed" 3 (List.length full);
+  (* cumulative end offset of each frame: header (20 bytes) + payload *)
+  let ends =
+    List.rev
+      (List.fold_left
+         (fun acc p ->
+           let prev = match acc with e :: _ -> e | [] -> 0 in
+           (prev + 20 + String.length p) :: acc)
+         [] payloads)
+  in
+  Alcotest.(check int) "frames cover the file" (String.length raw)
+    (List.nth ends 2);
+  let cut_path = Filename.concat dir "cut" in
+  for cut = 0 to String.length raw do
+    write_file cut_path (String.sub raw 0 cut);
+    let scan = Journal.scan ~path:cut_path in
+    let intact = List.length (List.filter (fun e -> e <= cut) ends) in
+    let consumed = if intact = 0 then 0 else List.nth ends (intact - 1) in
+    Alcotest.(check (list (pair int string)))
+      (Printf.sprintf "prefix at cut %d" cut)
+      (List.filteri (fun i _ -> i < intact) full)
+      scan.Journal.records;
+    Alcotest.(check int)
+      (Printf.sprintf "discarded at cut %d" cut)
+      (cut - consumed) scan.Journal.truncated_bytes
+  done
+
+let check_fault_code what expected f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected %s" what expected
+  | exception E.Error e -> Alcotest.(check string) what expected e.E.code
+
+(* A failed batch — injected write or fsync fault — rolls the file back
+   to the pre-batch offset: the journal stays usable and the failed
+   record leaves no bytes behind. *)
+let test_journal_fault_rollback () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "j" in
+  F.reset ();
+  Fun.protect ~finally:F.reset (fun () ->
+      let j = Journal.open_ ~path in
+      ignore (Journal.append j "keep");
+      let size0 = file_size path in
+      (match F.arm "journal.write" F.Fail with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "arm: %s" (E.to_string e));
+      check_fault_code "write fault surfaces" "fault.journal.write" (fun () ->
+          Journal.append j "lost");
+      Alcotest.(check int) "write fault left no bytes" size0 (file_size path);
+      F.reset ();
+      (match F.arm "journal.fsync" F.Fail with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "arm: %s" (E.to_string e));
+      check_fault_code "fsync fault surfaces" "fault.journal.fsync" (fun () ->
+          Journal.append j "lost2");
+      Alcotest.(check int) "fsync fault left no bytes" size0 (file_size path);
+      F.reset ();
+      ignore (Journal.append j "second");
+      Alcotest.(check bool)
+        "failed batches counted" true
+        ((Journal.counters j).Journal.errors >= 2);
+      Journal.close j;
+      let scan = Journal.scan ~path in
+      Alcotest.(check (list string))
+        "only the committed records" [ "keep"; "second" ]
+        (List.map snd scan.Journal.records))
+
+(* 4 domains hammer one journal: every append must come back committed
+   exactly once, with distinct sequence numbers, and group commit means
+   strictly fewer fsync batches than records when writers collide. *)
+let test_journal_concurrent_appends () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "j" in
+  let j = Journal.open_ ~path in
+  let per_domain = 25 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            List.init per_domain (fun i ->
+                Journal.append j (Printf.sprintf "d%d-%03d" d i))))
+  in
+  let seqs = List.concat_map Domain.join domains in
+  let c = Journal.counters j in
+  Journal.close j;
+  Alcotest.(check int) "all committed" (4 * per_domain) (List.length seqs);
+  Alcotest.(check int)
+    "distinct seqs" (4 * per_domain)
+    (List.length (List.sort_uniq compare seqs));
+  Alcotest.(check int) "append counter" (4 * per_domain) c.Journal.appends;
+  Alcotest.(check bool) "batched" true (c.Journal.batches <= c.Journal.appends);
+  let scan = Journal.scan ~path in
+  let expected =
+    List.sort compare
+      (List.concat_map
+         (fun d ->
+           List.init per_domain (fun i -> Printf.sprintf "d%d-%03d" d i))
+         [ 0; 1; 2; 3 ])
+  in
+  Alcotest.(check (list string))
+    "every record durable" expected
+    (List.sort compare (List.map snd scan.Journal.records))
+
+(* --- the persist store ----------------------------------------------------- *)
+
+(* A toy durable subsystem shaped like the real ones: the public
+   mutator journals ahead via [commit], [apply] replays by re-running
+   the mutator (a no-op commit during replay), [dump]/[restore] carry
+   the full state through snapshots. *)
+let toy_store dir =
+  let state = ref [] in
+  let p = Persist.open_ ~snapshot_every:1000 ~dir () in
+  let add n =
+    Persist.commit p
+      ~record:(Json.Obj [ ("kind", Json.Str "toy.add"); ("n", Json.Int n) ])
+      (fun commit_now ->
+        commit_now ();
+        state := n :: !state)
+  in
+  Persist.register p ~section:"toy" ~prefix:"toy."
+    ~dump:(fun () -> Json.List (List.rev_map (fun n -> Json.Int n) !state))
+    ~restore:(fun json ->
+      state :=
+        (match Option.bind (Json.to_list_opt json) (fun l -> Some l) with
+        | Some l ->
+          List.rev_map (fun v -> Option.value ~default:0 (Json.to_int_opt v)) l
+        | None -> []))
+    ~apply:(fun record ->
+      match Option.bind (Json.member "n" record) Json.to_int_opt with
+      | Some n -> add n
+      | None -> ());
+  (p, state, add)
+
+let test_persist_commit_replay_snapshot () =
+  let dir = tmp_dir () in
+  F.reset ();
+  Fun.protect ~finally:F.reset (fun () ->
+      (* generation 1: three commits, then crash (no close, no snapshot) *)
+      let _p1, s1, add1 = toy_store dir in
+      add1 1;
+      add1 2;
+      add1 3;
+      Alcotest.(check (list int)) "live state" [ 3; 2; 1 ] !s1;
+      (* a journal fault aborts the commit with no state applied *)
+      (match F.arm "journal.write" F.Fail with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "arm: %s" (E.to_string e));
+      check_fault_code "aborted commit" "fault.journal.write" (fun () -> add1 9);
+      F.reset ();
+      Alcotest.(check (list int)) "aborted commit left no state" [ 3; 2; 1 ] !s1;
+      (* generation 2: replay the journal tail (no snapshot exists yet) *)
+      let p2, s2, add2 = toy_store dir in
+      Persist.recover p2;
+      Alcotest.(check (list int)) "journal replay" [ 3; 2; 1 ] !s2;
+      let r = Persist.recovery p2 in
+      Alcotest.(check int) "replayed records" 3 r.Persist.replayed;
+      Alcotest.(check int) "none skipped" 0 r.Persist.skipped;
+      (* snapshot captures the records; the journal is truncated *)
+      Persist.snapshot p2;
+      Alcotest.(check int) "journal truncated" 0
+        (file_size (Filename.concat dir "registry.journal"));
+      add2 4;
+      Persist.close p2;
+      (* generation 3: snapshot restore + (empty) tail *)
+      let p3, s3, _ = toy_store dir in
+      Persist.recover p3;
+      Alcotest.(check (list int)) "snapshot restore" [ 4; 3; 2; 1 ] !s3;
+      Persist.close p3)
+
+(* --- the crash-safe registry ---------------------------------------------- *)
+
+let default_measure () =
+  match Codec.measure_of_options Codec.default_options with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "measure: %s" (E.to_string e)
+
+let put_base registry csv =
+  let outcome =
+    Registry.put registry ~id:"d"
+      ~digest:(Digest.to_hex (Digest.string csv))
+      ~bytes:(String.length csv) ~options:Codec.default_options
+      ~measure:(default_measure ()) ~compiled:None (md_of_csv csv)
+  in
+  outcome.Registry.entry
+
+let risk_string entry =
+  Codec.risk_report_string ~threshold:Codec.default_options.Codec.threshold
+    (Registry.entry_md entry)
+    (Registry.entry_report entry)
+
+(* put + two appends, crash (journal only), recover: the union CSV and
+   the maintained risk report come back byte-identical — and again
+   after a clean close writes a snapshot. *)
+let test_registry_crash_recover_identical () =
+  let csv = Lazy.force figure6_csv in
+  let n = csv_rows csv in
+  let base = csv_slice csv 0 (2 * n / 3) in
+  let d1 = csv_slice csv (2 * n / 3) (5 * n / 6) in
+  let d2 = csv_slice csv (5 * n / 6) n in
+  let dir = tmp_dir () in
+  let p1 = Persist.open_ ~snapshot_every:100000 ~dir () in
+  let reg1 = Registry.create ~persist:p1 () in
+  let e1 = put_base reg1 base in
+  ignore (Registry.append reg1 e1 ~csv:d1);
+  ignore (Registry.append reg1 e1 ~csv:d2);
+  let csv1 = Registry.entry_csv e1 in
+  let risk1 = risk_string e1 in
+  Alcotest.(check int) "all rows live" n (csv_rows csv1);
+  (* crash: p1 is dropped without close — only the journal survives *)
+  let p2 = Persist.open_ ~dir () in
+  let reg2 = Registry.create ~persist:p2 () in
+  Persist.recover p2;
+  let e2 = Registry.get reg2 "d" in
+  Alcotest.(check string) "union CSV recovered byte-identical" csv1
+    (Registry.entry_csv e2);
+  Alcotest.(check string) "risk report recovered byte-identical" risk1
+    (risk_string e2);
+  (* a recovered registry keeps absorbing deltas incrementally *)
+  ignore (Registry.append reg2 e2 ~csv:d1);
+  Alcotest.(check int) "post-recovery append" (n + csv_rows d1)
+    (csv_rows (Registry.entry_csv e2));
+  (* clean close writes a snapshot; recovery then restores from it *)
+  Persist.close p2;
+  let p3 = Persist.open_ ~dir () in
+  let reg3 = Registry.create ~persist:p3 () in
+  Persist.recover p3;
+  let r = Persist.recovery p3 in
+  Alcotest.(check int) "snapshot carried everything" 0 r.Persist.replayed;
+  let e3 = Registry.get reg3 "d" in
+  Alcotest.(check string) "snapshot restore byte-identical"
+    (Registry.entry_csv e2) (Registry.entry_csv e3);
+  Persist.close p3
+
+(* 4 domains append disjoint deltas to one durable dataset: no delta
+   may be lost, the maintained report must equal the from-scratch
+   estimate a recovery performs, and the journal must replay to the
+   exact same union. *)
+let test_registry_concurrent_append_hammer () =
+  let csv = Lazy.force figure6_csv in
+  let n = csv_rows csv in
+  let base_rows = n / 3 in
+  let base = csv_slice csv 0 base_rows in
+  let deltas =
+    (* 8 disjoint slices covering rows [base_rows, n) *)
+    let step = (n - base_rows + 7) / 8 in
+    List.init 8 (fun i ->
+        let lo = base_rows + (i * step) in
+        let hi = min n (lo + step) in
+        csv_slice csv lo hi)
+    |> List.filter (fun d -> csv_rows d > 0)
+  in
+  let dir = tmp_dir () in
+  let p1 = Persist.open_ ~snapshot_every:100000 ~dir () in
+  let reg1 = Registry.create ~persist:p1 () in
+  let entry = put_base reg1 base in
+  let chunks =
+    (* partition the deltas among 4 domains *)
+    List.init 4 (fun d ->
+        List.filteri (fun i _ -> i mod 4 = d) deltas)
+  in
+  let domains =
+    List.map
+      (fun mine ->
+        Domain.spawn (fun () ->
+            List.iter (fun csv -> ignore (Registry.append reg1 entry ~csv)) mine))
+      chunks
+  in
+  List.iter Domain.join domains;
+  let csv1 = Registry.entry_csv entry in
+  Alcotest.(check int) "no delta lost" n (csv_rows csv1);
+  (* recovery rebuilds the scorer from scratch over the union — equal
+     bytes means the concurrent incremental maintenance was exact *)
+  let p2 = Persist.open_ ~dir () in
+  let reg2 = Registry.create ~persist:p2 () in
+  Persist.recover p2;
+  let e2 = Registry.get reg2 "d" in
+  Alcotest.(check string) "union replayed byte-identical" csv1
+    (Registry.entry_csv e2);
+  Alcotest.(check string) "incremental report equals from-scratch"
+    (risk_string entry) (risk_string e2);
+  Persist.close p2
+
+(* --- the /v1/jobs surface over HTTP ---------------------------------------- *)
+
+let http_call_full ~port ~meth ~target ?(headers = []) ?(body = "") () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let buf = Buffer.create (String.length body + 256) in
+      Buffer.add_string buf (Printf.sprintf "%s %s HTTP/1.1\r\n" meth target);
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+        (("host", "localhost") :: headers);
+      Buffer.add_string buf
+        (Printf.sprintf "content-length: %d\r\n\r\n" (String.length body));
+      Buffer.add_string buf body;
+      let raw = Buffer.to_bytes buf in
+      let off = ref 0 in
+      while !off < Bytes.length raw do
+        off := !off + Unix.write fd raw !off (Bytes.length raw - !off)
+      done;
+      let resp = Buffer.create 1024 in
+      let chunk = Bytes.create 8192 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes resp chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+      in
+      drain ();
+      let raw = Buffer.contents resp in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> int_of_string_opt code |> Option.value ~default:0
+        | _ -> 0
+      in
+      let head, body =
+        match Astring_contains.find_sub raw "\r\n\r\n" with
+        | Some i ->
+          ( String.sub raw 0 i,
+            String.sub raw (i + 4) (String.length raw - i - 4) )
+        | None -> (raw, "")
+      in
+      (status, String.lowercase_ascii head, body))
+
+let http_call ~port ~meth ~target ?(headers = []) ?(body = "") () =
+  let status, _head, body =
+    http_call_full ~port ~meth ~target ~headers ~body ()
+  in
+  (status, body)
+
+let start_server ?persist ?job_domains ?tenant_quota ?tenant_rate ?tenant_burst
+    () =
+  let handlers =
+    Srv.Handlers.create ?persist ?job_domains ?tenant_quota ?tenant_rate
+      ?tenant_burst ()
+  in
+  let config =
+    {
+      Srv.Server.default_config with
+      Srv.Server.port = 0;
+      domains = 2;
+      request_timeout = 60.0;
+    }
+  in
+  let server = Srv.Server.create ~config handlers in
+  Srv.Server.start server;
+  (handlers, server, Srv.Server.port server)
+
+let with_jobs_server ?persist ?job_domains ?tenant_quota ?tenant_rate
+    ?tenant_burst k =
+  let handlers, server, port =
+    start_server ?persist ?job_domains ?tenant_quota ?tenant_rate ?tenant_burst
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Srv.Server.shutdown server;
+      Srv.Handlers.shutdown handlers)
+    (fun () -> k handlers port)
+
+let put_dataset ~port ~id csv =
+  let status, _ =
+    http_call ~port ~meth:"PUT" ~target:("/v1/datasets/" ^ id) ~body:csv ()
+  in
+  Alcotest.(check int) ("PUT " ^ id) 201 status
+
+let submit_job ?(headers = []) ~port ~dataset ~op () =
+  http_call ~port ~meth:"POST" ~target:"/v1/jobs" ~headers
+    ~body:(Printf.sprintf "{\"dataset\": %S, \"op\": %S}" dataset op)
+    ()
+
+(* poll GET /v1/jobs/{id} until it reaches a terminal state *)
+let wait_job ~port id =
+  let deadline = Unix.gettimeofday () +. 20.0 in
+  let rec go () =
+    let status, body =
+      http_call ~port ~meth:"GET" ~target:("/v1/jobs/" ^ id) ()
+    in
+    Alcotest.(check int) ("GET " ^ id) 200 status;
+    let json = json_of body in
+    match jstr json "state" with
+    | "queued" | "running" when Unix.gettimeofday () < deadline ->
+      Unix.sleepf 0.05;
+      go ()
+    | "queued" | "running" -> Alcotest.failf "%s never settled" id
+    | _ -> json
+  in
+  go ()
+
+let test_jobs_e2e_http () =
+  let csv = Lazy.force figure6_csv in
+  with_jobs_server (fun _handlers port ->
+      put_dataset ~port ~id:"fig6" csv;
+      let status, body = submit_job ~port ~dataset:"fig6" ~op:"risk" () in
+      Alcotest.(check int) "202 accepted" 202 status;
+      let id = jstr (json_of body) "id" in
+      let json = wait_job ~port id in
+      Alcotest.(check string) "done" "done" (jstr json "state");
+      Alcotest.(check int) "one attempt" 1 (jint json "attempts");
+      (* the job's result is the exact GET /v1/datasets/{id}/risk body *)
+      let status, risk =
+        http_call ~port ~meth:"GET" ~target:"/v1/datasets/fig6/risk" ()
+      in
+      Alcotest.(check int) "risk 200" 200 status;
+      Alcotest.(check string) "result byte-identical to the risk route" risk
+        (jstr json "result");
+      (* anonymize jobs settle too *)
+      let status, body = submit_job ~port ~dataset:"fig6" ~op:"anonymize" () in
+      Alcotest.(check int) "anonymize accepted" 202 status;
+      let json = wait_job ~port (jstr (json_of body) "id") in
+      Alcotest.(check string) "anonymize done" "done" (jstr json "state");
+      (* the listing shows both, submission order *)
+      let status, body = http_call ~port ~meth:"GET" ~target:"/v1/jobs" () in
+      Alcotest.(check int) "list 200" 200 status;
+      Alcotest.(check bool) "listing mentions the job" true
+        (Astring_contains.contains body id);
+      (* typed errors: bad op, unknown job, unknown dataset *)
+      let status, body = submit_job ~port ~dataset:"fig6" ~op:"nope" () in
+      Alcotest.(check int) "bad op 400" 400 status;
+      Alcotest.(check (option string)) "bad op code" (Some "job.bad_op")
+        (error_code body);
+      let status, body =
+        http_call ~port ~meth:"GET" ~target:"/v1/jobs/job-999999" ()
+      in
+      Alcotest.(check int) "unknown job 404" 404 status;
+      Alcotest.(check (option string)) "unknown job code" (Some "job.not_found")
+        (error_code body);
+      let status, body = submit_job ~port ~dataset:"ghost" ~op:"risk" () in
+      Alcotest.(check int) "unknown dataset 404" 404 status;
+      Alcotest.(check (option string))
+        "unknown dataset code" (Some "dataset.not_found") (error_code body))
+
+(* a job whose first step faults (injected job.step) re-executes under
+   the retry policy; a queued job cancels immediately with its worker
+   slot released *)
+let test_jobs_retry_and_cancel () =
+  let csv = Lazy.force figure6_csv in
+  F.reset ();
+  Fun.protect ~finally:F.reset (fun () ->
+      with_jobs_server ~job_domains:1 (fun _handlers port ->
+          put_dataset ~port ~id:"fig6" csv;
+          (* first step attempt faults; the retry succeeds *)
+          (match F.arm ~at:1 "job.step" F.Fail with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "arm: %s" (E.to_string e));
+          let status, body = submit_job ~port ~dataset:"fig6" ~op:"risk" () in
+          Alcotest.(check int) "accepted" 202 status;
+          let json = wait_job ~port (jstr (json_of body) "id") in
+          Alcotest.(check string) "retried to done" "done" (jstr json "state");
+          Alcotest.(check int) "two attempts" 2 (jint json "attempts");
+          F.reset ();
+          (* hold the single worker busy, cancel the job queued behind it *)
+          (match F.arm ~at:1 "job.step" (F.Delay 1.0) with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "arm: %s" (E.to_string e));
+          let _, body = submit_job ~port ~dataset:"fig6" ~op:"risk" () in
+          let slow = jstr (json_of body) "id" in
+          let _, body = submit_job ~port ~dataset:"fig6" ~op:"risk" () in
+          let queued = jstr (json_of body) "id" in
+          let status, body =
+            http_call ~port ~meth:"DELETE" ~target:("/v1/jobs/" ^ queued) ()
+          in
+          Alcotest.(check int) "cancel 200" 200 status;
+          let json = json_of body in
+          Alcotest.(check string) "cancelled" "cancelled" (jstr json "state");
+          (match Json.member "error" json with
+          | Some e ->
+            Alcotest.(check string) "job.cancelled" "job.cancelled"
+              (jstr e "code")
+          | None -> Alcotest.fail "cancelled job carries its error");
+          (* cancel is idempotent *)
+          let status, _ =
+            http_call ~port ~meth:"DELETE" ~target:("/v1/jobs/" ^ queued) ()
+          in
+          Alcotest.(check int) "cancel again 200" 200 status;
+          let json = wait_job ~port slow in
+          Alcotest.(check string) "the slow one still finishes" "done"
+            (jstr json "state")))
+
+(* the admission gates answer typed 429s with a Retry-After header *)
+let test_jobs_admission_gates () =
+  let csv = Lazy.force figure6_csv in
+  F.reset ();
+  Fun.protect ~finally:F.reset (fun () ->
+      (* rate: a one-token bucket that refills absurdly slowly *)
+      with_jobs_server ~tenant_rate:0.0001 ~tenant_burst:1.0
+        (fun _handlers port ->
+          put_dataset ~port ~id:"fig6" csv;
+          let status, _ = submit_job ~port ~dataset:"fig6" ~op:"risk" () in
+          Alcotest.(check int) "first admitted" 202 status;
+          let status, head, body =
+            http_call_full ~port ~meth:"POST" ~target:"/v1/jobs"
+              ~body:"{\"dataset\": \"fig6\", \"op\": \"risk\"}" ()
+          in
+          Alcotest.(check int) "rate limited" 429 status;
+          Alcotest.(check (option string)) "typed code"
+            (Some "tenant.rate_limited") (error_code body);
+          Alcotest.(check bool) "Retry-After advertised" true
+            (Astring_contains.contains head "retry-after:");
+          (* another tenant has its own bucket *)
+          let status, _ =
+            submit_job
+              ~headers:[ ("x-vadasa-tenant", "other") ]
+              ~port ~dataset:"fig6" ~op:"risk" ()
+          in
+          Alcotest.(check int) "tenants are isolated" 202 status);
+      (* quota: one active job per tenant *)
+      with_jobs_server ~job_domains:1 ~tenant_quota:1 (fun _handlers port ->
+          put_dataset ~port ~id:"fig6" csv;
+          (match F.arm ~at:1 "job.step" (F.Delay 1.0) with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "arm: %s" (E.to_string e));
+          let status, body = submit_job ~port ~dataset:"fig6" ~op:"risk" () in
+          Alcotest.(check int) "first admitted" 202 status;
+          let slow = jstr (json_of body) "id" in
+          let status, body = submit_job ~port ~dataset:"fig6" ~op:"risk" () in
+          Alcotest.(check int) "quota exceeded" 429 status;
+          Alcotest.(check (option string)) "typed code"
+            (Some "tenant.quota_exceeded") (error_code body);
+          ignore (wait_job ~port slow)))
+
+(* restart: terminal jobs survive byte-identically, queued jobs re-run
+   (marked replayed), mid-flight jobs fault as orphaned *)
+let test_jobs_crash_resume () =
+  let csv = Lazy.force figure6_csv in
+  let dir = tmp_dir () in
+  F.reset ();
+  Fun.protect ~finally:F.reset (fun () ->
+      let persist = Persist.open_ ~snapshot_every:100000 ~dir () in
+      let handlers_a, server_a, port =
+        start_server ~persist ~job_domains:1 ()
+      in
+      ignore handlers_a;
+      put_dataset ~port ~id:"fig6" csv;
+      let _, body = submit_job ~port ~dataset:"fig6" ~op:"risk" () in
+      let done_id = jstr (json_of body) "id" in
+      let done_json = wait_job ~port done_id in
+      Alcotest.(check string) "settled before crash" "done"
+        (jstr done_json "state");
+      let done_result = jstr done_json "result" in
+      (* park one job mid-step on the single worker, queue one behind it *)
+      (match F.arm ~at:1 "job.step" (F.Delay 30.0) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "arm: %s" (E.to_string e));
+      let _, body = submit_job ~port ~dataset:"fig6" ~op:"risk" () in
+      let running_id = jstr (json_of body) "id" in
+      let _, body = submit_job ~port ~dataset:"fig6" ~op:"risk" () in
+      let queued_id = jstr (json_of body) "id" in
+      Unix.sleepf 0.4 (* let the worker pick up and journal job.start *);
+      (* crash: only the accept loop is torn down; the handlers (and
+         the persist store, mid-flight worker included) are abandoned *)
+      Srv.Server.shutdown server_a;
+      F.reset ();
+      (* restart over the same data dir *)
+      let persist_b = Persist.open_ ~snapshot_every:100000 ~dir () in
+      let handlers_b, server_b, port =
+        start_server ~persist:persist_b ~job_domains:1 ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Srv.Server.shutdown server_b;
+          Srv.Handlers.shutdown handlers_b)
+        (fun () ->
+          (* the finished job survived, result bytes included *)
+          let status, body =
+            http_call ~port ~meth:"GET" ~target:("/v1/jobs/" ^ done_id) ()
+          in
+          Alcotest.(check int) "terminal job survives" 200 status;
+          let json = json_of body in
+          Alcotest.(check string) "still done" "done" (jstr json "state");
+          Alcotest.(check string) "result byte-identical across restart"
+            done_result (jstr json "result");
+          (* the mid-flight job faulted terminally *)
+          let _, body =
+            http_call ~port ~meth:"GET" ~target:("/v1/jobs/" ^ running_id) ()
+          in
+          let json = json_of body in
+          Alcotest.(check string) "orphaned" "orphaned" (jstr json "state");
+          (match Json.member "error" json with
+          | Some e ->
+            Alcotest.(check string) "job.orphaned" "job.orphaned"
+              (jstr e "code")
+          | None -> Alcotest.fail "orphaned job carries its error");
+          (* the queued job re-ran, marked replayed, and its result
+             matches the live route on the recovered registry *)
+          let json = wait_job ~port queued_id in
+          Alcotest.(check string) "replayed job settles" "done"
+            (jstr json "state");
+          Alcotest.(check bool) "marked replayed" true (jbool json "replayed");
+          Alcotest.(check string) "replayed result matches the live route"
+            done_result (jstr json "result");
+          (* the dataset itself recovered byte-identically *)
+          let _, risk =
+            http_call ~port ~meth:"GET" ~target:"/v1/datasets/fig6/risk" ()
+          in
+          Alcotest.(check string) "registry recovered byte-identical"
+            done_result risk;
+          (* the durability counters are on the Prometheus surface *)
+          let status, _, prom =
+            http_call_full ~port ~meth:"GET" ~target:"/metrics"
+              ~headers:[ ("accept", "text/plain; version=0.0.4") ]
+              ()
+          in
+          Alcotest.(check int) "prometheus 200" 200 status;
+          List.iter
+            (fun family ->
+              Alcotest.(check bool) (family ^ " exposed") true
+                (Astring_contains.contains prom family))
+            [
+              "vadasa_jobs_submitted_total";
+              "vadasa_jobs_orphaned_total";
+              "vadasa_jobs_replayed_total";
+              "vadasa_journal_appends_total";
+              "vadasa_journal_fsyncs_total";
+            ]))
+
+(* --- the retry policy ------------------------------------------------------ *)
+
+let flat_policy =
+  {
+    Retry.max_attempts = 4;
+    base_delay = 0.1;
+    max_delay = 10.0;
+    multiplier = 2.0;
+    jitter = 0.0;
+    budget = 100.0;
+  }
+
+let transient = E.make ~code:"net.flaky" E.Io "transient"
+
+let test_retry_schedule () =
+  (* the schedule is a pure function of (policy, attempt, draw) *)
+  Alcotest.(check (float 1e-9)) "first retry" 0.1
+    (Retry.delay flat_policy ~attempt:1 ~retry_after:None ~u:0.5);
+  Alcotest.(check (float 1e-9)) "doubles" 0.2
+    (Retry.delay flat_policy ~attempt:2 ~retry_after:None ~u:0.5);
+  Alcotest.(check (float 1e-9)) "Retry-After replaces the schedule" 3.0
+    (Retry.delay flat_policy ~attempt:1 ~retry_after:(Some 3.0) ~u:0.5);
+  Alcotest.(check (float 1e-9)) "Retry-After still capped" 10.0
+    (Retry.delay flat_policy ~attempt:1 ~retry_after:(Some 3600.0) ~u:0.5);
+  let jittery = { flat_policy with Retry.jitter = 0.25 } in
+  Alcotest.(check (float 1e-9)) "jitter widens" 0.125
+    (Retry.delay jittery ~attempt:1 ~retry_after:None ~u:1.0);
+  Alcotest.(check (float 1e-9)) "jitter narrows" 0.075
+    (Retry.delay jittery ~attempt:1 ~retry_after:None ~u:0.0)
+
+let test_retry_run () =
+  let sleeps = ref [] in
+  let sleep d = sleeps := d :: !sleeps in
+  let rand () = 0.5 in
+  (* two transient failures, then success: two exact backoff sleeps *)
+  let calls = ref 0 in
+  let v =
+    Retry.run ~policy:flat_policy ~sleep ~rand
+      ~should_retry:(fun ~attempt:_ _ -> Some None)
+      (fun () ->
+        incr calls;
+        if !calls < 3 then raise (E.Error transient) else "ok")
+  in
+  Alcotest.(check string) "succeeds" "ok" v;
+  Alcotest.(check (list (float 1e-9))) "exact schedule" [ 0.1; 0.2 ]
+    (List.rev !sleeps);
+  (* a server-directed Retry-After replaces the computed wait *)
+  sleeps := [];
+  calls := 0;
+  ignore
+    (Retry.run ~policy:flat_policy ~sleep ~rand
+       ~should_retry:(fun ~attempt:_ _ -> Some (Some 0.7))
+       (fun () ->
+         incr calls;
+         if !calls < 2 then raise (E.Error transient) else ()));
+  Alcotest.(check (list (float 1e-9))) "honors Retry-After" [ 0.7 ]
+    (List.rev !sleeps);
+  (* non-retryable: exactly one call, the error unchanged *)
+  calls := 0;
+  (match
+     Retry.run ~policy:flat_policy ~sleep ~rand
+       ~should_retry:(fun ~attempt:_ _ -> None)
+       (fun () ->
+         incr calls;
+         raise (E.Error transient))
+   with
+  | () -> Alcotest.fail "expected the error"
+  | exception E.Error e ->
+    Alcotest.(check string) "not retried" "net.flaky" e.E.code;
+    Alcotest.(check (option string)) "no retry context" None
+      (E.context_value e "retry_attempts"));
+  Alcotest.(check int) "one call" 1 !calls
+
+let test_retry_exhaustion () =
+  let sleep _ = () in
+  let rand () = 0.5 in
+  (* attempts run out: the last error gains the retry context *)
+  let calls = ref 0 in
+  (match
+     Retry.run
+       ~policy:{ flat_policy with Retry.max_attempts = 3 }
+       ~sleep ~rand
+       ~should_retry:(fun ~attempt:_ _ -> Some None)
+       (fun () ->
+         incr calls;
+         raise (E.Error transient))
+   with
+  | () -> Alcotest.fail "expected exhaustion"
+  | exception E.Error e ->
+    Alcotest.(check int) "three attempts" 3 !calls;
+    Alcotest.(check (option string)) "attempts in context" (Some "3")
+      (E.context_value e "retry_attempts");
+    Alcotest.(check (option string)) "reason in context" (Some "max_attempts")
+      (E.context_value e "retry_exhausted"));
+  (* the sleep budget runs out before the attempts do *)
+  let calls = ref 0 in
+  match
+    Retry.run
+      ~policy:
+        {
+          flat_policy with
+          Retry.max_attempts = 100;
+          multiplier = 1.0;
+          base_delay = 0.2;
+          budget = 0.3;
+        }
+      ~sleep ~rand
+      ~should_retry:(fun ~attempt:_ _ -> Some None)
+      (fun () ->
+        incr calls;
+        raise (E.Error transient))
+  with
+  | () -> Alcotest.fail "expected exhaustion"
+  | exception E.Error e ->
+    Alcotest.(check int) "budget stops at two calls" 2 !calls;
+    Alcotest.(check (option string)) "reason is budget" (Some "budget")
+      (E.context_value e "retry_exhausted")
+
+(* --- suite ----------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "durability"
+    [
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail at every byte" `Quick
+            test_journal_torn_tail_every_byte;
+          Alcotest.test_case "fault rollback" `Quick
+            test_journal_fault_rollback;
+          Alcotest.test_case "4-domain group commit" `Quick
+            test_journal_concurrent_appends;
+        ] );
+      ( "persist",
+        [
+          Alcotest.test_case "commit / replay / snapshot" `Quick
+            test_persist_commit_replay_snapshot;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "crash recover byte-identical" `Quick
+            test_registry_crash_recover_identical;
+          Alcotest.test_case "4-domain append hammer" `Quick
+            test_registry_concurrent_append_hammer;
+        ] );
+      ( "jobs",
+        [
+          Alcotest.test_case "e2e over HTTP" `Quick test_jobs_e2e_http;
+          Alcotest.test_case "retry and cancel" `Quick
+            test_jobs_retry_and_cancel;
+          Alcotest.test_case "admission gates" `Quick
+            test_jobs_admission_gates;
+          Alcotest.test_case "crash resume" `Quick test_jobs_crash_resume;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "schedule" `Quick test_retry_schedule;
+          Alcotest.test_case "run" `Quick test_retry_run;
+          Alcotest.test_case "exhaustion" `Quick test_retry_exhaustion;
+        ] );
+    ]

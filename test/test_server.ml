@@ -384,7 +384,9 @@ let with_server ?config ?router k =
   let server = Srv.Server.create ~config ?router handlers in
   Srv.Server.start server;
   Fun.protect
-    ~finally:(fun () -> Srv.Server.shutdown server)
+    ~finally:(fun () ->
+      Srv.Server.shutdown server;
+      Srv.Handlers.shutdown handlers)
     (fun () -> k server (Srv.Server.port server))
 
 let test_e2e_concurrent_risk () =
