@@ -990,6 +990,16 @@ let serve_cmd =
             "Most queued+running jobs a single tenant may hold; beyond it \
              submissions answer 429 tenant.quota_exceeded.")
   in
+  let job_retain_arg =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "job-retain" ] ~docv:"N"
+          ~doc:
+            "Most terminal (done/failed/cancelled/orphaned) jobs kept per \
+             tenant; beyond it the oldest are pruned from the table and \
+             from snapshots, keeping long-lived servers bounded.")
+  in
   let tenant_rate_arg =
     Arg.(
       value
@@ -1032,8 +1042,8 @@ let serve_cmd =
   in
   let run (finish, sink, (_, max_facts)) host port domains engine_domains queue
       timeout max_body registry_capacity dataset_audit data_dir snapshot_every
-      job_domains job_queue tenant_quota tenant_rate tenant_burst trace_sample
-      slow_ms =
+      job_domains job_queue tenant_quota job_retain tenant_rate tenant_burst
+      trace_sample slow_ms =
     if domains < 1 then begin
       Printf.eprintf "error: --domains must be >= 1\n";
       exit 1
@@ -1050,6 +1060,10 @@ let serve_cmd =
       Printf.eprintf
         "error: --tenant-quota must be >= 1, --tenant-rate > 0, \
          --tenant-burst >= 1\n";
+      exit 1
+    end;
+    if job_retain < 1 then begin
+      Printf.eprintf "error: --job-retain must be >= 1\n";
       exit 1
     end;
     if engine_domains < 1 then begin
@@ -1139,7 +1153,8 @@ let serve_cmd =
     let handlers =
       Srv.Handlers.create ?default_max_facts:max_facts ?engine_pool
         ~registry_capacity ?dataset_audit:dataset_audit_sink ?persist
-        ~job_domains ~job_queue ~tenant_quota ~tenant_rate ~tenant_burst ()
+        ~job_domains ~job_queue ~tenant_quota ~job_retain ~tenant_rate
+        ~tenant_burst ()
     in
     (match persist with
     | None -> ()
@@ -1187,7 +1202,7 @@ let serve_cmd =
       $ engine_domains_arg $ queue_arg $ timeout_arg $ max_body_arg
       $ registry_capacity_arg $ dataset_audit_arg $ data_dir_arg
       $ snapshot_every_arg $ job_domains_arg $ job_queue_arg
-      $ tenant_quota_arg $ tenant_rate_arg $ tenant_burst_arg
+      $ tenant_quota_arg $ job_retain_arg $ tenant_rate_arg $ tenant_burst_arg
       $ trace_sample_arg $ slow_ms_arg)
 
 (* ---- datasets / append (registry HTTP client) ------------------------------------- *)

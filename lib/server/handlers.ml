@@ -57,14 +57,15 @@ type t = {
 let create ?(program_capacity = 64) ?(dataset_capacity = 16)
     ?(registry_capacity = 16) ?dataset_audit ?breaker_threshold
     ?breaker_cooldown ?default_max_facts ?engine_pool ?persist ?job_domains
-    ?job_queue ?tenant_quota ?tenant_rate ?tenant_burst () =
+    ?job_queue ?tenant_quota ?job_retain ?tenant_rate ?tenant_burst () =
   let registry =
     Registry.create ~capacity:registry_capacity ?audit:dataset_audit
       ?pool:engine_pool ?persist ()
   in
   let jobs =
     Jobs.create ?domains:job_domains ?queue:job_queue ?quota:tenant_quota
-      ?rate:tenant_rate ?burst:tenant_burst ?persist registry
+      ?retain:job_retain ?rate:tenant_rate ?burst:tenant_burst ?persist
+      registry
   in
   Jobs.register jobs;
   (* Both durable subsystems are registered; rebuild their state from
@@ -714,6 +715,8 @@ let prometheus_body ?(extra_prom = fun () -> "") t =
     jc.Jobs.orphaned;
   jobs_counter "vadasa_jobs_replayed_total"
     "Queued jobs re-run after crash recovery" jc.Jobs.replayed;
+  jobs_counter "vadasa_jobs_pruned_total"
+    "Terminal jobs dropped by the per-tenant retention cap" jc.Jobs.pruned;
   Prom.family buf ~name:"vadasa_jobs_rejected_total"
     ~help:"Submissions rejected before admission, by gate" ~typ:"counter";
   Prom.sample_int buf ~name:"vadasa_jobs_rejected_total"

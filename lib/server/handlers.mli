@@ -89,6 +89,7 @@ val create :
   ?job_domains:int ->
   ?job_queue:int ->
   ?tenant_quota:int ->
+  ?job_retain:int ->
   ?tenant_rate:float ->
   ?tenant_burst:float ->
   unit ->
@@ -115,7 +116,9 @@ val create :
     [job_domains]/[job_queue] size the async job worker pool (defaults
     2/64; created lazily on first submission);
     [tenant_quota]/[tenant_rate]/[tenant_burst] parameterize per-tenant
-    admission (defaults 16 active jobs, 50 submissions/s, burst 100). *)
+    admission (defaults 16 active jobs, 50 submissions/s, burst 100);
+    [job_retain] (default 256) caps the terminal jobs kept per tenant
+    — older ones are pruned so the table and snapshots stay bounded. *)
 
 val shutdown : t -> unit
 (** Stop the job workers (draining queued jobs) and close the

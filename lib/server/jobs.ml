@@ -81,6 +81,7 @@ type t = {
   persist : Persist.t option;
   retry : Retry.policy;
   quota : int;  (* max queued+running jobs per tenant *)
+  retain : int;  (* terminal jobs kept per tenant; older ones pruned *)
   rate : float;  (* submissions per second per tenant *)
   burst : float;
   domains : int;
@@ -101,14 +102,16 @@ type t = {
   mutable rejected_quota : int;
   mutable rejected_rate : int;
   mutable rejected_queue : int;
+  mutable pruned : int;
 }
 
-let create ?(domains = 2) ?(queue = 64) ?(quota = 16) ?(rate = 50.0)
-    ?(burst = 100.0)
+let create ?(domains = 2) ?(queue = 64) ?(quota = 16) ?(retain = 256)
+    ?(rate = 50.0) ?(burst = 100.0)
     ?(retry = { Retry.default_policy with Retry.base_delay = 0.05 }) ?persist
     registry =
   if domains < 1 then invalid_arg "Jobs.create: domains must be >= 1";
   if quota < 1 then invalid_arg "Jobs.create: quota must be >= 1";
+  if retain < 1 then invalid_arg "Jobs.create: retain must be >= 1";
   if rate <= 0.0 || burst < 1.0 then
     invalid_arg "Jobs.create: rate must be > 0 and burst >= 1";
   {
@@ -116,6 +119,7 @@ let create ?(domains = 2) ?(queue = 64) ?(quota = 16) ?(rate = 50.0)
     persist;
     retry;
     quota;
+    retain;
     rate;
     burst;
     domains;
@@ -135,6 +139,7 @@ let create ?(domains = 2) ?(queue = 64) ?(quota = 16) ?(rate = 50.0)
     rejected_quota = 0;
     rejected_rate = 0;
     rejected_queue = 0;
+    pruned = 0;
   }
 
 let with_commit t ~record f =
@@ -216,14 +221,27 @@ let queue_full =
     "the job worker queue is full; retry later"
     ~context:[ ("retry_after_s", "1") ]
 
-(* Caller holds [mu]. Token bucket per tenant; the table is bounded by
-   wholesale reset (rates re-fill to burst, which only ever errs in the
-   clients' favour) so client-minted tenant names can't grow it without
-   bound. *)
+(* Caller holds [mu]. Token bucket per tenant. The table is bounded by
+   evicting only buckets that have already refilled to full burst —
+   forgetting one of those changes nothing (a fresh bucket starts at
+   burst), so client-minted tenant names can't grow the table without
+   bound *and* can't launder an active tenant's debt away: a bucket
+   below burst keeps its exact fill level no matter how many fresh
+   tenants churn past. *)
 let take_token t tenant =
-  if Hashtbl.length t.buckets > 1024 && not (Hashtbl.mem t.buckets tenant)
-  then Hashtbl.reset t.buckets;
   let now = Unix.gettimeofday () in
+  if Hashtbl.length t.buckets > 1024 && not (Hashtbl.mem t.buckets tenant)
+  then begin
+    let full =
+      Hashtbl.fold
+        (fun name b acc ->
+          if b.tokens +. ((now -. b.last) *. t.rate) >= t.burst then
+            name :: acc
+          else acc)
+        t.buckets []
+    in
+    List.iter (Hashtbl.remove t.buckets) full
+  end;
   let b =
     match Hashtbl.find_opt t.buckets tenant with
     | Some b -> b
@@ -247,6 +265,28 @@ let active_for t tenant =
       if String.equal j.tenant tenant && not (terminal j.state) then acc + 1
       else acc)
     t.table 0
+
+(* Caller holds [mu]. Retention: keep at most [t.retain] terminal jobs
+   per tenant, dropping the oldest (lowest id = submission order)
+   beyond that — so the table, every snapshot dump and GET /v1/jobs
+   stay bounded over the server's lifetime. Pruning is deterministic
+   (id order, fired on each terminal transition), so replaying the
+   journal prunes exactly what the live run pruned. *)
+let prune_terminal t tenant =
+  let dead =
+    Hashtbl.fold
+      (fun _ j acc ->
+        if String.equal j.tenant tenant && terminal j.state then j :: acc
+        else acc)
+      t.table []
+  in
+  let excess = List.length dead - t.retain in
+  if excess > 0 then
+    List.sort (fun a b -> String.compare a.id b.id) dead
+    |> List.filteri (fun i _ -> i < excess)
+    |> List.iter (fun j ->
+           Hashtbl.remove t.table j.id;
+           t.pruned <- t.pruned + 1)
 
 (* ---- state transitions (journaled) --------------------------------------- *)
 
@@ -287,12 +327,13 @@ let finish t job state ?result ?error () =
         job.result <- result;
         job.error <- error;
         job.finished_at <- Some (Unix.gettimeofday ());
-        match state with
+        (match state with
         | Done -> t.completed <- t.completed + 1
         | Failed -> t.failed <- t.failed + 1
         | Cancelled -> t.cancelled <- t.cancelled + 1
         | Orphaned -> t.orphaned <- t.orphaned + 1
-        | Queued | Running -> ()
+        | Queued | Running -> ());
+        prune_terminal t job.tenant
       end)
 
 (* Queued -> Running, journaled; [false] when the job was cancelled (or
@@ -667,6 +708,7 @@ let apply t json =
               (Option.bind (Json.member "message" json) Json.to_string_opt) )
     | None -> ());
     job.finished_at <- Some job.submitted_at;
+    prune_terminal t job.tenant;
     Mutex.unlock t.mu
   | kind -> raise (bad_record ("unknown kind " ^ kind))
 
@@ -741,7 +783,13 @@ let restore t json =
                      Json.to_string_opt) )
         | None -> ());
         if terminal job.state then job.finished_at <- Some job.submitted_at;
-        insert_restored t job)
+        insert_restored t job;
+        (* snapshots written under a larger [retain] still load bounded *)
+        if terminal job.state then begin
+          Mutex.lock t.mu;
+          prune_terminal t job.tenant;
+          Mutex.unlock t.mu
+        end)
       jobs
 
 (* Settle everything recovery left non-terminal. Queued jobs re-run
@@ -821,6 +869,7 @@ type counters = {
   rejected_quota : int;
   rejected_rate : int;
   rejected_queue : int;
+  pruned : int;
   queued : int;
   running : int;
 }
@@ -847,6 +896,7 @@ let counters t =
       rejected_quota = t.rejected_quota;
       rejected_rate = t.rejected_rate;
       rejected_queue = t.rejected_queue;
+      pruned = t.pruned;
       queued;
       running;
     }
@@ -867,9 +917,11 @@ let stats t =
       ("rejected_quota", Json.Int c.rejected_quota);
       ("rejected_rate", Json.Int c.rejected_rate);
       ("rejected_queue", Json.Int c.rejected_queue);
+      ("pruned", Json.Int c.pruned);
       ("queued", Json.Int c.queued);
       ("running", Json.Int c.running);
       ("quota", Json.Int t.quota);
+      ("retain", Json.Int t.retain);
       ("rate", Json.Float t.rate);
       ("burst", Json.Float t.burst);
     ]

@@ -42,6 +42,7 @@ val create :
   ?domains:int ->
   ?queue:int ->
   ?quota:int ->
+  ?retain:int ->
   ?rate:float ->
   ?burst:float ->
   ?retry:Vadasa_resilience.Retry.policy ->
@@ -51,9 +52,13 @@ val create :
 (** [domains] (default 2) and [queue] (default 64) size the worker
     pool, which is created lazily on first submission (a server that
     never sees a job never spawns it). [quota] (default 16) bounds each
-    tenant's queued+running jobs; [rate]/[burst] (default 50/s, 100)
-    parameterize the per-tenant submission token bucket. [retry] is the
-    per-step re-execution policy. *)
+    tenant's queued+running jobs; [retain] (default 256) bounds each
+    tenant's {e terminal} jobs — once exceeded the oldest are pruned
+    from the table (and hence from listings and snapshots), so a
+    long-lived server's memory and snapshot size stay bounded.
+    [rate]/[burst] (default 50/s, 100) parameterize the per-tenant
+    submission token bucket. [retry] is the per-step re-execution
+    policy. *)
 
 val register : t -> unit
 (** Register the jobs table with the [persist] store given at creation
@@ -125,6 +130,7 @@ type counters = {
   rejected_quota : int;
   rejected_rate : int;
   rejected_queue : int;
+  pruned : int;  (** terminal jobs dropped by the per-tenant retention cap *)
   queued : int;
   running : int;
 }

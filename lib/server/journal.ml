@@ -185,15 +185,30 @@ let writer_loop t =
   in
   loop ()
 
-let open_ ~path =
-  let ({ next_seq; _ } : scan_result) = scan ~path in
+let open_ ?(min_next_seq = 1) ~path () =
+  let ({ next_seq; truncated_bytes; _ } : scan_result) = scan ~path in
   let fd =
     match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 with
     | fd -> fd
     | exception Unix.Unix_error (err, fn, _) ->
       raise (journal_error ~path fn err)
   in
-  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  let size = Unix.lseek fd 0 Unix.SEEK_END in
+  (* Cut the torn tail off the file, not just the scan: appending after
+     the corrupt bytes would strand every later record behind the
+     CRC-scan stop on the next recovery. *)
+  if truncated_bytes > 0 then begin
+    (match
+       Unix.ftruncate fd (size - truncated_bytes);
+       Unix.fsync fd
+     with
+    | () -> ()
+    | exception Unix.Unix_error (err, fn, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise (journal_error ~path fn err));
+    ignore (Unix.lseek fd 0 Unix.SEEK_END)
+  end;
+  let next_seq = max next_seq min_next_seq in
   let t =
     {
       path;

@@ -19,10 +19,16 @@
 
 type t
 
-val open_ : path:string -> t
+val open_ : ?min_next_seq:int -> path:string -> unit -> t
 (** Open (or create) the journal for appending and start its writer
-    domain. Sequence numbering continues from the highest committed
-    record already in the file. Raises [journal.io] on open failure. *)
+    domain. A torn tail left by a crash mid-write is physically cut off
+    the file, so new records append contiguously after the last valid
+    one. Sequence numbering continues from the highest committed record
+    already in the file, or from [min_next_seq] if that is higher —
+    callers whose snapshot owns sequences the journal no longer holds
+    (it was truncated) pass [snapshot.last_seq + 1] so fresh records
+    never collide with ones a recovery would skip. Raises [journal.io]
+    on open or truncation failure. *)
 
 val append : t -> string -> int
 (** Durably append one record; returns its sequence number. Blocks for

@@ -63,6 +63,28 @@ let journal_path dir = Filename.concat dir "registry.journal"
 
 let snapshot_path dir = Filename.concat dir "registry.snapshot"
 
+(* Best-effort read of the snapshot's last_seq, for seeding the
+   journal's counter at open time: after a snapshot truncates the
+   journal, the file alone says "start at 1", but seq <= last_seq is
+   the replay skip rule — fresh records numbered below it would be
+   silently dropped by the next recovery. Corrupt or missing snapshots
+   answer 0 here and fail properly in [recover]. *)
+let snapshot_last_seq dir =
+  match open_in_bin (snapshot_path dir) with
+  | exception Sys_error _ -> 0
+  | ic -> (
+    let raw =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.of_string raw with
+    | Error _ -> 0
+    | Ok json -> (
+      match Option.bind (Json.member "last_seq" json) Json.to_int_opt with
+      | Some n -> n
+      | None -> 0))
+
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
     mkdir_p (Filename.dirname dir);
@@ -76,7 +98,10 @@ let open_ ?(snapshot_every = 64) ~dir () =
   mkdir_p dir;
   {
     dir;
-    journal = Journal.open_ ~path:(journal_path dir);
+    journal =
+      Journal.open_
+        ~min_next_seq:(snapshot_last_seq dir + 1)
+        ~path:(journal_path dir) ();
     snapshot_every;
     registrants = [];
     lk = Mutex.create ();

@@ -98,7 +98,7 @@ let error_code body =
 let test_journal_roundtrip () =
   let dir = tmp_dir () in
   let path = Filename.concat dir "j" in
-  let j = Journal.open_ ~path in
+  let j = Journal.open_ ~path () in
   let big = String.make 5000 'x' in
   Alcotest.(check int) "seq 1" 1 (Journal.append j "alpha");
   Alcotest.(check int) "seq 2" 2 (Journal.append j "beta");
@@ -114,7 +114,7 @@ let test_journal_roundtrip () =
   Alcotest.(check int) "no torn tail" 0 scan.Journal.truncated_bytes;
   Alcotest.(check int) "next_seq" 4 scan.Journal.next_seq;
   (* reopening continues the sequence *)
-  let j2 = Journal.open_ ~path in
+  let j2 = Journal.open_ ~path () in
   Alcotest.(check int) "continues" 4 (Journal.append j2 "gamma");
   Journal.close j2;
   let scan = Journal.scan ~path in
@@ -136,7 +136,7 @@ let test_journal_torn_tail_every_byte () =
   let dir = tmp_dir () in
   let path = Filename.concat dir "j" in
   let payloads = [ "one"; "two"; String.make 40 'z' ] in
-  let j = Journal.open_ ~path in
+  let j = Journal.open_ ~path () in
   List.iter (fun p -> ignore (Journal.append j p)) payloads;
   Journal.close j;
   let raw = read_file path in
@@ -181,7 +181,7 @@ let test_journal_fault_rollback () =
   let path = Filename.concat dir "j" in
   F.reset ();
   Fun.protect ~finally:F.reset (fun () ->
-      let j = Journal.open_ ~path in
+      let j = Journal.open_ ~path () in
       ignore (Journal.append j "keep");
       let size0 = file_size path in
       (match F.arm "journal.write" F.Fail with
@@ -214,7 +214,7 @@ let test_journal_fault_rollback () =
 let test_journal_concurrent_appends () =
   let dir = tmp_dir () in
   let path = Filename.concat dir "j" in
-  let j = Journal.open_ ~path in
+  let j = Journal.open_ ~path () in
   let per_domain = 25 in
   let domains =
     List.init 4 (fun d ->
@@ -242,6 +242,35 @@ let test_journal_concurrent_appends () =
   Alcotest.(check (list string))
     "every record durable" expected
     (List.sort compare (List.map snd scan.Journal.records))
+
+(* A torn tail is physically cut off the file at reopen, so records
+   appended after a torn-tail restart land contiguously and survive the
+   NEXT recovery too (appending after the corrupt bytes would strand
+   them behind the CRC-scan stop). *)
+let test_journal_torn_tail_truncated_on_reopen () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "j" in
+  let j = Journal.open_ ~path () in
+  ignore (Journal.append j "alpha");
+  ignore (Journal.append j "beta");
+  Journal.close j;
+  let intact = file_size path in
+  (* crash mid-write: part of a frame lands after the committed records *)
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc "VJL1\x99\x99torn";
+  close_out oc;
+  Alcotest.(check bool) "scan discards the tail" true
+    ((Journal.scan ~path).Journal.truncated_bytes > 0);
+  let j2 = Journal.open_ ~path () in
+  Alcotest.(check int) "file physically truncated" intact (file_size path);
+  Alcotest.(check int) "sequence continues" 3 (Journal.append j2 "gamma");
+  Journal.close j2;
+  let scan = Journal.scan ~path in
+  Alcotest.(check (list string))
+    "post-restart record readable by the next recovery"
+    [ "alpha"; "beta"; "gamma" ]
+    (List.map snd scan.Journal.records);
+  Alcotest.(check int) "no leftover garbage" 0 scan.Journal.truncated_bytes
 
 (* --- the persist store ----------------------------------------------------- *)
 
@@ -308,6 +337,40 @@ let test_persist_commit_replay_snapshot () =
       Persist.recover p3;
       Alcotest.(check (list int)) "snapshot restore" [ 4; 3; 2; 1 ] !s3;
       Persist.close p3)
+
+(* Sequence numbers must never restart below the snapshot's last_seq:
+   commits made by a process that booted from a snapshot (so with an
+   empty journal) would otherwise be numbered from 1 again, and the
+   NEXT recovery's [seq > snapshot.last_seq] guard would silently drop
+   them — acknowledged, fsynced records lost. *)
+let test_persist_seq_continues_after_snapshot () =
+  let dir = tmp_dir () in
+  (* generation 1: three commits, captured by a snapshot (last_seq 3,
+     journal truncated), clean close *)
+  let p1, _, add1 = toy_store dir in
+  add1 1;
+  add1 2;
+  add1 3;
+  Persist.close p1;
+  Alcotest.(check int) "journal empty after snapshot" 0
+    (file_size (Filename.concat dir "registry.journal"));
+  (* generation 2: boots from the snapshot, commits two more, crashes *)
+  let p2, s2, add2 = toy_store dir in
+  Persist.recover p2;
+  Alcotest.(check (list int)) "snapshot restore" [ 3; 2; 1 ] !s2;
+  add2 4;
+  add2 5;
+  Alcotest.(check bool) "sequences continue past the snapshot" true
+    (Journal.last_seq (Persist.journal p2) > 3);
+  (* crash: close the journal directly — no shutdown snapshot *)
+  Journal.close (Persist.journal p2);
+  (* generation 3: both post-snapshot commits must replay *)
+  let p3, s3, _ = toy_store dir in
+  Persist.recover p3;
+  Alcotest.(check (list int))
+    "post-snapshot commits recovered" [ 5; 4; 3; 2; 1 ] !s3;
+  Alcotest.(check int) "both replayed" 2 (Persist.recovery p3).Persist.replayed;
+  Persist.close p3
 
 (* --- the crash-safe registry ---------------------------------------------- *)
 
@@ -666,6 +729,73 @@ let test_jobs_admission_gates () =
             (Some "tenant.quota_exceeded") (error_code body);
           ignore (wait_job ~port slow)))
 
+(* Terminal jobs are pruned past the per-tenant retention cap, oldest
+   first, so the table — and with it GET /v1/jobs and every snapshot
+   dump — stays bounded over the server's lifetime. *)
+let test_jobs_terminal_retention () =
+  let csv = Lazy.force figure6_csv in
+  let registry = Registry.create () in
+  ignore (put_base registry (csv_slice csv 0 20));
+  let jobs = Jobs.create ~domains:1 ~retain:2 registry in
+  Fun.protect
+    ~finally:(fun () -> Jobs.stop jobs)
+    (fun () ->
+      let ids =
+        List.init 5 (fun _ ->
+            Jobs.job_id
+              (Jobs.submit jobs ~tenant:"t" ~dataset:"d" ~op:"risk"
+                 ~options:Codec.default_options))
+      in
+      let deadline = Unix.gettimeofday () +. 20.0 in
+      let rec settle () =
+        let c = Jobs.counters jobs in
+        if c.Jobs.completed + c.Jobs.failed + c.Jobs.cancelled < 5 then
+          if Unix.gettimeofday () > deadline then
+            Alcotest.fail "jobs never settled"
+          else begin
+            Unix.sleepf 0.02;
+            settle ()
+          end
+      in
+      settle ();
+      let kept = List.map Jobs.job_id (Jobs.list jobs) in
+      Alcotest.(check int) "only [retain] jobs kept" 2 (List.length kept);
+      Alcotest.(check (list string))
+        "the newest survive"
+        (List.filteri (fun i _ -> i >= 3) ids)
+        kept;
+      Alcotest.(check int) "prunes counted" 3 (Jobs.counters jobs).Jobs.pruned)
+
+(* Minting fresh tenant names must not launder an existing tenant's
+   rate-limit debt: once the bucket table trips its bound, only buckets
+   already refilled to full burst are forgotten. *)
+let test_jobs_rate_limit_survives_tenant_churn () =
+  let csv = Lazy.force figure6_csv in
+  let registry = Registry.create () in
+  ignore (put_base registry (csv_slice csv 0 20));
+  let jobs =
+    Jobs.create ~domains:1 ~queue:2048 ~rate:0.0001 ~burst:1.0 registry
+  in
+  Fun.protect
+    ~finally:(fun () -> Jobs.stop jobs)
+    (fun () ->
+      let submit tenant =
+        Jobs.submit jobs ~tenant ~dataset:"d" ~op:"risk"
+          ~options:Codec.default_options
+      in
+      ignore (submit "debtor");
+      let limited tenant =
+        match submit tenant with
+        | _ -> false
+        | exception E.Error e -> e.E.code = "tenant.rate_limited"
+      in
+      Alcotest.(check bool) "debtor is rate limited" true (limited "debtor");
+      (* churn enough fresh tenants to trip the bucket-table bound *)
+      for i = 1 to 1100 do
+        ignore (submit (Printf.sprintf "guest-%04d" i))
+      done;
+      Alcotest.(check bool) "debt survives the churn" true (limited "debtor"))
+
 (* restart: terminal jobs survive byte-identically, queued jobs re-run
    (marked replayed), mid-flight jobs fault as orphaned *)
 let test_jobs_crash_resume () =
@@ -893,11 +1023,15 @@ let () =
             test_journal_fault_rollback;
           Alcotest.test_case "4-domain group commit" `Quick
             test_journal_concurrent_appends;
+          Alcotest.test_case "torn tail truncated on reopen" `Quick
+            test_journal_torn_tail_truncated_on_reopen;
         ] );
       ( "persist",
         [
           Alcotest.test_case "commit / replay / snapshot" `Quick
             test_persist_commit_replay_snapshot;
+          Alcotest.test_case "seq continues after snapshot" `Quick
+            test_persist_seq_continues_after_snapshot;
         ] );
       ( "registry",
         [
@@ -913,6 +1047,10 @@ let () =
             test_jobs_retry_and_cancel;
           Alcotest.test_case "admission gates" `Quick
             test_jobs_admission_gates;
+          Alcotest.test_case "terminal retention" `Quick
+            test_jobs_terminal_retention;
+          Alcotest.test_case "rate limit survives tenant churn" `Quick
+            test_jobs_rate_limit_survives_tenant_churn;
           Alcotest.test_case "crash resume" `Quick test_jobs_crash_resume;
         ] );
       ( "retry",
