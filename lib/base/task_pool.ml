@@ -38,6 +38,13 @@ type t = {
 let domains t = t.n_domains
 let stopped t = Atomic.get t.stop_flag
 
+(* The host's useful parallelism. [Domain.recommended_domain_count]
+   reads the cgroup/CPU-affinity limits, so a container pinned to one
+   core reports 1 even when the machine has more. *)
+let recommended () = max 1 (Domain.recommended_domain_count ())
+
+let effective ~requested = max 1 (min requested (recommended ()))
+
 (* Pull one runnable task off the shared queue, pruning exhausted
    batches as they are discovered at the head.  Returns [None] only
    when the pool is stopping and nothing is left to run. *)

@@ -36,6 +36,22 @@ val domains : t -> int
 (** The parallelism the pool was created with (workers + the
     participating caller), i.e. the [~domains] given to {!create}. *)
 
+val recommended : unit -> int
+(** The parallelism this host can actually deliver:
+    [Domain.recommended_domain_count ()], floored at 1. Honours cgroup
+    and CPU-affinity limits, so a CI container pinned to one core
+    reports 1 regardless of the machine's core count. Domains beyond
+    this number buy no throughput and cost garbage-collector
+    synchronization — see {!effective}. *)
+
+val effective : requested:int -> int
+(** [min requested (recommended ())], floored at 1 — the width a
+    consumer should size a pool to when [requested] comes from
+    configuration rather than measurement. The engine applies this cap
+    by default ([Engine.create ~cap_domains]); callers that want to
+    oversubscribe deliberately (scheduler tests, fairness experiments)
+    can bypass it by building the pool themselves. *)
+
 val run_all : t -> (unit -> 'a) array -> ('a, exn) result array
 (** Execute every closure, returning per-task results in input order.
     Tasks may run on any worker domain or on the calling domain; the

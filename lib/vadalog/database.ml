@@ -89,9 +89,10 @@ let index_insert s pos v idx =
     | Some cell -> cell := idx :: !cell
     | None -> Hashtbl.add table k (ref [ idx ]))
 
-let add t ?(prov = Edb) pred args =
+(* [key] must equal [args_key args]; the parallel chase's workers
+   compute it off the writer domain so the merge replay doesn't. *)
+let add_prekeyed t ?(prov = Edb) ~key pred args =
   let s = store t pred in
-  let key = args_key args in
   if Hashtbl.mem s.keys key then false
   else begin
     grow s;
@@ -105,10 +106,17 @@ let add t ?(prov = Edb) pred args =
     true
   end
 
+let add t ?prov pred args = add_prekeyed t ?prov ~key:(args_key args) pred args
+
 let mem t pred args =
   match Hashtbl.find_opt t.preds pred with
   | None -> false
   | Some s -> Hashtbl.mem s.keys (args_key args)
+
+let mem_key t pred ~key =
+  match Hashtbl.find_opt t.preds pred with
+  | None -> false
+  | Some s -> Hashtbl.mem s.keys key
 
 let pred_size t pred =
   match Hashtbl.find_opt t.preds pred with None -> 0 | Some s -> s.size
@@ -169,15 +177,30 @@ let lookup t pred ~pos v =
     | Some cell -> List.rev !cell
     | None -> [])
 
-let build_all_indexes t pred =
+(* With a pool, each missing position's index is built as its own task
+   — index construction over a quiescent store is read-only until the
+   CAS publication, which tolerates concurrent builders by design. *)
+let build_all_indexes ?pool t pred =
   match Hashtbl.find_opt t.preds pred with
   | None -> ()
   | Some s ->
     let arity = if s.size = 0 then 0 else Array.length s.data.(0) in
-    for pos = 0 to arity - 1 do
+    let missing = ref [] in
+    for pos = arity - 1 downto 0 do
       if not (Index_map.mem pos (Atomic.get s.indexes)) then
-        ignore (publish_index s pos (build_index s pos))
-    done
+        missing := pos :: !missing
+    done;
+    let build pos = ignore (publish_index s pos (build_index s pos)) in
+    (match (pool, !missing) with
+    | Some pool, (_ :: _ :: _ as positions)
+      when Vadasa_base.Task_pool.domains pool > 1 ->
+      let tasks =
+        Array.of_list (List.map (fun pos () -> build pos) positions)
+      in
+      Array.iter
+        (function Error e -> raise e | Ok () -> ())
+        (Vadasa_base.Task_pool.run_all pool tasks)
+    | _, positions -> List.iter build positions)
 
 let total t = t.total
 

@@ -35,9 +35,23 @@ val add : t -> ?prov:provenance -> string -> Vadasa_base.Value.t array -> bool
 (** [true] when the fact was new. Default provenance is [Edb].
     Write-side: subject to the single-writer contract above. *)
 
+val add_prekeyed :
+  t -> ?prov:provenance -> key:string -> string ->
+  Vadasa_base.Value.t array -> bool
+(** {!add} with the dedup key supplied by the caller. [key] {e must}
+    equal [{!args_key} args] — this is unchecked. The parallel chase's
+    workers compute keys off the writer domain during their read-only
+    join phase, so the single-threaded merge replay skips the key
+    construction; any other caller should use {!add}. Write-side. *)
+
 val mem : t -> string -> Vadasa_base.Value.t array -> bool
 (** Membership under standard equality (labelled nulls compare by
     label). Read-side: safe from any domain on a quiescent store. *)
+
+val mem_key : t -> string -> key:string -> bool
+(** {!mem} by precomputed {!args_key}. Read-side: safe from any domain
+    on a quiescent store — the parallel merge's sharded dedup probes
+    this concurrently before any insertion of the batch happens. *)
 
 val pred_size : t -> string -> int
 (** Number of facts of a predicate (0 for unknown predicates). *)
@@ -60,11 +74,14 @@ val lookup : t -> string -> pos:int -> Vadasa_base.Value.t -> int list
     maintains it afterwards. Safe to call from multiple domains on a
     quiescent store (see the thread-safety contract above). *)
 
-val build_all_indexes : t -> string -> unit
+val build_all_indexes : ?pool:Vadasa_base.Task_pool.t -> t -> string -> unit
 (** Eagerly build the positional index of every argument position of a
     predicate (no-op for unknown predicates and already-indexed
     positions). Callers that publish a quiescent store to concurrent
-    readers can use this to pre-pay index construction. *)
+    readers can use this to pre-pay index construction. With [pool],
+    the missing positions build as parallel tasks — index construction
+    is read-only until each table's atomic publication, so concurrent
+    builders are safe (CAS losers are discarded, as under {!lookup}). *)
 
 val total : t -> int
 (** Facts across all predicates — the number the engine's fact-ceiling

@@ -20,6 +20,44 @@ let default_config =
 
 exception Limit of string
 
+(* ---- parallel-evaluation tuning constants ----------------------------- *)
+
+(* Chunks are sized by estimated join work (scanned facts), not fact
+   counts: a delta fact of a band self-join costs a full inner scan
+   while a delta fact of an indexed closure step costs a handful of
+   probes, and fixed-count chunks made the latter pay fork-join
+   overhead for microseconds of work. The estimate is a per-rule EWMA
+   of scanned-facts-per-delta-fact ([c_spd]) fed back from completed
+   evaluations. *)
+let target_chunk_scans = 16_384
+(* Estimated scans per chunk a worker should receive: big enough to
+   amortize task dispatch + scratch acquisition, small enough to keep
+   [domains * 4] chunks available for load balancing. *)
+
+let min_parallel_scans = 2 * target_chunk_scans
+(* A batch whose total estimated work is below this evaluates
+   sequentially — the fork-join + merge machinery costs more than the
+   join itself (the old fixed-count policy made tiny strata slower at
+   4 domains than at 1). *)
+
+let min_chunk_facts = 64
+(* Floor on chunk granularity in facts, so the capture/replay overhead
+   per fact stays bounded even when [c_spd] estimates huge per-fact
+   cost. *)
+
+let spd_init = 64.0
+(* Scanned-per-delta-fact estimate for a rule that has never been
+   measured: assume moderately expensive, so first iterations of big
+   deltas parallelize and the measured rate takes over from there. *)
+
+let dedup_shards = 16
+(* Fact-hash shards for the phase-2 dedup classification. *)
+
+let dedup_parallel_floor = 1024
+(* Below this many candidate head facts the sharded classification
+   runs inline — spawning tasks to probe a few hundred hashtable keys
+   is slower than just probing them. *)
+
 type interrupt = {
   reason : Budget.reason;
   stratum : int;  (* stratum being evaluated when the budget ran out *)
@@ -89,6 +127,21 @@ type compiled_rule = {
       (* variables a parallel worker must capture per body binding to
          replay head emission later: frontier ∪ head-argument variables,
          minus existentials (those are invented at merge time) *)
+  c_head_atoms : Atom.t array;
+      (* head atoms in source order. Workers of existential-free rules
+         evaluate these during phase 1 — head args and dedup keys are
+         pure functions of the body binding, so precomputing them moves
+         that work off the serial merge (see [run_parallel_batch]). *)
+  c_spd : float array;
+      (* c_spd.(k): EWMA of scanned facts per delta fact of plan k —
+         the cost model behind adaptive chunk sizing. Per plan, not per
+         rule: the delta-on-path plan of a closure rule costs a few
+         probes per delta fact while its delta-on-edge plan replays
+         whole join subtrees, and one shared estimate would let the
+         expensive plan poison the cheap one's. Coordinator-only
+         state: updated after each completed evaluation, read when
+         planning the next batch. It steers granularity, never
+         results, so byte-identity is unaffected by its value. *)
 }
 
 type group = {
@@ -118,6 +171,100 @@ type null_origin = {
          themselves be labelled nulls (nested Skolem terms) *)
 }
 
+type binding_ctx = {
+  env : (string, Value.t) Hashtbl.t;
+  mutable parents : (string * Value.t array) list;
+}
+
+(* ---- parallel-evaluation worker scratch ------------------------------- *)
+
+(* A head fact a worker precomputed during phase 1: argument values and
+   the store's dedup key, both pure functions of the body binding. *)
+type head_fact = {
+  h_pred : string;
+  h_args : Value.t array;
+  h_key : string;  (* = Database.args_key h_args *)
+}
+
+type emission = {
+  e_vals : Value.t array;
+      (* values of [c_capture], same order; [||] when heads were
+         precomputed (existential-free rules need no replay env) *)
+  e_parents : (string * Value.t array) list;
+      (* as ctx.parents: reverse match order *)
+  e_heads : head_fact array;
+      (* precomputed heads; [||] for rules with existentials, whose
+         Skolem terms must be invented at merge time *)
+}
+
+let no_emission = { e_vals = [||]; e_parents = []; e_heads = [||] }
+
+(* Worker-local profiler counters: summed into the rule's shared
+   accumulator at merge time, keeping the shared record single-writer. *)
+let scratch_prof () =
+  {
+    Profile.r_label = "";
+    r_stratum = 0;
+    r_evals = 0;
+    r_time = 0.0;
+    r_scanned = 0;
+    r_matched = 0;
+    r_bindings = 0;
+    r_derived = 0;
+    r_duplicates = 0;
+    r_nulls = 0;
+    r_groups = 0;
+  }
+
+(* Reusable per-worker join state, banked in a [Joinstate.t] so chunks
+   stop allocating (and minor-GC-syncing every domain over) a fresh
+   environment, buffer and profiler shard each. *)
+type wscratch = {
+  ws_ctx : binding_ctx;
+  ws_prof : Profile.rule;
+  mutable ws_emits : emission array;  (* grow-only emission buffer *)
+  mutable ws_n : int;  (* live prefix of [ws_emits] *)
+}
+
+let ws_make () =
+  {
+    ws_ctx = { env = Hashtbl.create 64; parents = [] };
+    ws_prof = scratch_prof ();
+    ws_emits = Array.make 64 no_emission;
+    ws_n = 0;
+  }
+
+(* Restore a scratch to a state indistinguishable from [ws_make ()]:
+   byte-identity of parallel runs relies on reuse carrying nothing
+   across chunks (see Joinstate's contract). The buffer's capacity is
+   kept — that is the point — but its live prefix is cleared so parked
+   scratch doesn't pin dead facts against the GC. *)
+let ws_reset ws =
+  Hashtbl.reset ws.ws_ctx.env;
+  ws.ws_ctx.parents <- [];
+  Array.fill ws.ws_emits 0 ws.ws_n no_emission;
+  ws.ws_n <- 0;
+  let p = ws.ws_prof in
+  p.Profile.r_evals <- 0;
+  p.Profile.r_time <- 0.0;
+  p.Profile.r_scanned <- 0;
+  p.Profile.r_matched <- 0;
+  p.Profile.r_bindings <- 0;
+  p.Profile.r_derived <- 0;
+  p.Profile.r_duplicates <- 0;
+  p.Profile.r_nulls <- 0;
+  p.Profile.r_groups <- 0
+
+let ws_push ws e =
+  let cap = Array.length ws.ws_emits in
+  if ws.ws_n >= cap then begin
+    let grown = Array.make (2 * cap) no_emission in
+    Array.blit ws.ws_emits 0 grown 0 ws.ws_n;
+    ws.ws_emits <- grown
+  end;
+  ws.ws_emits.(ws.ws_n) <- e;
+  ws.ws_n <- ws.ws_n + 1
+
 type t = {
   program : Program.t;
   config : config;
@@ -134,6 +281,7 @@ type t = {
   prof : Profile.t;
   pool : Task_pool.t option;  (* None = fully sequential evaluation *)
   pool_owned : bool;  (* created by us (shutdown stops it) vs borrowed *)
+  scratch : wscratch Joinstate.t;  (* reusable worker join state *)
   mutable s_stratum : int;  (* stratum currently evaluating *)
   mutable s_iteration : int;  (* fixpoint iteration within it *)
   mutable s_strata_run : int;
@@ -392,17 +540,30 @@ let compile_rule prof rule =
       |> List.sort_uniq compare;
     c_plan_reads = plan_reads;
     c_capture = capture;
+    c_head_atoms = Array.of_list rule.Rule.head;
+    c_spd = Array.make (Array.length plans) spd_init;
   }
 
 (* ---- construction ----------------------------------------------------- *)
 
 let create ?(config = default_config) ?(first_null_label = 1) ?strat
-    ?(domains = 1) ?pool program =
+    ?(domains = 1) ?(cap_domains = true) ?pool program =
   (match Program.validate program with
   | Ok () -> ()
   | Error errors ->
     invalid_arg ("Engine.create: " ^ String.concat "; " errors));
   if domains < 1 then invalid_arg "Engine.create: domains must be >= 1";
+  (* Oversubscribing a host costs real time under OCaml 5 (every minor
+     collection synchronizes all running domains), so by default the
+     requested parallelism is clamped to what the host can actually run
+     — [Task_pool.recommended] honors cgroup/affinity limits, so a
+     container pinned to one core evaluates sequentially no matter what
+     [~domains] asks for. Callers that must exercise the parallel
+     machinery regardless (tests, experiments) pass
+     [~cap_domains:false]; an explicit [~pool] is never clamped. *)
+  let domains =
+    if cap_domains then Task_pool.effective ~requested:domains else domains
+  in
   let pool, pool_owned =
     match pool with
     | Some p -> (Some p, false)
@@ -440,6 +601,7 @@ let create ?(config = default_config) ?(first_null_label = 1) ?strat
     prof;
     pool;
     pool_owned;
+    scratch = Joinstate.create ~make:ws_make ~reset:ws_reset;
     s_stratum = 0;
     s_iteration = 0;
     s_strata_run = 0;
@@ -459,11 +621,6 @@ let parallelism t =
 let shutdown t = if t.pool_owned then Option.iter Task_pool.stop t.pool
 
 (* ---- evaluation ------------------------------------------------------- *)
-
-type binding_ctx = {
-  env : (string, Value.t) Hashtbl.t;
-  mutable parents : (string * Value.t array) list;
-}
 
 let env_key env vars =
   let buf = Buffer.create 32 in
@@ -851,21 +1008,32 @@ let eval_timed cr f =
 
 (* ---- parallel evaluation ---------------------------------------------- *)
 
-(* Parallel evaluation of a plain rule is split into two phases so the
-   result stays byte-identical to sequential evaluation:
+(* Parallel evaluation of a plain rule is split into phases so the
+   result stays byte-identical to sequential evaluation (the full
+   design and correctness argument live in docs/PARALLELISM.md):
 
    - phase 1 (parallel, read-only): the delta range is cut into
-     contiguous chunks; each worker runs the join plan over its chunk
-     against the frozen database and records, per complete body binding,
-     the values of [c_capture] plus the provenance parents, into a
-     thread-local buffer. Nothing is written to the database, the skolem
-     memo, or the shared profiler.
-   - phase 2 (single-threaded merge): the coordinator replays the
+     contiguous chunks sized by the rule's cost model; each worker runs
+     the join plan over its chunk against the frozen database into a
+     reused [wscratch]. For existential-free rules the worker also
+     evaluates the head atoms and their dedup keys — pure functions of
+     the body binding — so the merge doesn't have to. Nothing is
+     written to the database, the skolem memo, or the shared profiler.
+   - phase 2a (parallel, read-only): precomputed head facts are sharded
+     by key hash and classified against the frozen store: a candidate
+     whose key is already present, or appears earlier in replay order,
+     is a definitive duplicate. Duplicate verdicts are sound under
+     merge interleaving because the store only ever gains keys.
+   - phase 2b (single-threaded merge): the coordinator replays the
      buffered bindings in job order, then chunk order, then binding
      order — exactly the order sequential evaluation would have emitted
-     them — performing skolemization, head evaluation, [Database.add],
-     provenance and derivation book-keeping. Insertion order, labelled
-     null names, dedup outcomes and provenance are therefore identical.
+     them. Classified duplicates reduce to a counter bump; the rest
+     insert via their precomputed key (still probing, so the
+     classification only ever skips work, never changes outcomes).
+     Rules with existentials replay through [emit_plain] as before, so
+     skolemization stays sequential and deterministic. Insertion order,
+     labelled null names, dedup outcomes and provenance are therefore
+     identical to a sequential run.
 
    A (rule, plan) job is eligible only when it is {e snapshot-safe}:
    its head predicates do not intersect the predicates the plan reads
@@ -873,35 +1041,23 @@ let eval_timed cr f =
    evaluation lets a rule's inner scans see its own emissions live.
    Consecutive eligible jobs are batched greedily while no job reads a
    predicate an earlier job of the batch writes; aggregate rules and
-   zero-atom rules always evaluate sequentially. *)
-
-(* Minimum delta-chunk size worth shipping to a worker: below this the
-   capture/replay overhead dominates the join itself. *)
-let min_chunk = 256
-
-type emission = {
-  e_vals : Value.t array;  (* values of [c_capture], same order *)
-  e_parents : (string * Value.t array) list;  (* as ctx.parents: reverse match order *)
-}
+   zero-atom rules always evaluate sequentially, as do batches whose
+   estimated total work is below [min_parallel_scans]. *)
 
 type par_job = { j_cr : compiled_rule; j_plan : int; j_lo : int; j_hi : int }
 
-(* Worker-local profiler counters: summed into the rule's shared
-   accumulator at merge time, keeping the shared record single-writer. *)
-let scratch_prof () =
-  {
-    Profile.r_label = "";
-    r_stratum = 0;
-    r_evals = 0;
-    r_time = 0.0;
-    r_scanned = 0;
-    r_matched = 0;
-    r_bindings = 0;
-    r_derived = 0;
-    r_duplicates = 0;
-    r_nulls = 0;
-    r_groups = 0;
-  }
+(* Cost-model feedback: observed scanned-facts-per-delta-fact of a
+   completed evaluation, folded into the rule's EWMA with equal weight
+   so the estimate tracks phase changes (an index appearing, a
+   predicate saturating) within a couple of iterations. *)
+let spd_update cr ~plan ~delta ~scanned =
+  if delta > 0 then begin
+    let observed = float_of_int scanned /. float_of_int delta in
+    cr.c_spd.(plan) <- (0.5 *. cr.c_spd.(plan)) +. (0.5 *. observed)
+  end
+
+let job_est_scans j =
+  float_of_int (j.j_hi - j.j_lo) *. j.j_cr.c_spd.(j.j_plan)
 
 (* Per-worker budget poll (every 4096 scanned facts, via [run_plan]'s
    [poll] hook). The partial-progress snapshot reads only coordinator
@@ -923,11 +1079,20 @@ let worker_poll t budget () =
              facts_derived = t.s_derived;
            }))
 
-(* Cut [lo, hi) into at most [domains * 2] contiguous chunks of at least
-   [min_chunk] facts (except possibly the last remainder distribution). *)
-let chunk_ranges ~domains lo hi =
+(* Cut [lo, hi) into contiguous chunks sized by estimated join work:
+   enough chunks that each carries ~[target_chunk_scans] scanned facts
+   under the rule's cost model, floored at [min_chunk_facts] facts and
+   capped at [domains * 4] chunks for load balancing. Chunk boundaries
+   affect only scheduling — the merge replays chunks in range order, so
+   any cut of the same delta yields byte-identical results. *)
+let adaptive_chunks ~domains ~spd lo hi =
   let size = hi - lo in
-  let n = max 1 (min ((size + min_chunk - 1) / min_chunk) (domains * 2)) in
+  let by_cost =
+    int_of_float
+      (Float.ceil (float_of_int size *. spd /. float_of_int target_chunk_scans))
+  in
+  let by_floor = (size + min_chunk_facts - 1) / min_chunk_facts in
+  let n = max 1 (min (min by_cost by_floor) (domains * 4)) in
   let base = size / n and rem = size mod n in
   List.init n (fun i ->
       let start = lo + (i * base) + min i rem in
@@ -935,6 +1100,97 @@ let chunk_ranges ~domains lo hi =
 
 let parallel_safe cr k =
   not (List.exists (fun p -> List.mem p cr.c_heads) cr.c_plan_reads.(k))
+
+(* Phase 2a: classify every precomputed head fact of the batch as a
+   definitive duplicate or a possible insert, before the merge touches
+   the database. Candidates are flattened in replay order; verdicts go
+   into a bytes array indexed by that order (the merge walks it with a
+   cursor). The work is sharded by key hash so shards share nothing:
+   each shard sees every candidate of its keys in replay order and
+   marks a candidate [Dup] when its key is in the frozen store or an
+   earlier same-shard candidate carries the same (pred, key).
+
+   Soundness of a [Dup] verdict under merge interleaving: the store
+   only ever gains keys, so "present before the merge" implies
+   "present at replay time"; and an earlier same-key candidate has, by
+   replay time, either inserted the key or been a duplicate of it —
+   either way the key is present. Non-[Dup] candidates are merely
+   *maybe* new: a skolem-rule emission replayed in between may have
+   inserted the same fact, which is why the merge still probes them
+   (via [Database.add_prekeyed]). Classification skips work; it never
+   decides an insert. *)
+let classify_batch t pool results =
+  let total = ref 0 in
+  Array.iter
+    (function
+      | Ok (ws, _) ->
+        for k = 0 to ws.ws_n - 1 do
+          total := !total + Array.length ws.ws_emits.(k).e_heads
+        done
+      | Error _ -> ())
+    results;
+  let n = !total in
+  if n = 0 then Bytes.empty
+  else begin
+    let preds = Array.make n "" and keys = Array.make n "" in
+    let i = ref 0 in
+    Array.iter
+      (function
+        | Ok (ws, _) ->
+          for k = 0 to ws.ws_n - 1 do
+            Array.iter
+              (fun h ->
+                preds.(!i) <- h.h_pred;
+                keys.(!i) <- h.h_key;
+                incr i)
+              ws.ws_emits.(k).e_heads
+          done
+        | Error _ -> ())
+      results;
+    let verdicts = Bytes.make n '\000' in
+    (* '\001' = definitive duplicate, '\000' = maybe new *)
+    let classify seen idx =
+      let key = keys.(idx) in
+      let pk = (preds.(idx), key) in
+      if Hashtbl.mem seen pk || Database.mem_key t.db preds.(idx) ~key then
+        Bytes.set verdicts idx '\001'
+      else Hashtbl.add seen pk ()
+    in
+    if n >= dedup_parallel_floor && Task_pool.domains pool > 1 then begin
+      (* Shard by key hash only (not pred): two preds sharing a key land
+         in the same shard, where the (pred, key) table tells them
+         apart. Built back-to-front so each bucket lists its candidate
+         indexes in increasing replay order. *)
+      let buckets = Array.make dedup_shards [] in
+      for idx = n - 1 downto 0 do
+        let s = Hashtbl.hash keys.(idx) land (dedup_shards - 1) in
+        buckets.(s) <- idx :: buckets.(s)
+      done;
+      let tasks =
+        Array.to_list buckets
+        |> List.filter_map (fun idxs ->
+               if idxs = [] then None
+               else
+                 Some
+                   (fun () ->
+                     let seen = Hashtbl.create 256 in
+                     List.iter (classify seen) idxs))
+        |> Array.of_list
+      in
+      (* run_all's completion latch publishes the disjoint [verdicts]
+         writes to the coordinator. *)
+      Array.iter
+        (function Error e -> raise e | Ok () -> ())
+        (Task_pool.run_all pool tasks)
+    end
+    else begin
+      let seen = Hashtbl.create 256 in
+      for idx = 0 to n - 1 do
+        classify seen idx
+      done
+    end;
+    verdicts
+  end
 
 let run_parallel_batch t pool ~budget jobs =
   (* One evaluation per job, accounted up front so [r_evals] matches the
@@ -950,7 +1206,7 @@ let run_parallel_batch t pool ~budget jobs =
       (fun j ->
         List.map
           (fun (lo, hi) -> (j, lo, hi))
-          (chunk_ranges ~domains j.j_lo j.j_hi))
+          (adaptive_chunks ~domains ~spd:j.j_cr.c_spd.(j.j_plan) j.j_lo j.j_hi))
       jobs
   in
   let tasks =
@@ -961,58 +1217,119 @@ let run_parallel_batch t pool ~budget jobs =
            worker_poll t budget ();
            let t0 = Profile.now () in
            let cr = j.j_cr in
-           let prof = scratch_prof () in
-           let ctx = { env = Hashtbl.create 16; parents = [] } in
-           let buf = ref [] in
-           run_plan t cr.plans.(j.j_plan) ~delta_range:(Some (lo, hi)) ~prof
-             ~poll:(worker_poll t budget) ctx ~on_binding:(fun () ->
-               buf :=
-                 {
-                   e_vals =
-                     Array.map (fun v -> Hashtbl.find ctx.env v) cr.c_capture;
-                   e_parents = ctx.parents;
-                 }
-                 :: !buf);
-           let elapsed = Profile.now () -. t0 in
-           (* Recorded on the worker domain into its registry shard. *)
-           Telemetry.observe "engine.chunk.size" (float_of_int (hi - lo));
-           Telemetry.observe "engine.chunk.scanned"
-             (float_of_int prof.Profile.r_scanned);
-           Telemetry.observe "engine.chunk.join" elapsed;
-           (prof, List.rev !buf, elapsed))
+           let ws = Joinstate.acquire t.scratch in
+           try
+             let ctx = ws.ws_ctx in
+             let precompute = cr.existentials = [] in
+             run_plan t cr.plans.(j.j_plan) ~delta_range:(Some (lo, hi))
+               ~prof:ws.ws_prof ~poll:(worker_poll t budget) ctx
+               ~on_binding:(fun () ->
+                 let heads =
+                   if not precompute then [||]
+                   else
+                     Array.map
+                       (fun atom ->
+                         let args =
+                           Array.map (Expr.eval ctx.env) atom.Atom.args
+                         in
+                         {
+                           h_pred = atom.Atom.pred;
+                           h_args = args;
+                           h_key = Database.args_key args;
+                         })
+                       cr.c_head_atoms
+                 in
+                 let vals =
+                   if precompute then [||]
+                   else
+                     Array.map (fun v -> Hashtbl.find ctx.env v) cr.c_capture
+                 in
+                 ws_push ws
+                   { e_vals = vals; e_parents = ctx.parents; e_heads = heads });
+             let elapsed = Profile.now () -. t0 in
+             (* Recorded on the worker domain into its registry shard. *)
+             Telemetry.observe "engine.chunk.size" (float_of_int (hi - lo));
+             Telemetry.observe "engine.chunk.scanned"
+               (float_of_int ws.ws_prof.Profile.r_scanned);
+             Telemetry.observe "engine.chunk.join" elapsed;
+             (ws, elapsed)
+           with e ->
+             Joinstate.release t.scratch ws;
+             raise e)
          chunks)
   in
   let results = Task_pool.run_all pool tasks in
   (* Fail before any merge: a worker error (typed fault, budget
      interrupt) leaves the database untouched by this batch, and the
-     first task in submission order wins deterministically. *)
-  Array.iter (function Error e -> raise e | Ok _ -> ()) results;
+     first task in submission order wins deterministically. Successful
+     tasks' scratch goes back to the bank first. *)
+  if Array.exists (function Error _ -> true | Ok _ -> false) results then begin
+    Array.iter
+      (function Ok (ws, _) -> Joinstate.release t.scratch ws | Error _ -> ())
+      results;
+    Array.iter (function Error e -> raise e | Ok _ -> ()) results
+  end;
   let chunks = Array.of_list chunks in
-  (* Phase 2: single-threaded merge replay — the serial tail that caps
-     parallel speedup, so it gets its own span and histogram. *)
+  (* Phase 2: the serial tail that caps parallel speedup, so it gets
+     its own span and histogram. Classification (2a) runs before the
+     first insertion so every [Dup] verdict is sound at replay time. *)
   Telemetry.span "engine.merge" (fun () ->
       let t0 = Profile.now () in
+      let verdicts = classify_batch t pool results in
+      let cursor = ref 0 in
       let merge_ctx = { env = Hashtbl.create 16; parents = [] } in
       Array.iteri
-        (fun i (j, _, _) ->
+        (fun i (j, lo, hi) ->
           match results.(i) with
           | Error _ -> assert false
-          | Ok (prof, emissions, elapsed) ->
+          | Ok (ws, elapsed) ->
             let cr = j.j_cr in
             let p = cr.c_prof in
+            let wp = ws.ws_prof in
             p.Profile.r_time <- p.Profile.r_time +. elapsed;
-            p.Profile.r_scanned <- p.Profile.r_scanned + prof.Profile.r_scanned;
-            p.Profile.r_matched <- p.Profile.r_matched + prof.Profile.r_matched;
-            p.Profile.r_bindings <- p.Profile.r_bindings + prof.Profile.r_bindings;
-            List.iter
-              (fun e ->
+            p.Profile.r_scanned <- p.Profile.r_scanned + wp.Profile.r_scanned;
+            p.Profile.r_matched <- p.Profile.r_matched + wp.Profile.r_matched;
+            p.Profile.r_bindings <-
+              p.Profile.r_bindings + wp.Profile.r_bindings;
+            spd_update cr ~plan:j.j_plan ~delta:(hi - lo)
+              ~scanned:wp.Profile.r_scanned;
+            if cr.existentials = [] then
+              for k = 0 to ws.ws_n - 1 do
+                let e = ws.ws_emits.(k) in
+                let prov =
+                  if t.config.track_provenance then
+                    Database.Derived
+                      {
+                        rule_id = cr.rule.Rule.id;
+                        rule_label = cr.rule.Rule.label;
+                        parents = List.rev e.e_parents;
+                      }
+                  else Database.Edb
+                in
+                Array.iter
+                  (fun h ->
+                    let added =
+                      Bytes.get verdicts !cursor = '\000'
+                      && Database.add_prekeyed t.db ~prov ~key:h.h_key
+                           h.h_pred h.h_args
+                    in
+                    incr cursor;
+                    record_derivation t cr h.h_pred added)
+                  e.e_heads;
+                check_fact_limit t
+              done
+            else
+              for k = 0 to ws.ws_n - 1 do
+                let e = ws.ws_emits.(k) in
                 Hashtbl.reset merge_ctx.env;
                 Array.iteri
-                  (fun vi v -> Hashtbl.replace merge_ctx.env cr.c_capture.(vi) v)
+                  (fun vi v ->
+                    Hashtbl.replace merge_ctx.env cr.c_capture.(vi) v)
                   e.e_vals;
                 merge_ctx.parents <- e.e_parents;
-                ignore (emit_plain t cr merge_ctx))
-              emissions)
+                ignore (emit_plain t cr merge_ctx)
+              done;
+            Joinstate.release t.scratch ws)
         chunks;
       Telemetry.observe "engine.merge.replay" (Profile.now () -. t0))
 
@@ -1023,8 +1340,17 @@ let run_parallel_batch t pool ~budget jobs =
 let run_plain_rules_parallel t pool ~budget ~iteration ~watermark ~snap
     plain_rules =
   let seq_eval cr ~delta_range ~plan_idx =
+    let scanned_before = cr.c_prof.Profile.r_scanned in
     eval_timed cr (fun () ->
-        ignore (eval_plain_rule t cr ~delta_range ~plan_idx))
+        ignore (eval_plain_rule t cr ~delta_range ~plan_idx));
+    (* Sequential evaluations feed the cost model too, so a rule that
+       never parallelizes still has a current estimate when its delta
+       finally grows. *)
+    match delta_range with
+    | Some (lo, hi) ->
+      spd_update cr ~plan:plan_idx ~delta:(hi - lo)
+        ~scanned:(cr.c_prof.Profile.r_scanned - scanned_before)
+    | None -> ()
   in
   let batch = ref [] (* reversed *) in
   let batch_heads = ref [] in
@@ -1034,10 +1360,20 @@ let run_plain_rules_parallel t pool ~budget ~iteration ~watermark ~snap
     batch_heads := [];
     match jobs with
     | [] -> ()
-    | [ j ] when j.j_hi - j.j_lo <= min_chunk ->
-      (* a lone small job gains nothing from the pool *)
-      seq_eval j.j_cr ~delta_range:(Some (j.j_lo, j.j_hi)) ~plan_idx:j.j_plan
-    | jobs -> run_parallel_batch t pool ~budget jobs
+    | jobs ->
+      (* Estimated total join work decides whether the batch is worth
+         the fork-join + capture/replay machinery at all: tiny batches
+         (the long tail of most fixpoints) run sequentially and dodge
+         the constant factors entirely. *)
+      let est = List.fold_left (fun acc j -> acc +. job_est_scans j) 0.0 jobs in
+      if est < float_of_int min_parallel_scans then
+        List.iter
+          (fun j ->
+            seq_eval j.j_cr
+              ~delta_range:(Some (j.j_lo, j.j_hi))
+              ~plan_idx:j.j_plan)
+          jobs
+      else run_parallel_batch t pool ~budget jobs
   in
   List.iter
     (fun cr ->

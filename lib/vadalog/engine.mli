@@ -20,11 +20,18 @@
     batches of snapshot-safe (rule, delta-plan) jobs run a read-only
     join phase in parallel over contiguous delta chunks, then a
     single-threaded merge replays the buffered bindings in sequential
-    emission order. Results — fact insertion order, labelled-null
-    names, provenance, dedup and aggregate-contributor semantics — are
-    byte-identical to [~domains:1]. Rules whose plans read their own
-    head predicates, aggregate rules and zero-atom rules fall back to
-    sequential evaluation; see [docs/PERFORMANCE.md].
+    emission order. Chunks are sized adaptively by a per-rule cost
+    model (estimated scanned facts), batches below a work threshold
+    run sequentially, workers reuse join scratch from a lock-free
+    {!Joinstate} bank, and for existential-free rules the workers
+    precompute head facts and dedup keys so the merge's serial tail
+    shrinks to classified counter bumps and pre-keyed inserts. Results
+    — fact insertion order, labelled-null names, provenance, dedup and
+    aggregate-contributor semantics — are byte-identical to
+    [~domains:1]. Rules whose plans read their own head predicates,
+    aggregate rules and zero-atom rules fall back to sequential
+    evaluation. Design and correctness argument: [docs/PARALLELISM.md];
+    measured behavior: [docs/PERFORMANCE.md].
 
     {b Thread-safety contract.} An engine is {e single-writer}: at most
     one domain at a time may call {!create}, {!add_fact},
@@ -80,7 +87,7 @@ type t
 
 val create :
   ?config:config -> ?first_null_label:int -> ?strat:Stratify.t ->
-  ?domains:int -> ?pool:Vadasa_base.Task_pool.t ->
+  ?domains:int -> ?cap_domains:bool -> ?pool:Vadasa_base.Task_pool.t ->
   Program.t -> t
 (** Loads the program's inline facts; raises [Invalid_argument] on programs
     that fail {!Program.validate} and {!Stratify.Not_stratifiable} on
@@ -95,12 +102,21 @@ val create :
 
     [domains] (default [1], must be ≥ 1) enables parallel evaluation:
     the engine creates — and owns — a {!Vadasa_base.Task_pool} of that
-    many domains, released by {!shutdown}. [pool] instead {e borrows} an
-    existing pool (it wins over [domains] when both are given and is
-    never stopped by {!shutdown}); a server with its own request
-    workers shares one engine pool across requests this way, keeping
-    the process-wide domain count fixed. With [domains = 1] and no
-    [pool], evaluation is exactly the sequential engine. *)
+    many domains, released by {!shutdown}. [cap_domains] (default
+    [true]) clamps the request to
+    {!Vadasa_base.Task_pool.recommended} — the host's useful
+    parallelism under cgroup/affinity limits — because oversubscribing
+    OCaml 5 domains costs real time (every minor collection
+    synchronizes all running domains): [~domains:4] on a one-core
+    container evaluates sequentially. Pass [~cap_domains:false] to
+    exercise the parallel machinery regardless (tests, scheduler
+    experiments). [pool] instead {e borrows} an existing pool (it wins
+    over [domains] when both are given, is never stopped by
+    {!shutdown}, and is never clamped — the caller already chose its
+    size); a server with its own request workers shares one engine
+    pool across requests this way, keeping the process-wide domain
+    count fixed. With an effective [domains = 1] and no [pool],
+    evaluation is exactly the sequential engine. *)
 
 val add_fact : t -> string -> Vadasa_base.Value.t list -> unit
 

@@ -1,0 +1,36 @@
+(* A lock-free bank of reusable scratch values (Treiber stack).
+
+   The stack is an [Atomic.t] holding an immutable list; push/pop are
+   compare-and-set loops. Contention is bounded by the number of pool
+   domains (a few), so CAS retry storms are not a concern, and the
+   immutable-list representation makes the empty/non-empty transition
+   trivially safe under the OCaml 5 memory model: a successful CAS
+   publishes the whole node. *)
+
+type 'a t = {
+  make : unit -> 'a;
+  reset : 'a -> unit;
+  free : 'a list Atomic.t;
+}
+
+let create ~make ~reset = { make; reset; free = Atomic.make [] }
+
+let rec acquire t =
+  match Atomic.get t.free with
+  | [] -> t.make ()
+  | x :: rest as old ->
+    if Atomic.compare_and_set t.free old rest then x else acquire t
+
+let release t x =
+  t.reset x;
+  let rec push () =
+    let old = Atomic.get t.free in
+    if not (Atomic.compare_and_set t.free old (x :: old)) then push ()
+  in
+  push ()
+
+let with_scratch t f =
+  let x = acquire t in
+  Fun.protect ~finally:(fun () -> release t x) (fun () -> f x)
+
+let parked t = List.length (Atomic.get t.free)

@@ -1,0 +1,58 @@
+(** Reusable per-worker join scratch for the parallel chase.
+
+    Phase 1 of parallel evaluation ([Engine.run]) ships every delta
+    chunk to a worker as an independent task. Before this module each
+    task allocated its join state from scratch — a fresh binding
+    environment, a fresh emission buffer, a fresh profiler shard — and
+    dropped it all on the floor at merge time. On allocation-bound
+    workloads that garbage is pure constant-factor overhead, and under
+    OCaml 5 it is worse than it looks: every minor collection
+    synchronizes {e all} running domains, so per-chunk allocation in one
+    worker taxes every other worker too.
+
+    A {!t} is a {e bank} of scratch values. Tasks {!acquire} a scratch
+    at start (reusing a parked one when available, building a fresh one
+    otherwise) and the coordinator {!release}s it once the merge has
+    consumed its buffers — [release] runs the bank's [reset] function
+    and parks the value for the next batch. The free list is a lock-free
+    Treiber stack, so acquisition never takes the pool mutex and never
+    blocks a worker.
+
+    The bank is generic: the engine owns the concrete scratch record
+    (binding environment, emission buffer, profiler shard) and passes
+    [make]/[reset] closures, which keeps this module free of engine
+    internals and independently testable.
+
+    {b Safety.} A scratch value is owned by exactly one task between
+    {!acquire} and {!release}; the bank only guarantees that a value is
+    never handed to two owners at once. Releasing a value twice, or
+    using it after release, is an ownership bug in the caller. [reset]
+    must return the value to a state indistinguishable from a freshly
+    [make]d one — byte-identity of parallel evaluation relies on reused
+    scratch carrying no state across chunks. *)
+
+type 'a t
+
+val create : make:(unit -> 'a) -> reset:('a -> unit) -> 'a t
+(** A bank that builds values with [make] on demand and restores them
+    with [reset] on {!release}. No values are pre-allocated: a
+    sequential engine that never enters the parallel path pays
+    nothing. *)
+
+val acquire : 'a t -> 'a
+(** Pop a parked scratch value, or [make] a fresh one when the bank is
+    empty. Lock-free; safe to call from any domain. *)
+
+val release : 'a t -> 'a -> unit
+(** [reset] the value and park it for reuse. Lock-free; safe to call
+    from any domain. The caller must not touch the value afterwards. *)
+
+val with_scratch : 'a t -> ('a -> 'b) -> 'b
+(** [acquire], run, [release] — including on exceptions. For callers
+    whose scratch lifetime matches one closure; the engine's phase-1
+    tasks instead hold their scratch across the merge and release
+    manually. *)
+
+val parked : 'a t -> int
+(** Number of values currently parked (acquired values are not
+    counted). Monitoring/testing only; racy by nature. *)

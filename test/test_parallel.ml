@@ -128,9 +128,13 @@ let dump_profile engine =
            r.r_bindings r.r_derived r.r_duplicates r.r_nulls r.r_groups)
        (rules (V.Engine.profile engine)))
 
+(* [cap_domains:false] everywhere in this file: engines must exercise
+   the parallel machinery at the requested domain count even on hosts
+   (CI containers, pinned cgroups) with fewer cores — the default cap
+   would silently turn these into sequential runs. *)
 let run_program ?domains source =
   let program = V.Parser.parse source in
-  let engine = V.Engine.create ?domains program in
+  let engine = V.Engine.create ?domains ~cap_domains:false program in
   Fun.protect
     ~finally:(fun () -> V.Engine.shutdown engine)
     (fun () ->
@@ -159,9 +163,10 @@ let example_programs () =
   |> List.map (fun f -> (f, read_file (Filename.concat dir f)))
 
 (* A synthetic workload big enough to actually exercise the parallel
-   path: 600 edge facts put the per-iteration delta far above the
-   256-fact chunking floor, so a multi-domain engine runs real chunked
-   batches (verified below via the [engine.chunk] hit counter). *)
+   path: 600 edge facts put the first iteration's estimated join work
+   above the engine's sequential-fallback threshold, so a multi-domain
+   engine runs real chunked batches (verified below via the
+   [engine.chunk] hit counter). *)
 let synthetic_tc =
   let buf = Buffer.create 8192 in
   for c = 0 to 5 do
@@ -183,6 +188,47 @@ let synthetic_band =
   Buffer.add_string buf
     "near(X, Y) :- item(X, A), item(Y, B), X < Y, A <= B + 1, B <= A + 1.\n";
   Buffer.add_string buf "@output(\"near\").\n";
+  Buffer.contents buf
+
+(* A deliberately skewed workload: one predicate whose self-join
+   dominates the batch next to many tiny predicates whose rules ride in
+   the same snapshot-safe batch. Adaptive chunking must cut the huge
+   job fine and the tiny jobs coarse (or not at all) without disturbing
+   replay order. *)
+let synthetic_skewed =
+  let buf = Buffer.create 16384 in
+  for i = 0 to 1199 do
+    Buffer.add_string buf (Printf.sprintf "big(%d, %d).\n" i (i mod 37))
+  done;
+  for k = 0 to 9 do
+    for j = 0 to 4 do
+      Buffer.add_string buf (Printf.sprintf "tiny%d(%d).\n" k j)
+    done
+  done;
+  Buffer.add_string buf "pair(X, Y) :- big(X, A), big(Y, A), X < Y.\n";
+  for k = 0 to 9 do
+    Buffer.add_string buf (Printf.sprintf "small%d(X) :- tiny%d(X).\n" k k)
+  done;
+  Buffer.add_string buf "@output(\"pair\").\n";
+  Buffer.contents buf
+
+(* Two rules deriving the same head predicate from disjoint inputs with
+   identical payloads: every fact the second job emits is an in-batch
+   duplicate of the first job's, and [out]/[out2] share argument keys
+   so dedup shards see the same key under different predicates. This
+   hammers the sharded phase-2 classification's (pred, key) handling
+   and the cross-job duplicate accounting. *)
+let synthetic_collisions =
+  let buf = Buffer.create 16384 in
+  for i = 0 to 399 do
+    Buffer.add_string buf (Printf.sprintf "a(%d).\n" i);
+    Buffer.add_string buf (Printf.sprintf "b(%d).\n" i)
+  done;
+  Buffer.add_string buf "out(X) :- a(X).\n";
+  Buffer.add_string buf "out(X) :- b(X).\n";
+  Buffer.add_string buf "out2(X) :- a(X).\n";
+  Buffer.add_string buf "out2(X) :- b(X).\n";
+  Buffer.add_string buf "@output(\"out\").\n@output(\"out2\").\n";
   Buffer.contents buf
 
 let test_examples_byte_identical () =
@@ -219,7 +265,41 @@ let test_synthetic_byte_identical () =
                d)
             seq_prof par_prof)
         [ 2; 4 ])
-    [ ("tc", synthetic_tc); ("band", synthetic_band) ]
+    [
+      ("tc", synthetic_tc);
+      ("band", synthetic_band);
+      ("skewed", synthetic_skewed);
+      ("collisions", synthetic_collisions);
+    ]
+
+let test_collision_duplicates_accounted () =
+  (* The collision workload's duplicate count must not depend on the
+     domain count: every [b]-derived fact is a duplicate wherever the
+     dedup verdict came from (frozen store, in-batch classification, or
+     the merge's own probe). *)
+  let stats_of domains =
+    let program = V.Parser.parse synthetic_collisions in
+    let engine = V.Engine.create ~domains ~cap_domains:false program in
+    Fun.protect
+      ~finally:(fun () -> V.Engine.shutdown engine)
+      (fun () ->
+        V.Engine.run engine;
+        V.Engine.stats engine)
+  in
+  let seq = stats_of 1 in
+  Alcotest.(check bool)
+    "workload actually produces duplicates" true
+    (seq.V.Engine.duplicates_suppressed >= 800);
+  List.iter
+    (fun d ->
+      let par = stats_of d in
+      Alcotest.(check int)
+        (Printf.sprintf "facts derived at %d domains" d)
+        seq.V.Engine.facts_derived par.V.Engine.facts_derived;
+      Alcotest.(check int)
+        (Printf.sprintf "duplicates suppressed at %d domains" d)
+        seq.V.Engine.duplicates_suppressed par.V.Engine.duplicates_suppressed)
+    [ 2; 4 ]
 
 let test_parallel_path_actually_runs () =
   (* Arm [engine.chunk] with a zero delay: harmless, but the hit counter
@@ -237,6 +317,140 @@ let test_parallel_path_actually_runs () =
       Alcotest.(check bool)
         "parallel run executes chunk tasks" true
         (Faultpoint.hit_count "engine.chunk" > 0))
+
+let test_adaptive_gating_skips_tiny_workloads () =
+  (* The cost model must refuse to parallelize work that cannot pay for
+     the fork-join machinery: a 200-fact copy stays entirely on the
+     calling domain even at [~domains:4], while the 600-item band joins
+     cross the work threshold and chunk. *)
+  let tiny_copy =
+    let buf = Buffer.create 2048 in
+    for i = 0 to 199 do
+      Buffer.add_string buf (Printf.sprintf "item(%d, %d).\n" i (i mod 7))
+    done;
+    Buffer.add_string buf "copy(X, Y) :- item(X, Y).\n";
+    Buffer.add_string buf "@output(\"copy\").\n";
+    Buffer.contents buf
+  in
+  Faultpoint.reset ();
+  (match Faultpoint.arm_spec "engine.chunk:delay=0ms" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (E.to_string e));
+  Fun.protect ~finally:Faultpoint.reset (fun () ->
+      ignore (run_program ~domains:4 tiny_copy);
+      Alcotest.(check int)
+        "tiny workload never chunks at 4 domains" 0
+        (Faultpoint.hit_count "engine.chunk");
+      ignore (run_program ~domains:4 synthetic_band);
+      Alcotest.(check bool)
+        "big workload still chunks" true
+        (Faultpoint.hit_count "engine.chunk" > 0))
+
+let test_cap_domains_respects_host () =
+  (* The default cap clamps [~domains] to the host's useful parallelism;
+     an explicit pool is the caller's own choice and is never clamped. *)
+  let program = V.Parser.parse synthetic_band in
+  let capped = V.Engine.create ~domains:64 program in
+  Fun.protect
+    ~finally:(fun () -> V.Engine.shutdown capped)
+    (fun () ->
+      Alcotest.(check bool)
+        "capped engine never exceeds recommended domains" true
+        (V.Engine.parallelism capped <= Task_pool.recommended ()));
+  let pool = Task_pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Task_pool.stop pool)
+    (fun () ->
+      let borrowed = V.Engine.create ~pool program in
+      Fun.protect
+        ~finally:(fun () -> V.Engine.shutdown borrowed)
+        (fun () ->
+          Alcotest.(check int) "explicit pool is never clamped" 4
+            (V.Engine.parallelism borrowed)))
+
+let test_budget_interrupt_mid_run_is_batch_prefix () =
+  (* An interrupted parallel run may stop between batches, but it must
+     never expose a torn batch: every predicate's fact list has to be a
+     prefix of the same predicate's list in the completed sequential
+     run, and the interrupt payload must agree with [stats]. *)
+  let facts_keys db pred =
+    V.Database.facts db pred |> List.map V.Database.args_key
+  in
+  let rec is_prefix xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | x :: xs', y :: ys' -> String.equal x y && is_prefix xs' ys'
+    | _ :: _, [] -> false
+  in
+  let program = V.Parser.parse synthetic_tc in
+  let full = V.Engine.create program in
+  Fun.protect
+    ~finally:(fun () -> V.Engine.shutdown full)
+    (fun () ->
+      V.Engine.run full;
+      let full_db = V.Engine.database full in
+      let interrupted = V.Engine.create ~domains:4 ~cap_domains:false program in
+      Fun.protect
+        ~finally:(fun () -> V.Engine.shutdown interrupted)
+        (fun () ->
+          let budget = Budget.create ~max_facts:800 () in
+          (match V.Engine.run ~budget interrupted with
+          | () -> Alcotest.fail "fact budget did not interrupt"
+          | exception V.Engine.Interrupted i ->
+            Alcotest.(check int)
+              "interrupt payload consistent with stats"
+              (V.Engine.stats interrupted).V.Engine.facts_derived
+              i.V.Engine.facts_derived);
+          let part_db = V.Engine.database interrupted in
+          List.iter
+            (fun pred ->
+              Alcotest.(check bool)
+                (Printf.sprintf
+                   "%s facts are a prefix of the sequential run's" pred)
+                true
+                (is_prefix (facts_keys part_db pred) (facts_keys full_db pred)))
+            (V.Database.predicates part_db)))
+
+(* --- joinstate bank -------------------------------------------------------- *)
+
+let test_joinstate_reuses_and_resets () =
+  let resets = ref 0 in
+  let made = ref 0 in
+  let bank =
+    V.Joinstate.create
+      ~make:(fun () ->
+        incr made;
+        ref [])
+      ~reset:(fun cell ->
+        incr resets;
+        cell := [])
+  in
+  Alcotest.(check int) "empty bank parks nothing" 0 (V.Joinstate.parked bank);
+  let first = V.Joinstate.acquire bank in
+  first := [ 1; 2; 3 ];
+  V.Joinstate.release bank first;
+  Alcotest.(check int) "reset ran on release" 1 !resets;
+  Alcotest.(check int) "released value is parked" 1 (V.Joinstate.parked bank);
+  let second = V.Joinstate.acquire bank in
+  Alcotest.(check bool) "bank reuses the parked value" true (first == second);
+  Alcotest.(check (list int)) "reused value was reset" [] !second;
+  Alcotest.(check int) "no fresh allocation on reuse" 1 !made;
+  let third = V.Joinstate.acquire bank in
+  Alcotest.(check bool) "empty bank makes a fresh value" true (third != second);
+  Alcotest.(check int) "fresh allocation counted" 2 !made
+
+let test_joinstate_with_scratch_releases_on_exception () =
+  let bank = V.Joinstate.create ~make:(fun () -> ref 0) ~reset:(fun c -> c := 0) in
+  (match V.Joinstate.with_scratch bank (fun c ->
+       c := 42;
+       failwith "boom")
+   with
+  | (_ : unit) -> Alcotest.fail "exception swallowed"
+  | exception Failure m -> Alcotest.(check string) "original exception" "boom" m);
+  Alcotest.(check int)
+    "scratch released despite exception" 1 (V.Joinstate.parked bank);
+  let c = V.Joinstate.acquire bank in
+  Alcotest.(check int) "scratch was reset" 0 !c
 
 let test_pool_reuse_across_engines () =
   (* The server shape: one borrowed pool, several engines, shutdown is a
@@ -269,10 +483,16 @@ let test_risk_via_engine_identical () =
   let seq = S.Vadalog_bridge.risk_via_engine ~domains:1 measure md in
   List.iter
     (fun d ->
-      let par = S.Vadalog_bridge.risk_via_engine ~domains:d measure md in
-      Alcotest.(check (array (float 0.0)))
-        (Printf.sprintf "risks identical at %d domains" d)
-        seq par)
+      (* An explicit pool is never clamped to host cores, so the
+         bridge's engine runs the parallel path even on small hosts. *)
+      let pool = Task_pool.create ~domains:d () in
+      Fun.protect
+        ~finally:(fun () -> Task_pool.stop pool)
+        (fun () ->
+          let par = S.Vadalog_bridge.risk_via_engine ~pool measure md in
+          Alcotest.(check (array (float 0.0)))
+            (Printf.sprintf "risks identical at %d domains" d)
+            seq par))
     [ 2; 4 ]
 
 (* --- derivation trees across domain counts --------------------------------- *)
@@ -286,7 +506,7 @@ let test_risk_via_engine_identical () =
    pins the [Unknown] cut to the same facts at every domain count. *)
 let provenance_dump ?domains source =
   let program = V.Parser.parse source in
-  let engine = V.Engine.create ?domains program in
+  let engine = V.Engine.create ?domains ~cap_domains:false program in
   Fun.protect
     ~finally:(fun () -> V.Engine.shutdown engine)
     (fun () ->
@@ -330,7 +550,7 @@ let test_chunk_fault_typed_error () =
   | Error e -> Alcotest.fail (E.to_string e));
   Fun.protect ~finally:Faultpoint.reset (fun () ->
       let program = V.Parser.parse synthetic_tc in
-      let engine = V.Engine.create ~domains:4 program in
+      let engine = V.Engine.create ~domains:4 ~cap_domains:false program in
       Fun.protect
         ~finally:(fun () -> V.Engine.shutdown engine)
         (fun () ->
@@ -347,7 +567,7 @@ let test_stratum_fault_typed_error () =
   | Error e -> Alcotest.fail (E.to_string e));
   Fun.protect ~finally:Faultpoint.reset (fun () ->
       let program = V.Parser.parse synthetic_tc in
-      let engine = V.Engine.create ~domains:4 program in
+      let engine = V.Engine.create ~domains:4 ~cap_domains:false program in
       Fun.protect
         ~finally:(fun () -> V.Engine.shutdown engine)
         (fun () ->
@@ -361,7 +581,7 @@ let test_budget_interrupt_parallel () =
   (* A zero-fact budget must interrupt a multi-domain chase with the
      same structured payload the sequential engine raises. *)
   let program = V.Parser.parse synthetic_tc in
-  let engine = V.Engine.create ~domains:4 program in
+  let engine = V.Engine.create ~domains:4 ~cap_domains:false program in
   Fun.protect
     ~finally:(fun () -> V.Engine.shutdown engine)
     (fun () ->
@@ -394,16 +614,29 @@ let () =
         [
           Alcotest.test_case "example programs, domains 1/2/4" `Slow
             test_examples_byte_identical;
-          Alcotest.test_case "synthetic tc + band, domains 1/2/4" `Slow
+          Alcotest.test_case "synthetic workloads, domains 1/2/4" `Slow
             test_synthetic_byte_identical;
+          Alcotest.test_case "cross-job duplicates accounted" `Quick
+            test_collision_duplicates_accounted;
           Alcotest.test_case "parallel path actually chunks" `Quick
             test_parallel_path_actually_runs;
+          Alcotest.test_case "adaptive gating skips tiny workloads" `Quick
+            test_adaptive_gating_skips_tiny_workloads;
+          Alcotest.test_case "cap_domains respects the host" `Quick
+            test_cap_domains_respects_host;
           Alcotest.test_case "shared pool across engines" `Quick
             test_pool_reuse_across_engines;
           Alcotest.test_case "reasoned risks, domains 1/2/4" `Slow
             test_risk_via_engine_identical;
           Alcotest.test_case "derivation trees, domains 1/2/4" `Slow
             test_provenance_byte_identical;
+        ] );
+      ( "joinstate",
+        [
+          Alcotest.test_case "reuse and reset" `Quick
+            test_joinstate_reuses_and_resets;
+          Alcotest.test_case "with_scratch releases on exception" `Quick
+            test_joinstate_with_scratch_releases_on_exception;
         ] );
       ( "faults",
         [
@@ -413,5 +646,7 @@ let () =
             test_stratum_fault_typed_error;
           Alcotest.test_case "budget interrupts parallel run" `Quick
             test_budget_interrupt_parallel;
+          Alcotest.test_case "interrupted run is a batch prefix" `Quick
+            test_budget_interrupt_mid_run_is_batch_prefix;
         ] );
     ]
